@@ -1,0 +1,377 @@
+//! Concrete syntax for label regular expressions.
+//!
+//! Grammar (whitespace-insensitive; `/` and juxtaposition both concatenate,
+//! mirroring the paper's path-style edge labels such as
+//! `candidate/exam/discipline`):
+//!
+//! ```text
+//! union   := concat ('|' concat)*
+//! concat  := postfix (('/')? postfix)*
+//! postfix := primary ('*' | '+' | '?')*
+//! primary := IDENT | QUOTED | '_' | '(' union ')'
+//! IDENT   := [A-Za-z@#] [A-Za-z0-9_.@#-]*
+//! QUOTED  := '\'' any* '\''
+//! ```
+//!
+//! `_` is the single-label wildcard.
+
+use std::fmt;
+
+use regtree_alphabet::Alphabet;
+
+use crate::ast::Regex;
+
+/// Error raised while parsing a regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Wildcard,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Question,
+    Pipe,
+    Slash,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Option<(usize, Tok)>, ParseError> {
+        self.skip_ws();
+        if self.pos >= self.bytes.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let b = self.bytes[self.pos];
+        let tok = match b {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b'*' => {
+                self.pos += 1;
+                Tok::Star
+            }
+            b'+' => {
+                self.pos += 1;
+                Tok::Plus
+            }
+            b'?' => {
+                self.pos += 1;
+                Tok::Question
+            }
+            b'|' => {
+                self.pos += 1;
+                Tok::Pipe
+            }
+            b'/' => {
+                self.pos += 1;
+                Tok::Slash
+            }
+            b'\'' => {
+                self.pos += 1;
+                let lit_start = self.pos;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.bytes.len() {
+                    return Err(ParseError {
+                        position: start,
+                        message: "unterminated quoted label".into(),
+                    });
+                }
+                let name = self.src[lit_start..self.pos].to_string();
+                self.pos += 1; // closing quote
+                Tok::Ident(name)
+            }
+            b'_' => {
+                // A lone underscore is the wildcard; an underscore starting a
+                // longer identifier is part of that identifier.
+                if self.pos + 1 < self.bytes.len() && is_ident_continue(self.bytes[self.pos + 1]) {
+                    self.lex_ident()
+                } else {
+                    self.pos += 1;
+                    Tok::Wildcard
+                }
+            }
+            b if is_ident_start(b) => self.lex_ident(),
+            other => {
+                return Err(ParseError {
+                    position: start,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        };
+        Ok(Some((start, tok)))
+    }
+
+    fn lex_ident(&mut self) -> Tok {
+        let start = self.pos;
+        self.pos += 1;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        Tok::Ident(self.src[start..self.pos].to_string())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'@' || b == b'#' || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b'@' | b'#')
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    cursor: usize,
+    alphabet: &'a Alphabet,
+    end: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.cursor).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks
+            .get(self.cursor)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.end)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.cursor).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.cursor += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn union(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.concat()?];
+        while matches!(self.peek(), Some(Tok::Pipe)) {
+            self.bump();
+            parts.push(self.concat()?);
+        }
+        Ok(Regex::alt(parts))
+    }
+
+    fn concat(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.postfix()?];
+        loop {
+            match self.peek() {
+                Some(Tok::Slash) => {
+                    self.bump();
+                    parts.push(self.postfix()?);
+                }
+                Some(Tok::Ident(_)) | Some(Tok::Wildcard) | Some(Tok::LParen) => {
+                    parts.push(self.postfix()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(Regex::seq(parts))
+    }
+
+    fn postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.primary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.bump();
+                    r = r.star();
+                }
+                Some(Tok::Plus) => {
+                    self.bump();
+                    r = r.plus();
+                }
+                Some(Tok::Question) => {
+                    self.bump();
+                    r = r.opt();
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn primary(&mut self) -> Result<Regex, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(name)) => Ok(Regex::Atom(self.alphabet.intern(&name))),
+            Some(Tok::Wildcard) => Ok(Regex::AnyAtom),
+            Some(Tok::LParen) => {
+                let inner = self.union()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(inner),
+                    _ => Err(self.err("expected ')'")),
+                }
+            }
+            Some(tok) => Err(self.err(format!("unexpected token {tok:?}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+/// Parses `src` into a [`Regex`], interning labels in `alphabet`.
+pub fn parse_regex(alphabet: &Alphabet, src: &str) -> Result<Regex, ParseError> {
+    let mut lexer = Lexer::new(src);
+    let mut toks = Vec::new();
+    while let Some(t) = lexer.next_tok()? {
+        toks.push(t);
+    }
+    if toks.is_empty() {
+        return Err(ParseError {
+            position: 0,
+            message: "empty regular expression".into(),
+        });
+    }
+    let mut p = Parser {
+        toks,
+        cursor: 0,
+        alphabet,
+        end: src.len(),
+    };
+    let r = p.union()?;
+    if p.cursor != p.toks.len() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regtree_alphabet::Symbol;
+
+    fn w(a: &Alphabet, names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(|n| a.intern(n)).collect()
+    }
+
+    #[test]
+    fn parses_paper_style_path() {
+        let a = Alphabet::new();
+        let r = parse_regex(&a, "candidate/exam/discipline").unwrap();
+        assert!(r.matches(&w(&a, &["candidate", "exam", "discipline"])));
+        assert!(!r.matches(&w(&a, &["candidate", "exam"])));
+    }
+
+    #[test]
+    fn juxtaposition_concatenates() {
+        let a = Alphabet::new();
+        let r = parse_regex(&a, "x y z").unwrap();
+        assert!(r.matches(&w(&a, &["x", "y", "z"])));
+    }
+
+    #[test]
+    fn union_and_star() {
+        let a = Alphabet::new();
+        let r = parse_regex(&a, "(A|B)*/C").unwrap();
+        assert!(r.matches(&w(&a, &["C"])));
+        assert!(r.matches(&w(&a, &["A", "B", "A", "C"])));
+        assert!(!r.matches(&w(&a, &["A", "B"])));
+    }
+
+    #[test]
+    fn wildcard_and_named_underscore() {
+        let a = Alphabet::new();
+        let r = parse_regex(&a, "_* / exam").unwrap();
+        assert!(r.matches(&w(&a, &["whatever", "exam"])));
+        let r2 = parse_regex(&a, "_foo").unwrap();
+        assert_eq!(r2, Regex::Atom(a.intern("_foo")));
+    }
+
+    #[test]
+    fn quoted_labels() {
+        let a = Alphabet::new();
+        let r = parse_regex(&a, "'first.Job-Year'").unwrap();
+        assert_eq!(r, Regex::Atom(a.intern("first.Job-Year")));
+    }
+
+    #[test]
+    fn postfix_operators() {
+        let a = Alphabet::new();
+        let r = parse_regex(&a, "x+ y?").unwrap();
+        assert!(r.matches(&w(&a, &["x"])));
+        assert!(r.matches(&w(&a, &["x", "x", "y"])));
+        assert!(!r.matches(&w(&a, &["y"])));
+    }
+
+    #[test]
+    fn attribute_labels() {
+        let a = Alphabet::new();
+        let r = parse_regex(&a, "candidate/@IDN").unwrap();
+        assert!(r.matches(&w(&a, &["candidate", "@IDN"])));
+    }
+
+    #[test]
+    fn error_positions() {
+        let a = Alphabet::new();
+        assert!(parse_regex(&a, "").is_err());
+        assert!(parse_regex(&a, "(x").is_err());
+        assert!(parse_regex(&a, "x)").is_err());
+        assert!(parse_regex(&a, "x ^ y").is_err());
+        assert!(parse_regex(&a, "'unterminated").is_err());
+        assert!(parse_regex(&a, "*x").is_err());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let a = Alphabet::new();
+        for src in ["(x|y)*/z", "a/b/c", "x+", "_*/exam", "(a/b|c)?"] {
+            let r = parse_regex(&a, src).unwrap();
+            let printed = r.display(&a).to_string();
+            let r2 = parse_regex(&a, &printed).unwrap();
+            assert_eq!(r, r2, "round trip failed for {src} -> {printed}");
+        }
+    }
+}

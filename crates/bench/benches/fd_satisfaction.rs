@@ -1,0 +1,44 @@
+//! E4 — Figures 4–5: FD satisfaction checking (Definition 5) on exam
+//! sessions of growing size, for the path-style `fd1` and the
+//! beyond-[8] `fd3`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regtree_bench::{session, CANDIDATE_COUNTS};
+use regtree_core::satisfies;
+
+fn bench_fd(c: &mut Criterion) {
+    let a = regtree_gen::exam_alphabet();
+    let fd1 = regtree_gen::fd1(&a);
+    let fd2 = regtree_gen::fd2(&a);
+    let fd3 = regtree_gen::fd3(&a);
+
+    let mut group = c.benchmark_group("fd_satisfaction");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &CANDIDATE_COUNTS {
+        let doc = session(&a, n);
+        group.bench_with_input(BenchmarkId::new("fd1_discipline_mark_rank", n), &doc, |b, d| {
+            b.iter(|| assert!(satisfies(&fd1, d)))
+        });
+        group.bench_with_input(BenchmarkId::new("fd2_node_equality", n), &doc, |b, d| {
+            b.iter(|| assert!(satisfies(&fd2, d)))
+        });
+    }
+    group.finish();
+
+    // fd3 relates every pair of exams per candidate: quadratic per
+    // candidate, keep instances smaller.
+    let mut g3 = c.benchmark_group("fd_satisfaction_fd3");
+    g3.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[10usize, 50, 200] {
+        let doc = session(&a, n);
+        g3.bench_with_input(BenchmarkId::new("fd3_two_marks_level", n), &doc, |b, d| {
+            b.iter(|| assert!(satisfies(&fd3, d)))
+        });
+    }
+    g3.finish();
+}
+
+criterion_group!(benches, bench_fd);
+criterion_main!(benches);

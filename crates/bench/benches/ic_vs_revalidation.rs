@@ -1,0 +1,70 @@
+//! E10 — the study the paper's conclusion asks for: “estimate how much
+//! time it saves to launch the independence criterion instead of verifying
+//! the functional dependency again.”
+//!
+//! Three maintenance strategies for `fd1` under a stream of level updates
+//! (a class the criterion proves independent):
+//!
+//! * `revalidate_full`  — apply + full re-verification, per document size;
+//! * `incremental`      — [14]-style stored-state recheck, per document size;
+//! * `criterion_once`   — the IC, **independent of any document**.
+//!
+//! The expected shape: the first two grow with the document, the criterion
+//! is flat — so a crossover exists past which the criterion wins for every
+//! further update.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regtree_bench::{session, CANDIDATE_COUNTS};
+use regtree_core::{
+    check_independence, revalidate_full, IncrementalChecker, Update, UpdateOp,
+};
+
+fn bench_strategies(c: &mut Criterion) {
+    let a = regtree_gen::exam_alphabet();
+    let fd1 = regtree_gen::fd1(&a);
+    let schema = regtree_gen::exam_schema(&a);
+    let class = regtree_core::UpdateClass::new(
+        regtree_pattern::parse_corexpath(&a, "/session/candidate/level").expect("parses"),
+    )
+    .expect("leaf");
+    let update = Update::new(class.clone(), UpdateOp::SetText("E".into()));
+
+    let mut group = c.benchmark_group("ic_vs_revalidation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // The document-independent criterion (one point, not a curve).
+    group.bench_function("criterion_once", |b| {
+        b.iter(|| {
+            let r = check_independence(&fd1, &class, Some(&schema));
+            assert!(r.verdict.is_independent());
+            r.automaton_size
+        })
+    });
+
+    for &n in &CANDIDATE_COUNTS {
+        let doc = session(&a, n);
+        group.bench_with_input(BenchmarkId::new("revalidate_full", n), &doc, |b, d| {
+            b.iter(|| {
+                revalidate_full(&fd1, &update, d)
+                    .expect("applies")
+                    .is_ok()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &doc, |b, d| {
+            // Snapshot once outside the timing loop (amortized across the
+            // update stream), recheck inside.
+            let checker = IncrementalChecker::new(&fd1, d);
+            b.iter(|| {
+                let mut doc = d.clone();
+                let mut ck = checker.clone();
+                ck.recheck(&fd1, &update, &mut doc).expect("applies")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E2 — Figure 2: pattern evaluation (`R1`, `R2`) on exam sessions of
+//! growing size, for both the mapping enumerator and the compiled
+//! automaton (containment test).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regtree_bench::{session, CANDIDATE_COUNTS};
+use regtree_pattern::compile_pattern;
+
+fn bench_eval(c: &mut Criterion) {
+    let a = regtree_gen::exam_alphabet();
+    let r2 = regtree_gen::pattern_r2(&a);
+    let r3 = regtree_gen::pattern_r3(&a);
+
+    let mut group = c.benchmark_group("pattern_eval");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &CANDIDATE_COUNTS {
+        let doc = session(&a, n);
+        // R2 scales linearly (per-candidate pairs); R1's quadratic blowup is
+        // benchmarked separately on smaller instances below.
+        group.bench_with_input(BenchmarkId::new("R2_same_candidate", n), &doc, |b, d| {
+            b.iter(|| regtree_gen::pattern_r2(&a).evaluate(d).len())
+        });
+        group.bench_with_input(BenchmarkId::new("R3_monadic", n), &doc, |b, d| {
+            b.iter(|| r3.evaluate(d).len())
+        });
+        let auto = compile_pattern(&r2, false);
+        group.bench_with_input(BenchmarkId::new("R2_automaton_contains", n), &doc, |b, d| {
+            b.iter(|| auto.accepts(d))
+        });
+    }
+    group.finish();
+
+    let mut quad = c.benchmark_group("pattern_eval_quadratic");
+    quad.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[5usize, 10, 20, 40] {
+        let doc = session(&a, n);
+        quad.bench_with_input(BenchmarkId::new("R1_cross_candidate", n), &doc, |b, d| {
+            b.iter(|| regtree_gen::pattern_r1(&a).evaluate(d).len())
+        });
+    }
+    quad.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

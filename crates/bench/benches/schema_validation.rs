@@ -1,0 +1,30 @@
+//! Substrate bench: bottom-up tree-automaton runs (`A_S` validation) on
+//! growing documents — the workhorse inside every IC emptiness test.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use regtree_bench::{session, CANDIDATE_COUNTS};
+
+fn bench_validation(c: &mut Criterion) {
+    let a = regtree_gen::exam_alphabet();
+    let schema = regtree_gen::exam_schema(&a);
+    let automaton = schema.compile();
+
+    let mut group = c.benchmark_group("schema_validation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &CANDIDATE_COUNTS {
+        let doc = session(&a, n);
+        group.throughput(Throughput::Elements(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::new("hedge_run", n), &doc, |b, d| {
+            b.iter(|| assert!(automaton.accepts(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("validate_diagnostics", n), &doc, |b, d| {
+            b.iter(|| schema.validate(d).is_ok())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Section 4 — executing updates: selection (pattern evaluation) plus
+//! subtree replacement, on growing documents.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regtree_bench::{session, CANDIDATE_COUNTS};
+use regtree_core::{Update, UpdateOp};
+use regtree_xml::TreeSpec;
+
+fn bench_updates(c: &mut Criterion) {
+    let a = regtree_gen::exam_alphabet();
+    let mut group = c.benchmark_group("update_apply");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &CANDIDATE_COUNTS {
+        let doc = session(&a, n);
+        let q1 = regtree_gen::update_q1(&a);
+        group.bench_with_input(BenchmarkId::new("q1_decrease_levels", n), &doc, |b, d| {
+            b.iter(|| q1.apply_cloned(d).expect("applies").len())
+        });
+        let q2 = regtree_gen::update_q2(&a);
+        group.bench_with_input(BenchmarkId::new("q2_append_comment", n), &doc, |b, d| {
+            b.iter(|| q2.apply_cloned(d).expect("applies").len())
+        });
+        let replace = Update::new(
+            regtree_gen::update_class_u(&a),
+            UpdateOp::Replace(TreeSpec::elem_named(
+                &a,
+                "level",
+                vec![TreeSpec::text("E")],
+            )),
+        );
+        group.bench_with_input(BenchmarkId::new("replace_level_subtrees", n), &doc, |b, d| {
+            b.iter(|| replace.apply_cloned(d).expect("applies").len())
+        });
+        group.bench_with_input(BenchmarkId::new("selection_only", n), &doc, |b, d| {
+            b.iter(|| regtree_gen::update_class_u(&a).selected_nodes(d).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Shared helpers for the `regtree` benchmark harness.
+//!
+//! Every bench regenerates one experiment of `EXPERIMENTS.md` (which maps
+//! them back to the paper's figures and propositions). The helpers keep the
+//! workloads identical across benches: deterministic seeds, the exam-session
+//! generator of the running example, and the parameterized FD/update
+//! families used by the Proposition 3 scaling study.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use regtree_alphabet::Alphabet;
+use regtree_core::{Fd, FdBuilder, UpdateClass};
+use regtree_pattern::{RegularTreePattern, Template};
+use regtree_xml::Document;
+
+/// Deterministic RNG shared by all benches.
+pub fn rng() -> SmallRng {
+    SmallRng::seed_from_u64(0x2010_0322)
+}
+
+/// Document sizes (candidate counts) used by the document-scaling benches.
+pub const CANDIDATE_COUNTS: [usize; 4] = [10, 50, 200, 1000];
+
+/// An exam session with `n` candidates (3 exams each), deterministic.
+pub fn session(a: &Alphabet, n: usize) -> Document {
+    let mut r = rng();
+    regtree_gen::generate_session(a, n, 3, &mut r)
+}
+
+/// An FD with `k` conditions over a chain alphabet: context `c`, conditions
+/// `c/p0/v … c/p(k-1)/v`, target `c/t/v`. `|FD|` grows linearly with `k`.
+pub fn fd_with_conditions(a: &Alphabet, k: usize) -> Fd {
+    let mut b = FdBuilder::new(a.clone()).context("ctx");
+    for i in 0..k {
+        b = b.condition(&format!("p{i}/v"));
+    }
+    b.target("t/v").build().expect("fd builds")
+}
+
+/// An update class whose template is a chain of `depth` single-label edges
+/// (distinct labels, so `|U|` grows linearly with `depth`).
+pub fn update_chain(a: &Alphabet, depth: usize) -> UpdateClass {
+    let mut t = Template::new(a.clone());
+    let mut cur = t.root();
+    for i in 0..depth.max(1) {
+        cur = t.add_child_str(cur, &format!("u{i}")).expect("proper");
+    }
+    UpdateClass::new(RegularTreePattern::monadic(t, cur).expect("valid")).expect("leaf")
+}
+
+/// A DTD-like schema with `n` element rules (linear `|A_S|` growth); rule
+/// `si` allows children `s(i+1)*`.
+pub fn chain_schema(a: &Alphabet, n: usize) -> regtree_hedge::Schema {
+    let mut text = String::from("root: s0*\n");
+    for i in 0..n {
+        if i + 1 < n {
+            text.push_str(&format!("s{i}: s{}*\n", i + 1));
+        } else {
+            text.push_str(&format!("s{i}: EMPTY\n"));
+        }
+    }
+    regtree_hedge::Schema::parse(a, &text).expect("schema parses")
+}
+
+/// An alphabet with `extra` filler labels beyond the exam vocabulary
+/// (for the `|Σ|` axis of the Proposition 3 study).
+pub fn padded_alphabet(extra: usize) -> Alphabet {
+    let a = regtree_gen::exam_alphabet();
+    for i in 0..extra {
+        a.intern(&format!("filler{i}"));
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build() {
+        let a = regtree_gen::exam_alphabet();
+        assert!(session(&a, 5).len() > 50);
+        let fd = fd_with_conditions(&a, 3);
+        assert_eq!(fd.conditions().len(), 3);
+        let u = update_chain(&a, 4);
+        assert!(u.size() > 0);
+        let s = chain_schema(&a, 3);
+        assert_eq!(s.rules().len(), 3);
+        assert!(padded_alphabet(10).len() >= 21);
+    }
+
+    #[test]
+    fn fd_size_grows_with_conditions() {
+        let a = regtree_gen::exam_alphabet();
+        let s1 = fd_with_conditions(&a, 1).size();
+        let s8 = fd_with_conditions(&a, 8).size();
+        assert!(s8 > s1);
+    }
+}

@@ -1,0 +1,573 @@
+//! `rtpcheck` — command-line front-end for the `regtree` library.
+//!
+//! ```text
+//! rtpcheck validate      --schema SCHEMA.rts DOC.xml...
+//! rtpcheck fd-check      --fd "CTX : P1,P2 -> Q" DOC.xml...
+//! rtpcheck eval          --xpath "/session/candidate" DOC.xml
+//! rtpcheck independence  --fd "CTX : P1 -> Q" --update "/xpath" [--schema S] [--json]
+//! rtpcheck demo
+//! ```
+//!
+//! Schemas use the `label: content-model` rule format of
+//! [`regtree_hedge::Schema::parse`]; FDs use the path formalism of
+//! [`regtree_core::PathFd::parse`]; update classes are positive-CoreXPath
+//! queries whose final step is predicate-free (the selected node must be a
+//! leaf of the update template).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use regtree_alphabet::Alphabet;
+use regtree_core::{check_fd, check_independence, PathFd, UpdateClass, Verdict};
+use regtree_hedge::Schema;
+use regtree_pattern::parse_corexpath;
+use regtree_xml::{parse_document, to_xml_with, SerializeOptions};
+use serde::Serialize;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args.iter().map(String::as_str).collect::<Vec<_>>()) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Violation(out)) => {
+            print!("{out}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(64)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+rtpcheck — regular tree patterns: XML FDs, updates and independence
+
+USAGE:
+  rtpcheck validate     --schema FILE DOC.xml...
+  rtpcheck fd-check     --fd EXPR DOC.xml...
+  rtpcheck eval         --xpath PATH DOC.xml
+  rtpcheck independence --fd EXPR --update PATH [--schema FILE] [--json]
+  rtpcheck matrix       --fds FILE --updates FILE [--schema FILE]
+  rtpcheck demo
+
+  FD EXPR syntax:   /ctx/path : cond1, cond2[N] -> target
+  PATH syntax:      positive CoreXPath, e.g. /session/candidate/level
+                    (predicate branches map in document order: [p] before
+                    the continuation — Definition 2 order semantics)
+";
+
+/// CLI outcomes that need distinct exit codes.
+#[derive(Debug)]
+enum CliError {
+    /// Bad arguments (exit 64).
+    Usage(String),
+    /// A check ran and failed (exit 2) — output still printed.
+    Violation(String),
+    /// IO/parse failures (exit 1).
+    Runtime(String),
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn runtime(msg: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(msg.to_string())
+}
+
+/// Parsed flag set: `--key value` pairs plus positionals.
+struct Flags {
+    values: Vec<(String, String)>,
+    positional: Vec<String>,
+    json: bool,
+}
+
+fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
+    let mut values = Vec::new();
+    let mut positional = Vec::new();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i];
+        if a == "--json" {
+            json = true;
+            i += 1;
+        } else if let Some(key) = a.strip_prefix("--") {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| usage(format!("flag --{key} needs a value")))?;
+            values.push((key.to_string(), v.to_string()));
+            i += 2;
+        } else {
+            positional.push(a.to_string());
+            i += 1;
+        }
+    }
+    Ok(Flags {
+        values,
+        positional,
+        json,
+    })
+}
+
+impl Flags {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| usage(format!("missing required flag --{key}")))
+    }
+}
+
+fn run(args: &[&str]) -> Result<String, CliError> {
+    let Some((&cmd, rest)) = args.split_first() else {
+        return Err(usage("no subcommand"));
+    };
+    match cmd {
+        "validate" => cmd_validate(rest),
+        "fd-check" => cmd_fd_check(rest),
+        "eval" => cmd_eval(rest),
+        "independence" => cmd_independence(rest),
+        "matrix" => cmd_matrix(rest),
+        "demo" => cmd_demo(),
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(usage(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| runtime(format!("reading {path}: {e}")))
+}
+
+fn load_docs(
+    alphabet: &Alphabet,
+    paths: &[String],
+) -> Result<Vec<(String, regtree_xml::Document)>, CliError> {
+    if paths.is_empty() {
+        return Err(usage("no documents given"));
+    }
+    paths
+        .iter()
+        .map(|p| {
+            let src = read_file(p)?;
+            let doc = parse_document(alphabet, &src).map_err(runtime)?;
+            Ok((p.clone(), doc))
+        })
+        .collect()
+}
+
+fn cmd_validate(args: &[&str]) -> Result<String, CliError> {
+    let flags = parse_flags(args)?;
+    let alphabet = Alphabet::new();
+    let schema_src = read_file(flags.require("schema")?)?;
+    let schema = Schema::parse(&alphabet, &schema_src).map_err(runtime)?;
+    let docs = load_docs(&alphabet, &flags.positional)?;
+    let mut out = String::new();
+    let mut failed = false;
+    for (path, doc) in &docs {
+        match schema.validate(doc) {
+            Ok(()) => writeln!(out, "{path}: valid").expect("write to string"),
+            Err(e) => {
+                failed = true;
+                writeln!(out, "{path}: INVALID — {e}").expect("write to string");
+            }
+        }
+    }
+    if failed {
+        Err(CliError::Violation(out))
+    } else {
+        Ok(out)
+    }
+}
+
+fn cmd_fd_check(args: &[&str]) -> Result<String, CliError> {
+    let flags = parse_flags(args)?;
+    let alphabet = Alphabet::new();
+    let fd = PathFd::parse(&alphabet, flags.require("fd")?)
+        .and_then(|p| p.to_fd(&alphabet))
+        .map_err(runtime)?;
+    let docs = load_docs(&alphabet, &flags.positional)?;
+    let mut out = String::new();
+    let mut failed = false;
+    for (path, doc) in &docs {
+        match check_fd(&fd, doc) {
+            Ok(()) => writeln!(out, "{path}: satisfies the FD").expect("write to string"),
+            Err(v) => {
+                failed = true;
+                writeln!(out, "{path}: VIOLATED — {}", v.describe(doc)).expect("write to string");
+            }
+        }
+    }
+    if failed {
+        Err(CliError::Violation(out))
+    } else {
+        Ok(out)
+    }
+}
+
+fn cmd_eval(args: &[&str]) -> Result<String, CliError> {
+    let flags = parse_flags(args)?;
+    let alphabet = Alphabet::new();
+    let pattern = parse_corexpath(&alphabet, flags.require("xpath")?).map_err(runtime)?;
+    let docs = load_docs(&alphabet, &flags.positional)?;
+    let mut out = String::new();
+    for (path, doc) in &docs {
+        let results = pattern.evaluate(doc);
+        writeln!(out, "{path}: {} match(es)", results.len()).expect("write to string");
+        for tuple in results {
+            for node in tuple {
+                writeln!(
+                    out,
+                    "  {} <{}>",
+                    doc.dewey_string(node),
+                    doc.label_name(node)
+                )
+                .expect("write to string");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[derive(Serialize)]
+struct IndependenceReport {
+    independent: bool,
+    ic_states: usize,
+    automaton_size: usize,
+    witness_xml: Option<String>,
+}
+
+fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
+    let flags = parse_flags(args)?;
+    let alphabet = Alphabet::new();
+    let fd = PathFd::parse(&alphabet, flags.require("fd")?)
+        .and_then(|p| p.to_fd(&alphabet))
+        .map_err(runtime)?;
+    let update_pattern =
+        parse_corexpath(&alphabet, flags.require("update")?).map_err(runtime)?;
+    let class = UpdateClass::new(update_pattern).map_err(|e| {
+        runtime(format!(
+            "{e}; the final CoreXPath step must be predicate-free"
+        ))
+    })?;
+    let schema = match flags.get("schema") {
+        Some(path) => Some(Schema::parse(&alphabet, &read_file(path)?).map_err(runtime)?),
+        None => None,
+    };
+    let analysis = check_independence(&fd, &class, schema.as_ref());
+    let report = IndependenceReport {
+        independent: analysis.verdict.is_independent(),
+        ic_states: analysis.ic_states,
+        automaton_size: analysis.automaton_size,
+        witness_xml: match &analysis.verdict {
+            Verdict::Unknown {
+                witness: Some(doc), ..
+            } => Some(to_xml_with(doc, SerializeOptions { indent: true })),
+            _ => None,
+        },
+    };
+    if flags.json {
+        let json = serde_json::to_string_pretty(&report).map_err(runtime)?;
+        return Ok(format!("{json}\n"));
+    }
+    let mut out = String::new();
+    if report.independent {
+        writeln!(
+            out,
+            "INDEPENDENT: no update of this class can break the FD{}",
+            if schema.is_some() {
+                " (under the schema)"
+            } else {
+                ""
+            }
+        )
+        .expect("write to string");
+    } else {
+        writeln!(
+            out,
+            "UNKNOWN: the criterion cannot prove independence (IC language nonempty)"
+        )
+        .expect("write to string");
+        if let Some(xml) = &report.witness_xml {
+            writeln!(out, "witness document where update and FD interact:\n{xml}")
+                .expect("write to string");
+        }
+    }
+    writeln!(
+        out,
+        "automaton: {} IC states, size {}",
+        report.ic_states, report.automaton_size
+    )
+    .expect("write to string");
+    Ok(out)
+}
+
+/// Parses a `name = expression` list file (one entry per line; `#` comments).
+fn parse_named_list(src: &str) -> Result<Vec<(String, String)>, CliError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, expr) = line
+            .split_once('=')
+            .ok_or_else(|| runtime(format!("line {}: expected 'name = expr'", lineno + 1)))?;
+        out.push((name.trim().to_string(), expr.trim().to_string()));
+    }
+    if out.is_empty() {
+        return Err(runtime("empty list file"));
+    }
+    Ok(out)
+}
+
+fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
+    let flags = parse_flags(args)?;
+    let alphabet = Alphabet::new();
+    let fd_list = parse_named_list(&read_file(flags.require("fds")?)?)?;
+    let update_list = parse_named_list(&read_file(flags.require("updates")?)?)?;
+    let schema = match flags.get("schema") {
+        Some(path) => Some(Schema::parse(&alphabet, &read_file(path)?).map_err(runtime)?),
+        None => None,
+    };
+    let mut fds = Vec::new();
+    for (name, expr) in &fd_list {
+        let fd = PathFd::parse(&alphabet, expr)
+            .and_then(|p| p.to_fd(&alphabet))
+            .map_err(|e| runtime(format!("fd '{name}': {e}")))?;
+        fds.push((name.clone(), fd));
+    }
+    let mut classes = Vec::new();
+    for (name, expr) in &update_list {
+        let pattern = parse_corexpath(&alphabet, expr)
+            .map_err(|e| runtime(format!("update '{name}': {e}")))?;
+        let class = UpdateClass::new(pattern)
+            .map_err(|e| runtime(format!("update '{name}': {e}")))?;
+        classes.push((name.clone(), class));
+    }
+    let fd_refs: Vec<(&str, &regtree_core::Fd)> =
+        fds.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    let class_refs: Vec<(&str, &UpdateClass)> =
+        classes.iter().map(|(n, c)| (n.as_str(), c)).collect();
+    let matrix = regtree_core::analyze_matrix(&fd_refs, &class_refs, schema.as_ref());
+    let mut out = matrix.to_string();
+    out.push_str(&format!(
+        "
+{} of {} pairs provably independent
+",
+        matrix.independent_count(),
+        fd_refs.len() * class_refs.len()
+    ));
+    Ok(out)
+}
+
+fn cmd_demo() -> Result<String, CliError> {
+    let alphabet = regtree_gen::exam_alphabet();
+    let doc = regtree_gen::figure1_document(&alphabet);
+    let schema = regtree_gen::exam_schema(&alphabet);
+    let mut out = String::new();
+    writeln!(out, "— Figure 1 document ({} nodes) —", doc.len()).expect("write");
+    writeln!(
+        out,
+        "{}",
+        to_xml_with(&doc, SerializeOptions { indent: true })
+    )
+    .expect("write");
+    writeln!(out, "schema validation: {:?}", schema.validate(&doc).is_ok()).expect("write");
+    for (name, fd) in [
+        ("fd1", regtree_gen::fd1(&alphabet)),
+        ("fd2", regtree_gen::fd2(&alphabet)),
+        ("fd3", regtree_gen::fd3(&alphabet)),
+    ] {
+        writeln!(
+            out,
+            "{name}: {}",
+            if regtree_core::satisfies(&fd, &doc) {
+                "satisfied"
+            } else {
+                "violated"
+            }
+        )
+        .expect("write");
+    }
+    let class = regtree_gen::update_class_u(&alphabet);
+    for (name, fd) in [
+        ("fd3 vs U", regtree_gen::fd3(&alphabet)),
+        ("fd5 vs U", regtree_gen::fd5(&alphabet)),
+    ] {
+        let a = check_independence(&fd, &class, Some(&schema));
+        writeln!(
+            out,
+            "{name} (with schema): {}",
+            if a.verdict.is_independent() {
+                "INDEPENDENT"
+            } else {
+                "unknown"
+            }
+        )
+        .expect("write");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(content: &str, ext: &str) -> tempfileish::TempPath {
+        tempfileish::write(content, ext)
+    }
+
+    /// Minimal self-contained temp-file helper (no external crate).
+    mod tempfileish {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static N: AtomicU64 = AtomicU64::new(0);
+
+        pub struct TempPath(pub PathBuf);
+
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+
+        pub fn write(content: &str, ext: &str) -> TempPath {
+            let n = N.fetch_add(1, Ordering::SeqCst);
+            let mut p = std::env::temp_dir();
+            p.push(format!("rtpcheck-test-{}-{n}.{ext}", std::process::id()));
+            std::fs::write(&p, content).expect("temp write");
+            TempPath(p)
+        }
+    }
+
+    #[test]
+    fn demo_runs() {
+        let out = run(&["demo"]).unwrap();
+        assert!(out.contains("fd1: satisfied"));
+        assert!(out.contains("fd5 vs U (with schema): INDEPENDENT"));
+        assert!(out.contains("fd3 vs U (with schema): unknown"));
+    }
+
+    #[test]
+    fn validate_command() {
+        let schema = tmp("root: r\nr: x*\nx: EMPTY\n", "rts");
+        let good = tmp("<r><x/></r>", "xml");
+        let bad = tmp("<r><y/></r>", "xml");
+        let out = run(&[
+            "validate",
+            "--schema",
+            schema.0.to_str().unwrap(),
+            good.0.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("valid"));
+        let err = run(&[
+            "validate",
+            "--schema",
+            schema.0.to_str().unwrap(),
+            bad.0.to_str().unwrap(),
+        ]);
+        assert!(matches!(err, Err(CliError::Violation(_))));
+    }
+
+    #[test]
+    fn fd_check_command() {
+        let good = tmp(
+            "<s><i><k>a</k><v>1</v></i><i><k>a</k><v>1</v></i></s>",
+            "xml",
+        );
+        let bad = tmp(
+            "<s><i><k>a</k><v>1</v></i><i><k>a</k><v>2</v></i></s>",
+            "xml",
+        );
+        let fd = "/s : i/k -> i/v";
+        let ok = run(&["fd-check", "--fd", fd, good.0.to_str().unwrap()]).unwrap();
+        assert!(ok.contains("satisfies"));
+        let err = run(&["fd-check", "--fd", fd, bad.0.to_str().unwrap()]);
+        assert!(matches!(err, Err(CliError::Violation(_))));
+    }
+
+    #[test]
+    fn eval_command() {
+        let doc = tmp("<s><c/><c/></s>", "xml");
+        let out = run(&["eval", "--xpath", "/s/c", doc.0.to_str().unwrap()]).unwrap();
+        assert!(out.contains("2 match(es)"), "{out}");
+    }
+
+    #[test]
+    fn independence_command_json() {
+        let out = run(&[
+            "independence",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--update",
+            "/archive/entry",
+            "--json",
+        ])
+        .unwrap();
+        assert!(out.contains("\"independent\": true"), "{out}");
+        let out2 = run(&[
+            "independence",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--update",
+            "/s/i/v",
+        ])
+        .unwrap();
+        assert!(out2.contains("UNKNOWN"), "{out2}");
+        assert!(out2.contains("witness"), "{out2}");
+    }
+
+    #[test]
+    fn matrix_command() {
+        let fds = tmp("price = /catalog : item/sku -> item/price\n", "lst");
+        let ups = tmp(
+            "restock = /catalog/item/stock\nreprice = /catalog/item/price\n",
+            "lst",
+        );
+        let out = run(&[
+            "matrix",
+            "--fds",
+            fds.0.to_str().unwrap(),
+            "--updates",
+            ups.0.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("1 of 2 pairs provably independent"), "{out}");
+        assert!(out.contains("RECHECK"), "{out}");
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["bogus"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["validate", "--schema"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["fd-check", "--fd", "/s : a -> b"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["--help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,441 @@
+//! XML functional dependencies as regular tree patterns (Definition 4).
+//!
+//! An FD is `(FD, c)` where `FD = (T, (p1[E1], …, pn[En], q[E(n+1)]))` is a
+//! regular tree pattern whose selected nodes carry equality types, and `c` is
+//! a template node that is an ancestor of every selected node: the *context*
+//! under which the dependency must hold.
+
+use std::fmt;
+
+use regtree_pattern::{RegularTreePattern, Template, TemplateNodeId};
+
+/// Equality type of a condition/target node (Definition 3 notation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EqualityType {
+    /// `=V`: value equality of the rooted subtrees.
+    Value,
+    /// `=N`: node identity.
+    Node,
+}
+
+/// An XML functional dependency `fd = (FD, c)`.
+#[derive(Clone, Debug)]
+pub struct Fd {
+    pattern: RegularTreePattern,
+    context: TemplateNodeId,
+    equality: Vec<EqualityType>,
+}
+
+/// Error raised constructing an FD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdError {
+    /// The equality-type vector must match the selected tuple length.
+    EqualityArityMismatch {
+        /// Number of selected nodes.
+        selected: usize,
+        /// Number of equality types supplied.
+        equalities: usize,
+    },
+    /// The context must be an ancestor (or the node itself) of every
+    /// condition/target node.
+    ContextNotAncestor(TemplateNodeId),
+    /// An FD needs at least a target node.
+    NoTarget,
+}
+
+impl fmt::Display for FdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdError::EqualityArityMismatch {
+                selected,
+                equalities,
+            } => write!(
+                f,
+                "equality types ({equalities}) must match selected nodes ({selected})"
+            ),
+            FdError::ContextNotAncestor(n) =>
+
+                write!(f, "context is not an ancestor of selected node n{}", n.0),
+            FdError::NoTarget => write!(f, "an FD needs at least one selected node (the target)"),
+        }
+    }
+}
+
+impl std::error::Error for FdError {}
+
+impl Fd {
+    /// Creates an FD. The selected tuple of `pattern` is read as
+    /// `(p1, …, pn, q)`: conditions followed by the target; `equality`
+    /// supplies one equality type per selected node.
+    pub fn new(
+        pattern: RegularTreePattern,
+        context: TemplateNodeId,
+        equality: Vec<EqualityType>,
+    ) -> Result<Fd, FdError> {
+        if pattern.selected().is_empty() {
+            return Err(FdError::NoTarget);
+        }
+        if equality.len() != pattern.selected().len() {
+            return Err(FdError::EqualityArityMismatch {
+                selected: pattern.selected().len(),
+                equalities: equality.len(),
+            });
+        }
+        for &s in pattern.selected() {
+            if !pattern.template().is_ancestor_or_self(context, s) {
+                return Err(FdError::ContextNotAncestor(s));
+            }
+        }
+        Ok(Fd {
+            pattern,
+            context,
+            equality,
+        })
+    }
+
+    /// Creates an FD with all-default (`V`) equality types, the common case
+    /// (“when omitted, the equality types are set by default to V”).
+    pub fn with_default_equality(
+        pattern: RegularTreePattern,
+        context: TemplateNodeId,
+    ) -> Result<Fd, FdError> {
+        let n = pattern.selected().len();
+        Fd::new(pattern, context, vec![EqualityType::Value; n])
+    }
+
+    /// The underlying pattern `FD`.
+    pub fn pattern(&self) -> &RegularTreePattern {
+        &self.pattern
+    }
+
+    /// The template of `FD`.
+    pub fn template(&self) -> &Template {
+        self.pattern.template()
+    }
+
+    /// The context node `c`.
+    pub fn context(&self) -> TemplateNodeId {
+        self.context
+    }
+
+    /// Condition nodes `p1..pn` (all selected nodes but the last).
+    pub fn conditions(&self) -> &[TemplateNodeId] {
+        let sel = self.pattern.selected();
+        &sel[..sel.len() - 1]
+    }
+
+    /// The target node `q` (the last selected node).
+    pub fn target(&self) -> TemplateNodeId {
+        *self.pattern.selected().last().expect("nonempty")
+    }
+
+    /// Equality types, aligned with `conditions() ++ [target()]`.
+    pub fn equality(&self) -> &[EqualityType] {
+        &self.equality
+    }
+
+    /// Equality type of the target.
+    pub fn target_equality(&self) -> EqualityType {
+        *self.equality.last().expect("nonempty")
+    }
+
+    /// The size `|FD|` used in the paper's complexity bounds.
+    pub fn size(&self) -> usize {
+        self.pattern.size()
+    }
+
+    /// Human-readable rendering: the template sketch annotated with the
+    /// context/condition/target roles and equality types.
+    pub fn describe(&self) -> String {
+        let mut out = self.pattern.template().sketch();
+        out.push_str(&format!("context: n{}\n", self.context.0));
+        for (i, (&p, eq)) in self
+            .conditions()
+            .iter()
+            .zip(self.equality.iter())
+            .enumerate()
+        {
+            out.push_str(&format!(
+                "condition p{}: n{} [{}]\n",
+                i + 1,
+                p.0,
+                eq_str(*eq)
+            ));
+        }
+        out.push_str(&format!(
+            "target q: n{} [{}]\n",
+            self.target().0,
+            eq_str(self.target_equality())
+        ));
+        out
+    }
+}
+
+fn eq_str(eq: EqualityType) -> &'static str {
+    match eq {
+        EqualityType::Value => "V",
+        EqualityType::Node => "N",
+    }
+}
+
+/// Convenience builder for the common “context, conditions, target” FD shape.
+///
+/// ```
+/// use regtree_core::fd::FdBuilder;
+/// use regtree_alphabet::Alphabet;
+///
+/// let a = Alphabet::new();
+/// // fd1 of the paper: same discipline + same mark ⇒ same rank.
+/// let fd = FdBuilder::new(a.clone())
+///     .context("session")
+///     .condition("candidate/exam/discipline")
+///     .condition("candidate/exam/mark")
+///     .target("candidate/exam/rank")
+///     .build()
+///     .unwrap();
+/// assert_eq!(fd.conditions().len(), 2);
+/// ```
+///
+/// Each condition/target string is one edge expression from the context
+/// node; richer templates (shared prefixes, extra structural leaves…) are
+/// built directly with [`Template`].
+#[derive(Debug)]
+pub struct FdBuilder {
+    alphabet: regtree_alphabet::Alphabet,
+    context_edge: Option<String>,
+    conditions: Vec<(String, EqualityType)>,
+    target: Option<(String, EqualityType)>,
+}
+
+impl FdBuilder {
+    /// Starts a builder over `alphabet`.
+    pub fn new(alphabet: regtree_alphabet::Alphabet) -> FdBuilder {
+        FdBuilder {
+            alphabet,
+            context_edge: None,
+            conditions: Vec::new(),
+            target: None,
+        }
+    }
+
+    /// Sets the edge expression from the template root to the context node.
+    pub fn context(mut self, edge: &str) -> Self {
+        self.context_edge = Some(edge.to_string());
+        self
+    }
+
+    /// Adds a condition with value equality.
+    pub fn condition(self, edge: &str) -> Self {
+        self.condition_with(edge, EqualityType::Value)
+    }
+
+    /// Adds a condition with an explicit equality type.
+    pub fn condition_with(mut self, edge: &str, eq: EqualityType) -> Self {
+        self.conditions.push((edge.to_string(), eq));
+        self
+    }
+
+    /// Sets the target with value equality.
+    pub fn target(self, edge: &str) -> Self {
+        self.target_with(edge, EqualityType::Value)
+    }
+
+    /// Sets the target with an explicit equality type.
+    pub fn target_with(mut self, edge: &str, eq: EqualityType) -> Self {
+        self.target = Some((edge.to_string(), eq));
+        self
+    }
+
+    /// Builds the FD.
+    ///
+    /// When the context and every condition/target are *simple label paths*
+    /// (`a/b/c`), the paper's longest-common-prefix factorization is applied
+    /// (Section 3.2) so that, e.g., `candidate/exam/discipline` and
+    /// `candidate/exam/mark` share one `candidate/exam` template node — the
+    /// Figure 4 shape. Without factorization, sibling edges would be forced
+    /// into *disjoint* subtrees by Definition 2(b), changing the semantics.
+    /// Edges using regex operators skip factorization and become separate
+    /// sibling branches (disjoint-subtree semantics).
+    pub fn build(self) -> Result<Fd, String> {
+        // Try the factorized (path-formalism) construction first.
+        if let Some(fd) = self.try_factorized()? {
+            return Ok(fd);
+        }
+        let mut template = Template::new(self.alphabet.clone());
+        let context_edge = self
+            .context_edge
+            .clone()
+            .ok_or_else(|| "missing context".to_string())?;
+        let context = template
+            .add_child_str(template.root(), &context_edge)
+            .map_err(|e| e.to_string())?;
+        let mut selected = Vec::new();
+        let mut equality = Vec::new();
+        for (edge, eq) in &self.conditions {
+            let n = template
+                .add_child_str(context, edge)
+                .map_err(|e| e.to_string())?;
+            selected.push(n);
+            equality.push(*eq);
+        }
+        let (target_edge, target_eq) = self.target.ok_or_else(|| "missing target".to_string())?;
+        let q = template
+            .add_child_str(context, &target_edge)
+            .map_err(|e| e.to_string())?;
+        selected.push(q);
+        equality.push(target_eq);
+        let pattern = RegularTreePattern::new(template, selected).map_err(|e| e.to_string())?;
+        Fd::new(pattern, context, equality).map_err(|e| e.to_string())
+    }
+
+    /// The factorized construction, when every edge is a simple label path.
+    fn try_factorized(&self) -> Result<Option<Fd>, String> {
+        let Some(ctx_src) = &self.context_edge else {
+            return Err("missing context".to_string());
+        };
+        let Some((target_src, target_eq)) = &self.target else {
+            return Err("missing target".to_string());
+        };
+        let Some(context) = simple_word(&self.alphabet, ctx_src) else {
+            return Ok(None);
+        };
+        let Some(target_word) = simple_word(&self.alphabet, target_src) else {
+            return Ok(None);
+        };
+        let mut conditions = Vec::with_capacity(self.conditions.len());
+        for (src, eq) in &self.conditions {
+            match simple_word(&self.alphabet, src) {
+                Some(w) => conditions.push((w, *eq)),
+                None => return Ok(None),
+            }
+        }
+        let pfd = crate::pathfd::PathFd {
+            context,
+            conditions,
+            target: (target_word, *target_eq),
+        };
+        pfd.to_fd(&self.alphabet)
+            .map(Some)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Parses `s` as a simple label path (`a/b/c`), or `None` when it uses
+/// regex syntax.
+fn simple_word(
+    alphabet: &regtree_alphabet::Alphabet,
+    s: &str,
+) -> Option<Vec<regtree_alphabet::Symbol>> {
+    let mut out = Vec::new();
+    for seg in s.split('/') {
+        let seg = seg.trim();
+        if seg.is_empty()
+            || !seg
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '@' | '#'))
+            || seg == "_"
+        {
+            return None;
+        }
+        out.push(alphabet.intern(seg));
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regtree_alphabet::Alphabet;
+
+    #[test]
+    fn builder_constructs_fd1_shape() {
+        let a = Alphabet::new();
+        let fd = FdBuilder::new(a.clone())
+            .context("session")
+            .condition("candidate/exam/discipline")
+            .condition("candidate/exam/mark")
+            .target("candidate/exam/rank")
+            .build()
+            .unwrap();
+        assert_eq!(fd.conditions().len(), 2);
+        assert_eq!(fd.equality().len(), 3);
+        assert_eq!(fd.target_equality(), EqualityType::Value);
+        assert!(fd
+            .template()
+            .is_ancestor(fd.context(), fd.target()));
+    }
+
+    #[test]
+    fn node_equality_targets() {
+        let a = Alphabet::new();
+        let fd = FdBuilder::new(a.clone())
+            .context("session/candidate")
+            .condition("exam/date")
+            .condition("exam/discipline")
+            .target_with("exam", EqualityType::Node)
+            .build()
+            .unwrap();
+        assert_eq!(fd.target_equality(), EqualityType::Node);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let a = Alphabet::new();
+        let mut t = Template::new(a.clone());
+        let c = t.add_child_str(t.root(), "s").unwrap();
+        let p = t.add_child_str(c, "x").unwrap();
+        let pat = RegularTreePattern::new(t, vec![p]).unwrap();
+        assert!(matches!(
+            Fd::new(pat, c, vec![]),
+            Err(FdError::EqualityArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn context_must_dominate_selected() {
+        let a = Alphabet::new();
+        let mut t = Template::new(a.clone());
+        let c = t.add_child_str(t.root(), "s").unwrap();
+        let other = t.add_child_str(t.root(), "u").unwrap();
+        let p = t.add_child_str(other, "x").unwrap();
+        let pat = RegularTreePattern::new(t, vec![p]).unwrap();
+        assert!(matches!(
+            Fd::new(pat, c, vec![EqualityType::Value]),
+            Err(FdError::ContextNotAncestor(_))
+        ));
+    }
+
+    #[test]
+    fn missing_pieces_in_builder() {
+        let a = Alphabet::new();
+        assert!(FdBuilder::new(a.clone()).target("x").build().is_err());
+        assert!(FdBuilder::new(a.clone()).context("s").build().is_err());
+    }
+
+    #[test]
+    fn describe_renders_roles() {
+        let a = Alphabet::new();
+        let fd = FdBuilder::new(a.clone())
+            .context("session/candidate")
+            .condition("exam/@date")
+            .target_with("exam", EqualityType::Node)
+            .build()
+            .unwrap();
+        let d = fd.describe();
+        assert!(d.contains("context:"), "{d}");
+        assert!(d.contains("condition p1:"), "{d}");
+        assert!(d.contains("[N]"), "{d}");
+        assert!(d.contains("(root)"), "{d}");
+    }
+
+    #[test]
+    fn size_is_pattern_size() {
+        let a = Alphabet::new();
+        let fd = FdBuilder::new(a.clone())
+            .context("s")
+            .target("x")
+            .build()
+            .unwrap();
+        assert_eq!(fd.size(), fd.pattern().size());
+    }
+}

@@ -1,0 +1,47 @@
+//! `regtree-core` — the primary contribution of Gire & Idabal (EDBT 2010):
+//! XML functional dependencies and update classes expressed as **regular
+//! tree patterns**, and the polynomial-time **independence criterion**
+//! deciding that a class of updates can never break an FD.
+//!
+//! * [`fd`] — FDs `(FD, c)` with value/node equality types (Definition 4);
+//! * [`satisfy`] — satisfaction checking with violation witnesses
+//!   (Definition 5);
+//! * [`pathfd`] — the path formalism of \[8\], its embedding into patterns,
+//!   and the Example 3 inexpressibility checks;
+//! * [`update`] — update classes `U = (T_U, s̄_U)` and executable updates
+//!   (Section 4);
+//! * [`independence`] — the criterion IC: automaton construction, schema
+//!   product, emptiness with witness documents (Definition 6,
+//!   Propositions 2–3);
+//! * [`reduction`] — the PSPACE-hardness gadgets (Proposition 1,
+//!   Figures 7–8);
+//! * [`revalidate`] — the document-at-hand baseline (\[14\]-style) the paper
+//!   compares the criterion against.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fd;
+pub mod impact;
+pub mod independence;
+pub mod matrix;
+pub mod pathfd;
+pub mod reduction;
+pub mod revalidate;
+pub mod satisfy;
+pub mod update;
+
+pub use fd::{EqualityType, Fd, FdBuilder, FdError};
+pub use independence::{
+    build_ic_automaton, check_independence, in_language_naive, is_independent,
+    IndependenceAnalysis, Verdict,
+};
+pub use impact::{classify_pair, search_impact, ImpactWitness, PairClassification};
+pub use matrix::{analyze_matrix, IndependenceMatrix, MatrixCell};
+pub use pathfd::{expressible_in_path_formalism, Inexpressibility, PathFd, PathFdError};
+pub use reduction::{build_patterns, build_reduction, gadget_alphabet, ReductionInstance};
+pub use revalidate::{revalidate_full, IncrementalChecker};
+pub use satisfy::{check_fd, satisfies, FdViolation};
+pub use update::{
+    update_class_from_edges, ApplyError, Update, UpdateClass, UpdateClassError, UpdateOp,
+};

@@ -1,0 +1,192 @@
+//! Batch independence analysis.
+//!
+//! The practical deployment the paper motivates (and \[14\] addresses
+//! document-side) maintains a *set* of functional dependencies under a
+//! *set* of update classes. [`analyze_matrix`] runs the criterion for every
+//! pair and summarizes which FDs need re-verification after which update
+//! classes — the static complement of a validator's scheduling table.
+
+use std::fmt;
+
+use regtree_hedge::Schema;
+
+use crate::fd::Fd;
+use crate::independence::{check_independence, Verdict};
+use crate::update::UpdateClass;
+
+/// One cell of the analysis matrix.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    /// FD index (row).
+    pub fd: usize,
+    /// Update-class index (column).
+    pub class: usize,
+    /// The criterion's verdict.
+    pub verdict: Verdict,
+    /// Size of the product automaton tested for emptiness.
+    pub automaton_size: usize,
+}
+
+/// The full matrix plus aggregate statistics.
+#[derive(Clone, Debug)]
+pub struct IndependenceMatrix {
+    /// Row labels (FD names).
+    pub fd_names: Vec<String>,
+    /// Column labels (class names).
+    pub class_names: Vec<String>,
+    /// All cells, row-major.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl IndependenceMatrix {
+    /// The cell for `(fd, class)`.
+    pub fn cell(&self, fd: usize, class: usize) -> &MatrixCell {
+        &self.cells[fd * self.class_names.len() + class]
+    }
+
+    /// Is the pair provably independent?
+    pub fn independent(&self, fd: usize, class: usize) -> bool {
+        self.cell(fd, class).verdict.is_independent()
+    }
+
+    /// Number of provably independent pairs.
+    pub fn independent_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.verdict.is_independent())
+            .count()
+    }
+
+    /// For an update class: the FDs that must be re-verified after an
+    /// update of that class (the non-independent rows).
+    pub fn fds_to_recheck(&self, class: usize) -> Vec<usize> {
+        (0..self.fd_names.len())
+            .filter(|&fd| !self.independent(fd, class))
+            .collect()
+    }
+}
+
+impl fmt::Display for IndependenceMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self
+            .fd_names
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        write!(f, "{:w$}", "", w = w + 2)?;
+        for c in &self.class_names {
+            write!(f, "{c:>12}")?;
+        }
+        writeln!(f)?;
+        for (i, name) in self.fd_names.iter().enumerate() {
+            write!(f, "{name:<w$}  ", w = w)?;
+            for j in 0..self.class_names.len() {
+                let mark = if self.independent(i, j) {
+                    "indep"
+                } else {
+                    "RECHECK"
+                };
+                write!(f, "{mark:>12}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the criterion for every (FD, class) pair.
+pub fn analyze_matrix(
+    fds: &[(&str, &Fd)],
+    classes: &[(&str, &UpdateClass)],
+    schema: Option<&Schema>,
+) -> IndependenceMatrix {
+    let mut cells = Vec::with_capacity(fds.len() * classes.len());
+    for (i, (_, fd)) in fds.iter().enumerate() {
+        for (j, (_, class)) in classes.iter().enumerate() {
+            let analysis = check_independence(fd, class, schema);
+            cells.push(MatrixCell {
+                fd: i,
+                class: j,
+                verdict: analysis.verdict,
+                automaton_size: analysis.automaton_size,
+            });
+        }
+    }
+    IndependenceMatrix {
+        fd_names: fds.iter().map(|(n, _)| n.to_string()).collect(),
+        class_names: classes.iter().map(|(n, _)| n.to_string()).collect(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::FdBuilder;
+    use crate::update::update_class_from_edges;
+    use regtree_alphabet::Alphabet;
+
+    fn setup() -> (Vec<Fd>, Vec<UpdateClass>) {
+        let a = Alphabet::new();
+        let fd_price = FdBuilder::new(a.clone())
+            .context("catalog")
+            .condition("item/sku")
+            .target("item/price")
+            .build()
+            .unwrap();
+        let fd_name = FdBuilder::new(a.clone())
+            .context("catalog")
+            .condition("item/sku")
+            .target("item/name")
+            .build()
+            .unwrap();
+        let restock = update_class_from_edges(&a, &["catalog/item/stock"]).unwrap();
+        let reprice = update_class_from_edges(&a, &["catalog/item/price"]).unwrap();
+        (vec![fd_price, fd_name], vec![restock, reprice])
+    }
+
+    #[test]
+    fn matrix_verdicts() {
+        let (fds, classes) = setup();
+        let m = analyze_matrix(
+            &[("price", &fds[0]), ("name", &fds[1])],
+            &[("restock", &classes[0]), ("reprice", &classes[1])],
+            None,
+        );
+        // stock updates never touch either FD.
+        assert!(m.independent(0, 0));
+        assert!(m.independent(1, 0));
+        // price updates hit the price FD's target region…
+        assert!(!m.independent(0, 1));
+        // …but not the name FD.
+        assert!(m.independent(1, 1));
+        assert_eq!(m.independent_count(), 3);
+        assert_eq!(m.fds_to_recheck(1), vec![0]);
+        assert!(m.fds_to_recheck(0).is_empty());
+    }
+
+    #[test]
+    fn matrix_display_table() {
+        let (fds, classes) = setup();
+        let m = analyze_matrix(
+            &[("price", &fds[0])],
+            &[("restock", &classes[0]), ("reprice", &classes[1])],
+            None,
+        );
+        let rendered = m.to_string();
+        assert!(rendered.contains("indep"), "{rendered}");
+        assert!(rendered.contains("RECHECK"), "{rendered}");
+        assert!(rendered.contains("price"), "{rendered}");
+    }
+
+    #[test]
+    fn cells_carry_sizes() {
+        let (fds, classes) = setup();
+        let m = analyze_matrix(&[("p", &fds[0])], &[("r", &classes[0])], None);
+        assert!(m.cell(0, 0).automaton_size > 0);
+        assert_eq!(m.cell(0, 0).fd, 0);
+        assert_eq!(m.cell(0, 0).class, 0);
+    }
+}

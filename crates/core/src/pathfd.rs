@@ -1,0 +1,477 @@
+//! The path-based FD formalism of \[8\] and its embedding into regular tree
+//! patterns (paper Section 3.2).
+//!
+//! In \[8\] an FD is `(C, (P1[E1], …, Pn[En] → Q[E]))` with `C` an absolute
+//! simple linear path to the context and `P1..Pn`, `Q` simple linear paths
+//! relative to it. The paper shows how to build an equivalent regular tree
+//! pattern: translate each path into a word of labels, then factorize the
+//! longest common prefixes into shared template nodes (a trie), selecting
+//! the nodes where the condition/target words end. [`PathFd::to_fd`]
+//! implements exactly that construction; the module also provides the
+//! *inexpressibility* checks of Example 3 — the structural properties every
+//! \[8\]-built pattern has, which `fd3`/`fd4` style RTP dependencies violate.
+//!
+//! Concrete syntax (one line):
+//!
+//! ```text
+//! /session : candidate/exam/discipline, candidate/exam/mark -> candidate/exam/rank
+//! /session/candidate : exam/date, exam/discipline -> exam[N]
+//! ```
+
+use std::fmt;
+
+use regtree_alphabet::{Alphabet, Symbol};
+use regtree_automata::Regex;
+use regtree_pattern::{RegularTreePattern, Template, TemplateNodeId};
+
+use crate::fd::{EqualityType, Fd};
+
+/// A path-formalism FD `(C, (P1[E1], …, Pn[En] → Q[E]))`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathFd {
+    /// Context path (absolute, from the root).
+    pub context: Vec<Symbol>,
+    /// Condition paths (relative to the context) with equality types.
+    pub conditions: Vec<(Vec<Symbol>, EqualityType)>,
+    /// Target path with its equality type.
+    pub target: (Vec<Symbol>, EqualityType),
+}
+
+/// Error raised parsing or translating a path FD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathFdError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PathFdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path FD error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PathFdError {}
+
+fn err(m: impl Into<String>) -> PathFdError {
+    PathFdError { message: m.into() }
+}
+
+/// Parses one `label/label/…` simple linear path with an optional `[N]` /
+/// `[V]` suffix.
+fn parse_path(
+    alphabet: &Alphabet,
+    src: &str,
+) -> Result<(Vec<Symbol>, EqualityType), PathFdError> {
+    let src = src.trim();
+    let (path_src, eq) = if let Some(stripped) = src.strip_suffix("[N]") {
+        (stripped, EqualityType::Node)
+    } else if let Some(stripped) = src.strip_suffix("[V]") {
+        (stripped, EqualityType::Value)
+    } else {
+        (src, EqualityType::Value)
+    };
+    let mut out = Vec::new();
+    for seg in path_src.split('/') {
+        let seg = seg.trim();
+        if seg.is_empty() {
+            continue;
+        }
+        if !seg
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '@' | '#'))
+        {
+            return Err(err(format!("'{seg}' is not a simple path segment")));
+        }
+        out.push(alphabet.intern(seg));
+    }
+    if out.is_empty() {
+        return Err(err("empty path"));
+    }
+    Ok((out, eq))
+}
+
+impl PathFd {
+    /// Parses the one-line concrete syntax (see module docs).
+    pub fn parse(alphabet: &Alphabet, src: &str) -> Result<PathFd, PathFdError> {
+        let (ctx_src, rest) = src
+            .split_once(':')
+            .ok_or_else(|| err("expected 'context : conditions -> target'"))?;
+        let ctx_src = ctx_src.trim();
+        if !ctx_src.starts_with('/') {
+            return Err(err("context path must be absolute (start with '/')"));
+        }
+        let (context, ctx_eq) = parse_path(alphabet, ctx_src)?;
+        if ctx_eq != EqualityType::Value {
+            return Err(err("the context path takes no equality annotation"));
+        }
+        let (conds_src, target_src) = rest
+            .split_once("->")
+            .ok_or_else(|| err("expected '->' before the target path"))?;
+        let mut conditions = Vec::new();
+        for c in conds_src.split(',') {
+            if c.trim().is_empty() {
+                continue;
+            }
+            conditions.push(parse_path(alphabet, c)?);
+        }
+        let target = parse_path(alphabet, target_src)?;
+        Ok(PathFd {
+            context,
+            conditions,
+            target,
+        })
+    }
+
+    /// The paper's construction: translate into a regular tree pattern by
+    /// factorizing longest common prefixes into a trie below the context
+    /// node, then wrap as an [`Fd`].
+    pub fn to_fd(&self, alphabet: &Alphabet) -> Result<Fd, PathFdError> {
+        let mut template = Template::new(alphabet.clone());
+        // Context chain: single edge labeled by the word w_C.
+        let context_regex = Regex::seq(self.context.iter().map(|&s| Regex::Atom(s)));
+        let context = template
+            .add_child(template.root(), context_regex)
+            .map_err(|e| err(e.to_string()))?;
+
+        // Trie below the context. Each trie node = template node; edges are
+        // single labels (maximal sharing of common prefixes).
+        #[derive(Default)]
+        struct TrieNode {
+            children: Vec<(Symbol, usize)>,
+        }
+        let mut trie: Vec<TrieNode> = vec![TrieNode::default()];
+        let insert = |trie: &mut Vec<TrieNode>, word: &[Symbol]| -> usize {
+            let mut cur = 0usize;
+            for &s in word {
+                if let Some(&(_, next)) = trie[cur].children.iter().find(|(l, _)| *l == s) {
+                    cur = next;
+                } else {
+                    let id = trie.len();
+                    trie.push(TrieNode::default());
+                    trie[cur].children.push((s, id));
+                    cur = id;
+                }
+            }
+            cur
+        };
+        let mut ends: Vec<usize> = Vec::new();
+        for (path, _) in &self.conditions {
+            ends.push(insert(&mut trie, path));
+        }
+        ends.push(insert(&mut trie, &self.target.0));
+        // Two identical paths would collapse to one selected node, which the
+        // construction (and [8]) does not support.
+        let mut sorted = ends.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != ends.len() {
+            return Err(err("duplicate condition/target paths"));
+        }
+
+        // Materialize the trie into the template, compressing unary chains
+        // that contain no selected node into single multi-label edges.
+        let mut node_of: Vec<Option<TemplateNodeId>> = vec![None; trie.len()];
+        node_of[0] = Some(context);
+        // Recursive materialization (explicit stack).
+        fn materialize(
+            trie: &[TrieNode],
+            ends: &[usize],
+            template: &mut Template,
+            node_of: &mut [Option<TemplateNodeId>],
+            from_trie: usize,
+            from_tpl: TemplateNodeId,
+        ) -> Result<(), PathFdError> {
+            for &(label, child) in &trie[from_trie].children {
+                // Compress a chain of unselected, unary nodes.
+                let mut word = vec![label];
+                let mut cur = child;
+                while trie[cur].children.len() == 1 && !ends.contains(&cur) {
+                    let (l, nxt) = trie[cur].children[0];
+                    word.push(l);
+                    cur = nxt;
+                }
+                let regex = Regex::seq(word.into_iter().map(Regex::Atom));
+                let tpl = template
+                    .add_child(from_tpl, regex)
+                    .map_err(|e| err(e.to_string()))?;
+                node_of[cur] = Some(tpl);
+                materialize(trie, ends, template, node_of, cur, tpl)?;
+            }
+            Ok(())
+        }
+        materialize(&trie, &ends, &mut template, &mut node_of, 0, context)?;
+
+        let mut selected = Vec::new();
+        let mut equality = Vec::new();
+        for (i, (_, eq)) in self.conditions.iter().enumerate() {
+            selected.push(node_of[ends[i]].expect("materialized"));
+            equality.push(*eq);
+        }
+        selected.push(node_of[*ends.last().expect("target")].expect("materialized"));
+        equality.push(self.target.1);
+
+        let pattern =
+            RegularTreePattern::new(template, selected).map_err(|e| err(e.to_string()))?;
+        Fd::new(pattern, context, equality).map_err(|e| err(e.to_string()))
+    }
+}
+
+/// Why an RTP functional dependency falls outside the \[8\] formalism
+/// (Example 3 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inexpressibility {
+    /// An edge expression is not a simple word of labels.
+    NonWordEdge(TemplateNodeId),
+    /// Two sibling edges share a possible first label — the \[8\] trie
+    /// construction always factorizes common prefixes away (this is what
+    /// makes `fd3` inexpressible).
+    SiblingCommonPrefix(TemplateNodeId, TemplateNodeId),
+    /// A template leaf is neither a condition nor the target — \[8\] patterns
+    /// have no purely structural leaves (this is what makes `fd4`
+    /// inexpressible).
+    UnselectedLeaf(TemplateNodeId),
+    /// The context is not on the single spine from the root.
+    ContextNotOnSpine,
+}
+
+impl fmt::Display for Inexpressibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inexpressibility::NonWordEdge(n) => {
+                write!(f, "edge into n{} is not a simple label word", n.0)
+            }
+            Inexpressibility::SiblingCommonPrefix(a, b) => write!(
+                f,
+                "sibling edges into n{} and n{} share a first label",
+                a.0, b.0
+            ),
+            Inexpressibility::UnselectedLeaf(n) => {
+                write!(f, "leaf n{} is neither condition nor target", n.0)
+            }
+            Inexpressibility::ContextNotOnSpine => {
+                write!(f, "context node is not on the root spine")
+            }
+        }
+    }
+}
+
+/// Extracts the label word of a regex when it is a simple concatenation of
+/// atoms.
+fn as_word(r: &Regex) -> Option<Vec<Symbol>> {
+    match r {
+        Regex::Atom(s) => Some(vec![*s]),
+        Regex::Concat(parts) => {
+            let mut out = Vec::with_capacity(parts.len());
+            for p in parts {
+                match p {
+                    Regex::Atom(s) => out.push(*s),
+                    _ => return None,
+                }
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// Checks whether `fd` has the structural shape every \[8\]-expressible FD
+/// has. `Ok(())` means the FD could have been produced by the \[8\]
+/// construction; an `Err` names the first obstruction.
+pub fn expressible_in_path_formalism(fd: &Fd) -> Result<(), Inexpressibility> {
+    let t = fd.template();
+    let selected = fd.pattern().selected();
+    // Context on the root spine (in the construction the context is the
+    // unique child of the root).
+    if t.parent(fd.context()) != Some(t.root()) {
+        return Err(Inexpressibility::ContextNotOnSpine);
+    }
+    for w in t.preorder() {
+        if w == t.root() {
+            continue;
+        }
+        let regex = t.edge_regex(w).expect("edge");
+        let Some(_word) = as_word(regex) else {
+            return Err(Inexpressibility::NonWordEdge(w));
+        };
+        // Leaves must be selected.
+        if t.is_leaf(w) && !selected.contains(&w) && w != fd.context() {
+            return Err(Inexpressibility::UnselectedLeaf(w));
+        }
+    }
+    // Sibling edges must start with distinct labels.
+    for w in t.preorder() {
+        let children = t.children(w);
+        for i in 0..children.len() {
+            for j in (i + 1)..children.len() {
+                let wi = as_word(t.edge_regex(children[i]).expect("edge")).expect("checked");
+                let wj = as_word(t.edge_regex(children[j]).expect("edge")).expect("checked");
+                if wi.first() == wj.first() {
+                    return Err(Inexpressibility::SiblingCommonPrefix(
+                        children[i],
+                        children[j],
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satisfy::satisfies;
+    use regtree_xml::parse_document;
+
+    /// expr1 of the paper.
+    const EXPR1: &str =
+        "/session : candidate/exam/discipline, candidate/exam/mark -> candidate/exam/rank";
+    /// expr2 of the paper.
+    const EXPR2: &str = "/session/candidate : exam/date, exam/discipline -> exam[N]";
+
+    #[test]
+    fn parses_expr1() {
+        let a = Alphabet::new();
+        let p = PathFd::parse(&a, EXPR1).unwrap();
+        assert_eq!(p.context.len(), 1);
+        assert_eq!(p.conditions.len(), 2);
+        assert_eq!(p.target.1, EqualityType::Value);
+    }
+
+    #[test]
+    fn parses_expr2_with_node_equality() {
+        let a = Alphabet::new();
+        let p = PathFd::parse(&a, EXPR2).unwrap();
+        assert_eq!(p.context.len(), 2);
+        assert_eq!(p.target.1, EqualityType::Node);
+        assert_eq!(p.target.0, vec![a.intern("exam")]);
+    }
+
+    #[test]
+    fn translation_factorizes_common_prefixes() {
+        let a = Alphabet::new();
+        let fd = PathFd::parse(&a, EXPR1).unwrap().to_fd(&a).unwrap();
+        // Figure 4's FD1: root → session(context) → candidate/exam node →
+        // three leaves discipline/mark/rank. With compression: context,
+        // shared candidate/exam node, 3 selected leaves = 5 + root.
+        assert_eq!(fd.template().len(), 6);
+        assert_eq!(fd.conditions().len(), 2);
+        // The shared node's edge is the word candidate/exam.
+        let shared = fd.template().children(fd.context())[0];
+        assert_eq!(
+            as_word(fd.template().edge_regex(shared).unwrap()).unwrap(),
+            vec![a.intern("candidate"), a.intern("exam")]
+        );
+    }
+
+    #[test]
+    fn translation_handles_prefix_selected_nodes() {
+        let a = Alphabet::new();
+        // expr2: the target 'exam' is a prefix of both condition paths, so
+        // the target node is an *internal* selected node (Figure 4's FD2).
+        let fd = PathFd::parse(&a, EXPR2).unwrap().to_fd(&a).unwrap();
+        let target = fd.target();
+        assert!(!fd.template().is_leaf(target));
+        assert_eq!(fd.target_equality(), EqualityType::Node);
+    }
+
+    #[test]
+    fn translated_fd1_checks_documents() {
+        let a = Alphabet::new();
+        let fd = PathFd::parse(&a, EXPR1).unwrap().to_fd(&a).unwrap();
+        let good = parse_document(
+            &a,
+            "<session>\
+             <candidate><exam><discipline>m</discipline><mark>15</mark><rank>1</rank></exam></candidate>\
+             <candidate><exam><discipline>m</discipline><mark>15</mark><rank>1</rank></exam></candidate>\
+             </session>",
+        )
+        .unwrap();
+        assert!(satisfies(&fd, &good));
+        let bad = parse_document(
+            &a,
+            "<session>\
+             <candidate><exam><discipline>m</discipline><mark>15</mark><rank>1</rank></exam></candidate>\
+             <candidate><exam><discipline>m</discipline><mark>15</mark><rank>2</rank></exam></candidate>\
+             </session>",
+        )
+        .unwrap();
+        assert!(!satisfies(&fd, &bad));
+    }
+
+    #[test]
+    fn path_built_fds_are_expressible() {
+        let a = Alphabet::new();
+        for src in [EXPR1, EXPR2] {
+            let fd = PathFd::parse(&a, src).unwrap().to_fd(&a).unwrap();
+            assert_eq!(expressible_in_path_formalism(&fd), Ok(()), "{src}");
+        }
+    }
+
+    #[test]
+    fn fd3_shape_is_inexpressible() {
+        let a = Alphabet::new();
+        // fd3: two sibling 'exam/mark' edges under the same candidate —
+        // common first label, never produced by the trie construction.
+        let mut t = Template::new(a.clone());
+        let c = t.add_child_str(t.root(), "session").unwrap();
+        let cand = t.add_child_str(c, "candidate").unwrap();
+        let m1 = t.add_child_str(cand, "exam/mark").unwrap();
+        let m2 = t.add_child_str(cand, "exam/mark").unwrap();
+        let lvl = t.add_child_str(cand, "level").unwrap();
+        let pat = RegularTreePattern::new(t, vec![m1, m2, lvl]).unwrap();
+        let fd3 = Fd::with_default_equality(pat, c).unwrap();
+        assert!(matches!(
+            expressible_in_path_formalism(&fd3),
+            Err(Inexpressibility::SiblingCommonPrefix(..))
+        ));
+    }
+
+    #[test]
+    fn fd4_shape_is_inexpressible() {
+        let a = Alphabet::new();
+        // fd4: a structural 'toBePassed' leaf that is neither condition nor
+        // target.
+        let mut t = Template::new(a.clone());
+        let c = t.add_child_str(t.root(), "session").unwrap();
+        let cand = t.add_child_str(c, "candidate").unwrap();
+        let mark = t.add_child_str(cand, "exam/mark").unwrap();
+        let _tbp = t.add_child_str(cand, "toBePassed").unwrap();
+        let lvl = t.add_child_str(cand, "level").unwrap();
+        let pat = RegularTreePattern::new(t, vec![mark, lvl]).unwrap();
+        let fd4 = Fd::with_default_equality(pat, c).unwrap();
+        assert!(matches!(
+            expressible_in_path_formalism(&fd4),
+            Err(Inexpressibility::UnselectedLeaf(_))
+        ));
+    }
+
+    #[test]
+    fn regex_edges_are_inexpressible() {
+        let a = Alphabet::new();
+        let mut t = Template::new(a.clone());
+        let c = t.add_child_str(t.root(), "session").unwrap();
+        let x = t.add_child_str(c, "(a|b)/mark").unwrap();
+        let y = t.add_child_str(c, "rank").unwrap();
+        let pat = RegularTreePattern::new(t, vec![x, y]).unwrap();
+        let fd = Fd::with_default_equality(pat, c).unwrap();
+        assert!(matches!(
+            expressible_in_path_formalism(&fd),
+            Err(Inexpressibility::NonWordEdge(_))
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        let a = Alphabet::new();
+        assert!(PathFd::parse(&a, "no colon here").is_err());
+        assert!(PathFd::parse(&a, "relative : a -> b").is_err());
+        assert!(PathFd::parse(&a, "/c : a, b").is_err());
+        assert!(PathFd::parse(&a, "/c : -> x").is_ok()); // zero conditions OK
+        assert!(PathFd::parse(&a, "/c : a* -> b").is_err()); // not simple
+        let dup = PathFd::parse(&a, "/c : a, a -> b").unwrap();
+        assert!(dup.to_fd(&a).is_err()); // duplicate paths
+    }
+
+    use regtree_pattern::RegularTreePattern;
+}

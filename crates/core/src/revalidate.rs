@@ -1,0 +1,262 @@
+//! The document-at-hand baseline the paper compares against (\[14\]-style).
+//!
+//! The alternative to the independence criterion is to re-verify the FD on
+//! the post-update document. The paper's closing question — “estimate how
+//! much time it saves to launch the independence criterion instead of
+//! verifying the functional dependency again” — is answered by benchmarking
+//! [`revalidate_full`] (and the mildly smarter [`IncrementalChecker`])
+//! against `check_independence`; see `crates/bench/benches/ic_vs_revalidation.rs`.
+
+use regtree_xml::{Document, NodeId};
+
+use crate::fd::Fd;
+use crate::satisfy::{check_fd, FdViolation};
+use crate::update::{ApplyError, Update};
+
+/// Applies `update` to a clone of `doc` and fully re-verifies `fd` on the
+/// result: the naive baseline.
+pub fn revalidate_full(
+    fd: &Fd,
+    update: &Update,
+    doc: &Document,
+) -> Result<Result<(), FdViolation>, ApplyError> {
+    let after = update.apply_cloned(doc)?;
+    Ok(check_fd(fd, &after))
+}
+
+/// A document-level incremental checker in the spirit of \[14\]: it stores,
+/// from the last full verification, the set of document nodes *relevant* to
+/// the FD (trace nodes plus condition/target subtrees). An update whose
+/// selected nodes avoid that set **and** whose application leaves the FD
+/// pattern unable to reach the updated region still requires a (cheap)
+/// containment probe rather than a full re-verification.
+#[derive(Clone, Debug)]
+pub struct IncrementalChecker {
+    relevant: std::collections::HashSet<NodeId>,
+    satisfied: bool,
+}
+
+impl IncrementalChecker {
+    /// Runs a full verification and snapshots the relevant-node set.
+    pub fn new(fd: &Fd, doc: &Document) -> IncrementalChecker {
+        let mut relevant = std::collections::HashSet::new();
+        for m in regtree_pattern::enumerate_mappings(fd.template(), doc) {
+            relevant.extend(m.trace_nodes(doc));
+            for &sel in fd.pattern().selected() {
+                relevant.extend(doc.descendants_or_self(m.image(sel)));
+            }
+        }
+        let satisfied = check_fd(fd, doc).is_ok();
+        IncrementalChecker {
+            relevant,
+            satisfied,
+        }
+    }
+
+    /// Was the snapshotted document satisfying the FD?
+    pub fn satisfied(&self) -> bool {
+        self.satisfied
+    }
+
+    /// Number of relevant nodes stored.
+    pub fn relevant_len(&self) -> usize {
+        self.relevant.len()
+    }
+
+    /// Re-checks after `update`; skips the full pass when the update
+    /// provably could not have affected the FD:
+    /// the updated nodes avoid the stored relevant set *and* the post-update
+    /// document contains no FD mapping through the updated regions (probed
+    /// with the pattern automaton restricted to a membership run).
+    pub fn recheck(
+        &mut self,
+        fd: &Fd,
+        update: &Update,
+        doc: &mut Document,
+    ) -> Result<bool, ApplyError> {
+        let touched = update.apply(doc)?;
+        let disjoint = touched.iter().all(|n| !self.relevant.contains(n));
+        // The cheap path only applies to in-place updates: when a selected
+        // node was detached (replaced/deleted), the replacement subtree is
+        // unknown here and a full pass is required.
+        let in_place = touched.iter().all(|&n| doc.is_alive(n));
+        if disjoint && in_place && self.satisfied {
+            // The old traces are untouched; the only risk is a *new* trace
+            // through an updated subtree. Probe: enumerate mappings and see
+            // whether any trace intersects the updated subtrees
+            // (set-based: linear in trace size, not in |touched|).
+            let touched_set: std::collections::HashSet<NodeId> =
+                touched.iter().copied().collect();
+            let fresh = regtree_pattern::enumerate_mappings(fd.template(), doc);
+            let mut hits_update = false;
+            'outer: for m in &fresh {
+                for n in m.trace_nodes(doc) {
+                    if touched_set.contains(&n) {
+                        hits_update = true;
+                        break 'outer;
+                    }
+                }
+                for &sel in fd.pattern().selected() {
+                    for n in doc.descendants_or_self(m.image(sel)) {
+                        if touched_set.contains(&n) {
+                            hits_update = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if !hits_update {
+                // Verified-cheap path: still satisfied.
+                return Ok(true);
+            }
+        }
+        // Full re-verification.
+        let ok = check_fd(fd, doc).is_ok();
+        self.satisfied = ok;
+        if ok {
+            *self = IncrementalChecker::new(fd, doc);
+        }
+        Ok(ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::FdBuilder;
+    use crate::update::{update_class_from_edges, Update, UpdateOp};
+    use regtree_alphabet::Alphabet;
+    use regtree_xml::{parse_document, TreeSpec};
+
+    fn fd_rank(a: &Alphabet) -> Fd {
+        FdBuilder::new(a.clone())
+            .context("session")
+            .condition("candidate/exam/discipline")
+            .target("candidate/exam/rank")
+            .build()
+            .unwrap()
+    }
+
+    fn doc(a: &Alphabet) -> Document {
+        parse_document(
+            a,
+            "<session>\
+             <candidate><exam><discipline>m</discipline><rank>1</rank></exam><level>B</level></candidate>\
+             <candidate><exam><discipline>m</discipline><rank>1</rank></exam><level>A</level></candidate>\
+             </session>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_revalidation_detects_violation() {
+        let a = Alphabet::new();
+        let fd = fd_rank(&a);
+        let d = doc(&a);
+        let class = update_class_from_edges(&a, &["session/candidate/exam/rank"]).unwrap();
+        let bad = Update::new(
+            class.clone(),
+            UpdateOp::Replace(TreeSpec::elem_named(
+                &a,
+                "rank",
+                vec![TreeSpec::text("2")],
+            )),
+        );
+        // Replacing *every* rank with "2" keeps them equal: still satisfied.
+        assert!(revalidate_full(&fd, &bad, &d).unwrap().is_ok());
+        // A custom op changing only the first rank breaks the FD.
+        let class_first = update_class_from_edges(&a, &["session/candidate/exam/rank"]).unwrap();
+        let once = std::sync::atomic::AtomicBool::new(false);
+        let uneven = Update::new(
+            class_first,
+            UpdateOp::Custom(std::sync::Arc::new(move |doc, n| {
+                if !once.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                    let kids: Vec<_> = doc.children(n).to_vec();
+                    for k in kids {
+                        let _ = regtree_xml::set_value(doc, k, "99");
+                    }
+                }
+            })),
+        );
+        assert!(revalidate_full(&fd, &uneven, &d).unwrap().is_err());
+    }
+
+    #[test]
+    fn incremental_skips_disjoint_updates() {
+        let a = Alphabet::new();
+        let fd = fd_rank(&a);
+        let mut d = doc(&a);
+        let mut checker = IncrementalChecker::new(&fd, &d);
+        assert!(checker.satisfied());
+        assert!(checker.relevant_len() > 0);
+        // Level updates never touch the FD region.
+        let class = update_class_from_edges(&a, &["session/candidate/level"]).unwrap();
+        let up = Update::new(class, UpdateOp::SetText("E".into()));
+        assert!(checker.recheck(&fd, &up, &mut d).unwrap());
+    }
+
+    #[test]
+    fn incremental_catches_real_violations() {
+        let a = Alphabet::new();
+        let fd = fd_rank(&a);
+        let mut d = doc(&a);
+        let mut checker = IncrementalChecker::new(&fd, &d);
+        let class = update_class_from_edges(&a, &["session/candidate/exam/rank"]).unwrap();
+        let once = std::sync::atomic::AtomicBool::new(false);
+        let uneven = Update::new(
+            class,
+            UpdateOp::Custom(std::sync::Arc::new(move |doc, n| {
+                if !once.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                    let kids: Vec<_> = doc.children(n).to_vec();
+                    for k in kids {
+                        let _ = regtree_xml::set_value(doc, k, "99");
+                    }
+                }
+            })),
+        );
+        assert!(!checker.recheck(&fd, &uneven, &mut d).unwrap());
+        assert!(!checker.satisfied());
+    }
+
+    #[test]
+    fn incremental_catches_new_traces_outside_old_region() {
+        let a = Alphabet::new();
+        let fd = fd_rank(&a);
+        // Start with a document with no exams at all: no mappings, relevant
+        // set empty, trivially satisfied.
+        let mut d = parse_document(
+            &a,
+            "<session><candidate><stash/></candidate><candidate><stash/></candidate></session>",
+        )
+        .unwrap();
+        let mut checker = IncrementalChecker::new(&fd, &d);
+        assert!(checker.satisfied());
+        // An update grafting *conflicting* exams into the stashes creates
+        // brand-new violating traces the old region knew nothing about.
+        let class = update_class_from_edges(&a, &["session/candidate/stash"]).unwrap();
+        let once = std::sync::atomic::AtomicBool::new(false);
+        let graft = Update::new(
+            class,
+            UpdateOp::Custom(std::sync::Arc::new(move |doc, n| {
+                let first = !once.swap(true, std::sync::atomic::Ordering::SeqCst);
+                let rank = if first { "1" } else { "2" };
+                let a = doc.alphabet().clone();
+                let parent = doc.parent(n).unwrap();
+                let _ = regtree_xml::edit::replace_subtree(
+                    doc,
+                    n,
+                    &TreeSpec::elem_named(
+                        &a,
+                        "exam",
+                        vec![
+                            TreeSpec::elem_named(&a, "discipline", vec![TreeSpec::text("m")]),
+                            TreeSpec::elem_named(&a, "rank", vec![TreeSpec::text(rank)]),
+                        ],
+                    ),
+                );
+                let _ = parent;
+            })),
+        );
+        assert!(!checker.recheck(&fd, &graft, &mut d).unwrap());
+    }
+}

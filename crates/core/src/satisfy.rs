@@ -1,0 +1,285 @@
+//! FD satisfaction checking (Definition 5).
+//!
+//! A document satisfies `(FD, c)` when any two traces agreeing on the
+//! context image (node identity) and on every condition image (under its
+//! equality type) also agree on the target image. Operationally: project
+//! every mapping onto `(c, p1, …, pn, q)`, bucket the projections by
+//! `(context-id, condition keys)` and verify each bucket has exactly one
+//! target class.
+//!
+//! Value-typed keys hash the rooted subtree canonically
+//! ([`regtree_xml::value_hash`]) and candidate collisions are confirmed with
+//! the full structural comparison — hash collisions cannot produce false
+//! verdicts.
+
+use std::collections::HashMap;
+
+use regtree_xml::{value_eq_in, value_hash, Document, NodeId};
+
+use crate::fd::{EqualityType, Fd};
+
+/// A witness of an FD violation: two trace projections that agree on context
+/// and conditions but disagree on the target.
+#[derive(Clone, Debug)]
+pub struct FdViolation {
+    /// The shared context node.
+    pub context: NodeId,
+    /// Condition images of the first trace.
+    pub conditions_a: Vec<NodeId>,
+    /// Condition images of the second trace.
+    pub conditions_b: Vec<NodeId>,
+    /// Target image of the first trace.
+    pub target_a: NodeId,
+    /// Target image of the second trace.
+    pub target_b: NodeId,
+}
+
+impl FdViolation {
+    /// Human-readable rendering with Dewey positions.
+    pub fn describe(&self, doc: &Document) -> String {
+        format!(
+            "FD violated under context {}: conditions {:?} / {:?} agree but targets {} and {} differ",
+            doc.dewey_string(self.context),
+            self.conditions_a
+                .iter()
+                .map(|&n| doc.dewey_string(n))
+                .collect::<Vec<_>>(),
+            self.conditions_b
+                .iter()
+                .map(|&n| doc.dewey_string(n))
+                .collect::<Vec<_>>(),
+            doc.dewey_string(self.target_a),
+            doc.dewey_string(self.target_b),
+        )
+    }
+}
+
+/// A hashable first-pass key; exact equality is confirmed afterwards.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum KeyPart {
+    Node(NodeId),
+    ValueHash(u64),
+}
+
+fn key_part(doc: &Document, n: NodeId, eq: EqualityType) -> KeyPart {
+    match eq {
+        EqualityType::Node => KeyPart::Node(n),
+        EqualityType::Value => KeyPart::ValueHash(value_hash(doc, n)),
+    }
+}
+
+fn nodes_equal(doc: &Document, a: NodeId, b: NodeId, eq: EqualityType) -> bool {
+    match eq {
+        EqualityType::Node => a == b,
+        EqualityType::Value => a == b || value_eq_in(doc, a, b),
+    }
+}
+
+/// Checks `fd` on `doc`; `Err` carries a concrete violation witness.
+pub fn check_fd(fd: &Fd, doc: &Document) -> Result<(), FdViolation> {
+    let mut keep = vec![fd.context()];
+    keep.extend_from_slice(fd.conditions());
+    keep.push(fd.target());
+    let projections = regtree_pattern::project_mappings(fd.template(), doc, &keep);
+
+    let n_cond = fd.conditions().len();
+    let eqs = fd.equality();
+    let target_eq = fd.target_equality();
+
+    // First-pass buckets on (context, condition hashes); each bucket holds a
+    // list of groups, one per *confirmed* condition-equal class, with that
+    // class's target representative.
+    struct Group {
+        conditions: Vec<NodeId>,
+        target: NodeId,
+    }
+    let mut buckets: HashMap<Vec<KeyPart>, Vec<Group>> = HashMap::new();
+
+    for proj in projections {
+        let context = proj[0];
+        let conditions: Vec<NodeId> = proj[1..1 + n_cond].to_vec();
+        let target = proj[1 + n_cond];
+        let mut key = Vec::with_capacity(n_cond + 1);
+        key.push(KeyPart::Node(context));
+        for (i, &c) in conditions.iter().enumerate() {
+            key.push(key_part(doc, c, eqs[i]));
+        }
+        let groups = buckets.entry(key).or_default();
+        let mut matched = false;
+        for g in groups.iter() {
+            let same_conditions = g
+                .conditions
+                .iter()
+                .zip(conditions.iter())
+                .enumerate()
+                .all(|(i, (&a, &b))| nodes_equal(doc, a, b, eqs[i]));
+            if !same_conditions {
+                continue; // genuine hash collision: different class
+            }
+            matched = true;
+            if !nodes_equal(doc, g.target, target, target_eq) {
+                return Err(FdViolation {
+                    context,
+                    conditions_a: g.conditions.clone(),
+                    conditions_b: conditions,
+                    target_a: g.target,
+                    target_b: target,
+                });
+            }
+            break;
+        }
+        if !matched {
+            groups.push(Group { conditions, target });
+        }
+    }
+    Ok(())
+}
+
+/// Boolean convenience wrapper.
+pub fn satisfies(fd: &Fd, doc: &Document) -> bool {
+    check_fd(fd, doc).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::FdBuilder;
+    use regtree_alphabet::Alphabet;
+    use regtree_xml::parse_document;
+
+    fn fd1(a: &Alphabet) -> Fd {
+        FdBuilder::new(a.clone())
+            .context("session")
+            .condition("candidate/exam/discipline")
+            .condition("candidate/exam/mark")
+            .target("candidate/exam/rank")
+            .build()
+            .unwrap()
+    }
+
+    fn exam(disc: &str, mark: &str, rank: &str) -> String {
+        format!(
+            "<exam><discipline>{disc}</discipline><mark>{mark}</mark><rank>{rank}</rank></exam>"
+        )
+    }
+
+    #[test]
+    fn fd1_satisfied() {
+        let a = Alphabet::new();
+        let doc = parse_document(
+            &a,
+            &format!(
+                "<session><candidate>{}{}</candidate><candidate>{}</candidate></session>",
+                exam("math", "15", "2"),
+                exam("bio", "15", "1"),
+                exam("math", "15", "2"),
+            ),
+        )
+        .unwrap();
+        assert!(satisfies(&fd1(&a), &doc));
+    }
+
+    #[test]
+    fn fd1_violated_across_candidates() {
+        let a = Alphabet::new();
+        let doc = parse_document(
+            &a,
+            &format!(
+                "<session><candidate>{}</candidate><candidate>{}</candidate></session>",
+                exam("math", "15", "2"),
+                exam("math", "15", "3"), // same discipline+mark, different rank
+            ),
+        )
+        .unwrap();
+        let err = check_fd(&fd1(&a), &doc).unwrap_err();
+        assert_ne!(err.target_a, err.target_b);
+        assert!(err.describe(&doc).contains("FD violated"));
+    }
+
+    #[test]
+    fn different_contexts_do_not_interact() {
+        let a = Alphabet::new();
+        // Two sessions: same discipline+mark with different ranks, but under
+        // different session (context) nodes — no violation.
+        let doc = parse_document(
+            &a,
+            &format!(
+                "<session><candidate>{}</candidate></session><session><candidate>{}</candidate></session>",
+                exam("math", "15", "2"),
+                exam("math", "15", "3"),
+            ),
+        )
+        .unwrap();
+        assert!(satisfies(&fd1(&a), &doc));
+    }
+
+    #[test]
+    fn fd2_node_equality_target() {
+        let a = Alphabet::new();
+        // fd2: a candidate cannot take two different exams of the same
+        // discipline at the same date (target: the exam node itself, =N).
+        let fd2 = FdBuilder::new(a.clone())
+            .context("session/candidate")
+            .condition("exam/@date")
+            .condition("exam/discipline")
+            .target_with("exam", crate::fd::EqualityType::Node)
+            .build()
+            .unwrap();
+        let ok = parse_document(
+            &a,
+            "<session><candidate>\
+             <exam date=\"d1\"><discipline>math</discipline></exam>\
+             <exam date=\"d2\"><discipline>math</discipline></exam>\
+             </candidate></session>",
+        )
+        .unwrap();
+        assert!(satisfies(&fd2, &ok));
+        let bad = parse_document(
+            &a,
+            "<session><candidate>\
+             <exam date=\"d1\"><discipline>math</discipline></exam>\
+             <exam date=\"d1\"><discipline>math</discipline></exam>\
+             </candidate></session>",
+        )
+        .unwrap();
+        assert!(!satisfies(&fd2, &bad));
+    }
+
+    #[test]
+    fn value_equality_is_structural() {
+        let a = Alphabet::new();
+        // Conditions compare whole subtrees: extra children break equality.
+        let fd = FdBuilder::new(a.clone())
+            .context("r")
+            .condition("item/key")
+            .target("item/val")
+            .build()
+            .unwrap();
+        let doc = parse_document(
+            &a,
+            "<r><item><key><k/>x</key><val>1</val></item>\
+               <item><key><k/></key><val>2</val></item></r>",
+        )
+        .unwrap();
+        // Keys differ structurally (one has text 'x'), so no violation.
+        assert!(satisfies(&fd, &doc));
+    }
+
+    #[test]
+    fn no_mappings_vacuously_satisfied() {
+        let a = Alphabet::new();
+        let doc = parse_document(&a, "<empty/>").unwrap();
+        assert!(satisfies(&fd1(&a), &doc));
+    }
+
+    #[test]
+    fn same_trace_pair_is_not_a_violation() {
+        let a = Alphabet::new();
+        let doc = parse_document(
+            &a,
+            &format!("<session><candidate>{}</candidate></session>", exam("m", "1", "1")),
+        )
+        .unwrap();
+        assert!(satisfies(&fd1(&a), &doc));
+    }
+}

@@ -1,0 +1,366 @@
+//! Emptiness testing with witness-document extraction.
+//!
+//! The independence criterion IC (paper Proposition 2/3) reduces to the
+//! emptiness of the language `L` of a product hedge automaton. The classical
+//! fixpoint — a state is *realizable* once some transition can fire using
+//! only realizable child states — runs in polynomial time; we additionally
+//! record, per state, a minimal firing so that a concrete **witness
+//! document** can be rebuilt whenever the language is nonempty. Witnesses
+//! make a failed independence check actionable: they exhibit a document on
+//! which an update may interact with the FD.
+//!
+//! Well-formedness of witnesses is respected: a transition guarded by an
+//! attribute/text label can only fire with an empty child word (those nodes
+//! are leaves carrying a placeholder value).
+
+use regtree_alphabet::{Alphabet, LabelKind, Symbol};
+use regtree_xml::{Document, TreeSpec};
+
+use crate::automaton::{generic_element_label, HedgeAutomaton, LabelGuard, TreeState};
+
+/// Per-state firing recorded during the fixpoint: which transition fired and
+/// with which word of (already realizable) child states.
+#[derive(Clone, Debug)]
+struct Firing {
+    transition: usize,
+    child_states: Vec<TreeState>,
+}
+
+/// Result of the realizability analysis.
+pub struct Realizability {
+    firings: Vec<Option<Firing>>,
+}
+
+impl Realizability {
+    /// Which states are realizable at some well-formed node?
+    pub fn realizable_states(&self) -> Vec<TreeState> {
+        self.firings
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_some())
+            .map(|(i, _)| i as TreeState)
+            .collect()
+    }
+
+    /// Is `q` realizable?
+    pub fn is_realizable(&self, q: TreeState) -> bool {
+        self.firings
+            .get(q as usize)
+            .map(|f| f.is_some())
+            .unwrap_or(false)
+    }
+}
+
+/// Computes realizable states (the emptiness fixpoint of Proposition 3).
+pub fn realizability(automaton: &HedgeAutomaton, alphabet: &Alphabet) -> Realizability {
+    let n = automaton.num_states();
+    let mut firings: Vec<Option<Firing>> = vec![None; n];
+    let mut realized: Vec<TreeState> = Vec::new();
+    loop {
+        let mut changed = false;
+        for (ti, t) in automaton.transitions().iter().enumerate() {
+            if firings[t.target as usize].is_some() {
+                continue;
+            }
+            let leaf_only = guard_is_leaf_kind(&t.guard, alphabet);
+            let word = if leaf_only {
+                if t.horizontal.accepts(&[]) {
+                    Some(Vec::new())
+                } else {
+                    None
+                }
+            } else {
+                t.horizontal.shortest_accepted_over(&realized)
+            };
+            if let Some(w) = word {
+                firings[t.target as usize] = Some(Firing {
+                    transition: ti,
+                    child_states: w,
+                });
+                realized.push(t.target);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Realizability { firings }
+}
+
+fn guard_is_leaf_kind(guard: &LabelGuard, alphabet: &Alphabet) -> bool {
+    match guard {
+        LabelGuard::Is(s) => alphabet.kind(*s) != LabelKind::Element,
+        // Any/AnyExcept guards can always be satisfied by an element label
+        // (fresh element labels can be interned at will).
+        LabelGuard::Any | LabelGuard::AnyExcept(_) => false,
+    }
+}
+
+fn pick_label(guard: &LabelGuard, alphabet: &Alphabet) -> Symbol {
+    match guard {
+        LabelGuard::Is(s) => *s,
+        // An element label always keeps the witness well-formed whether or
+        // not the node needs children.
+        LabelGuard::Any => generic_element_label(alphabet),
+        LabelGuard::AnyExcept(not) => {
+            // Find an element label outside the exclusions, interning fresh
+            // ones when the alphabet is exhausted.
+            let candidates = alphabet.symbols_of_kind(LabelKind::Element);
+            for s in candidates {
+                if s != Alphabet::ROOT && !not.contains(&s) {
+                    return s;
+                }
+            }
+            for i in 0.. {
+                let s = alphabet.intern(&format!("elem{i}"));
+                if !not.contains(&s) {
+                    return s;
+                }
+            }
+            unreachable!("fresh labels are inexhaustible")
+        }
+    }
+}
+
+/// Builds a witness subtree realizing state `q`, or `None` when `q` is not
+/// realizable.
+pub fn witness_spec(
+    automaton: &HedgeAutomaton,
+    alphabet: &Alphabet,
+    real: &Realizability,
+    q: TreeState,
+) -> Option<TreeSpec> {
+    let firing = real.firings.get(q as usize)?.as_ref()?;
+    let t = &automaton.transitions()[firing.transition];
+    let label = pick_label(&t.guard, alphabet);
+    match alphabet.kind(label) {
+        LabelKind::Element => {
+            let children = firing
+                .child_states
+                .iter()
+                .map(|&c| witness_spec(automaton, alphabet, real, c))
+                .collect::<Option<Vec<_>>>()?;
+            Some(TreeSpec::elem(label, children))
+        }
+        LabelKind::Attribute => Some(TreeSpec::attr(label, "w")),
+        LabelKind::Text => Some(TreeSpec::text("w")),
+    }
+}
+
+/// Produces a document of the automaton's language, or `None` when it is
+/// empty. The language-level check additionally requires a final state
+/// reachable *at the reserved `/` root*.
+pub fn witness_document(automaton: &HedgeAutomaton, alphabet: &Alphabet) -> Option<Document> {
+    let real = realizability(automaton, alphabet);
+    let realized = real.realizable_states();
+    for t in automaton.transitions() {
+        if !automaton.finals().contains(&t.target) || !t.guard.matches(Alphabet::ROOT) {
+            continue;
+        }
+        let Some(word) = t.horizontal.shortest_accepted_over(&realized) else {
+            continue;
+        };
+        let mut doc = Document::new(alphabet.clone());
+        for &c in &word {
+            let spec = witness_spec(automaton, alphabet, &real, c)
+                .expect("letters of the shortest word are realizable states");
+            spec_attach(&mut doc, &spec);
+        }
+        debug_assert!(doc.check_well_formed().is_ok());
+        return Some(doc);
+    }
+    None
+}
+
+/// Appends `spec` under the document root.
+fn spec_attach(doc: &mut Document, spec: &TreeSpec) -> regtree_xml::NodeId {
+    regtree_xml::insert_child(doc, doc.root(), doc.children(doc.root()).len(), spec)
+        .expect("witness specs are well-formed")
+}
+
+/// Is the document language of `automaton` empty?
+pub fn is_empty_language(automaton: &HedgeAutomaton, alphabet: &Alphabet) -> bool {
+    witness_document(automaton, alphabet).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{
+        horizontal_epsilon, horizontal_interleaved, horizontal_star, HedgeTransition,
+    };
+    use regtree_automata::{NfaBuilder, NfaLabel};
+
+    /// root '/' must contain one `b` whose children are `a*`.
+    fn sample(alpha: &Alphabet) -> HedgeAutomaton {
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        let mut h = NfaBuilder::new();
+        let s0 = h.add_state();
+        let s1 = h.add_state();
+        h.add_transition(s0, NfaLabel::Sym(1), s1);
+        h.set_start(s0);
+        h.set_accept(s1);
+        HedgeAutomaton::new(
+            3,
+            vec![
+                HedgeTransition {
+                    guard: LabelGuard::Is(a),
+                    horizontal: horizontal_epsilon(),
+                    target: 0,
+                },
+                HedgeTransition {
+                    guard: LabelGuard::Is(b),
+                    horizontal: horizontal_star(0),
+                    target: 1,
+                },
+                HedgeTransition {
+                    guard: LabelGuard::Is(Alphabet::ROOT),
+                    horizontal: h.finish(),
+                    target: 2,
+                },
+            ],
+            vec![2],
+        )
+    }
+
+    #[test]
+    fn witness_is_accepted() {
+        let alpha = Alphabet::new();
+        let m = sample(&alpha);
+        let doc = witness_document(&m, &alpha).expect("nonempty language");
+        assert!(m.accepts(&doc));
+        assert!(doc.check_well_formed().is_ok());
+    }
+
+    #[test]
+    fn empty_automaton_has_no_witness() {
+        let alpha = Alphabet::new();
+        assert!(is_empty_language(&HedgeAutomaton::empty(), &alpha));
+        assert!(!is_empty_language(&HedgeAutomaton::universal(), &alpha));
+    }
+
+    #[test]
+    fn unrealizable_cycle_detected() {
+        // State 0 requires a child in state 1; state 1 requires a child in
+        // state 0: neither is realizable.
+        let alpha = Alphabet::new();
+        let x = alpha.intern("x");
+        let m = HedgeAutomaton::new(
+            3,
+            vec![
+                HedgeTransition {
+                    guard: LabelGuard::Is(x),
+                    horizontal: horizontal_interleaved(9999, &[1]),
+                    target: 0,
+                },
+                HedgeTransition {
+                    guard: LabelGuard::Is(x),
+                    horizontal: horizontal_interleaved(9999, &[0]),
+                    target: 1,
+                },
+                HedgeTransition {
+                    guard: LabelGuard::Is(Alphabet::ROOT),
+                    // Root demands at least one state-0 child.
+                    horizontal: horizontal_interleaved(0, &[0]),
+                    target: 2,
+                },
+            ],
+            vec![2],
+        );
+        // Note: horizontal_interleaved(9999, ..) uses a filler letter no
+        // state ever takes, so the languages are effectively {1} and {0}.
+        assert!(is_empty_language(&m, &alpha));
+        let real = realizability(&m, &alpha);
+        assert!(!real.is_realizable(0));
+        assert!(!real.is_realizable(1));
+        assert!(!real.is_realizable(2));
+    }
+
+    #[test]
+    fn leaf_guards_cannot_have_children() {
+        // '@attr' nodes are leaves; requiring a child under them must be
+        // unrealizable.
+        let alpha = Alphabet::new();
+        let at = alpha.intern("@attr");
+        let x = alpha.intern("x");
+        let m = HedgeAutomaton::new(
+            3,
+            vec![
+                HedgeTransition {
+                    guard: LabelGuard::Is(x),
+                    horizontal: horizontal_epsilon(),
+                    target: 0,
+                },
+                HedgeTransition {
+                    guard: LabelGuard::Is(at),
+                    horizontal: horizontal_interleaved(0, &[0]), // needs ≥1 child
+                    target: 1,
+                },
+                HedgeTransition {
+                    guard: LabelGuard::Is(Alphabet::ROOT),
+                    horizontal: horizontal_star(1),
+                    target: 2,
+                },
+            ],
+            vec![2],
+        );
+        let real = realizability(&m, &alpha);
+        assert!(real.is_realizable(0));
+        assert!(!real.is_realizable(1));
+    }
+
+    #[test]
+    fn witness_respects_attribute_values() {
+        let alpha = Alphabet::new();
+        let at = alpha.intern("@id");
+        let m = HedgeAutomaton::new(
+            2,
+            vec![
+                HedgeTransition {
+                    guard: LabelGuard::Is(at),
+                    horizontal: horizontal_epsilon(),
+                    target: 0,
+                },
+                HedgeTransition {
+                    guard: LabelGuard::Is(Alphabet::ROOT),
+                    horizontal: horizontal_interleaved(9999, &[0]),
+                    target: 1,
+                },
+            ],
+            vec![1],
+        );
+        // Root with a bare attribute child — unusual but well-formed.
+        let doc = witness_document(&m, &alpha).unwrap();
+        assert!(doc.check_well_formed().is_ok());
+        let child = doc.children(doc.root())[0];
+        assert_eq!(doc.value(child), Some("w"));
+    }
+
+    #[test]
+    fn any_except_guard_picks_allowed_label() {
+        let alpha = Alphabet::new();
+        let x = alpha.intern("x");
+        let m = HedgeAutomaton::new(
+            2,
+            vec![
+                HedgeTransition {
+                    guard: LabelGuard::AnyExcept(vec![x]),
+                    horizontal: horizontal_epsilon(),
+                    target: 0,
+                },
+                HedgeTransition {
+                    guard: LabelGuard::Is(Alphabet::ROOT),
+                    horizontal: horizontal_interleaved(9999, &[0]),
+                    target: 1,
+                },
+            ],
+            vec![1],
+        );
+        let doc = witness_document(&m, &alpha).unwrap();
+        let child = doc.children(doc.root())[0];
+        assert_ne!(doc.label(child), x);
+        assert!(m.accepts(&doc));
+    }
+}

@@ -1,0 +1,165 @@
+//! Unranked bottom-up (hedge) tree automata for `regtree`.
+//!
+//! The paper's Proposition 3 works entirely with “regular Bottom-Up tree
+//! automata”: the schema `S` is one (`A_S`), patterns compile to them, and
+//! the independence criterion is an emptiness test on their product. This
+//! crate provides that substrate:
+//!
+//! * [`HedgeAutomaton`] — nondeterministic bottom-up automata over unranked
+//!   trees, with regular horizontal languages ([`regtree_automata::Nfa`]s
+//!   whose letters are tree states);
+//! * [`product`] — intersection (the `A_S × B` product of Proposition 3) and
+//!   union;
+//! * [`emptiness`] — the polynomial realizability fixpoint, extended with
+//!   **witness-document extraction** so a nonempty IC language yields a
+//!   concrete document;
+//! * [`Schema`] — a DTD-like rule language compiled to automata.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod emptiness;
+pub mod product;
+pub mod schema;
+
+pub use automaton::{
+    generic_element_label, horizontal_epsilon, horizontal_interleaved, horizontal_star,
+    HedgeAutomaton, HedgeTransition, LabelGuard, TreeState, ValidationError,
+};
+pub use emptiness::{is_empty_language, realizability, witness_document, witness_spec};
+pub use product::{intersect, intersect_with_encoding, union, PairEncoding};
+pub use schema::{Schema, SchemaError};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use regtree_alphabet::Alphabet;
+    use regtree_xml::{document_from_specs, Document, TreeSpec};
+
+    /// A fixed alphabet: a, b, c elements (symbols 2, 3, 4).
+    fn alpha() -> Alphabet {
+        Alphabet::with_labels(["a", "b", "c"])
+    }
+
+    /// Random small schema over {a, b, c}: every label gets a random content
+    /// model drawn from a few shapes.
+    fn arb_schema() -> impl Strategy<Value = Schema> {
+        let model = prop_oneof![
+            Just("EMPTY".to_string()),
+            Just("a*".to_string()),
+            Just("b?".to_string()),
+            Just("(a|b)*".to_string()),
+            Just("a b".to_string()),
+            Just("c+".to_string()),
+            Just("#text".to_string()),
+        ];
+        (
+            model.clone(),
+            model.clone(),
+            model,
+            prop_oneof![Just("a"), Just("b"), Just("a*"), Just("(a|b)+")],
+        )
+            .prop_map(|(ma, mb, mc, root)| {
+                let a = alpha();
+                let text = format!("root: {root}\na: {ma}\nb: {mb}\nc: {mc}\n");
+                Schema::parse(&a, &text).expect("generated schema parses")
+            })
+    }
+
+    /// Random document over {a, b, c} elements and text.
+    fn arb_doc() -> impl Strategy<Value = Document> {
+        let leaf = prop_oneof![
+            (0u32..3).prop_map(|i| TreeSpec::elem(regtree_alphabet::Symbol(i + 2), vec![])),
+            Just(TreeSpec::text("t")),
+        ];
+        let spec = leaf.prop_recursive(3, 24, 3, |inner| {
+            ((0u32..3), prop::collection::vec(inner, 0..4)).prop_map(|(i, children)| {
+                TreeSpec::elem(regtree_alphabet::Symbol(i + 2), children)
+            })
+        });
+        prop::collection::vec(spec, 0..3).prop_map(|tops| document_from_specs(alpha(), &tops))
+    }
+
+    /// Reference implementation of schema acceptance by direct recursion.
+    fn schema_accepts_ref(schema: &Schema, doc: &Document) -> bool {
+        fn node_ok(schema: &Schema, doc: &Document, n: regtree_xml::NodeId) -> bool {
+            use regtree_alphabet::LabelKind;
+            match doc.kind(n) {
+                LabelKind::Attribute | LabelKind::Text => doc.children(n).is_empty(),
+                LabelKind::Element => {
+                    let Some((_, model)) =
+                        schema.rules().iter().find(|(l, _)| *l == doc.label(n))
+                    else {
+                        return false;
+                    };
+                    let word: Vec<_> = doc.children(n).iter().map(|&c| doc.label(c)).collect();
+                    model.matches(&word)
+                        && doc.children(n).iter().all(|&c| node_ok(schema, doc, c))
+                }
+            }
+        }
+        let word: Vec<_> = doc
+            .children(doc.root())
+            .iter()
+            .map(|&c| doc.label(c))
+            .collect();
+        schema.root_model().matches(&word)
+            && doc
+                .children(doc.root())
+                .iter()
+                .all(|&c| node_ok(schema, doc, c))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The compiled automaton agrees with direct recursive validation.
+        #[test]
+        fn compiled_schema_agrees_with_reference(schema in arb_schema(), doc in arb_doc()) {
+            let m = schema.compile();
+            prop_assert_eq!(m.accepts(&doc), schema_accepts_ref(&schema, &doc));
+        }
+
+        /// Product automaton = language intersection on random docs.
+        #[test]
+        fn product_is_intersection(s1 in arb_schema(), s2 in arb_schema(), doc in arb_doc()) {
+            let m1 = s1.compile();
+            let m2 = s2.compile();
+            let prod = intersect(&m1, &m2);
+            prop_assert_eq!(prod.accepts(&doc), m1.accepts(&doc) && m2.accepts(&doc));
+        }
+
+        /// Union automaton = language union on random docs.
+        #[test]
+        fn union_is_union(s1 in arb_schema(), s2 in arb_schema(), doc in arb_doc()) {
+            let m1 = s1.compile();
+            let m2 = s2.compile();
+            let u = union(&m1, &m2);
+            prop_assert_eq!(u.accepts(&doc), m1.accepts(&doc) || m2.accepts(&doc));
+        }
+
+        /// Emptiness witnesses are genuine members; emptiness of the product
+        /// is sound on sampled documents.
+        #[test]
+        fn emptiness_witnesses(s1 in arb_schema(), s2 in arb_schema(), doc in arb_doc()) {
+            let a = alpha();
+            let prod = intersect(&s1.compile(), &s2.compile());
+            match witness_document(&prod, &a) {
+                Some(w) => prop_assert!(prod.accepts(&w), "witness rejected"),
+                None => prop_assert!(!prod.accepts(&doc), "empty language accepted a doc"),
+            }
+        }
+
+        /// A schema's own witness validates against the schema.
+        #[test]
+        fn schema_witness_validates(schema in arb_schema()) {
+            let a = alpha();
+            let m = schema.compile();
+            if let Some(w) = witness_document(&m, &a) {
+                prop_assert!(schema.validate(&w).is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Compiling a regular tree pattern into a bottom-up tree automaton `A_R`
+//! recognizing the documents that contain at least one trace of `R`
+//! (first step of the paper's Proposition 3 construction).
+//!
+//! States (all `O(|R|)` of them):
+//!
+//! * `BOT` — the node carries no part of the guessed trace;
+//! * `TOP` — the node lies strictly inside the subtree rooted at the image
+//!   of a *marked* (selected) template node. Marking is optional; the
+//!   independence criterion uses it to recognize the region
+//!   `N(FD_s̄(D))` of Definition 6 structurally;
+//! * `INT(w, s)` — the node is an interior node of the path witnessing the
+//!   edge into template node `w`; reading the node's label from word-state
+//!   `s` of `A_e` and continuing downward reaches acceptance at a node
+//!   realizing `w`;
+//! * `END(w, s)` — the node *is* the image of `w` (its label, consumed from
+//!   `s`, accepts) and its children realize `w`'s outgoing edges through
+//!   pairwise distinct children in template-sibling order;
+//! * `ACC` — the document root realizes the template root (final).
+//!
+//! A spurious `TOP` outside a marked subtree can never reach acceptance:
+//! `TOP` appears as a horizontal letter only in marked-region transitions.
+
+use regtree_alphabet::{Alphabet, Symbol};
+use regtree_automata::{Nfa, NfaBuilder, NfaLabel};
+use regtree_hedge::{HedgeAutomaton, HedgeTransition, LabelGuard, TreeState};
+
+use crate::pattern::RegularTreePattern;
+use crate::template::{Template, TemplateNodeId};
+
+/// Role of a compiled automaton state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StateRole {
+    /// Off-trace, outside any marked subtree.
+    Bot,
+    /// Strictly inside the subtree rooted at a marked node's image.
+    Top,
+    /// Interior node of the path into the given template node.
+    Interior(TemplateNodeId),
+    /// Image of the given template node.
+    Endpoint(TemplateNodeId),
+    /// Root acceptance state.
+    Accept,
+}
+
+/// A compiled pattern automaton with state metadata.
+#[derive(Clone, Debug)]
+pub struct PatternAutomaton {
+    /// The underlying hedge automaton.
+    pub automaton: HedgeAutomaton,
+    /// The off-trace state.
+    pub bot: TreeState,
+    /// The inside-marked-subtree state.
+    pub top: TreeState,
+    /// The accepting root state.
+    pub acc: TreeState,
+    roles: Vec<StateRole>,
+}
+
+impl PatternAutomaton {
+    /// Role of a state.
+    pub fn role(&self, q: TreeState) -> StateRole {
+        self.roles[q as usize]
+    }
+
+    /// Is the state part of the trace or of a marked subtree
+    /// (i.e. anything except `BOT`)?
+    pub fn in_region(&self, q: TreeState) -> bool {
+        !matches!(self.roles[q as usize], StateRole::Bot)
+    }
+
+    /// The template node this state is the image of, if it is an endpoint.
+    pub fn endpoint_of(&self, q: TreeState) -> Option<TemplateNodeId> {
+        match self.roles[q as usize] {
+            StateRole::Endpoint(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Does `doc` contain a trace of the compiled pattern?
+    pub fn accepts(&self, doc: &regtree_xml::Document) -> bool {
+        self.automaton.accepts(doc)
+    }
+}
+
+/// Compiles `pattern` to an automaton recognizing documents containing a
+/// trace. When `mark_selected` is set, subtrees rooted at selected-node
+/// images are tracked with the `TOP` state (used by the IC construction).
+pub fn compile_pattern(pattern: &RegularTreePattern, mark_selected: bool) -> PatternAutomaton {
+    let template = pattern.template();
+    let marked: Vec<TemplateNodeId> = if mark_selected {
+        pattern.selected().to_vec()
+    } else {
+        Vec::new()
+    };
+    compile_template(template, &marked)
+}
+
+/// Compiles a bare template (no marking): accepts documents with a trace.
+pub fn compile_template_plain(template: &Template) -> PatternAutomaton {
+    compile_template(template, &[])
+}
+
+fn region_marked(template: &Template, marked: &[TemplateNodeId], w: TemplateNodeId) -> bool {
+    marked.iter().any(|&m| template.is_ancestor_or_self(m, w))
+}
+
+fn compile_template(template: &Template, marked: &[TemplateNodeId]) -> PatternAutomaton {
+    const BOT: TreeState = 0;
+    const TOP: TreeState = 1;
+    // Allocate 2 states per (edge, word-state): INT then END.
+    let edges = template.edges();
+    let mut base: Vec<u32> = vec![0; template.len()];
+    let mut next: u32 = 2;
+    for &w in &edges {
+        base[w.index()] = next;
+        next += 2 * template.edge_nfa(w).expect("edge").num_states() as u32;
+    }
+    let acc = next;
+    let num_states = (acc + 1) as usize;
+
+    let int_state = |w: TemplateNodeId, s: u32| base[w.index()] + 2 * s;
+    let end_state = |w: TemplateNodeId, s: u32| base[w.index()] + 2 * s + 1;
+
+    // Role table.
+    let mut roles = vec![StateRole::Bot; num_states];
+    roles[TOP as usize] = StateRole::Top;
+    for &w in &edges {
+        let n = template.edge_nfa(w).expect("edge").num_states() as u32;
+        for s in 0..n {
+            roles[int_state(w, s) as usize] = StateRole::Interior(w);
+            roles[end_state(w, s) as usize] = StateRole::Endpoint(w);
+        }
+    }
+    roles[acc as usize] = StateRole::Accept;
+
+    let mut transitions: Vec<HedgeTransition> = Vec::new();
+
+    // BOT: any label, all children BOT.
+    transitions.push(HedgeTransition {
+        guard: LabelGuard::Any,
+        horizontal: star_of(BOT),
+        target: BOT,
+    });
+    // TOP: only when marking is in play.
+    if !marked.is_empty() {
+        transitions.push(HedgeTransition {
+            guard: LabelGuard::Any,
+            horizontal: star_of(TOP),
+            target: TOP,
+        });
+    }
+
+    // `realize(w)` horizontal: filler* C1 filler* C2 … Ck filler*, where Ci
+    // accepts INT/END of child edge wi at its NFA start state.
+    let realize = |w: TemplateNodeId| -> Nfa {
+        let filler = if region_marked(template, marked, w) {
+            TOP
+        } else {
+            BOT
+        };
+        let required: Vec<Vec<TreeState>> = template
+            .children(w)
+            .iter()
+            .map(|&wi| {
+                let start = template.edge_nfa(wi).expect("edge").start();
+                vec![int_state(wi, start), end_state(wi, start)]
+            })
+            .collect();
+        interleaved_alt(filler, &required)
+    };
+
+    for &w in &edges {
+        let nfa = template.edge_nfa(w).expect("edge");
+        let parent = template.parent(w).expect("non-root");
+        let path_filler = if region_marked(template, marked, parent) {
+            TOP
+        } else {
+            BOT
+        };
+        let used: Vec<Symbol> = nfa.used_letters().into_iter().map(Symbol).collect();
+        for s in 0..nfa.num_states() as u32 {
+            let closed = nfa.eps_closure(&[s]);
+            // Concrete letters the NFA mentions, plus the "all other labels"
+            // case when wildcard transitions exist.
+            let mut cases: Vec<(LabelGuard, Vec<u32>)> = Vec::new();
+            for &a in &used {
+                let next_states = nfa.step(&closed, a.0);
+                if !next_states.is_empty() {
+                    cases.push((LabelGuard::Is(a), next_states));
+                }
+            }
+            if nfa.uses_wildcard() {
+                let other = step_any_only(nfa, &closed);
+                if !other.is_empty() {
+                    cases.push((LabelGuard::AnyExcept(used.clone()), other));
+                }
+            }
+            for (guard, next_states) in cases {
+                // Interior: one child continues the path in some s'.
+                let continuations: Vec<TreeState> = next_states
+                    .iter()
+                    .flat_map(|&s2| [int_state(w, s2), end_state(w, s2)])
+                    .collect();
+                transitions.push(HedgeTransition {
+                    guard: guard.clone(),
+                    horizontal: interleaved_alt(path_filler, &[continuations]),
+                    target: int_state(w, s),
+                });
+                // Endpoint: the label consumption accepts and the node
+                // realizes w.
+                if nfa.set_accepts(&next_states) {
+                    transitions.push(HedgeTransition {
+                        guard,
+                        horizontal: realize(w),
+                        target: end_state(w, s),
+                    });
+                }
+            }
+        }
+    }
+
+    // Root acceptance.
+    transitions.push(HedgeTransition {
+        guard: LabelGuard::Is(Alphabet::ROOT),
+        horizontal: realize(template.root()),
+        target: acc,
+    });
+
+    PatternAutomaton {
+        automaton: HedgeAutomaton::new(num_states, transitions, vec![acc]),
+        bot: BOT,
+        top: TOP,
+        acc,
+        roles,
+    }
+}
+
+/// Letters reachable from `closed` using only wildcard transitions.
+fn step_any_only(nfa: &Nfa, closed: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for &s in closed {
+        for &(l, t) in nfa.transitions_from(s) {
+            if matches!(l, NfaLabel::Any) {
+                out.push(t);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    nfa.eps_closure(&out)
+}
+
+fn star_of(q: TreeState) -> Nfa {
+    let mut b = NfaBuilder::new();
+    let s = b.add_state();
+    b.add_transition(s, NfaLabel::Sym(q), s);
+    b.set_start(s);
+    b.set_accept(s);
+    b.finish()
+}
+
+/// `filler* A1 filler* A2 … Ak filler*` where each `Ai` is an alternative
+/// set of letters for the i-th required child.
+fn interleaved_alt(filler: TreeState, required: &[Vec<TreeState>]) -> Nfa {
+    let mut b = NfaBuilder::new();
+    let start = b.add_state();
+    b.add_transition(start, NfaLabel::Sym(filler), start);
+    let mut cur = start;
+    for alts in required {
+        let nxt = b.add_state();
+        for &q in alts {
+            b.add_transition(cur, NfaLabel::Sym(q), nxt);
+        }
+        b.add_transition(nxt, NfaLabel::Sym(filler), nxt);
+        cur = nxt;
+    }
+    b.set_start(start);
+    b.set_accept(cur);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::enumerate_mappings;
+    use regtree_xml::parse_document;
+
+    fn pat(a: &Alphabet, edges: &[(&str, usize)]) -> RegularTreePattern {
+        // edges: (regex, parent index into created nodes; 0 = root)
+        let mut t = Template::new(a.clone());
+        let mut nodes = vec![t.root()];
+        for (src, parent) in edges {
+            let n = t.add_child_str(nodes[*parent], src).unwrap();
+            nodes.push(n);
+        }
+        let last = *nodes.last().unwrap();
+        RegularTreePattern::monadic(t, last).unwrap()
+    }
+
+    fn agree(a: &Alphabet, p: &RegularTreePattern, doc_src: &str) {
+        let doc = parse_document(a, doc_src).unwrap();
+        let by_eval = !enumerate_mappings(p.template(), &doc).is_empty();
+        let by_auto = compile_pattern(p, false).accepts(&doc);
+        assert_eq!(by_auto, by_eval, "disagreement on {doc_src}");
+    }
+
+    #[test]
+    fn automaton_agrees_with_matcher_simple() {
+        let a = Alphabet::new();
+        let p = pat(&a, &[("session", 0), ("candidate/exam", 1)]);
+        agree(&a, &p, "<session><candidate><exam/></candidate></session>");
+        agree(&a, &p, "<session><candidate/></session>");
+        agree(&a, &p, "<other/>");
+        agree(&a, &p, "<session><exam/></session>");
+    }
+
+    #[test]
+    fn automaton_agrees_on_sibling_disjointness() {
+        let a = Alphabet::new();
+        // Two exams of the same candidate.
+        let mut t = Template::new(a.clone());
+        let cand = t.add_child_str(t.root(), "session/candidate").unwrap();
+        let e1 = t.add_child_str(cand, "exam").unwrap();
+        let _e2 = t.add_child_str(cand, "exam").unwrap();
+        let p = RegularTreePattern::monadic(t, e1).unwrap();
+        agree(&a, &p, "<session><candidate><exam/><exam/></candidate></session>");
+        agree(&a, &p, "<session><candidate><exam/></candidate></session>");
+        agree(
+            &a,
+            &p,
+            "<session><candidate><exam/></candidate><candidate><exam/></candidate></session>",
+        );
+    }
+
+    #[test]
+    fn automaton_handles_star_edges() {
+        let a = Alphabet::new();
+        let p = pat(&a, &[("(a|b)+/leaf", 0)]);
+        agree(&a, &p, "<a><leaf/></a>");
+        agree(&a, &p, "<a><b><leaf/></b></a>");
+        agree(&a, &p, "<leaf/>");
+        agree(&a, &p, "<c><leaf/></c>");
+    }
+
+    #[test]
+    fn automaton_handles_wildcards() {
+        let a = Alphabet::new();
+        let p = pat(&a, &[("_*/m", 0)]);
+        agree(&a, &p, "<x><y><m/></y></x>");
+        agree(&a, &p, "<m/>");
+        agree(&a, &p, "<x><y/></x>");
+    }
+
+    #[test]
+    fn marked_compilation_still_accepts_same_language() {
+        let a = Alphabet::new();
+        let mut t = Template::new(a.clone());
+        let cand = t.add_child_str(t.root(), "session/candidate").unwrap();
+        let exam = t.add_child_str(cand, "exam").unwrap();
+        let _lvl = t.add_child_str(cand, "level").unwrap();
+        let p = RegularTreePattern::monadic(t, exam).unwrap();
+        let plain = compile_pattern(&p, false);
+        let marked = compile_pattern(&p, true);
+        for src in [
+            "<session><candidate><exam/><level/></candidate></session>",
+            "<session><candidate><exam><deep><er/></deep></exam><level/></candidate></session>",
+            "<session><candidate><level/><exam/></candidate></session>",
+            "<session><candidate><exam/></candidate></session>",
+        ] {
+            let doc = parse_document(&a, src).unwrap();
+            assert_eq!(plain.accepts(&doc), marked.accepts(&doc), "{src}");
+        }
+    }
+
+    #[test]
+    fn roles_are_classified() {
+        let a = Alphabet::new();
+        let p = pat(&a, &[("x", 0)]);
+        let pa = compile_pattern(&p, true);
+        assert_eq!(pa.role(pa.bot), StateRole::Bot);
+        assert_eq!(pa.role(pa.top), StateRole::Top);
+        assert_eq!(pa.role(pa.acc), StateRole::Accept);
+        assert!(!pa.in_region(pa.bot));
+        assert!(pa.in_region(pa.top));
+        assert!(pa.in_region(pa.acc));
+        let selected = p.selected()[0];
+        let endpoints: Vec<_> = (0..pa.automaton.num_states() as TreeState)
+            .filter(|&q| pa.endpoint_of(q) == Some(selected))
+            .collect();
+        assert!(!endpoints.is_empty());
+    }
+
+    #[test]
+    fn state_count_is_linear_in_pattern_size() {
+        let a = Alphabet::new();
+        let p = pat(&a, &[("a/b/c/d/e", 0)]);
+        let pa = compile_pattern(&p, false);
+        // 2 special + 2 per NFA state + 1 accept.
+        let nfa_states = p.template().edge_nfa(p.selected()[0]).unwrap().num_states();
+        assert_eq!(pa.automaton.num_states(), 2 + 2 * nfa_states + 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! Positive CoreXPath → regular tree patterns.
+//!
+//! The paper's companion work (\[10\]) shows regular tree patterns express all
+//! queries of the *positive* fragment of CoreXPath, and the conclusion
+//! applies the independence results to update classes given in that
+//! fragment. This module implements the translation for a practical subset:
+//!
+//! ```text
+//! path  := ('/' | '//') step (('/' | '//') step)*
+//! step  := nametest pred*
+//! nametest := NAME | '@' NAME | 'text()' | '*'
+//! pred  := '[' relpath (and relpath)* ']'
+//! relpath := ('.//' )? step (('/' | '//') step)*
+//! ```
+//!
+//! Semantics caveats (inherent to the formalism — regular tree patterns are
+//! *incomparable* with full XPath, Section 4 of the paper):
+//!
+//! * sibling branches of a template must map to **distinct** children in
+//!   **document order**, so `a[b]/c` requires the witnessing `b` subtree to
+//!   precede the `c` subtree and to be disjoint from it;
+//! * predicates are existential and positive (no negation, position(), etc.).
+
+use std::fmt;
+
+use regtree_alphabet::Alphabet;
+use regtree_automata::Regex;
+
+use crate::pattern::RegularTreePattern;
+use crate::template::{Template, TemplateNodeId};
+
+/// Error raised parsing a CoreXPath expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// Byte position.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// One parsed step.
+#[derive(Debug, Clone)]
+struct Step {
+    /// Reached through a descendant (`//`) axis?
+    descendant: bool,
+    /// Label test (`None` = `*`).
+    test: Option<String>,
+    /// Existential predicate paths (conjunction).
+    predicates: Vec<Vec<Step>>,
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> XPathError {
+        XPathError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XPathError> {
+        let bytes = self.rest().as_bytes();
+        let mut len = 0;
+        while len < bytes.len()
+            && (bytes[len].is_ascii_alphanumeric() || matches!(bytes[len], b'_' | b'-' | b'.'))
+        {
+            len += 1;
+        }
+        if len == 0 {
+            return Err(self.err("expected a name"));
+        }
+        let name = self.rest()[..len].to_string();
+        self.pos += len;
+        Ok(name)
+    }
+
+    fn parse_steps(&mut self, stop_at: &[char]) -> Result<Vec<Step>, XPathError> {
+        let mut steps = Vec::new();
+        loop {
+            let descendant = if self.eat("//") {
+                true
+            } else if self.eat("/") {
+                false
+            } else if steps.is_empty() {
+                // Relative path inside a predicate may begin with `.//` or a
+                // bare step (child axis).
+                if self.eat(".//") {
+                    true
+                } else {
+                    false
+                }
+            } else {
+                break;
+            };
+            let step = self.parse_step(descendant)?;
+            steps.push(step);
+            // Peek: another axis separator continues the path.
+            let c = self.rest().chars().next();
+            match c {
+                Some('/') => continue,
+                Some(ch) if stop_at.contains(&ch) => break,
+                None => break,
+                Some(ch) => {
+                    return Err(self.err(format!("unexpected character {ch:?}")));
+                }
+            }
+        }
+        if steps.is_empty() {
+            return Err(self.err("empty path"));
+        }
+        Ok(steps)
+    }
+
+    fn parse_step(&mut self, descendant: bool) -> Result<Step, XPathError> {
+        let test = if self.eat("*") {
+            None
+        } else if self.eat("text()") {
+            Some(Alphabet::TEXT_NAME.to_string())
+        } else if self.eat("@") {
+            Some(format!("@{}", self.name()?))
+        } else {
+            Some(self.name()?)
+        };
+        let mut predicates = Vec::new();
+        while self.eat("[") {
+            loop {
+                let p = self.parse_steps(&[']', ' '])?;
+                predicates.push(p);
+                // optional conjunction
+                let mut saw_and = false;
+                while self.eat(" ") {
+                    saw_and = true;
+                }
+                if saw_and && self.eat("and") {
+                    while self.eat(" ") {}
+                    continue;
+                }
+                break;
+            }
+            if !self.eat("]") {
+                return Err(self.err("expected ']'"));
+            }
+        }
+        Ok(Step {
+            descendant,
+            test,
+            predicates,
+        })
+    }
+}
+
+/// Parses a positive CoreXPath expression into a monadic pattern selecting
+/// the nodes reached by the path.
+pub fn parse_corexpath(
+    alphabet: &Alphabet,
+    src: &str,
+) -> Result<RegularTreePattern, XPathError> {
+    let mut cursor = Cursor { src, pos: 0 };
+    if !src.starts_with('/') {
+        return Err(cursor.err("CoreXPath queries must be absolute (start with '/')"));
+    }
+    let steps = cursor.parse_steps(&[])?;
+    if cursor.pos != src.len() {
+        return Err(cursor.err("trailing input"));
+    }
+    let mut template = Template::new(alphabet.clone());
+    let root = template.root();
+    let selected = build_steps(alphabet, &mut template, root, &steps)
+        .map_err(|m| XPathError {
+            position: src.len(),
+            message: m,
+        })?;
+    RegularTreePattern::monadic(template, selected).map_err(|e| XPathError {
+        position: src.len(),
+        message: e.to_string(),
+    })
+}
+
+/// Appends the steps below `from`, returning the template node of the final
+/// step. Consecutive predicate-free steps merge into a single edge regex.
+fn build_steps(
+    alphabet: &Alphabet,
+    template: &mut Template,
+    from: TemplateNodeId,
+    steps: &[Step],
+) -> Result<TemplateNodeId, String> {
+    let mut current = from;
+    let mut pending: Vec<Regex> = Vec::new();
+    for step in steps {
+        if step.descendant {
+            pending.push(Regex::AnyAtom.star());
+        }
+        pending.push(match &step.test {
+            Some(name) => Regex::Atom(alphabet.intern(name)),
+            None => Regex::AnyAtom,
+        });
+        if !step.predicates.is_empty() || std::ptr::eq(step, steps.last().unwrap()) {
+            let regex = Regex::seq(pending.drain(..));
+            current = template
+                .add_child(current, regex)
+                .map_err(|e| e.to_string())?;
+            for pred in &step.predicates {
+                build_steps(alphabet, template, current, pred)?;
+            }
+        }
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regtree_xml::parse_document;
+
+    fn eval(a: &Alphabet, xpath: &str, doc_src: &str) -> usize {
+        let p = parse_corexpath(a, xpath).unwrap();
+        let doc = parse_document(a, doc_src).unwrap();
+        p.evaluate(&doc).len()
+    }
+
+    #[test]
+    fn child_axis_paths() {
+        let a = Alphabet::new();
+        assert_eq!(eval(&a, "/s/c", "<s><c/><c/></s>"), 2);
+        assert_eq!(eval(&a, "/s/c", "<s><d/></s>"), 0);
+        assert_eq!(eval(&a, "/s/c/d", "<s><c><d/></c></s>"), 1);
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let a = Alphabet::new();
+        assert_eq!(eval(&a, "//m", "<x><y><m/></y><m/></x>"), 2);
+        assert_eq!(eval(&a, "/x//m", "<x><y><m/></y></x>"), 1);
+        assert_eq!(eval(&a, "//q", "<x><y/></x>"), 0);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let a = Alphabet::new();
+        assert_eq!(eval(&a, "/s/*/m", "<s><a><m/></a><b><m/></b></s>"), 2);
+    }
+
+    #[test]
+    fn attribute_and_text_tests() {
+        let a = Alphabet::new();
+        assert_eq!(eval(&a, "/c/@id", "<c id=\"7\"/>"), 1);
+        assert_eq!(eval(&a, "/c/text()", "<c>hello</c>"), 1);
+        assert_eq!(eval(&a, "/c/@id", "<c/>"), 0);
+    }
+
+    #[test]
+    fn predicates_filter() {
+        let a = Alphabet::new();
+        // Candidates that still have exams to pass.
+        let doc = "<s>\
+            <cand><toBePassed/><level>B</level></cand>\
+            <cand><level>A</level></cand>\
+            </s>";
+        assert_eq!(eval(&a, "/s/cand[toBePassed]/level", doc), 1);
+        assert_eq!(eval(&a, "/s/cand/level", doc), 2);
+    }
+
+    #[test]
+    fn nested_and_deep_predicates() {
+        let a = Alphabet::new();
+        let doc = "<s><c><e><m/></e><z/></c><c><e/><z/></c></s>";
+        assert_eq!(eval(&a, "/s/c[e/m]/z", doc), 1);
+        assert_eq!(eval(&a, "/s/c[e]/z", doc), 2);
+        assert_eq!(eval(&a, "/s/c[.//m]/z", doc), 1);
+    }
+
+    #[test]
+    fn conjunctive_predicates() {
+        let a = Alphabet::new();
+        let doc = "<s><c><x/><y/></c><c><x/></c><c><y/></c></s>";
+        assert_eq!(eval(&a, "/s/c[x and y]", doc), 1);
+        assert_eq!(eval(&a, "/s/c[x]", doc), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let a = Alphabet::new();
+        assert!(parse_corexpath(&a, "relative/path").is_err());
+        assert!(parse_corexpath(&a, "/a[b").is_err());
+        assert!(parse_corexpath(&a, "/a]").is_err());
+        assert!(parse_corexpath(&a, "/").is_err());
+        assert!(parse_corexpath(&a, "/a/").is_err());
+    }
+
+    #[test]
+    fn documented_order_caveat() {
+        // The translation imposes document order between a predicate branch
+        // and the continuation — faithful to RTP semantics (Definition 2),
+        // stricter than XPath.
+        let a = Alphabet::new();
+        let p = parse_corexpath(&a, "/s/c[x]/y").unwrap();
+        let before = parse_document(&a, "<s><c><x/><y/></c></s>").unwrap();
+        let after = parse_document(&a, "<s><c><y/><x/></c></s>").unwrap();
+        assert_eq!(p.evaluate(&before).len(), 1);
+        assert_eq!(p.evaluate(&after).len(), 0);
+    }
+
+    #[test]
+    fn merges_predicate_free_steps_into_one_edge() {
+        let a = Alphabet::new();
+        let p = parse_corexpath(&a, "/a/b/c/d").unwrap();
+        // Root + a single merged template node.
+        assert_eq!(p.template().len(), 2);
+        let p2 = parse_corexpath(&a, "/a/b[x]/c/d").unwrap();
+        // Root + node for b + branch for x + node for c/d.
+        assert_eq!(p2.template().len(), 4);
+    }
+}

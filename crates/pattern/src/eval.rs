@@ -1,0 +1,425 @@
+//! Pattern evaluation: enumerating the mappings of Definition 2.
+//!
+//! A mapping `π` sends template nodes to document nodes such that
+//!
+//! 1. the template root maps to the document root;
+//! 2. document order is preserved (`w ≺ w' ⇒ π(w) < π(w')`);
+//! 3. every template edge `e = (w, w')` is witnessed by the unique downward
+//!    path from `π(w)` to `π(w')`, whose label word (source label excluded,
+//!    target label included) belongs to `L(A_e)`;
+//! 4. paths of two distinct edges leaving the same template node share no
+//!    prefix — they descend through *distinct* children of `π(w)`.
+//!
+//! Because downward paths in a tree are unique, a mapping is fully
+//! determined by the node assignment. Conditions (2) and (4) together are
+//! equivalent to: sibling edges descend through distinct children of the
+//! source image, in template-sibling order (see DESIGN.md §2); the matcher
+//! enforces exactly that and a property test cross-checks the original
+//! four conditions.
+
+use std::collections::HashMap;
+
+use regtree_xml::{Document, NodeId};
+
+use crate::template::{Template, TemplateNodeId};
+
+/// A mapping of a template on a document: one image per template node.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Mapping {
+    images: Vec<NodeId>,
+}
+
+impl Mapping {
+    /// Image of a template node.
+    pub fn image(&self, w: TemplateNodeId) -> NodeId {
+        self.images[w.index()]
+    }
+
+    /// All images, indexed by template node.
+    pub fn images(&self) -> &[NodeId] {
+        &self.images
+    }
+
+    /// The trace of the pattern w.r.t. this mapping: the smallest subtree of
+    /// `doc` containing the image set — i.e. the ancestor-closure of the
+    /// images (sorted in document order).
+    pub fn trace_nodes(&self, doc: &Document) -> Vec<NodeId> {
+        let mut seen: Vec<NodeId> = Vec::new();
+        for &img in &self.images {
+            let mut cur = Some(img);
+            while let Some(n) = cur {
+                if seen.contains(&n) {
+                    break; // ancestors already recorded
+                }
+                seen.push(n);
+                cur = doc.parent(n);
+            }
+        }
+        seen.sort_by(|&a, &b| doc.doc_order(a, b));
+        seen
+    }
+}
+
+/// Enumerates every mapping of `template` on `doc`.
+///
+/// Worst-case exponential in the template size (the problem enumerates all
+/// embeddings); memoizes edge-candidate computation per `(edge, source)`.
+pub fn enumerate_mappings(template: &Template, doc: &Document) -> Vec<Mapping> {
+    let order: Vec<TemplateNodeId> = template
+        .preorder()
+        .into_iter()
+        .filter(|&n| n != template.root())
+        .collect();
+    let mut images: Vec<Option<NodeId>> = vec![None; template.len()];
+    images[template.root().index()] = Some(doc.root());
+    let mut memo: CandidateMemo = HashMap::new();
+    let mut out = Vec::new();
+    assign(template, doc, &order, 0, &mut images, &mut memo, &mut out);
+    out
+}
+
+/// Candidate target nodes of an edge from a given source image, annotated
+/// with the index of the source child the path descends through.
+type CandidateMemo = HashMap<(TemplateNodeId, NodeId), Vec<(usize, NodeId)>>;
+
+fn candidates(
+    template: &Template,
+    doc: &Document,
+    edge_head: TemplateNodeId,
+    source: NodeId,
+    memo: &mut CandidateMemo,
+) -> Vec<(usize, NodeId)> {
+    if let Some(c) = memo.get(&(edge_head, source)) {
+        return c.clone();
+    }
+    let nfa = template
+        .edge_nfa(edge_head)
+        .expect("non-root nodes have an incoming edge");
+    let init = nfa.initial_set();
+    let mut found: Vec<(usize, NodeId)> = Vec::new();
+    for (ci, &child) in doc.children(source).iter().enumerate() {
+        // DFS down the subtree of `child`, threading the NFA state set.
+        let mut stack: Vec<(NodeId, Vec<u32>)> = vec![(child, init.clone())];
+        while let Some((v, states)) = stack.pop() {
+            let next = nfa.step(&states, doc.label(v).0);
+            if next.is_empty() {
+                continue;
+            }
+            if nfa.set_accepts(&next) {
+                found.push((ci, v));
+            }
+            for &c in doc.children(v) {
+                stack.push((c, next.clone()));
+            }
+        }
+    }
+    // Deterministic order: by child index, then document order.
+    found.sort_by(|a, b| a.0.cmp(&b.0).then(doc.doc_order(a.1, b.1)));
+    memo.insert((edge_head, source), found.clone());
+    found
+}
+
+fn assign(
+    template: &Template,
+    doc: &Document,
+    order: &[TemplateNodeId],
+    pos: usize,
+    images: &mut Vec<Option<NodeId>>,
+    memo: &mut CandidateMemo,
+    out: &mut Vec<Mapping>,
+) {
+    let Some(&w) = order.get(pos) else {
+        out.push(Mapping {
+            images: images.iter().map(|i| i.expect("all assigned")).collect(),
+        });
+        return;
+    };
+    let parent = template.parent(w).expect("non-root");
+    let source = images[parent.index()].expect("parent assigned before child");
+    // The branch child used by the closest elder sibling, if any: candidates
+    // must descend through a strictly later child of the source image.
+    let min_branch = template
+        .children(parent)
+        .iter()
+        .take_while(|&&sib| sib != w)
+        .filter_map(|sib| images[sib.index()])
+        .map(|img| {
+            doc.child_index(doc.branch_child(source, img).expect("descendant"))
+                .expect("indexed child")
+        })
+        .max()
+        .map(|b| b + 1)
+        .unwrap_or(0);
+    for (ci, v) in candidates(template, doc, w, source, memo) {
+        if ci < min_branch {
+            continue;
+        }
+        images[w.index()] = Some(v);
+        assign(template, doc, order, pos + 1, images, memo, out);
+    }
+    images[w.index()] = None;
+}
+
+/// Distinct projections of all mappings onto `keep` (in the given order).
+pub fn project_mappings(
+    template: &Template,
+    doc: &Document,
+    keep: &[TemplateNodeId],
+) -> Vec<Vec<NodeId>> {
+    let mut out: Vec<Vec<NodeId>> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<NodeId>> = std::collections::HashSet::new();
+    for m in enumerate_mappings(template, doc) {
+        let proj: Vec<NodeId> = keep.iter().map(|&w| m.image(w)).collect();
+        if seen.insert(proj.clone()) {
+            out.push(proj);
+        }
+    }
+    out
+}
+
+/// Evaluates a pattern: distinct images of the selected tuple.
+pub fn evaluate(
+    pattern: &crate::pattern::RegularTreePattern,
+    doc: &Document,
+) -> Vec<Vec<NodeId>> {
+    project_mappings(pattern.template(), doc, pattern.selected())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::RegularTreePattern;
+    use regtree_alphabet::Alphabet;
+    use regtree_xml::parse_document;
+
+    /// Two candidates with two exams each (a miniature of Figure 1).
+    fn mini_doc(a: &Alphabet) -> Document {
+        parse_document(
+            a,
+            "<session>\
+               <candidate IDN=\"78\"><exam><mark>15</mark></exam><exam><mark>12</mark></exam></candidate>\
+               <candidate IDN=\"99\"><exam><mark>15</mark></exam><exam><mark>9</mark></exam></candidate>\
+             </session>",
+        )
+        .unwrap()
+    }
+
+    /// R1 of Figure 2: two exams of *different* candidates.
+    fn r1(a: &Alphabet) -> RegularTreePattern {
+        let mut t = Template::new(a.clone());
+        let session = t.add_child_str(t.root(), "session").unwrap();
+        let e1 = t.add_child_str(session, "candidate/exam").unwrap();
+        let e2 = t.add_child_str(session, "candidate/exam").unwrap();
+        RegularTreePattern::new(t, vec![e1, e2]).unwrap()
+    }
+
+    /// R2 of Figure 2: two exams of the *same* candidate.
+    fn r2(a: &Alphabet) -> RegularTreePattern {
+        let mut t = Template::new(a.clone());
+        let cand = t.add_child_str(t.root(), "session/candidate").unwrap();
+        let e1 = t.add_child_str(cand, "exam").unwrap();
+        let e2 = t.add_child_str(cand, "exam").unwrap();
+        RegularTreePattern::new(t, vec![e1, e2]).unwrap()
+    }
+
+    #[test]
+    fn figure2_r1_selects_cross_candidate_pairs() {
+        let a = Alphabet::new();
+        let doc = mini_doc(&a);
+        let result = r1(&a).evaluate(&doc);
+        // 2 exams of candidate 1 × 2 exams of candidate 2 = 4 pairs,
+        // in document order (first exam before second).
+        assert_eq!(result.len(), 4);
+        for pair in &result {
+            let c1 = doc.parent(pair[0]).unwrap();
+            let c2 = doc.parent(pair[1]).unwrap();
+            assert_ne!(c1, c2, "exams must belong to different candidates");
+            assert_eq!(doc.doc_order(pair[0], pair[1]), std::cmp::Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn figure2_r2_selects_same_candidate_pairs() {
+        let a = Alphabet::new();
+        let doc = mini_doc(&a);
+        let result = r2(&a).evaluate(&doc);
+        // One ordered pair per candidate.
+        assert_eq!(result.len(), 2);
+        for pair in &result {
+            let c1 = doc.parent(pair[0]).unwrap();
+            let c2 = doc.parent(pair[1]).unwrap();
+            assert_eq!(c1, c2, "exams must belong to the same candidate");
+            assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn order_sensitivity_like_figure3() {
+        let a = Alphabet::new();
+        let doc = parse_document(&a, "<r><x/><y/></r>").unwrap();
+        // x-before-y matches…
+        let mut t = Template::new(a.clone());
+        let r = t.add_child_str(t.root(), "r").unwrap();
+        let _x = t.add_child_str(r, "x").unwrap();
+        let y = t.add_child_str(r, "y").unwrap();
+        let p = RegularTreePattern::monadic(t, y).unwrap();
+        assert_eq!(p.evaluate(&doc).len(), 1);
+        // …y-before-x does not.
+        let mut t2 = Template::new(a.clone());
+        let r2 = t2.add_child_str(t2.root(), "r").unwrap();
+        let _y2 = t2.add_child_str(r2, "y").unwrap();
+        let x2 = t2.add_child_str(r2, "x").unwrap();
+        let p2 = RegularTreePattern::monadic(t2, x2).unwrap();
+        assert!(p2.evaluate(&doc).is_empty());
+    }
+
+    #[test]
+    fn sibling_edges_need_distinct_children() {
+        let a = Alphabet::new();
+        // Only one exam: a same-candidate two-exam pattern cannot map.
+        let doc = parse_document(
+            &a,
+            "<session><candidate><exam><mark>1</mark></exam></candidate></session>",
+        )
+        .unwrap();
+        assert!(r2(&a).evaluate(&doc).is_empty());
+        // But a one-exam pattern maps once.
+        let mut t = Template::new(a.clone());
+        let e = t
+            .add_child_str(t.root(), "session/candidate/exam")
+            .unwrap();
+        let p = RegularTreePattern::monadic(t, e).unwrap();
+        assert_eq!(p.evaluate(&doc).len(), 1);
+    }
+
+    #[test]
+    fn deep_edges_with_stars() {
+        let a = Alphabet::new();
+        let doc = parse_document(&a, "<a><b><a><b><leaf/></b></a></b></a>").unwrap();
+        let mut t = Template::new(a.clone());
+        let leaf = t.add_child_str(t.root(), "(a/b)+/leaf").unwrap();
+        let p = RegularTreePattern::monadic(t, leaf).unwrap();
+        assert_eq!(p.evaluate(&doc).len(), 1);
+        // The same pattern with (a/b)* / leaf fails properness? No: it is
+        // proper (needs the final 'leaf'), and also matches.
+        let mut t2 = Template::new(a.clone());
+        let leaf2 = t2.add_child_str(t2.root(), "(a/b)*/leaf").unwrap();
+        let p2 = RegularTreePattern::monadic(t2, leaf2).unwrap();
+        assert_eq!(p2.evaluate(&doc).len(), 1);
+    }
+
+    #[test]
+    fn wildcard_edges() {
+        let a = Alphabet::new();
+        let doc = parse_document(&a, "<x><m/></x><y><m/></y>").unwrap();
+        let mut t = Template::new(a.clone());
+        let m = t.add_child_str(t.root(), "_/m").unwrap();
+        let p = RegularTreePattern::monadic(t, m).unwrap();
+        assert_eq!(p.evaluate(&doc).len(), 2);
+    }
+
+    #[test]
+    fn mapping_images_and_trace() {
+        let a = Alphabet::new();
+        let doc = mini_doc(&a);
+        let maps = r2(&a).mappings(&doc);
+        assert_eq!(maps.len(), 2);
+        for m in &maps {
+            let trace = m.trace_nodes(&doc);
+            // Trace contains the root and all images.
+            assert!(trace.contains(&doc.root()));
+            for &img in m.images() {
+                assert!(trace.contains(&img));
+            }
+            // Trace is ancestor-closed.
+            for &n in &trace {
+                if let Some(p) = doc.parent(n) {
+                    assert!(trace.contains(&p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projections_deduplicate() {
+        let a = Alphabet::new();
+        let doc = mini_doc(&a);
+        let p = r1(&a);
+        // Project onto the session node only: all 4 mappings collapse to 1.
+        let t = p.template();
+        let session = t.children(t.root())[0];
+        let proj = project_mappings(t, &doc, &[session]);
+        assert_eq!(proj.len(), 1);
+    }
+
+    #[test]
+    fn empty_when_no_match() {
+        let a = Alphabet::new();
+        let doc = parse_document(&a, "<other/>").unwrap();
+        assert!(r1(&a).evaluate(&doc).is_empty());
+        assert!(r2(&a).mappings(&doc).is_empty());
+    }
+
+    #[test]
+    fn trivial_pattern_selects_the_root() {
+        // A template with only its root maps onto every document, selecting
+        // the document root.
+        let a = Alphabet::new();
+        let t = Template::new(a.clone());
+        let p = RegularTreePattern::monadic(t, TemplateNodeId(0)).unwrap();
+        for src in ["<x/>", "<a><b/></a>"] {
+            let doc = parse_document(&a, src).unwrap();
+            let res = p.evaluate(&doc);
+            assert_eq!(res, vec![vec![doc.root()]], "{src}");
+        }
+    }
+
+    #[test]
+    fn attribute_and_text_endpoints() {
+        let a = Alphabet::new();
+        let doc = parse_document(&a, "<c id=\"7\">hello</c>").unwrap();
+        let mut t = Template::new(a.clone());
+        let attr = t.add_child_str(t.root(), "c/@id").unwrap();
+        let p = RegularTreePattern::monadic(t, attr).unwrap();
+        let res = p.evaluate(&doc);
+        assert_eq!(res.len(), 1);
+        assert_eq!(doc.value(res[0][0]), Some("7"));
+
+        let mut t2 = Template::new(a.clone());
+        let text = t2.add_child_str(t2.root(), "c/#text").unwrap();
+        let p2 = RegularTreePattern::monadic(t2, text).unwrap();
+        let res2 = p2.evaluate(&doc);
+        assert_eq!(res2.len(), 1);
+        assert_eq!(doc.value(res2[0][0]), Some("hello"));
+    }
+
+    #[test]
+    fn nested_matches_within_one_subtree() {
+        // Both an ancestor and its descendant can be selected by separate
+        // mappings of the same monadic pattern.
+        let a = Alphabet::new();
+        let doc = parse_document(&a, "<m><m/></m>").unwrap();
+        let mut t = Template::new(a.clone());
+        let m = t.add_child_str(t.root(), "_*/m").unwrap();
+        let p = RegularTreePattern::monadic(t, m).unwrap();
+        assert_eq!(p.evaluate(&doc).len(), 2);
+    }
+
+    #[test]
+    fn order_preservation_across_subtrees() {
+        // Pattern: root -> a (with child c), root -> b. The image of c is in
+        // a's subtree, before b's image.
+        let a = Alphabet::new();
+        let doc = parse_document(&a, "<a><c/></a><b/>").unwrap();
+        let mut t = Template::new(a.clone());
+        let na = t.add_child_str(t.root(), "a").unwrap();
+        let nc = t.add_child_str(na, "c").unwrap();
+        let nb = t.add_child_str(t.root(), "b").unwrap();
+        let p = RegularTreePattern::new(t, vec![nc, nb]).unwrap();
+        let res = p.evaluate(&doc);
+        assert_eq!(res.len(), 1);
+        // Swapped document: b before a — template sibling order violated.
+        let doc2 = parse_document(&a, "<b/><a><c/></a>").unwrap();
+        assert!(p.evaluate(&doc2).is_empty());
+    }
+}

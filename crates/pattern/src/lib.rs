@@ -1,0 +1,193 @@
+//! Regular tree patterns (Gire & Idabal 2010, Definition 1–2).
+//!
+//! The paper's uniform formalism: an n-ary **regular tree pattern** is a
+//! tree-shaped template whose edges carry proper regular expressions over
+//! XML labels, together with a selected tuple of template nodes. Evaluated
+//! on a document it returns the tuples of sub-trees rooted at the selected
+//! images, over all *mappings* (embeddings respecting document order,
+//! edge languages, and sibling-path disjointness).
+//!
+//! * [`Template`]/[`RegularTreePattern`] — construction APIs;
+//! * [`eval`] — the mapping enumerator (Definition 2 semantics);
+//! * [`compile`] — pattern → bottom-up tree automaton (`A_R`, the first
+//!   stage of Proposition 3), with optional marking of selected subtrees
+//!   used by the independence criterion;
+//! * [`corexpath`] — positive CoreXPath queries as patterns.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod corexpath;
+pub mod eval;
+pub mod pattern;
+pub mod template;
+
+pub use compile::{compile_pattern, compile_template_plain, PatternAutomaton, StateRole};
+pub use corexpath::{parse_corexpath, XPathError};
+pub use eval::{enumerate_mappings, evaluate, project_mappings, Mapping};
+pub use pattern::{PatternError, RegularTreePattern};
+pub use template::{Template, TemplateError, TemplateNodeId};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use regtree_alphabet::{Alphabet, Symbol};
+    use regtree_xml::{document_from_specs, Document, TreeSpec};
+
+    fn alpha() -> Alphabet {
+        Alphabet::with_labels(["a", "b", "c"])
+    }
+
+    /// Random documents over three element labels (plus occasional text).
+    fn arb_doc() -> impl Strategy<Value = Document> {
+        let leaf = prop_oneof![
+            (0u32..3).prop_map(|i| TreeSpec::elem(Symbol(i + 2), vec![])),
+            Just(TreeSpec::text("t")),
+        ];
+        let spec = leaf.prop_recursive(3, 20, 3, |inner| {
+            ((0u32..3), prop::collection::vec(inner, 0..3))
+                .prop_map(|(i, children)| TreeSpec::elem(Symbol(i + 2), children))
+        });
+        prop::collection::vec(spec, 0..3).prop_map(|tops| document_from_specs(alpha(), &tops))
+    }
+
+    /// Random small edge regexes (always proper).
+    fn arb_edge() -> impl Strategy<Value = String> {
+        prop_oneof![
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("c".to_string()),
+            Just("a/b".to_string()),
+            Just("(a|b)".to_string()),
+            Just("_".to_string()),
+            Just("_*/a".to_string()),
+            Just("a+".to_string()),
+            Just("(a|b)/c?".to_string()),
+        ]
+    }
+
+    /// Random templates: a root plus up to 4 nodes attached to random
+    /// earlier nodes.
+    fn arb_pattern() -> impl Strategy<Value = RegularTreePattern> {
+        (
+            prop::collection::vec((arb_edge(), any::<prop::sample::Index>()), 1..5),
+            any::<prop::sample::Index>(),
+        )
+            .prop_map(|(edges, sel)| {
+                let a = alpha();
+                let mut t = Template::new(a.clone());
+                let mut nodes = vec![t.root()];
+                for (regex, parent) in edges {
+                    let p = nodes[parent.index(nodes.len())];
+                    let n = t.add_child_str(p, &regex).expect("edges are proper");
+                    nodes.push(n);
+                }
+                let selected = nodes[1 + sel.index(nodes.len() - 1)];
+                RegularTreePattern::monadic(t, selected).expect("valid")
+            })
+    }
+
+    /// Checks the four conditions of Definition 2 directly on a mapping.
+    fn check_definition2(template: &Template, doc: &Document, m: &Mapping) -> Result<(), String> {
+        // (1) root to root
+        if m.image(template.root()) != doc.root() {
+            return Err("root not mapped to root".into());
+        }
+        // (2) document order preservation over template preorder
+        let order = template.preorder();
+        for i in 0..order.len() {
+            for j in (i + 1)..order.len() {
+                let (a, b) = (m.image(order[i]), m.image(order[j]));
+                if doc.doc_order(a, b) != std::cmp::Ordering::Less {
+                    return Err(format!("order violated between t{i} and t{j}"));
+                }
+            }
+        }
+        for w in template.preorder() {
+            if w == template.root() {
+                continue;
+            }
+            let parent = template.parent(w).unwrap();
+            let (u, v) = (m.image(parent), m.image(w));
+            // (3) edge path word in the edge language
+            let labels = doc
+                .labels_on_path(u, v)
+                .ok_or_else(|| "image not a strict descendant".to_string())?;
+            let word: Vec<u32> = labels.iter().map(|s| s.0).collect();
+            if !template.edge_nfa(w).unwrap().accepts(&word) {
+                return Err("edge word not in edge language".into());
+            }
+            // (4) sibling-edge paths share no prefix
+            for &sib in template.children(parent) {
+                if sib == w {
+                    continue;
+                }
+                let b1 = doc.branch_child(u, m.image(w)).unwrap();
+                let b2 = doc.branch_child(u, m.image(sib)).unwrap();
+                if b1 == b2 {
+                    return Err("sibling paths share a prefix".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Every enumerated mapping satisfies Definition 2 verbatim.
+        #[test]
+        fn mappings_satisfy_definition2(p in arb_pattern(), doc in arb_doc()) {
+            for m in p.mappings(&doc) {
+                if let Err(e) = check_definition2(p.template(), &doc, &m) {
+                    prop_assert!(false, "{}", e);
+                }
+            }
+        }
+
+        /// The compiled automaton accepts exactly the documents with ≥1
+        /// mapping.
+        #[test]
+        fn automaton_matches_evaluator(p in arb_pattern(), doc in arb_doc()) {
+            let has_mapping = !p.mappings(&doc).is_empty();
+            let plain = compile_pattern(&p, false);
+            prop_assert_eq!(plain.accepts(&doc), has_mapping);
+            let marked = compile_pattern(&p, true);
+            prop_assert_eq!(marked.accepts(&doc), has_mapping);
+        }
+
+        /// Mappings are pairwise distinct and evaluation deduplicates.
+        #[test]
+        fn evaluation_deduplicates(p in arb_pattern(), doc in arb_doc()) {
+            let maps = p.mappings(&doc);
+            for i in 0..maps.len() {
+                for j in (i + 1)..maps.len() {
+                    prop_assert_ne!(&maps[i], &maps[j]);
+                }
+            }
+            let eval = p.evaluate(&doc);
+            let mut uniq = eval.clone();
+            uniq.sort();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), eval.len());
+        }
+
+        /// Traces are ancestor-closed subtrees containing all images.
+        #[test]
+        fn traces_are_subtrees(p in arb_pattern(), doc in arb_doc()) {
+            for m in p.mappings(&doc) {
+                let trace = m.trace_nodes(&doc);
+                for &n in &trace {
+                    if let Some(parent) = doc.parent(n) {
+                        prop_assert!(trace.contains(&parent));
+                    }
+                }
+                for &img in m.images() {
+                    prop_assert!(trace.contains(&img));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Value equality (paper Definition 3) and canonical subtree hashing.
+//!
+//! Two nodes are value-equal (`=V`) when they carry the same label and type,
+//! equal string values if they are attribute/text leaves, and — for element
+//! nodes — have the same child positions with pairwise value-equal children.
+//! In our model this is exactly: the rooted subtrees are isomorphic as
+//! ordered labeled valued trees.
+//!
+//! FD satisfaction checking buckets condition images by a canonical 64-bit
+//! hash of the rooted subtree ([`value_hash`]) and confirms candidate
+//! collisions with the full structural comparison ([`value_eq`]).
+
+use std::hash::{Hash, Hasher};
+
+use regtree_alphabet::LabelKind;
+
+use crate::model::{Document, NodeId};
+
+/// Structural value equality of two rooted subtrees (possibly across
+/// documents sharing an alphabet).
+pub fn value_eq(da: &Document, a: NodeId, db: &Document, b: NodeId) -> bool {
+    if da.label(a) != db.label(b) {
+        return false;
+    }
+    // Same label ⇒ same kind (kind is a function of the label).
+    if da.kind(a) != db.kind(b) {
+        return false;
+    }
+    match da.kind(a) {
+        LabelKind::Attribute | LabelKind::Text => da.value(a) == db.value(b),
+        LabelKind::Element => {
+            let ca = da.children(a);
+            let cb = db.children(b);
+            ca.len() == cb.len()
+                && ca
+                    .iter()
+                    .zip(cb.iter())
+                    .all(|(&x, &y)| value_eq(da, x, db, y))
+        }
+    }
+}
+
+/// Value equality within one document.
+pub fn value_eq_in(doc: &Document, a: NodeId, b: NodeId) -> bool {
+    value_eq(doc, a, doc, b)
+}
+
+/// Canonical hash of a rooted subtree, consistent with [`value_eq`]:
+/// `value_eq(a, b) ⇒ value_hash(a) == value_hash(b)`.
+pub fn value_hash(doc: &Document, n: NodeId) -> u64 {
+    let mut h = Fnv1a::new();
+    hash_subtree(doc, n, &mut h);
+    h.finish()
+}
+
+fn hash_subtree(doc: &Document, n: NodeId, h: &mut Fnv1a) {
+    doc.label(n).0.hash(h);
+    match doc.value(n) {
+        Some(v) => {
+            1u8.hash(h);
+            v.hash(h);
+        }
+        None => 0u8.hash(h),
+    }
+    let children = doc.children(n);
+    children.len().hash(h);
+    for &c in children {
+        hash_subtree(doc, c, h);
+    }
+}
+
+/// Small, fast, deterministic FNV-1a hasher (stable across runs, unlike the
+/// std `DefaultHasher` whose seeding is unspecified between processes).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// New hasher at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(Self::OFFSET)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
+/// A hashable key for “the value class of this subtree”, pairing the hash
+/// with the (document, node) needed for confirmation.
+#[derive(Clone, Copy, Debug)]
+pub struct ValueKey {
+    /// Canonical subtree hash.
+    pub hash: u64,
+    /// The keyed node.
+    pub node: NodeId,
+}
+
+impl ValueKey {
+    /// Computes the key of `n` in `doc`.
+    pub fn of(doc: &Document, n: NodeId) -> ValueKey {
+        ValueKey {
+            hash: value_hash(doc, n),
+            node: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{document_from_specs, TreeSpec};
+    use regtree_alphabet::Alphabet;
+
+    fn doc_with(a: &Alphabet, specs: &[TreeSpec]) -> Document {
+        document_from_specs(a.clone(), specs)
+    }
+
+    fn exam(a: &Alphabet, disc: &str, mark: &str) -> TreeSpec {
+        TreeSpec::elem_named(
+            a,
+            "exam",
+            vec![
+                TreeSpec::elem_named(a, "discipline", vec![TreeSpec::text(disc)]),
+                TreeSpec::elem_named(a, "mark", vec![TreeSpec::text(mark)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn equal_subtrees_are_value_equal() {
+        let a = Alphabet::new();
+        let d = doc_with(&a, &[exam(&a, "math", "15"), exam(&a, "math", "15")]);
+        let kids = d.children(d.root());
+        assert!(value_eq_in(&d, kids[0], kids[1]));
+        assert_eq!(value_hash(&d, kids[0]), value_hash(&d, kids[1]));
+    }
+
+    #[test]
+    fn differing_values_break_equality() {
+        let a = Alphabet::new();
+        let d = doc_with(&a, &[exam(&a, "math", "15"), exam(&a, "math", "12")]);
+        let kids = d.children(d.root());
+        assert!(!value_eq_in(&d, kids[0], kids[1]));
+    }
+
+    #[test]
+    fn differing_structure_breaks_equality() {
+        let a = Alphabet::new();
+        let short = TreeSpec::elem_named(
+            &a,
+            "exam",
+            vec![TreeSpec::elem_named(
+                &a,
+                "discipline",
+                vec![TreeSpec::text("math")],
+            )],
+        );
+        let d = doc_with(&a, &[exam(&a, "math", "15"), short]);
+        let kids = d.children(d.root());
+        assert!(!value_eq_in(&d, kids[0], kids[1]));
+    }
+
+    #[test]
+    fn child_order_matters() {
+        let a = Alphabet::new();
+        let swapped = TreeSpec::elem_named(
+            &a,
+            "exam",
+            vec![
+                TreeSpec::elem_named(&a, "mark", vec![TreeSpec::text("15")]),
+                TreeSpec::elem_named(&a, "discipline", vec![TreeSpec::text("math")]),
+            ],
+        );
+        let d = doc_with(&a, &[exam(&a, "math", "15"), swapped]);
+        let kids = d.children(d.root());
+        assert!(!value_eq_in(&d, kids[0], kids[1]));
+    }
+
+    #[test]
+    fn equality_across_documents() {
+        let a = Alphabet::new();
+        let d1 = doc_with(&a, &[exam(&a, "bio", "9")]);
+        let d2 = doc_with(&a, &[exam(&a, "bio", "9")]);
+        let n1 = d1.children(d1.root())[0];
+        let n2 = d2.children(d2.root())[0];
+        assert!(value_eq(&d1, n1, &d2, n2));
+        assert_eq!(value_hash(&d1, n1), value_hash(&d2, n2));
+    }
+
+    #[test]
+    fn value_equality_is_equivalence_on_sample() {
+        let a = Alphabet::new();
+        let d = doc_with(
+            &a,
+            &[
+                exam(&a, "math", "15"),
+                exam(&a, "math", "15"),
+                exam(&a, "bio", "9"),
+            ],
+        );
+        let nodes = d.all_nodes();
+        // Reflexive.
+        for &n in &nodes {
+            assert!(value_eq_in(&d, n, n));
+        }
+        // Symmetric + transitive over all pairs/triples of top subtrees.
+        let kids = d.children(d.root()).to_vec();
+        for &x in &kids {
+            for &y in &kids {
+                assert_eq!(value_eq_in(&d, x, y), value_eq_in(&d, y, x));
+                for &z in &kids {
+                    if value_eq_in(&d, x, y) && value_eq_in(&d, y, z) {
+                        assert!(value_eq_in(&d, x, z));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let a = Alphabet::new();
+        let d = doc_with(&a, &[exam(&a, "math", "15")]);
+        let n = d.children(d.root())[0];
+        assert_eq!(value_hash(&d, n), value_hash(&d, n));
+    }
+}

@@ -1,0 +1,94 @@
+//! How precise is the sufficient criterion? (An extension of the paper's
+//! missing experimental study.)
+//!
+//! The criterion is sound — `Independent` is always right — but not
+//! complete: `Unknown` may be a false alarm. For random (FD, update-class)
+//! pairs this example classifies every `Unknown` by a bounded,
+//! witness-guided search for a *constructive* impact:
+//!
+//! * `ProvenIndependent` — the criterion settled it;
+//! * `ConfirmedImpact`   — `Unknown` was a true alarm (an actual
+//!   document+update breaking the FD was found);
+//! * `Unconfirmed`       — no impact found within the budget (a candidate
+//!   false alarm, or an impact needing a larger document).
+//!
+//! ```sh
+//! cargo run --release --example criterion_precision
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use regtree::prelude::*;
+use regtree_core::{classify_pair, PairClassification};
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+
+fn random_edge(rng: &mut SmallRng) -> String {
+    let atoms = ["a", "b", "c", "a/b", "(a|b)", "b/c", "_"];
+    atoms[rng.gen_range(0..atoms.len())].to_string()
+}
+
+fn random_fd(a: &Alphabet, rng: &mut SmallRng) -> Fd {
+    let mut t = Template::new(a.clone());
+    let ctx = t.add_child_str(t.root(), &random_edge(rng)).expect("proper");
+    let mut selected = Vec::new();
+    for _ in 0..rng.gen_range(1..=2usize) {
+        selected.push(t.add_child_str(ctx, &random_edge(rng)).expect("proper"));
+    }
+    selected.push(t.add_child_str(ctx, &random_edge(rng)).expect("proper"));
+    let p = RegularTreePattern::new(t, selected).expect("valid");
+    regtree::core::fd::Fd::with_default_equality(p, ctx).expect("fd")
+}
+
+fn random_class(a: &Alphabet, rng: &mut SmallRng) -> UpdateClass {
+    let mut t = Template::new(a.clone());
+    let mut cur = t.root();
+    for _ in 0..rng.gen_range(1..=2usize) {
+        cur = t.add_child_str(cur, &random_edge(rng)).expect("proper");
+    }
+    UpdateClass::new(RegularTreePattern::monadic(t, cur).expect("valid")).expect("leaf")
+}
+
+fn main() {
+    let a = Alphabet::with_labels(LABELS);
+    let mut rng = SmallRng::seed_from_u64(20100322);
+
+    let rounds = 300; // impact-search budget per Unknown pair
+    let pairs = 120;
+
+    let mut independent = 0usize;
+    let mut confirmed = 0usize;
+    let mut unconfirmed = 0usize;
+
+    for _ in 0..pairs {
+        let fd = random_fd(&a, &mut rng);
+        let class = random_class(&a, &mut rng);
+        match classify_pair(&fd, &class, None, rounds, &mut rng) {
+            PairClassification::ProvenIndependent => independent += 1,
+            PairClassification::ConfirmedImpact(w) => {
+                confirmed += 1;
+                // Double-check the constructive witness.
+                assert!(satisfies(&fd, &w.doc));
+                let after = w.update.apply_cloned(&w.doc).expect("applies");
+                assert!(!satisfies(&fd, &after));
+            }
+            PairClassification::Unconfirmed => unconfirmed += 1,
+        }
+    }
+
+    println!("random (FD, update-class) pairs over a 3-label alphabet: {pairs}");
+    println!("  proven independent : {independent}");
+    println!("  confirmed impact   : {confirmed}  (true alarms — criterion had to say Unknown)");
+    println!("  unconfirmed        : {unconfirmed}  (false-alarm candidates within budget {rounds})");
+    let alarms = confirmed + unconfirmed;
+    if alarms > 0 {
+        println!(
+            "  measured precision lower bound: {confirmed}/{alarms} = {:.0}% of alarms confirmed real",
+            100.0 * confirmed as f64 / alarms as f64
+        );
+    }
+    println!(
+        "\nSoundness cross-check: every ProvenIndependent pair has no impact by\n\
+         Proposition 2; every confirmed witness was re-validated constructively."
+    );
+}

@@ -1,0 +1,144 @@
+//! The paper's running example, end to end: Figures 1–6 and Examples 1–6.
+//!
+//! ```sh
+//! cargo run --example exam_sessions
+//! ```
+
+use regtree::prelude::*;
+use regtree_gen as gen;
+
+fn main() {
+    let a = gen::exam_alphabet();
+    let doc = gen::figure1_document(&a);
+    let schema = gen::exam_schema(&a);
+
+    println!("— Figure 1: the exam-session document —");
+    println!("{}", regtree::xml::to_xml_with(&doc, regtree::xml::SerializeOptions { indent: true }));
+    println!("schema-valid: {}\n", schema.validate(&doc).is_ok());
+
+    // ---- Figure 2: R1 and R2 ------------------------------------------
+    println!("— Figure 2: evaluation semantics —");
+    let r1 = gen::pattern_r1(&a);
+    let r2 = gen::pattern_r2(&a);
+    let r1_result = r1.evaluate(&doc);
+    let r2_result = r2.evaluate(&doc);
+    println!("R1 (exams of two different candidates): {} pairs", r1_result.len());
+    for pair in &r1_result {
+        println!(
+            "  ({}, {})",
+            doc.dewey_string(pair[0]),
+            doc.dewey_string(pair[1])
+        );
+    }
+    println!("R2 (exams of the same candidate): {} pairs", r2_result.len());
+    assert_eq!(r1_result.len(), 4, "paper: four pairs selected by R1");
+    assert_eq!(r2_result.len(), 2, "paper: two pairs selected by R2");
+
+    // ---- Figure 3: order sensitivity -----------------------------------
+    println!("\n— Figure 3: mappings respect node order —");
+    let r3 = gen::pattern_r3(&a).evaluate(&doc);
+    let r4 = gen::pattern_r4(&a).evaluate(&doc);
+    println!("R3 (exam before level): {} level node(s)", r3.len());
+    println!("R4 (level before exam): {} level node(s)", r4.len());
+    assert!(!r3.is_empty() && r4.is_empty(), "paper: R3 nonempty, R4 empty");
+
+    // ---- Figures 4–5: the functional dependencies ----------------------
+    println!("\n— Figures 4–5: functional dependencies —");
+    for (name, what, fd) in [
+        ("fd1", "same discipline+mark ⇒ same rank", gen::fd1(&a)),
+        ("fd2", "no two exams of a discipline at one date", gen::fd2(&a)),
+        ("fd3", "same two marks ⇒ same level", gen::fd3(&a)),
+        ("fd4", "fd3 restricted to candidates with toBePassed", gen::fd4(&a)),
+        ("fd5", "fd3 restricted to graduated candidates", gen::fd5(&a)),
+    ] {
+        let holds = satisfies(&fd, &doc);
+        let in_path_formalism = expressible_in_path_formalism(&fd).is_ok();
+        println!(
+            "{name}: {what} — holds: {holds}, expressible in [8]: {in_path_formalism}"
+        );
+    }
+    assert!(expressible_in_path_formalism(&gen::fd1(&a)).is_ok());
+    assert!(expressible_in_path_formalism(&gen::fd3(&a)).is_err());
+    assert!(expressible_in_path_formalism(&gen::fd4(&a)).is_err());
+
+    // ---- Figure 6 / Examples 4–5: updates ------------------------------
+    println!("\n— Figure 6 / Examples 4–5: the update class U —");
+    let class_u = gen::update_class_u(&a);
+    let selected = class_u.selected_nodes(&doc);
+    println!(
+        "U selects {} node(s) on Figure 1 (only candidate 78 has exams to pass)",
+        selected.len()
+    );
+    assert_eq!(selected.len(), 1);
+
+    // Example 5: q1 (decrease the level) impacts fd3.
+    let fd3 = gen::fd3(&a);
+    // A document exhibiting the impact: two candidates with equal marks and
+    // levels, one of them with a toBePassed child.
+    let impact_doc = parse_document(
+        &a,
+        "<session>\
+         <candidate IDN=\"1\">\
+           <exam date=\"d\"><discipline>m</discipline><mark>8</mark><rank>1</rank></exam>\
+           <exam date=\"e\"><discipline>p</discipline><mark>8</mark><rank>1</rank></exam>\
+           <level>D</level><toBePassed><discipline>m</discipline></toBePassed>\
+         </candidate>\
+         <candidate IDN=\"2\">\
+           <exam date=\"d\"><discipline>m</discipline><mark>8</mark><rank>1</rank></exam>\
+           <exam date=\"e\"><discipline>p</discipline><mark>8</mark><rank>1</rank></exam>\
+           <level>D</level><firstJob-Year>2010</firstJob-Year>\
+         </candidate>\
+         </session>",
+    )
+    .expect("well-formed");
+    assert!(satisfies(&fd3, &impact_doc));
+    let q1 = gen::update_q1(&a);
+    let after = q1.apply_cloned(&impact_doc).expect("applies");
+    println!(
+        "Example 5 — q1 on a two-equal-candidates document: fd3 before={}, after={}",
+        satisfies(&fd3, &impact_doc),
+        satisfies(&fd3, &after)
+    );
+    assert!(!satisfies(&fd3, &after), "q1 impacts fd3 (Example 5)");
+
+    // q2 (adding a comment below the level) also belongs to U.
+    let q2 = gen::update_q2(&a);
+    let after2 = q2.apply_cloned(&impact_doc).expect("applies");
+    println!(
+        "q2 (append <comment/>) also breaks fd3's value equality: {}",
+        !satisfies(&fd3, &after2)
+    );
+
+    // ---- Example 6: independence in the context of the schema ----------
+    println!("\n— Example 6 / Section 5: the independence criterion —");
+    let fd5 = gen::fd5(&a);
+    let no_schema = check_independence(&fd5, &class_u, None);
+    let with_schema = check_independence(&fd5, &class_u, Some(&schema));
+    println!(
+        "fd5 vs U without schema: {}",
+        verdict_str(&no_schema.verdict)
+    );
+    println!(
+        "fd5 vs U with schema Sc (toBePassed XOR firstJob-Year): {}",
+        verdict_str(&with_schema.verdict)
+    );
+    assert!(!no_schema.verdict.is_independent());
+    assert!(with_schema.verdict.is_independent());
+
+    let fd3_vs_u = check_independence(&fd3, &class_u, Some(&schema));
+    println!(
+        "fd3 vs U with schema: {} (consistent with the Example 5 impact)",
+        verdict_str(&fd3_vs_u.verdict)
+    );
+    assert!(!fd3_vs_u.verdict.is_independent());
+
+    println!("\nAll paper assertions verified.");
+}
+
+fn verdict_str(v: &Verdict) -> &'static str {
+    if v.is_independent() {
+        "INDEPENDENT"
+    } else {
+        "unknown (criterion inconclusive)"
+    }
+}

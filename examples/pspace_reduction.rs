@@ -1,0 +1,72 @@
+//! Proposition 1: the PSPACE-hardness reduction from regular-expression
+//! inclusion to update–FD independence (Figures 7–8), run on concrete
+//! regex pairs.
+//!
+//! ```sh
+//! cargo run --example pspace_reduction
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use regtree::prelude::*;
+use regtree_core::{build_patterns, build_reduction, gadget_alphabet};
+
+fn main() {
+    let a = gadget_alphabet();
+    let mut rng = SmallRng::seed_from_u64(2010);
+
+    let pairs = [
+        ("D+", "D/D+"),       // η ⊄ η' (the word D)
+        ("B/B", "B+"),        // η ⊆ η'
+        ("(B|D)+", "B+|D+"),  // mixed words are counterexamples
+        ("B*/D", "B*/D"),     // equal languages
+        ("D/B?", "D/B"),      // ε-side counterexample
+    ];
+
+    for (eta_src, etap_src) in pairs {
+        let eta = parse_regex(&a, eta_src).expect("parses");
+        let etap = parse_regex(&a, etap_src).expect("parses");
+        println!("η = {eta_src:<10} η' = {etap_src:<10}");
+        match build_reduction(&a, &eta, &etap, &mut rng) {
+            None => {
+                println!("  η ⊆ η': no impact exists — fd is independent of U\n");
+            }
+            Some(inst) => {
+                let witness: Vec<String> = inst
+                    .witness_word
+                    .iter()
+                    .map(|&s| a.name(s).to_string())
+                    .collect();
+                println!("  η ⊄ η': counterexample word w = {}", witness.join("·"));
+                println!(
+                    "  Figure-8 document ({} nodes) satisfies fd: {}",
+                    inst.doc.len(),
+                    satisfies(&inst.fd, &inst.doc)
+                );
+                let after = inst.update.apply_cloned(&inst.doc).expect("applies");
+                println!(
+                    "  after grafting an η'·# path under the updated node: fd holds: {}",
+                    satisfies(&inst.fd, &after)
+                );
+                assert!(satisfies(&inst.fd, &inst.doc));
+                assert!(!satisfies(&inst.fd, &after));
+                println!("  → concrete impact exhibited (hardness direction verified)\n");
+            }
+        }
+    }
+
+    // The sufficient criterion, being polynomial, cannot decide these
+    // instances — it conservatively reports "unknown" whenever the gadget
+    // patterns overlap:
+    let (fd, class) = build_patterns(
+        &a,
+        &parse_regex(&a, "D+").expect("parses"),
+        &parse_regex(&a, "D/D+").expect("parses"),
+    );
+    let analysis = check_independence(&fd, &class, None);
+    println!(
+        "IC on the gadget patterns (η = D+, η' = D/D+): independent = {} — as expected, \
+         the polynomial criterion does not decide PSPACE-hard instances",
+        analysis.verdict.is_independent()
+    );
+}

@@ -1,0 +1,84 @@
+//! Quickstart: declare an FD and an update class, check documents, run the
+//! independence criterion.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use regtree::prelude::*;
+
+fn main() {
+    // One shared label alphabet for everything.
+    let alphabet = Alphabet::new();
+
+    // A product catalog: within a catalog, two items with the same sku have
+    // the same price.
+    let fd = FdBuilder::new(alphabet.clone())
+        .context("catalog")
+        .condition("item/sku")
+        .target("item/price")
+        .build()
+        .expect("fd builds");
+
+    let doc = parse_document(
+        &alphabet,
+        "<catalog>\
+           <item><sku>A-1</sku><price>10</price><stock>4</stock></item>\
+           <item><sku>B-2</sku><price>15</price><stock>0</stock></item>\
+           <item><sku>A-1</sku><price>10</price><stock>9</stock></item>\
+         </catalog>",
+    )
+    .expect("well-formed XML");
+
+    match check_fd(&fd, &doc) {
+        Ok(()) => println!("catalog satisfies the FD (same sku ⇒ same price)"),
+        Err(v) => println!("violated: {}", v.describe(&doc)),
+    }
+
+    // An update class: restocking touches only <stock> leaves.
+    let restock = parse_corexpath(&alphabet, "/catalog/item/stock").expect("parses");
+    let class = UpdateClass::new(restock).expect("selected node is a leaf");
+
+    // The independence criterion: can ANY restocking update, on ANY
+    // document, break the FD? (No document needed for the analysis.)
+    let analysis = check_independence(&fd, &class, None);
+    match &analysis.verdict {
+        Verdict::Independent => {
+            println!("restocking is provably independent of the price FD");
+        }
+        Verdict::Unknown { witness } => {
+            println!("criterion inconclusive");
+            if let Some(w) = witness {
+                println!("interaction witness:\n{}", to_xml(w));
+            }
+        }
+    }
+
+    // A price-rewriting class is *not* provably independent.
+    let reprice = parse_corexpath(&alphabet, "/catalog/item/price").expect("parses");
+    let class2 = UpdateClass::new(reprice).expect("leaf");
+    let analysis2 = check_independence(&fd, &class2, None);
+    println!(
+        "repricing independent? {}",
+        analysis2.verdict.is_independent()
+    );
+
+    // And indeed a lopsided concrete repricing breaks the FD on our document:
+    let mut broken = doc.clone();
+    let targets = class2.selected_nodes(&broken);
+    let first_price_text = broken.children(targets[0])[0];
+    regtree::xml::set_value(&mut broken, first_price_text, "999")
+        .expect("price has a text child");
+    match check_fd(&fd, &broken) {
+        Ok(()) => println!("still satisfied"),
+        Err(v) => println!("after a lopsided reprice: {}", v.describe(&broken)),
+    }
+
+    // Updates can also be executed through the library:
+    let restock_all = Update::new(class, UpdateOp::SetText("100".into()));
+    let restocked = restock_all.apply_cloned(&doc).expect("applies");
+    println!(
+        "restocked catalog still satisfies the FD: {}",
+        satisfies(&fd, &restocked)
+    );
+}

@@ -1,0 +1,71 @@
+//! # regtree
+//!
+//! A complete, from-scratch Rust implementation of
+//! **“Regular tree patterns: a uniform formalism for update queries and
+//! functional dependencies in XML”** (F. Gire & H. Idabal, *Updates in
+//! XML*, EDBT 2010 Workshops).
+//!
+//! The paper proposes *regular tree patterns* — tree templates whose edges
+//! carry regular expressions over XML labels — as one formalism for both
+//! XML functional dependencies and classes of update queries, and derives a
+//! polynomial-time sufficient criterion for an FD to be *independent* of an
+//! update class (no update of the class can ever break the FD), while the
+//! exact problem is PSPACE-hard.
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`alphabet`] | interned label alphabets |
+//! | [`automata`] | word regexes, NFAs/DFAs, inclusion, sampling |
+//! | [`xml`] | the document model, XML parser/serializer, value equality, edits |
+//! | [`hedge`] | bottom-up unranked tree automata, schemas, products, emptiness |
+//! | [`pattern`] | regular tree patterns: evaluation & automaton compilation |
+//! | [`core`] | FDs, update classes, the independence criterion, the PSPACE reduction |
+//! | [`gen`] | the paper's running example and random workload generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use regtree::prelude::*;
+//!
+//! let alphabet = regtree_gen::exam_alphabet();
+//! let doc = regtree_gen::figure1_document(&alphabet);
+//! let fd1 = regtree_gen::fd1(&alphabet);           // discipline+mark ⇒ rank
+//! assert!(satisfies(&fd1, &doc));
+//!
+//! // The paper's update class U: levels of candidates with exams to pass.
+//! let class = regtree_gen::update_class_u(&alphabet);
+//! let schema = regtree_gen::exam_schema(&alphabet);
+//! let analysis = check_independence(&fd1, &class, Some(&schema));
+//! assert!(analysis.verdict.is_independent());
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use regtree_alphabet as alphabet;
+pub use regtree_automata as automata;
+pub use regtree_core as core;
+pub use regtree_gen as gen;
+pub use regtree_hedge as hedge;
+pub use regtree_pattern as pattern;
+pub use regtree_xml as xml;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use regtree_alphabet::{Alphabet, LabelKind, Symbol};
+    pub use regtree_automata::{parse_regex, Dfa, LangSampler, Nfa, Regex};
+    pub use regtree_core::{
+        build_reduction, check_fd, check_independence, expressible_in_path_formalism,
+        is_independent, revalidate_full, satisfies, EqualityType, Fd, FdBuilder,
+        IncrementalChecker, PathFd, Update, UpdateClass, UpdateOp, Verdict,
+    };
+    pub use regtree_hedge::{HedgeAutomaton, Schema};
+    pub use regtree_pattern::{
+        compile_pattern, parse_corexpath, RegularTreePattern, Template, TemplateNodeId,
+    };
+    pub use regtree_xml::{
+        parse_document, to_xml, value_eq, value_hash, Document, NodeId, TreeSpec,
+    };
+}

@@ -20,13 +20,12 @@ use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 
 /// A compact handle to an interned label.
 ///
 /// Symbols are only meaningful relative to the [`Alphabet`] that produced
 /// them; mixing symbols across alphabets is a logic error (never UB).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Symbol(pub u32);
 
 impl Symbol {
@@ -44,7 +43,7 @@ impl fmt::Debug for Symbol {
 }
 
 /// The kind of node a label may sit on (the partition `Σ = EL ∪ A ∪ {text}`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum LabelKind {
     /// An element label from `EL` (internal nodes; includes the root label).
     Element,
@@ -208,27 +207,6 @@ impl fmt::Debug for Alphabet {
             .field("len", &inner.names.len())
             .field("labels", &inner.names)
             .finish()
-    }
-}
-
-impl Serialize for Alphabet {
-    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
-    where
-        S: serde::Serializer,
-    {
-        let inner = self.inner.read();
-        serializer.collect_seq(inner.names.iter().map(|n| n.as_ref()))
-    }
-}
-
-impl<'de> Deserialize<'de> for Alphabet {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let names: Vec<String> = Vec::deserialize(deserializer)?;
-        let a = Alphabet::new();
-        for n in &names {
-            a.intern(n);
-        }
-        Ok(a)
     }
 }
 

@@ -7,14 +7,13 @@
 use std::fmt;
 
 use regtree_alphabet::{Alphabet, Symbol};
-use serde::{Deserialize, Serialize};
 
 /// A regular expression over label symbols.
 ///
 /// `AnyAtom` is the wildcard matching exactly one arbitrary label; it keeps
 /// pattern edges like “any path of length ≥ 1” (`_+`) compact and independent
 /// of the alphabet snapshot.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Regex {
     /// The empty language `∅`.
     Empty,

@@ -27,7 +27,7 @@ pub mod parser;
 pub mod sample;
 
 pub use ast::Regex;
-pub use dfa::Dfa;
+pub use dfa::{Dfa, EdgeDfa, EDGE_DEAD};
 pub use nfa::{Letter, Nfa, NfaBuilder, NfaLabel, StateId};
 pub use parser::{parse_regex, ParseError};
 pub use sample::LangSampler;

@@ -10,8 +10,6 @@
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-use serde::{Deserialize, Serialize};
-
 use crate::ast::Regex;
 
 /// Automaton state identifier.
@@ -20,7 +18,7 @@ pub type StateId = u32;
 pub type Letter = u32;
 
 /// A transition guard.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum NfaLabel {
     /// Spontaneous move.
     Eps,
@@ -31,7 +29,7 @@ pub enum NfaLabel {
 }
 
 /// A nondeterministic finite automaton with ε-moves and wildcard transitions.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Nfa {
     /// `trans[s]` lists the outgoing transitions of state `s`.
     trans: Vec<Vec<(NfaLabel, StateId)>>,
@@ -491,7 +489,10 @@ mod tests {
         let w = m.shortest_accepted(&[]).unwrap();
         assert_eq!(w, word(&a, &["y"]));
         let m2 = nfa(&a, "x/y/z");
-        assert_eq!(m2.shortest_accepted(&[]).unwrap(), word(&a, &["x", "y", "z"]));
+        assert_eq!(
+            m2.shortest_accepted(&[]).unwrap(),
+            word(&a, &["x", "y", "z"])
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 

@@ -194,7 +194,11 @@ mod tests {
         let (s, _) = sampler(&a, "x*");
         let mut rng = SmallRng::seed_from_u64(42);
         let w = s.sample(&mut rng, 50).unwrap();
-        assert!(w.len() >= 10, "expected a reasonably long sample, got {}", w.len());
+        assert!(
+            w.len() >= 10,
+            "expected a reasonably long sample, got {}",
+            w.len()
+        );
     }
 
     #[test]

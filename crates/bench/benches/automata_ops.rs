@@ -14,7 +14,9 @@ fn bench_automata(c: &mut Criterion) {
     let labels: Vec<_> = ["p", "q", "r"].iter().map(|l| a.intern(l)).collect();
 
     let mut group = c.benchmark_group("automata_ops");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     for &size in &[8usize, 32, 128] {
         let mut r = rng();
@@ -31,9 +33,11 @@ fn bench_automata(c: &mut Criterion) {
         });
         let d1 = Dfa::from_nfa(&nfa, &[labels[0].0, labels[1].0, labels[2].0]);
         let d2 = Dfa::from_nfa(&nfa2, &[labels[0].0, labels[1].0, labels[2].0]);
-        group.bench_with_input(BenchmarkId::new("product_emptiness", size), &size, |b, _| {
-            b.iter(|| d1.intersect(&d2).is_empty_language())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("product_emptiness", size),
+            &size,
+            |b, _| b.iter(|| d1.intersect(&d2).is_empty_language()),
+        );
         group.bench_with_input(BenchmarkId::new("minimize", size), &size, |b, _| {
             b.iter(|| d1.minimize().num_states())
         });

@@ -6,7 +6,8 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use regtree_bench::{session, CANDIDATE_COUNTS};
-use regtree_core::satisfies;
+use regtree_core::{check_fds_parallel, satisfies};
+use regtree_pattern::{enumerate_mappings, enumerate_mappings_nfa};
 
 fn bench_fd(c: &mut Criterion) {
     let a = regtree_gen::exam_alphabet();
@@ -15,17 +16,63 @@ fn bench_fd(c: &mut Criterion) {
     let fd3 = regtree_gen::fd3(&a);
 
     let mut group = c.benchmark_group("fd_satisfaction");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &CANDIDATE_COUNTS {
         let doc = session(&a, n);
-        group.bench_with_input(BenchmarkId::new("fd1_discipline_mark_rank", n), &doc, |b, d| {
-            b.iter(|| assert!(satisfies(&fd1, d)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fd1_discipline_mark_rank", n),
+            &doc,
+            |b, d| b.iter(|| assert!(satisfies(&fd1, d))),
+        );
         group.bench_with_input(BenchmarkId::new("fd2_node_equality", n), &doc, |b, d| {
             b.iter(|| assert!(satisfies(&fd2, d)))
         });
     }
     group.finish();
+
+    // Engine substrate of the check: Definition-5 verification is
+    // dominated by mapping enumeration, so the DFA-vs-NFA engine ratio is
+    // what the full check inherits.
+    let mut ge = c.benchmark_group("fd_satisfaction_engines");
+    ge.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[200usize, 1000] {
+        let doc = session(&a, n);
+        ge.bench_with_input(BenchmarkId::new("fd1_mappings_dfa", n), &doc, |b, d| {
+            b.iter(|| enumerate_mappings(fd1.template(), d).len())
+        });
+        ge.bench_with_input(BenchmarkId::new("fd1_mappings_nfa", n), &doc, |b, d| {
+            b.iter(|| enumerate_mappings_nfa(fd1.template(), d).len())
+        });
+    }
+    ge.finish();
+
+    // Batch maintenance: four FDs on one document, sequentially vs fanned
+    // out over scoped worker threads (shared label index).
+    let fds = vec![
+        regtree_gen::fd1(&a),
+        regtree_gen::fd2(&a),
+        regtree_gen::fd4(&a),
+        regtree_gen::fd5(&a),
+    ];
+    let mut gb = c.benchmark_group("fd_satisfaction_batch");
+    gb.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[200usize, 1000] {
+        let doc = session(&a, n);
+        gb.bench_with_input(BenchmarkId::new("sequential_4fds", n), &doc, |b, d| {
+            b.iter(|| fds.iter().filter(|fd| satisfies(fd, d)).count())
+        });
+        gb.bench_with_input(BenchmarkId::new("parallel_4fds", n), &doc, |b, d| {
+            b.iter(|| {
+                check_fds_parallel(&fds, d)
+                    .iter()
+                    .filter(|r| r.is_ok())
+                    .count()
+            })
+        });
+    }
+    gb.finish();
 
     // fd3 relates every pair of exams per candidate: quadratic per
     // candidate, keep instances smaller.

@@ -19,7 +19,9 @@ use regtree_core::check_independence;
 
 fn bench_ic_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ic_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     // |FD| axis.
     for &k in &[1usize, 2, 4, 6] {
@@ -36,9 +38,11 @@ fn bench_ic_scaling(c: &mut Criterion) {
         let a = regtree_gen::exam_alphabet();
         let fd = fd_with_conditions(&a, 2);
         let class = update_chain(&a, depth);
-        group.bench_with_input(BenchmarkId::new("vs_update_depth", depth), &depth, |b, _| {
-            b.iter(|| check_independence(&fd, &class, None).ic_states)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("vs_update_depth", depth),
+            &depth,
+            |b, _| b.iter(|| check_independence(&fd, &class, None).ic_states),
+        );
     }
 
     // |Σ| axis.
@@ -57,9 +61,11 @@ fn bench_ic_scaling(c: &mut Criterion) {
         let fd = fd_with_conditions(&a, 2);
         let class = update_chain(&a, 2);
         let schema = chain_schema(&a, rules);
-        group.bench_with_input(BenchmarkId::new("vs_schema_rules", rules), &rules, |b, _| {
-            b.iter(|| check_independence(&fd, &class, Some(&schema)).automaton_size)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("vs_schema_rules", rules),
+            &rules,
+            |b, _| b.iter(|| check_independence(&fd, &class, Some(&schema)).automaton_size),
+        );
     }
     group.finish();
 }

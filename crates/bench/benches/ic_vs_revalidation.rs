@@ -18,7 +18,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use regtree_bench::{session, CANDIDATE_COUNTS};
 use regtree_core::{
-    check_independence, revalidate_full, IncrementalChecker, Update, UpdateOp,
+    check_independence, revalidate_full, revalidate_full_many, IncrementalChecker, Update, UpdateOp,
 };
 
 fn bench_strategies(c: &mut Criterion) {
@@ -32,7 +32,9 @@ fn bench_strategies(c: &mut Criterion) {
     let update = Update::new(class.clone(), UpdateOp::SetText("E".into()));
 
     let mut group = c.benchmark_group("ic_vs_revalidation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     // The document-independent criterion (one point, not a curve).
     group.bench_function("criterion_once", |b| {
@@ -46,11 +48,7 @@ fn bench_strategies(c: &mut Criterion) {
     for &n in &CANDIDATE_COUNTS {
         let doc = session(&a, n);
         group.bench_with_input(BenchmarkId::new("revalidate_full", n), &doc, |b, d| {
-            b.iter(|| {
-                revalidate_full(&fd1, &update, d)
-                    .expect("applies")
-                    .is_ok()
-            })
+            b.iter(|| revalidate_full(&fd1, &update, d).expect("applies").is_ok())
         });
         group.bench_with_input(BenchmarkId::new("incremental", n), &doc, |b, d| {
             // Snapshot once outside the timing loop (amortized across the
@@ -64,6 +62,44 @@ fn bench_strategies(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Maintaining several FDs at once: one apply, parallel re-checks.
+    let fds = vec![
+        regtree_gen::fd1(&a),
+        regtree_gen::fd2(&a),
+        regtree_gen::fd5(&a),
+    ];
+    let mut many = c.benchmark_group("ic_vs_revalidation_batch");
+    many.sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for &n in &[200usize, 1000] {
+        let doc = session(&a, n);
+        many.bench_with_input(
+            BenchmarkId::new("revalidate_3fds_sequential", n),
+            &doc,
+            |b, d| {
+                b.iter(|| {
+                    fds.iter()
+                        .filter(|fd| revalidate_full(fd, &update, d).expect("applies").is_ok())
+                        .count()
+                })
+            },
+        );
+        many.bench_with_input(
+            BenchmarkId::new("revalidate_3fds_parallel", n),
+            &doc,
+            |b, d| {
+                b.iter(|| {
+                    revalidate_full_many(&fds, &update, d)
+                        .expect("applies")
+                        .iter()
+                        .filter(|r| r.is_ok())
+                        .count()
+                })
+            },
+        );
+    }
+    many.finish();
 }
 
 criterion_group!(benches, bench_strategies);

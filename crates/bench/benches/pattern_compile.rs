@@ -13,7 +13,9 @@ fn bench_compile(c: &mut Criterion) {
     let labels: Vec<_> = ["p", "q", "r", "s"].iter().map(|l| a.intern(l)).collect();
 
     let mut group = c.benchmark_group("pattern_compile");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     for &edges in &[2usize, 6, 12, 24] {
         let mut r = rng();

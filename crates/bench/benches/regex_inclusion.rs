@@ -23,7 +23,9 @@ fn hard_regex(n: usize) -> String {
 fn bench_inclusion(c: &mut Criterion) {
     let a = gadget_alphabet();
     let mut group = c.benchmark_group("regex_inclusion");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for &n in &[2usize, 4, 6, 8] {
         let eta = parse_regex(&a, &hard_regex(n)).expect("parses");

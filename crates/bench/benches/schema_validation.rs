@@ -12,7 +12,9 @@ fn bench_validation(c: &mut Criterion) {
     let automaton = schema.compile();
 
     let mut group = c.benchmark_group("schema_validation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &CANDIDATE_COUNTS {
         let doc = session(&a, n);
         group.throughput(Throughput::Elements(doc.len() as u64));

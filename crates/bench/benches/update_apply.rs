@@ -11,7 +11,9 @@ use regtree_xml::TreeSpec;
 fn bench_updates(c: &mut Criterion) {
     let a = regtree_gen::exam_alphabet();
     let mut group = c.benchmark_group("update_apply");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &CANDIDATE_COUNTS {
         let doc = session(&a, n);
         let q1 = regtree_gen::update_q1(&a);
@@ -24,15 +26,13 @@ fn bench_updates(c: &mut Criterion) {
         });
         let replace = Update::new(
             regtree_gen::update_class_u(&a),
-            UpdateOp::Replace(TreeSpec::elem_named(
-                &a,
-                "level",
-                vec![TreeSpec::text("E")],
-            )),
+            UpdateOp::Replace(TreeSpec::elem_named(&a, "level", vec![TreeSpec::text("E")])),
         );
-        group.bench_with_input(BenchmarkId::new("replace_level_subtrees", n), &doc, |b, d| {
-            b.iter(|| replace.apply_cloned(d).expect("applies").len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("replace_level_subtrees", n),
+            &doc,
+            |b, d| b.iter(|| replace.apply_cloned(d).expect("applies").len()),
+        );
         group.bench_with_input(BenchmarkId::new("selection_only", n), &doc, |b, d| {
             b.iter(|| regtree_gen::update_class_u(&a).selected_nodes(d).len())
         });

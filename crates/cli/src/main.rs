@@ -3,6 +3,7 @@
 //! ```text
 //! rtpcheck validate      --schema SCHEMA.rts DOC.xml...
 //! rtpcheck fd-check      --fd "CTX : P1,P2 -> Q" DOC.xml...
+//! rtpcheck fd-check      --fds FDS.lst DOC.xml...   (batch, parallel)
 //! rtpcheck eval          --xpath "/session/candidate" DOC.xml
 //! rtpcheck independence  --fd "CTX : P1 -> Q" --update "/xpath" [--schema S] [--json]
 //! rtpcheck demo
@@ -18,11 +19,10 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use regtree_alphabet::Alphabet;
-use regtree_core::{check_fd, check_independence, PathFd, UpdateClass, Verdict};
+use regtree_core::{check_fds_parallel, check_independence, PathFd, UpdateClass, Verdict};
 use regtree_hedge::Schema;
 use regtree_pattern::parse_corexpath;
 use regtree_xml::{parse_document, to_xml_with, SerializeOptions};
-use serde::Serialize;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,7 +51,7 @@ rtpcheck — regular tree patterns: XML FDs, updates and independence
 
 USAGE:
   rtpcheck validate     --schema FILE DOC.xml...
-  rtpcheck fd-check     --fd EXPR DOC.xml...
+  rtpcheck fd-check     --fd EXPR | --fds FILE DOC.xml...
   rtpcheck eval         --xpath PATH DOC.xml
   rtpcheck independence --fd EXPR --update PATH [--schema FILE] [--json]
   rtpcheck matrix       --fds FILE --updates FILE [--schema FILE]
@@ -195,18 +195,47 @@ fn cmd_validate(args: &[&str]) -> Result<String, CliError> {
 fn cmd_fd_check(args: &[&str]) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
     let alphabet = Alphabet::new();
-    let fd = PathFd::parse(&alphabet, flags.require("fd")?)
-        .and_then(|p| p.to_fd(&alphabet))
-        .map_err(runtime)?;
+    // Either one inline dependency (--fd EXPR) or a whole named list
+    // (--fds FILE); a batch is checked per document by
+    // `check_fds_parallel`, one worker thread per core.
+    let mut names: Vec<String> = Vec::new();
+    let mut fds: Vec<regtree_core::Fd> = Vec::new();
+    if let Some(path) = flags.get("fds") {
+        for (name, expr) in parse_named_list(&read_file(path)?)? {
+            let fd = PathFd::parse(&alphabet, &expr)
+                .and_then(|p| p.to_fd(&alphabet))
+                .map_err(|e| runtime(format!("fd '{name}': {e}")))?;
+            names.push(name);
+            fds.push(fd);
+        }
+    }
+    if let Some(expr) = flags.get("fd") {
+        let fd = PathFd::parse(&alphabet, expr)
+            .and_then(|p| p.to_fd(&alphabet))
+            .map_err(runtime)?;
+        names.push("fd".to_string());
+        fds.push(fd);
+    }
+    if fds.is_empty() {
+        return Err(usage("missing required flag --fd EXPR (or --fds FILE)"));
+    }
     let docs = load_docs(&alphabet, &flags.positional)?;
     let mut out = String::new();
     let mut failed = false;
     for (path, doc) in &docs {
-        match check_fd(&fd, doc) {
-            Ok(()) => writeln!(out, "{path}: satisfies the FD").expect("write to string"),
-            Err(v) => {
-                failed = true;
-                writeln!(out, "{path}: VIOLATED — {}", v.describe(doc)).expect("write to string");
+        for (name, verdict) in names.iter().zip(check_fds_parallel(&fds, doc)) {
+            let prefix = if fds.len() == 1 {
+                path.clone()
+            } else {
+                format!("{path} [{name}]")
+            };
+            match verdict {
+                Ok(()) => writeln!(out, "{prefix}: satisfies the FD").expect("write to string"),
+                Err(v) => {
+                    failed = true;
+                    writeln!(out, "{prefix}: VIOLATED — {}", v.describe(doc))
+                        .expect("write to string");
+                }
             }
         }
     }
@@ -241,12 +270,47 @@ fn cmd_eval(args: &[&str]) -> Result<String, CliError> {
     Ok(out)
 }
 
-#[derive(Serialize)]
 struct IndependenceReport {
     independent: bool,
     ic_states: usize,
     automaton_size: usize,
     witness_xml: Option<String>,
+}
+
+impl IndependenceReport {
+    /// Pretty-printed JSON (two-space indent, serde_json style). Rendered by
+    /// hand: this build is offline and does not vendor a JSON serializer for
+    /// one fixed-shape report.
+    fn to_json_pretty(&self) -> String {
+        let witness = match &self.witness_xml {
+            Some(xml) => json_escape(xml),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\n  \"independent\": {},\n  \"ic_states\": {},\n  \"automaton_size\": {},\n  \"witness_xml\": {}\n}}",
+            self.independent, self.ic_states, self.automaton_size, witness
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
@@ -255,8 +319,7 @@ fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
     let fd = PathFd::parse(&alphabet, flags.require("fd")?)
         .and_then(|p| p.to_fd(&alphabet))
         .map_err(runtime)?;
-    let update_pattern =
-        parse_corexpath(&alphabet, flags.require("update")?).map_err(runtime)?;
+    let update_pattern = parse_corexpath(&alphabet, flags.require("update")?).map_err(runtime)?;
     let class = UpdateClass::new(update_pattern).map_err(|e| {
         runtime(format!(
             "{e}; the final CoreXPath step must be predicate-free"
@@ -279,8 +342,7 @@ fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
         },
     };
     if flags.json {
-        let json = serde_json::to_string_pretty(&report).map_err(runtime)?;
-        return Ok(format!("{json}\n"));
+        return Ok(format!("{}\n", report.to_json_pretty()));
     }
     let mut out = String::new();
     if report.independent {
@@ -353,8 +415,8 @@ fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
     for (name, expr) in &update_list {
         let pattern = parse_corexpath(&alphabet, expr)
             .map_err(|e| runtime(format!("update '{name}': {e}")))?;
-        let class = UpdateClass::new(pattern)
-            .map_err(|e| runtime(format!("update '{name}': {e}")))?;
+        let class =
+            UpdateClass::new(pattern).map_err(|e| runtime(format!("update '{name}': {e}")))?;
         classes.push((name.clone(), class));
     }
     let fd_refs: Vec<(&str, &regtree_core::Fd)> =
@@ -385,7 +447,12 @@ fn cmd_demo() -> Result<String, CliError> {
         to_xml_with(&doc, SerializeOptions { indent: true })
     )
     .expect("write");
-    writeln!(out, "schema validation: {:?}", schema.validate(&doc).is_ok()).expect("write");
+    writeln!(
+        out,
+        "schema validation: {:?}",
+        schema.validate(&doc).is_ok()
+    )
+    .expect("write");
     for (name, fd) in [
         ("fd1", regtree_gen::fd1(&alphabet)),
         ("fd2", regtree_gen::fd2(&alphabet)),
@@ -499,6 +566,41 @@ mod tests {
         assert!(ok.contains("satisfies"));
         let err = run(&["fd-check", "--fd", fd, bad.0.to_str().unwrap()]);
         assert!(matches!(err, Err(CliError::Violation(_))));
+    }
+
+    #[test]
+    fn fd_check_batch_command() {
+        let fds = tmp("keyval = /s : i/k -> i/v\nkeyw = /s : i/k -> i/w\n", "lst");
+        let good = tmp(
+            "<s><i><k>a</k><v>1</v><w>x</w></i><i><k>a</k><v>1</v><w>x</w></i></s>",
+            "xml",
+        );
+        let bad = tmp(
+            "<s><i><k>a</k><v>1</v><w>x</w></i><i><k>a</k><v>1</v><w>y</w></i></s>",
+            "xml",
+        );
+        let ok = run(&[
+            "fd-check",
+            "--fds",
+            fds.0.to_str().unwrap(),
+            good.0.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(ok.contains("[keyval]: satisfies"), "{ok}");
+        assert!(ok.contains("[keyw]: satisfies"), "{ok}");
+        let err = run(&[
+            "fd-check",
+            "--fds",
+            fds.0.to_str().unwrap(),
+            bad.0.to_str().unwrap(),
+        ]);
+        match err {
+            Err(CliError::Violation(out)) => {
+                assert!(out.contains("[keyval]: satisfies"), "{out}");
+                assert!(out.contains("[keyw]: VIOLATED"), "{out}");
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -53,9 +53,9 @@ impl fmt::Display for FdError {
                 f,
                 "equality types ({equalities}) must match selected nodes ({selected})"
             ),
-            FdError::ContextNotAncestor(n) =>
-
-                write!(f, "context is not an ancestor of selected node n{}", n.0),
+            FdError::ContextNotAncestor(n) => {
+                write!(f, "context is not an ancestor of selected node n{}", n.0)
+            }
             FdError::NoTarget => write!(f, "an FD needs at least one selected node (the target)"),
         }
     }
@@ -360,9 +360,7 @@ mod tests {
         assert_eq!(fd.conditions().len(), 2);
         assert_eq!(fd.equality().len(), 3);
         assert_eq!(fd.target_equality(), EqualityType::Value);
-        assert!(fd
-            .template()
-            .is_ancestor(fd.context(), fd.target()));
+        assert!(fd.template().is_ancestor(fd.context(), fd.target()));
     }
 
     #[test]

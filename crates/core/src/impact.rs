@@ -56,37 +56,45 @@ pub enum PairClassification {
 /// so the battery must be rebuilt for every attempt.
 fn op_battery(alphabet: &Alphabet) -> Vec<UpdateOp> {
     let elem = regtree_hedge::generic_element_label(alphabet);
-    let skew_text = UpdateOp::Custom(std::sync::Arc::new(|doc: &mut Document, n| {
-        match doc.kind(n) {
-            LabelKind::Attribute | LabelKind::Text => {
-                let _ = regtree_xml::set_value(doc, n, "skewed");
-            }
-            LabelKind::Element => {
-                let texts: Vec<_> = doc
-                    .children(n)
-                    .iter()
-                    .copied()
-                    .filter(|&c| doc.kind(c) == LabelKind::Text)
-                    .collect();
-                for t in texts {
-                    let _ = regtree_xml::set_value(doc, t, "skewed");
+    // Forces the site's subtree *value* to a constant — rewriting text
+    // children when present and grafting one when absent. Applied uniformly
+    // it merges the values of every site (the classic way a key update
+    // collapses two FD condition classes); under `FirstOnly` it skews a
+    // single site instead.
+    let force_text = |value: &'static str| {
+        UpdateOp::Custom(std::sync::Arc::new(move |doc: &mut Document, n| {
+            match doc.kind(n) {
+                LabelKind::Attribute | LabelKind::Text => {
+                    let _ = regtree_xml::set_value(doc, n, value);
                 }
-                // No text children: graft one so the subtree value changes.
-                if doc.children(n).is_empty() {
-                    let _ = regtree_xml::insert_child(doc, n, 0, &TreeSpec::text("skew"));
+                LabelKind::Element => {
+                    let texts: Vec<_> = doc
+                        .children(n)
+                        .iter()
+                        .copied()
+                        .filter(|&c| doc.kind(c) == LabelKind::Text)
+                        .collect();
+                    if texts.is_empty() {
+                        // No text children: graft one so the value changes.
+                        let _ = regtree_xml::insert_child(doc, n, 0, &TreeSpec::text(value));
+                    }
+                    for t in texts {
+                        let _ = regtree_xml::set_value(doc, t, value);
+                    }
                 }
             }
-        }
-    }));
+        }))
+    };
     vec![
         // Uniform rewrites of every site.
+        force_text("merged"),
         UpdateOp::SetText("mutated".into()),
         UpdateOp::AppendChild(TreeSpec::elem(elem, vec![])),
         UpdateOp::AppendChild(TreeSpec::text("extra")),
         UpdateOp::PrependChild(TreeSpec::elem(elem, vec![])),
         UpdateOp::Delete,
         // Asymmetric: only the first site changes, so two traces disagree.
-        UpdateOp::FirstOnly(Box::new(skew_text)),
+        UpdateOp::FirstOnly(Box::new(force_text("skewed"))),
         UpdateOp::FirstOnly(Box::new(UpdateOp::AppendChild(TreeSpec::text("skew")))),
         UpdateOp::FirstOnly(Box::new(UpdateOp::SetText("skewed".into()))),
         UpdateOp::FirstOnly(Box::new(UpdateOp::Delete)),
@@ -104,14 +112,17 @@ fn mutate<R: Rng>(doc: &mut Document, rng: &mut R) {
             let _ = regtree_xml::set_value(doc, n, &fresh);
         }
         LabelKind::Element => {
-            if doc.children(n).is_empty() && rng.gen_bool(0.5) {
+            if doc.children(n).is_empty() {
                 // Give childless elements a random text value so value
-                // equality can distinguish (or merge) them.
+                // equality can distinguish (or merge) them — the single
+                // most useful edit for separating FD condition classes.
                 let fresh = format!("v{}", rng.gen_range(0..4));
                 let _ = regtree_xml::insert_child(doc, n, 0, &TreeSpec::text(&fresh));
-            } else if n != doc.root() && rng.gen_bool(0.3) {
+            } else if n != doc.root() && rng.gen_bool(0.1) {
                 let _ = regtree_xml::delete_subtree(doc, n);
-            } else if rng.gen_bool(0.5) {
+            } else if rng.gen_bool(0.6) {
+                // Duplicate the subtree next to itself: FD violations need
+                // at least two sibling traces to compare.
                 let spec = TreeSpec::from_document(doc, n);
                 let parent = match doc.parent(n) {
                     Some(p) => p,
@@ -124,11 +135,19 @@ fn mutate<R: Rng>(doc: &mut Document, rng: &mut R) {
     }
 }
 
+/// Upper bound on the candidate pool kept by [`search_impact`].
+const POOL_CAP: usize = 64;
+
 /// Tries to confirm an impact of `class` on `fd` within a search budget.
 ///
-/// `rounds` bounds the number of candidate documents; each candidate is the
-/// IC witness mutated a few times. Returns a constructive witness on
-/// success.
+/// `rounds` bounds the number of candidate documents. The search keeps a
+/// pool of *admissible* documents (schema-valid and FD-satisfying), seeded
+/// with the IC emptiness witness; each round mutates a random pool member
+/// and, when the mutant is admissible again, feeds it back into the pool.
+/// Growing the pool this way reaches witnesses that need several
+/// independent edits (e.g. duplicate a record, then diversify its key and
+/// value) as a chain of single-edit steps instead of demanding one lucky
+/// multi-edit round. Returns a constructive witness on success.
 pub fn search_impact<R: Rng>(
     fd: &Fd,
     class: &UpdateClass,
@@ -138,50 +157,73 @@ pub fn search_impact<R: Rng>(
 ) -> Option<ImpactWitness> {
     let alphabet = fd.template().alphabet().clone();
     let analysis = check_independence(fd, class, schema);
-    let seed_doc = match &analysis.verdict {
+    let seed = match &analysis.verdict {
         Verdict::Independent => return None, // sound: no impact exists
-        Verdict::Unknown { witness } => witness.as_deref().cloned(),
+        Verdict::Unknown { witness } => witness.as_deref().cloned()?,
     };
+    let admissible =
+        |d: &Document| schema.map_or(true, |s| s.validate(d).is_ok()) && satisfies(fd, d);
+
+    // Try the pristine witness first, then grow the pool from it.
+    if admissible(&seed) {
+        if let Some(w) = try_battery(fd, class, schema, &alphabet, &seed) {
+            return Some(w);
+        }
+    }
+    let mut pool: Vec<Document> = Vec::with_capacity(POOL_CAP);
+    pool.push(seed.clone());
     for round in 0..rounds {
-        // Asymmetric battery ops carry one-shot state: rebuild per round.
-        let ops = op_battery(&alphabet);
-        let mut doc = match &seed_doc {
-            Some(w) => w.clone(),
-            None => return None,
-        };
-        // Mutate increasingly aggressively with the round number.
-        for _ in 0..(round % 8) {
+        let mut doc = pool[rng.gen_range(0..pool.len())].clone();
+        // Mostly single-edit steps; occasionally a burst for diversity.
+        for _ in 0..1 + (round % 3) {
             mutate(&mut doc, rng);
         }
+        if !admissible(&doc) {
+            continue;
+        }
+        if pool.len() < POOL_CAP {
+            pool.push(doc.clone());
+        } else {
+            let slot = rng.gen_range(0..POOL_CAP);
+            pool[slot] = doc.clone();
+        }
+        if let Some(w) = try_battery(fd, class, schema, &alphabet, &doc) {
+            return Some(w);
+        }
+    }
+    None
+}
+
+/// Applies the op battery to `doc`, returning the first FD-violating
+/// `(document, update)` pair.
+fn try_battery(
+    fd: &Fd,
+    class: &UpdateClass,
+    schema: Option<&Schema>,
+    alphabet: &Alphabet,
+    doc: &Document,
+) -> Option<ImpactWitness> {
+    if class.selected_nodes(doc).is_empty() {
+        return None;
+    }
+    // Asymmetric battery ops carry one-shot state: rebuild per attempt.
+    for op in op_battery(alphabet) {
+        let update = Update::new(class.clone(), op);
+        let Ok(after) = update.apply_cloned(doc) else {
+            continue;
+        };
         if let Some(s) = schema {
-            if s.validate(&doc).is_err() {
+            if s.validate(&after).is_err() {
+                // The schema-relative definition only quantifies over
+                // updates keeping the document valid.
                 continue;
             }
         }
-        if !satisfies(fd, &doc) {
-            continue;
-        }
-        if class.selected_nodes(&doc).is_empty() {
-            continue;
-        }
-        for op in &ops {
-            let update = Update::new(class.clone(), op.clone());
-            let Ok(after) = update.apply_cloned(&doc) else {
-                continue;
-            };
-            if let Some(s) = schema {
-                if s.validate(&after).is_err() {
-                    // The schema-relative definition only quantifies over
-                    // updates keeping the document valid.
-                    continue;
-                }
-            }
-            if !satisfies(fd, &after) {
-                return Some(ImpactWitness {
-                    doc,
-                    update,
-                });
-            }
+        if !satisfies(fd, &after) {
+            return Some(ImpactWitness {
+                doc: doc.clone(),
+                update,
+            });
         }
     }
     None
@@ -195,7 +237,10 @@ pub fn classify_pair<R: Rng>(
     rounds: usize,
     rng: &mut R,
 ) -> PairClassification {
-    if check_independence(fd, class, schema).verdict.is_independent() {
+    if check_independence(fd, class, schema)
+        .verdict
+        .is_independent()
+    {
         return PairClassification::ProvenIndependent;
     }
     match search_impact(fd, class, schema, rounds, rng) {

@@ -95,7 +95,11 @@ pub fn build_ic_automaton(fd: &Fd, class: &UpdateClass) -> HedgeAutomaton {
     combined(&pa_fd, &pa_u, class)
 }
 
-fn combined(pa_fd: &PatternAutomaton, pa_u: &PatternAutomaton, class: &UpdateClass) -> HedgeAutomaton {
+fn combined(
+    pa_fd: &PatternAutomaton,
+    pa_u: &PatternAutomaton,
+    class: &UpdateClass,
+) -> HedgeAutomaton {
     let nf = pa_fd.automaton.num_states() as u32;
     let nu = pa_u.automaton.num_states() as u32;
     let enc = Enc { nu };
@@ -162,14 +166,7 @@ fn combined(pa_fd: &PatternAutomaton, pa_u: &PatternAutomaton, class: &UpdateCla
 
 /// Product of two horizontal languages over `(f, u, bit)`-encoded letters,
 /// with the stated bit aggregation.
-fn horizontal_triple(
-    hf: &Nfa,
-    hu: &Nfa,
-    nf: u32,
-    nu: u32,
-    enc: Enc,
-    mode: BitMode,
-) -> Nfa {
+fn horizontal_triple(hf: &Nfa, hu: &Nfa, nf: u32, nu: u32, enc: Enc, mode: BitMode) -> Nfa {
     let sf_n = hf.num_states() as u32;
     let su_n = hu.num_states() as u32;
     // Product states: (sf, su, seen) with seen ∈ {0,1}.
@@ -291,7 +288,9 @@ pub fn check_independence(
 
 /// Convenience: is `fd` provably independent of `class` (under `schema`)?
 pub fn is_independent(fd: &Fd, class: &UpdateClass, schema: Option<&Schema>) -> bool {
-    check_independence(fd, class, schema).verdict.is_independent()
+    check_independence(fd, class, schema)
+        .verdict
+        .is_independent()
 }
 
 /// The *language membership* test of Definition 6, for a concrete document:
@@ -315,8 +314,7 @@ pub fn in_language_naive(fd: &Fd, class: &UpdateClass, doc: &Document) -> bool {
         return false;
     }
     for m in &fd_maps {
-        let mut region: HashSet<regtree_xml::NodeId> =
-            m.trace_nodes(doc).into_iter().collect();
+        let mut region: HashSet<regtree_xml::NodeId> = m.trace_nodes(doc).into_iter().collect();
         for &sel in fd.pattern().selected() {
             for n in doc.descendants_or_self(m.image(sel)) {
                 region.insert(n);
@@ -332,9 +330,9 @@ pub fn in_language_naive(fd: &Fd, class: &UpdateClass, doc: &Document) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use regtree_alphabet::Alphabet;
     use crate::fd::FdBuilder;
     use crate::update::update_class_from_edges;
+    use regtree_alphabet::Alphabet;
     use regtree_xml::parse_document;
 
     fn fd_rank(a: &Alphabet) -> Fd {
@@ -409,10 +407,9 @@ mod tests {
         let ucand = tu.add_child_str(tu.root(), "session/candidate").unwrap();
         let _tbp = tu.add_child_str(ucand, "toBePassed").unwrap();
         let lvl = tu.add_child_str(ucand, "level").unwrap();
-        let class = UpdateClass::new(
-            regtree_pattern::RegularTreePattern::monadic(tu, lvl).unwrap(),
-        )
-        .unwrap();
+        let class =
+            UpdateClass::new(regtree_pattern::RegularTreePattern::monadic(tu, lvl).unwrap())
+                .unwrap();
         // Without a schema: a candidate may have both toBePassed and
         // firstJob-Year, so level updates share a trace interior (the
         // candidate node is on both traces? No — level is not on the FD
@@ -460,10 +457,9 @@ mod tests {
         let ucand = tu.add_child_str(tu.root(), "session/candidate").unwrap();
         let _tbp = tu.add_child_str(ucand, "toBePassed").unwrap();
         let exam = tu.add_child_str(ucand, "exam").unwrap();
-        let class = UpdateClass::new(
-            regtree_pattern::RegularTreePattern::monadic(tu, exam).unwrap(),
-        )
-        .unwrap();
+        let class =
+            UpdateClass::new(regtree_pattern::RegularTreePattern::monadic(tu, exam).unwrap())
+                .unwrap();
 
         let without = check_independence(&fd, &class, None);
         assert!(!without.verdict.is_independent(), "{without:?}");

@@ -32,16 +32,16 @@ pub mod satisfy;
 pub mod update;
 
 pub use fd::{EqualityType, Fd, FdBuilder, FdError};
+pub use impact::{classify_pair, search_impact, ImpactWitness, PairClassification};
 pub use independence::{
     build_ic_automaton, check_independence, in_language_naive, is_independent,
     IndependenceAnalysis, Verdict,
 };
-pub use impact::{classify_pair, search_impact, ImpactWitness, PairClassification};
 pub use matrix::{analyze_matrix, IndependenceMatrix, MatrixCell};
 pub use pathfd::{expressible_in_path_formalism, Inexpressibility, PathFd, PathFdError};
 pub use reduction::{build_patterns, build_reduction, gadget_alphabet, ReductionInstance};
-pub use revalidate::{revalidate_full, IncrementalChecker};
-pub use satisfy::{check_fd, satisfies, FdViolation};
+pub use revalidate::{revalidate_full, revalidate_full_many, IncrementalChecker};
+pub use satisfy::{check_fd, check_fd_indexed, check_fds_parallel, satisfies, FdViolation};
 pub use update::{
     update_class_from_edges, ApplyError, Update, UpdateClass, UpdateClassError, UpdateOp,
 };

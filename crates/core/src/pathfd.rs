@@ -58,10 +58,7 @@ fn err(m: impl Into<String>) -> PathFdError {
 
 /// Parses one `label/label/…` simple linear path with an optional `[N]` /
 /// `[V]` suffix.
-fn parse_path(
-    alphabet: &Alphabet,
-    src: &str,
-) -> Result<(Vec<Symbol>, EqualityType), PathFdError> {
+fn parse_path(alphabet: &Alphabet, src: &str) -> Result<(Vec<Symbol>, EqualityType), PathFdError> {
     let src = src.trim();
     let (path_src, eq) = if let Some(stripped) = src.strip_suffix("[N]") {
         (stripped, EqualityType::Node)

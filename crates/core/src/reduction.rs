@@ -49,11 +49,7 @@ pub struct ReductionInstance {
 
 /// Builds the `(FD, U)` gadget pair for `(η, η')`. Independent of any
 /// document; usable for measuring the IC on hardness instances.
-pub fn build_patterns(
-    alphabet: &Alphabet,
-    eta: &Regex,
-    eta_prime: &Regex,
-) -> (Fd, UpdateClass) {
+pub fn build_patterns(alphabet: &Alphabet, eta: &Regex, eta_prime: &Regex) -> (Fd, UpdateClass) {
     let c_lbl = Regex::label(alphabet, "C");
     let hash = Regex::label(alphabet, "#");
 
@@ -65,7 +61,10 @@ pub fn build_patterns(
     let f = t.add_child_str(b, "F").expect("proper");
     let g = t.add_child_str(b, "G").expect("proper");
     let _h = t
-        .add_child(b, Regex::seq([c_lbl.clone(), eta_prime.clone(), hash.clone()]))
+        .add_child(
+            b,
+            Regex::seq([c_lbl.clone(), eta_prime.clone(), hash.clone()]),
+        )
         .expect("η' is proper in the gadget");
     let pattern = RegularTreePattern::new(t, vec![f, g]).expect("selected in template");
     let fd = Fd::with_default_equality(pattern, ctx).expect("context dominates");
@@ -108,16 +107,8 @@ pub fn build_reduction<R: Rng>(
     };
     // u' ∈ L(η') for branch 1's witness, w' ∈ L(η') for the grafted path.
     let sampler = LangSampler::new(&Nfa::from_regex(eta_prime), &[]);
-    let u_prime: Vec<Symbol> = sampler
-        .sample(rng, 3)?
-        .into_iter()
-        .map(Symbol)
-        .collect();
-    let w_prime: Vec<Symbol> = sampler
-        .sample(rng, 3)?
-        .into_iter()
-        .map(Symbol)
-        .collect();
+    let u_prime: Vec<Symbol> = sampler.sample(rng, 3)?.into_iter().map(Symbol).collect();
+    let w_prime: Vec<Symbol> = sampler.sample(rng, 3)?.into_iter().map(Symbol).collect();
 
     let (fd, class) = build_patterns(alphabet, eta, eta_prime);
 
@@ -183,9 +174,11 @@ mod tests {
         let a = gadget_alphabet();
         let mut rng = SmallRng::seed_from_u64(1);
         // η = D+, η' = D/D+ : ⊆ fails (witness "D").
-        let inst =
-            build_reduction(&a, &regex(&a, "D+"), &regex(&a, "D/D+"), &mut rng).unwrap();
-        assert!(satisfies(&inst.fd, &inst.doc), "Figure-8 doc must satisfy fd");
+        let inst = build_reduction(&a, &regex(&a, "D+"), &regex(&a, "D/D+"), &mut rng).unwrap();
+        assert!(
+            satisfies(&inst.fd, &inst.doc),
+            "Figure-8 doc must satisfy fd"
+        );
         let after = inst.update.apply_cloned(&inst.doc).unwrap();
         assert!(
             !satisfies(&inst.fd, &after),
@@ -200,7 +193,9 @@ mod tests {
         let a = gadget_alphabet();
         let mut rng = SmallRng::seed_from_u64(2);
         assert!(build_reduction(&a, &regex(&a, "D"), &regex(&a, "D|B"), &mut rng).is_none());
-        assert!(build_reduction(&a, &regex(&a, "(B/D)+"), &regex(&a, "(B|D)+"), &mut rng).is_none());
+        assert!(
+            build_reduction(&a, &regex(&a, "(B/D)+"), &regex(&a, "(B|D)+"), &mut rng).is_none()
+        );
     }
 
     #[test]

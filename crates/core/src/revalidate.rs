@@ -10,7 +10,7 @@
 use regtree_xml::{Document, NodeId};
 
 use crate::fd::Fd;
-use crate::satisfy::{check_fd, FdViolation};
+use crate::satisfy::{check_fd, check_fds_parallel, FdViolation};
 use crate::update::{ApplyError, Update};
 
 /// Applies `update` to a clone of `doc` and fully re-verifies `fd` on the
@@ -22,6 +22,19 @@ pub fn revalidate_full(
 ) -> Result<Result<(), FdViolation>, ApplyError> {
     let after = update.apply_cloned(doc)?;
     Ok(check_fd(fd, &after))
+}
+
+/// Applies `update` once and re-verifies a whole set of FDs on the result,
+/// fanning the checks out over scoped worker threads (results in `fds`
+/// order). The batch counterpart of [`revalidate_full`] for workloads that
+/// maintain many dependencies over the same document.
+pub fn revalidate_full_many(
+    fds: &[Fd],
+    update: &Update,
+    doc: &Document,
+) -> Result<Vec<Result<(), FdViolation>>, ApplyError> {
+    let after = update.apply_cloned(doc)?;
+    Ok(check_fds_parallel(fds, &after))
 }
 
 /// A document-level incremental checker in the spirit of \[14\]: it stores,
@@ -85,8 +98,7 @@ impl IncrementalChecker {
             // through an updated subtree. Probe: enumerate mappings and see
             // whether any trace intersects the updated subtrees
             // (set-based: linear in trace size, not in |touched|).
-            let touched_set: std::collections::HashSet<NodeId> =
-                touched.iter().copied().collect();
+            let touched_set: std::collections::HashSet<NodeId> = touched.iter().copied().collect();
             let fresh = regtree_pattern::enumerate_mappings(fd.template(), doc);
             let mut hits_update = false;
             'outer: for m in &fresh {
@@ -156,11 +168,7 @@ mod tests {
         let class = update_class_from_edges(&a, &["session/candidate/exam/rank"]).unwrap();
         let bad = Update::new(
             class.clone(),
-            UpdateOp::Replace(TreeSpec::elem_named(
-                &a,
-                "rank",
-                vec![TreeSpec::text("2")],
-            )),
+            UpdateOp::Replace(TreeSpec::elem_named(&a, "rank", vec![TreeSpec::text("2")])),
         );
         // Replacing *every* rank with "2" keeps them equal: still satisfied.
         assert!(revalidate_full(&fd, &bad, &d).unwrap().is_ok());

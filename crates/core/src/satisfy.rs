@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use regtree_xml::{value_eq_in, value_hash, Document, NodeId};
+use regtree_xml::{value_eq_in, value_hash, Document, LabelIndex, NodeId};
 
 use crate::fd::{EqualityType, Fd};
 
@@ -77,10 +77,17 @@ fn nodes_equal(doc: &Document, a: NodeId, b: NodeId, eq: EqualityType) -> bool {
 
 /// Checks `fd` on `doc`; `Err` carries a concrete violation witness.
 pub fn check_fd(fd: &Fd, doc: &Document) -> Result<(), FdViolation> {
+    let index = LabelIndex::build(doc);
+    check_fd_indexed(fd, doc, &index)
+}
+
+/// [`check_fd`] against a prebuilt label index for `doc` (amortizes the
+/// index across many FDs on one document).
+pub fn check_fd_indexed(fd: &Fd, doc: &Document, index: &LabelIndex) -> Result<(), FdViolation> {
     let mut keep = vec![fd.context()];
     keep.extend_from_slice(fd.conditions());
     keep.push(fd.target());
-    let projections = regtree_pattern::project_mappings(fd.template(), doc, &keep);
+    let projections = regtree_pattern::project_mappings_indexed(fd.template(), doc, index, &keep);
 
     let n_cond = fd.conditions().len();
     let eqs = fd.equality();
@@ -138,6 +145,16 @@ pub fn check_fd(fd: &Fd, doc: &Document) -> Result<(), FdViolation> {
 /// Boolean convenience wrapper.
 pub fn satisfies(fd: &Fd, doc: &Document) -> bool {
     check_fd(fd, doc).is_ok()
+}
+
+/// Checks many FDs on one document over scoped worker threads.
+///
+/// The label index is built once and shared (read-only) by all workers;
+/// results are in `fds` order and agree exactly with [`check_fd`] run
+/// sequentially on each FD.
+pub fn check_fds_parallel(fds: &[Fd], doc: &Document) -> Vec<Result<(), FdViolation>> {
+    let index = LabelIndex::build(doc);
+    regtree_pattern::parallel_map(fds, |fd| check_fd_indexed(fd, doc, &index))
 }
 
 #[cfg(test)]
@@ -277,7 +294,10 @@ mod tests {
         let a = Alphabet::new();
         let doc = parse_document(
             &a,
-            &format!("<session><candidate>{}</candidate></session>", exam("m", "1", "1")),
+            &format!(
+                "<session><candidate>{}</candidate></session>",
+                exam("m", "1", "1")
+            ),
         )
         .unwrap();
         assert!(satisfies(&fd1(&a), &doc));

@@ -87,6 +87,9 @@ impl UpdateClass {
     }
 }
 
+/// Shared, thread-safe closure performing arbitrary document surgery.
+pub type CustomOp = Arc<dyn Fn(&mut Document, NodeId) + Send + Sync>;
+
 /// A concrete update function `u`, applied to each selected node.
 ///
 /// **Label preservation.** The independence criterion's soundness
@@ -116,7 +119,7 @@ pub enum UpdateOp {
     /// decreasing a candidate's level `'B' → 'C'`.
     MapText(Arc<dyn Fn(&str) -> String + Send + Sync>),
     /// Arbitrary document surgery rooted at the node.
-    Custom(Arc<dyn Fn(&mut Document, NodeId) + Send + Sync>),
+    Custom(CustomOp),
     /// Applies the inner op to the *first* selected node (document order)
     /// only — the canonical way to build asymmetric updates, which are what
     /// actually break FDs (two traces must *disagree* after the update).
@@ -216,39 +219,39 @@ impl Update {
 
 fn apply_at(op: &UpdateOp, doc: &mut Document, n: NodeId) -> Result<(), ApplyError> {
     match op {
-            UpdateOp::Replace(spec) => {
-                if spec.label != doc.label(n) {
-                    return Err(ApplyError::LabelChanged {
-                        expected: doc.label_name(n).to_string(),
-                        got: doc.alphabet().name(spec.label).to_string(),
-                    });
-                }
-                edit::replace_subtree(doc, n, spec)?;
+        UpdateOp::Replace(spec) => {
+            if spec.label != doc.label(n) {
+                return Err(ApplyError::LabelChanged {
+                    expected: doc.label_name(n).to_string(),
+                    got: doc.alphabet().name(spec.label).to_string(),
+                });
             }
-            UpdateOp::AppendChild(spec) => {
-                edit::insert_child(doc, n, doc.children(n).len(), spec)?;
-            }
-            UpdateOp::PrependChild(spec) => {
-                edit::insert_child(doc, n, 0, spec)?;
-            }
-            UpdateOp::Delete => {
-                edit::delete_subtree(doc, n)?;
-            }
-            UpdateOp::SetText(v) => {
-                set_text(doc, n, |_| v.clone())?;
-            }
-            UpdateOp::MapText(f) => {
-                let f = f.clone();
-                set_text(doc, n, move |old| f(old))?;
-            }
-            UpdateOp::Custom(f) => {
-                f(doc, n);
-            }
-            // Nested FirstOnly degenerates to its inner op per node.
-            UpdateOp::FirstOnly(inner) => {
-                apply_at(inner, doc, n)?;
-            }
+            edit::replace_subtree(doc, n, spec)?;
         }
+        UpdateOp::AppendChild(spec) => {
+            edit::insert_child(doc, n, doc.children(n).len(), spec)?;
+        }
+        UpdateOp::PrependChild(spec) => {
+            edit::insert_child(doc, n, 0, spec)?;
+        }
+        UpdateOp::Delete => {
+            edit::delete_subtree(doc, n)?;
+        }
+        UpdateOp::SetText(v) => {
+            set_text(doc, n, |_| v.clone())?;
+        }
+        UpdateOp::MapText(f) => {
+            let f = f.clone();
+            set_text(doc, n, move |old| f(old))?;
+        }
+        UpdateOp::Custom(f) => {
+            f(doc, n);
+        }
+        // Nested FirstOnly degenerates to its inner op per node.
+        UpdateOp::FirstOnly(inner) => {
+            apply_at(inner, doc, n)?;
+        }
+    }
     Ok(())
 }
 
@@ -382,11 +385,7 @@ mod tests {
         let class = update_class_from_edges(&a, &["session/candidate/level"]).unwrap();
         let rep = Update::new(
             class.clone(),
-            UpdateOp::Replace(TreeSpec::elem_named(
-                &a,
-                "level",
-                vec![TreeSpec::text("E")],
-            )),
+            UpdateOp::Replace(TreeSpec::elem_named(&a, "level", vec![TreeSpec::text("E")])),
         );
         let touched = rep.apply(&mut d).unwrap();
         assert_eq!(touched.len(), 2);
@@ -419,11 +418,7 @@ mod tests {
         let class = update_class_from_edges(&a, &["_*/x"]).unwrap();
         let up = Update::new(
             class,
-            UpdateOp::Replace(TreeSpec::elem_named(
-                &a,
-                "x",
-                vec![TreeSpec::text("flat")],
-            )),
+            UpdateOp::Replace(TreeSpec::elem_named(&a, "x", vec![TreeSpec::text("flat")])),
         );
         let touched = up.apply(&mut d).unwrap();
         // The outermost replacement detaches the inner ones.

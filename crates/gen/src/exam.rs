@@ -282,9 +282,9 @@ pub fn update_q2(a: &Alphabet) -> Update {
 /// Deterministic rank from `(discipline, mark)` so generated sessions
 /// satisfy `fd1` by construction.
 fn rank_of(discipline: &str, mark: u32) -> u32 {
-    let h = discipline.bytes().fold(7u32, |acc, b| {
-        acc.wrapping_mul(31).wrapping_add(b as u32)
-    });
+    let h = discipline
+        .bytes()
+        .fold(7u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
     (h ^ mark).wrapping_mul(2654435761) % 50 + 1
 }
 
@@ -302,7 +302,14 @@ fn level_of(marks: &[u32]) -> &'static str {
 }
 
 const DISCIPLINES: &[&str] = &[
-    "math", "physics", "biology", "history", "chemistry", "latin", "music", "geography",
+    "math",
+    "physics",
+    "biology",
+    "history",
+    "chemistry",
+    "latin",
+    "music",
+    "geography",
 ];
 
 /// Generates a schema-valid exam session with `n_candidates` candidates and
@@ -341,7 +348,14 @@ pub fn generate_session<R: Rng>(
         // fd3/fd5 require the level to be a function of the mark vector.
         let level = level_of(&marks);
         let spec = if failed.is_empty() {
-            candidate_spec(a, &format!("{}", 1000 + i), exams, level, None, Some("2010"))
+            candidate_spec(
+                a,
+                &format!("{}", 1000 + i),
+                exams,
+                level,
+                None,
+                Some("2010"),
+            )
         } else {
             candidate_spec(
                 a,

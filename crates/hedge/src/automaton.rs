@@ -12,13 +12,12 @@
 use regtree_alphabet::{Alphabet, Symbol};
 use regtree_automata::{Nfa, NfaBuilder};
 use regtree_xml::{Document, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Tree-automaton state (also used as a horizontal-NFA letter).
 pub type TreeState = u32;
 
 /// Label guard of a transition.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum LabelGuard {
     /// Fires on exactly this label.
     Is(Symbol),
@@ -42,9 +41,9 @@ impl LabelGuard {
     /// constructions).
     pub fn intersect(&self, other: &LabelGuard) -> Option<LabelGuard> {
         match (self, other) {
-            (LabelGuard::Is(x), LabelGuard::Is(y)) => (x == y).then(|| LabelGuard::Is(*x)),
+            (LabelGuard::Is(x), LabelGuard::Is(y)) => (x == y).then_some(LabelGuard::Is(*x)),
             (LabelGuard::Is(x), g) | (g, LabelGuard::Is(x)) => {
-                g.matches(*x).then(|| LabelGuard::Is(*x))
+                g.matches(*x).then_some(LabelGuard::Is(*x))
             }
             (LabelGuard::Any, g) | (g, LabelGuard::Any) => Some(g.clone()),
             (LabelGuard::AnyExcept(n1), LabelGuard::AnyExcept(n2)) => {
@@ -87,9 +86,7 @@ impl HedgeAutomaton {
         finals: Vec<TreeState>,
     ) -> HedgeAutomaton {
         debug_assert!(finals.iter().all(|&f| (f as usize) < num_states));
-        debug_assert!(transitions
-            .iter()
-            .all(|t| (t.target as usize) < num_states));
+        debug_assert!(transitions.iter().all(|t| (t.target as usize) < num_states));
         HedgeAutomaton {
             num_states,
             transitions,
@@ -144,11 +141,8 @@ impl HedgeAutomaton {
         states: &[Vec<TreeState>],
     ) -> Vec<TreeState> {
         let label = doc.label(n);
-        let child_sets: Vec<&Vec<TreeState>> = doc
-            .children(n)
-            .iter()
-            .map(|c| &states[c.index()])
-            .collect();
+        let child_sets: Vec<&Vec<TreeState>> =
+            doc.children(n).iter().map(|c| &states[c.index()]).collect();
         let mut out: Vec<TreeState> = Vec::new();
         'trans: for t in &self.transitions {
             if out.contains(&t.target) || !t.guard.matches(label) {

@@ -75,9 +75,8 @@ mod proptests {
             Just(TreeSpec::text("t")),
         ];
         let spec = leaf.prop_recursive(3, 24, 3, |inner| {
-            ((0u32..3), prop::collection::vec(inner, 0..4)).prop_map(|(i, children)| {
-                TreeSpec::elem(regtree_alphabet::Symbol(i + 2), children)
-            })
+            ((0u32..3), prop::collection::vec(inner, 0..4))
+                .prop_map(|(i, children)| TreeSpec::elem(regtree_alphabet::Symbol(i + 2), children))
         });
         prop::collection::vec(spec, 0..3).prop_map(|tops| document_from_specs(alpha(), &tops))
     }
@@ -89,14 +88,12 @@ mod proptests {
             match doc.kind(n) {
                 LabelKind::Attribute | LabelKind::Text => doc.children(n).is_empty(),
                 LabelKind::Element => {
-                    let Some((_, model)) =
-                        schema.rules().iter().find(|(l, _)| *l == doc.label(n))
+                    let Some((_, model)) = schema.rules().iter().find(|(l, _)| *l == doc.label(n))
                     else {
                         return false;
                     };
                     let word: Vec<_> = doc.children(n).iter().map(|&c| doc.label(c)).collect();
-                    model.matches(&word)
-                        && doc.children(n).iter().all(|&c| node_ok(schema, doc, c))
+                    model.matches(&word) && doc.children(n).iter().all(|&c| node_ok(schema, doc, c))
                 }
             }
         }

@@ -45,13 +45,10 @@ fn horizontal_product(ha: &Nfa, hb: &Nfa, na: u32, enc: PairEncoding) -> Nfa {
     let pid = |sa: u32, sb: u32| sa * sb_n + sb;
     for sa in 0..sa_n {
         for &(la, ta) in ha.transitions_from(sa) {
-            match la {
-                NfaLabel::Eps => {
-                    for sb in 0..sb_n {
-                        b.add_transition(pid(sa, sb), NfaLabel::Eps, pid(ta, sb));
-                    }
+            if la == NfaLabel::Eps {
+                for sb in 0..sb_n {
+                    b.add_transition(pid(sa, sb), NfaLabel::Eps, pid(ta, sb));
                 }
-                _ => {}
             }
         }
     }
@@ -317,7 +314,12 @@ mod tests {
         let a = all_x(&alpha, true);
         let b = few_children(1);
         let u = union(&a, &b);
-        for (src, _) in [("<x/>", ()), ("<x/><x/>", ()), ("<y/>", ()), ("<y/><y/>", ())] {
+        for (src, _) in [
+            ("<x/>", ()),
+            ("<x/><x/>", ()),
+            ("<y/>", ()),
+            ("<y/><y/>", ()),
+        ] {
             let doc = parse_document(&alpha, src).unwrap();
             assert_eq!(
                 u.accepts(&doc),
@@ -358,7 +360,10 @@ mod tests {
             guard_intersect(&LabelGuard::Is(x), &LabelGuard::Is(x)),
             Some(LabelGuard::Is(x))
         );
-        assert_eq!(guard_intersect(&LabelGuard::Is(x), &LabelGuard::Is(y)), None);
+        assert_eq!(
+            guard_intersect(&LabelGuard::Is(x), &LabelGuard::Is(y)),
+            None
+        );
         assert_eq!(
             guard_intersect(&LabelGuard::Is(x), &LabelGuard::Any),
             Some(LabelGuard::Is(x))
@@ -371,7 +376,10 @@ mod tests {
             guard_intersect(&LabelGuard::AnyExcept(vec![x]), &LabelGuard::Is(y)),
             Some(LabelGuard::Is(y))
         );
-        match guard_intersect(&LabelGuard::AnyExcept(vec![x]), &LabelGuard::AnyExcept(vec![y])) {
+        match guard_intersect(
+            &LabelGuard::AnyExcept(vec![x]),
+            &LabelGuard::AnyExcept(vec![y]),
+        ) {
             Some(LabelGuard::AnyExcept(n)) => {
                 assert!(n.contains(&x) && n.contains(&y));
             }

@@ -134,7 +134,10 @@ impl Schema {
                     )));
                 }
                 if rules.iter().any(|(l, _)| *l == label) {
-                    return Err(err(format!("line {}: duplicate rule for '{head}'", lineno + 1)));
+                    return Err(err(format!(
+                        "line {}: duplicate rule for '{head}'",
+                        lineno + 1
+                    )));
                 }
                 rules.push((label, model));
             }
@@ -223,7 +226,10 @@ firstJob-Year: #text\n";
         let doc_src = format!(
             "<session>{}{}</session>",
             candidate("78", "<firstJob-Year>2010</firstJob-Year>"),
-            candidate("99", "<toBePassed><discipline>bio</discipline></toBePassed>")
+            candidate(
+                "99",
+                "<toBePassed><discipline>bio</discipline></toBePassed>"
+            )
         );
         let doc = parse_document(&a, &doc_src).unwrap();
         schema.validate(&doc).unwrap();

@@ -324,7 +324,11 @@ mod tests {
         let e1 = t.add_child_str(cand, "exam").unwrap();
         let _e2 = t.add_child_str(cand, "exam").unwrap();
         let p = RegularTreePattern::monadic(t, e1).unwrap();
-        agree(&a, &p, "<session><candidate><exam/><exam/></candidate></session>");
+        agree(
+            &a,
+            &p,
+            "<session><candidate><exam/><exam/></candidate></session>",
+        );
         agree(&a, &p, "<session><candidate><exam/></candidate></session>");
         agree(
             &a,

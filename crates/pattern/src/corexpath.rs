@@ -40,7 +40,11 @@ pub struct XPathError {
 
 impl fmt::Display for XPathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XPath parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "XPath parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -109,11 +113,7 @@ impl<'a> Cursor<'a> {
             } else if steps.is_empty() {
                 // Relative path inside a predicate may begin with `.//` or a
                 // bare step (child axis).
-                if self.eat(".//") {
-                    true
-                } else {
-                    false
-                }
+                self.eat(".//")
             } else {
                 break;
             };
@@ -176,10 +176,7 @@ impl<'a> Cursor<'a> {
 
 /// Parses a positive CoreXPath expression into a monadic pattern selecting
 /// the nodes reached by the path.
-pub fn parse_corexpath(
-    alphabet: &Alphabet,
-    src: &str,
-) -> Result<RegularTreePattern, XPathError> {
+pub fn parse_corexpath(alphabet: &Alphabet, src: &str) -> Result<RegularTreePattern, XPathError> {
     let mut cursor = Cursor { src, pos: 0 };
     if !src.starts_with('/') {
         return Err(cursor.err("CoreXPath queries must be absolute (start with '/')"));
@@ -190,11 +187,10 @@ pub fn parse_corexpath(
     }
     let mut template = Template::new(alphabet.clone());
     let root = template.root();
-    let selected = build_steps(alphabet, &mut template, root, &steps)
-        .map_err(|m| XPathError {
-            position: src.len(),
-            message: m,
-        })?;
+    let selected = build_steps(alphabet, &mut template, root, &steps).map_err(|m| XPathError {
+        position: src.len(),
+        message: m,
+    })?;
     RegularTreePattern::monadic(template, selected).map_err(|e| XPathError {
         position: src.len(),
         message: e.to_string(),

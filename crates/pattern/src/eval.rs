@@ -17,9 +17,12 @@
 //! enforces exactly that and a property test cross-checks the original
 //! four conditions.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
-use regtree_xml::{Document, NodeId};
+use regtree_alphabet::Symbol;
+use regtree_automata::EDGE_DEAD;
+use regtree_xml::{label_mask, Document, LabelIndex, NodeId};
 
 use crate::template::{Template, TemplateNodeId};
 
@@ -44,19 +47,21 @@ impl Mapping {
     /// `doc` containing the image set — i.e. the ancestor-closure of the
     /// images (sorted in document order).
     pub fn trace_nodes(&self, doc: &Document) -> Vec<NodeId> {
-        let mut seen: Vec<NodeId> = Vec::new();
+        // Membership via hash set; the Vec keeps the nodes for sorting.
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut nodes: Vec<NodeId> = Vec::new();
         for &img in &self.images {
             let mut cur = Some(img);
             while let Some(n) = cur {
-                if seen.contains(&n) {
+                if !seen.insert(n) {
                     break; // ancestors already recorded
                 }
-                seen.push(n);
+                nodes.push(n);
                 cur = doc.parent(n);
             }
         }
-        seen.sort_by(|&a, &b| doc.doc_order(a, b));
-        seen
+        nodes.sort_by(|&a, &b| doc.doc_order(a, b));
+        nodes
     }
 }
 
@@ -64,7 +69,88 @@ impl Mapping {
 ///
 /// Worst-case exponential in the template size (the problem enumerates all
 /// embeddings); memoizes edge-candidate computation per `(edge, source)`.
+///
+/// This is the production engine: each edge automaton is stepped as its
+/// cached [`EdgeDfa`](regtree_automata::EdgeDfa) (a single `u32` state per
+/// document node instead of an NFA state set), and a freshly built
+/// [`LabelIndex`] prunes document subtrees that cannot end a match. To
+/// amortize the index over several patterns on the same document, build it
+/// once and call [`enumerate_mappings_indexed`].
 pub fn enumerate_mappings(template: &Template, doc: &Document) -> Vec<Mapping> {
+    let index = LabelIndex::build(doc);
+    enumerate_mappings_indexed(template, doc, &index)
+}
+
+/// [`enumerate_mappings`] against a prebuilt label index for `doc`.
+pub fn enumerate_mappings_indexed(
+    template: &Template,
+    doc: &Document,
+    index: &LabelIndex,
+) -> Vec<Mapping> {
+    // Per-edge pruning data: the Bloom mask of letters that can end an
+    // accepted word, and whether unmentioned letters can (wildcard endings).
+    let mut final_masks: Vec<(u64, bool)> = vec![(0, false); template.len()];
+    for e in template.edges() {
+        match template.edge_dfa(e) {
+            Some(dfa) => {
+                // Global infeasibility: an edge whose final letters are all
+                // absent from the document can never be witnessed.
+                if !dfa.other_final()
+                    && dfa
+                        .final_letters()
+                        .iter()
+                        .all(|&l| index.count(Symbol(l)) == 0)
+                {
+                    return Vec::new();
+                }
+                let mask = dfa
+                    .final_letters()
+                    .iter()
+                    .fold(0u64, |m, &l| m | label_mask(Symbol(l)));
+                final_masks[e.index()] = (mask, dfa.other_final());
+            }
+            // DFA cap exceeded: no pruning info, scan everything.
+            None => final_masks[e.index()] = (u64::MAX, true),
+        }
+    }
+    let mut memo: CandidateMemo = HashMap::new();
+    search(
+        template,
+        doc,
+        &mut |w, source, memo_hit| {
+            candidates_dfa(template, doc, index, &final_masks, w, source, memo_hit)
+        },
+        &mut memo,
+    )
+}
+
+/// Reference engine threading NFA state sets, exactly as evaluated before
+/// determinization was introduced. Kept for differential tests and as the
+/// baseline in `regtree-bench`; results must equal [`enumerate_mappings`].
+pub fn enumerate_mappings_nfa(template: &Template, doc: &Document) -> Vec<Mapping> {
+    let mut memo: CandidateMemo = HashMap::new();
+    search(
+        template,
+        doc,
+        &mut |w, source, memo_hit| candidates_nfa(template, doc, w, source, memo_hit),
+        &mut memo,
+    )
+}
+
+/// Candidate target nodes of an edge from a given source image, annotated
+/// with the index of the source child the path descends through. `Rc` lets
+/// memo hits hand back the cached list without cloning it.
+type CandidateList = Rc<Vec<(usize, NodeId)>>;
+type CandidateMemo = HashMap<(TemplateNodeId, NodeId), CandidateList>;
+
+/// Backtracking search over template nodes in preorder, shared by both
+/// engines; `cands` computes (or recalls) the candidate list of one edge.
+fn search(
+    template: &Template,
+    doc: &Document,
+    cands: &mut dyn FnMut(TemplateNodeId, NodeId, &mut CandidateMemo) -> CandidateList,
+    memo: &mut CandidateMemo,
+) -> Vec<Mapping> {
     let order: Vec<TemplateNodeId> = template
         .preorder()
         .into_iter()
@@ -72,25 +158,72 @@ pub fn enumerate_mappings(template: &Template, doc: &Document) -> Vec<Mapping> {
         .collect();
     let mut images: Vec<Option<NodeId>> = vec![None; template.len()];
     images[template.root().index()] = Some(doc.root());
-    let mut memo: CandidateMemo = HashMap::new();
     let mut out = Vec::new();
-    assign(template, doc, &order, 0, &mut images, &mut memo, &mut out);
+    assign(template, doc, &order, 0, &mut images, cands, memo, &mut out);
     out
 }
 
-/// Candidate target nodes of an edge from a given source image, annotated
-/// with the index of the source child the path descends through.
-type CandidateMemo = HashMap<(TemplateNodeId, NodeId), Vec<(usize, NodeId)>>;
+/// DFA engine: steps a single state id per node; prunes dead and non-live
+/// states, and whole subtrees whose label Bloom mask cannot end a match.
+fn candidates_dfa(
+    template: &Template,
+    doc: &Document,
+    index: &LabelIndex,
+    final_masks: &[(u64, bool)],
+    edge_head: TemplateNodeId,
+    source: NodeId,
+    memo: &mut CandidateMemo,
+) -> CandidateList {
+    if let Some(c) = memo.get(&(edge_head, source)) {
+        return Rc::clone(c);
+    }
+    let Some(dfa) = template.edge_dfa(edge_head) else {
+        // Pathological determinization blow-up: fall back to NFA stepping.
+        return candidates_nfa(template, doc, edge_head, source, memo);
+    };
+    let (fmask, other_final) = final_masks[edge_head.index()];
+    // A subtree can contribute a candidate only if some node in it can be
+    // the *last* letter of an accepted word.
+    let viable = |n: NodeId| other_final || index.subtree_may_intersect(n, fmask);
+    let mut found: Vec<(usize, NodeId)> = Vec::new();
+    for (ci, &child) in doc.children(source).iter().enumerate() {
+        if !viable(child) {
+            continue;
+        }
+        let mut stack: Vec<(NodeId, u32)> = vec![(child, dfa.start())];
+        while let Some((v, state)) = stack.pop() {
+            let next = dfa.step(state, doc.label(v).0);
+            if next == EDGE_DEAD || !dfa.is_live(next) {
+                continue;
+            }
+            if dfa.is_accept(next) {
+                found.push((ci, v));
+            }
+            // Children pushed right-to-left so the stack pops them in
+            // document order: the DFS is a preorder walk and `found` comes
+            // out sorted by (child index, document order) with no sort.
+            for &c in doc.children(v).iter().rev() {
+                if viable(c) {
+                    stack.push((c, next));
+                }
+            }
+        }
+    }
+    let found = Rc::new(found);
+    memo.insert((edge_head, source), Rc::clone(&found));
+    found
+}
 
-fn candidates(
+/// NFA engine: threads `Vec<u32>` state sets down the document (baseline).
+fn candidates_nfa(
     template: &Template,
     doc: &Document,
     edge_head: TemplateNodeId,
     source: NodeId,
     memo: &mut CandidateMemo,
-) -> Vec<(usize, NodeId)> {
+) -> CandidateList {
     if let Some(c) = memo.get(&(edge_head, source)) {
-        return c.clone();
+        return Rc::clone(c);
     }
     let nfa = template
         .edge_nfa(edge_head)
@@ -115,16 +248,19 @@ fn candidates(
     }
     // Deterministic order: by child index, then document order.
     found.sort_by(|a, b| a.0.cmp(&b.0).then(doc.doc_order(a.1, b.1)));
-    memo.insert((edge_head, source), found.clone());
+    let found = Rc::new(found);
+    memo.insert((edge_head, source), Rc::clone(&found));
     found
 }
 
+#[allow(clippy::too_many_arguments)]
 fn assign(
     template: &Template,
     doc: &Document,
     order: &[TemplateNodeId],
     pos: usize,
     images: &mut Vec<Option<NodeId>>,
+    cands: &mut dyn FnMut(TemplateNodeId, NodeId, &mut CandidateMemo) -> CandidateList,
     memo: &mut CandidateMemo,
     out: &mut Vec<Mapping>,
 ) {
@@ -150,12 +286,13 @@ fn assign(
         .max()
         .map(|b| b + 1)
         .unwrap_or(0);
-    for (ci, v) in candidates(template, doc, w, source, memo) {
+    let list = cands(w, source, memo);
+    for &(ci, v) in list.iter() {
         if ci < min_branch {
             continue;
         }
         images[w.index()] = Some(v);
-        assign(template, doc, order, pos + 1, images, memo, out);
+        assign(template, doc, order, pos + 1, images, cands, memo, out);
     }
     images[w.index()] = None;
 }
@@ -166,23 +303,43 @@ pub fn project_mappings(
     doc: &Document,
     keep: &[TemplateNodeId],
 ) -> Vec<Vec<NodeId>> {
-    let mut out: Vec<Vec<NodeId>> = Vec::new();
-    let mut seen: std::collections::HashSet<Vec<NodeId>> = std::collections::HashSet::new();
-    for m in enumerate_mappings(template, doc) {
-        let proj: Vec<NodeId> = keep.iter().map(|&w| m.image(w)).collect();
-        if seen.insert(proj.clone()) {
+    let index = LabelIndex::build(doc);
+    project_mappings_indexed(template, doc, &index, keep)
+}
+
+/// [`project_mappings`] against a prebuilt label index for `doc`.
+pub fn project_mappings_indexed(
+    template: &Template,
+    doc: &Document,
+    index: &LabelIndex,
+    keep: &[TemplateNodeId],
+) -> Vec<Vec<NodeId>> {
+    // Each projection is stored once (shared between the dedup set and the
+    // output order) instead of cloned into both.
+    let mut out: Vec<Rc<[NodeId]>> = Vec::new();
+    let mut seen: HashSet<Rc<[NodeId]>> = HashSet::new();
+    for m in enumerate_mappings_indexed(template, doc, index) {
+        let proj: Rc<[NodeId]> = keep.iter().map(|&w| m.image(w)).collect();
+        if seen.insert(Rc::clone(&proj)) {
             out.push(proj);
         }
     }
-    out
+    out.into_iter().map(|p| p.to_vec()).collect()
 }
 
 /// Evaluates a pattern: distinct images of the selected tuple.
-pub fn evaluate(
+pub fn evaluate(pattern: &crate::pattern::RegularTreePattern, doc: &Document) -> Vec<Vec<NodeId>> {
+    project_mappings(pattern.template(), doc, pattern.selected())
+}
+
+/// [`evaluate`] against a prebuilt label index for `doc` (amortizes the
+/// index when many patterns are evaluated on one document).
+pub fn evaluate_indexed(
     pattern: &crate::pattern::RegularTreePattern,
     doc: &Document,
+    index: &LabelIndex,
 ) -> Vec<Vec<NodeId>> {
-    project_mappings(pattern.template(), doc, pattern.selected())
+    project_mappings_indexed(pattern.template(), doc, index, pattern.selected())
 }
 
 #[cfg(test)]
@@ -285,9 +442,7 @@ mod tests {
         assert!(r2(&a).evaluate(&doc).is_empty());
         // But a one-exam pattern maps once.
         let mut t = Template::new(a.clone());
-        let e = t
-            .add_child_str(t.root(), "session/candidate/exam")
-            .unwrap();
+        let e = t.add_child_str(t.root(), "session/candidate/exam").unwrap();
         let p = RegularTreePattern::monadic(t, e).unwrap();
         assert_eq!(p.evaluate(&doc).len(), 1);
     }

@@ -17,15 +17,20 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod compile;
 pub mod corexpath;
 pub mod eval;
 pub mod pattern;
 pub mod template;
 
+pub use batch::{evaluate_many, parallel_map};
 pub use compile::{compile_pattern, compile_template_plain, PatternAutomaton, StateRole};
 pub use corexpath::{parse_corexpath, XPathError};
-pub use eval::{enumerate_mappings, evaluate, project_mappings, Mapping};
+pub use eval::{
+    enumerate_mappings, enumerate_mappings_indexed, enumerate_mappings_nfa, evaluate,
+    evaluate_indexed, project_mappings, project_mappings_indexed, Mapping,
+};
 pub use pattern::{PatternError, RegularTreePattern};
 pub use template::{Template, TemplateError, TemplateNodeId};
 

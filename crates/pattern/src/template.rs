@@ -7,7 +7,12 @@
 use std::fmt;
 
 use regtree_alphabet::Alphabet;
-use regtree_automata::{Nfa, Regex};
+use regtree_automata::{EdgeDfa, Nfa, Regex};
+
+/// Subset-construction state cap for cached edge DFAs. Edge expressions are
+/// small (paper Definition 1 sizes them in the tens of states), so blow-up
+/// past this bound is pathological; such edges fall back to NFA stepping.
+const EDGE_DFA_MAX_STATES: usize = 4096;
 
 /// Handle to a template node.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -29,6 +34,10 @@ struct TemplateNode {
     regex: Option<Regex>,
     /// Compiled word automaton `A_e` of the incoming edge.
     nfa: Option<Nfa>,
+    /// Determinization of `nfa`, built once at construction so evaluation
+    /// steps a single state id instead of cloning NFA state sets. `None` for
+    /// the root and for edges whose subset construction exceeded the cap.
+    dfa: Option<EdgeDfa>,
 }
 
 /// Error raised while building a template.
@@ -43,7 +52,10 @@ impl fmt::Display for TemplateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TemplateError::ImproperRegex(r) => {
-                write!(f, "edge expression is not proper (accepts ε or nothing): {r}")
+                write!(
+                    f,
+                    "edge expression is not proper (accepts ε or nothing): {r}"
+                )
             }
         }
     }
@@ -68,6 +80,7 @@ impl Template {
                 children: Vec::new(),
                 regex: None,
                 nfa: None,
+                dfa: None,
             }],
         }
     }
@@ -98,11 +111,13 @@ impl Template {
         }
         let id = TemplateNodeId(self.nodes.len() as u32);
         let nfa = Nfa::from_regex(&regex);
+        let dfa = EdgeDfa::from_nfa(&nfa, EDGE_DFA_MAX_STATES);
         self.nodes.push(TemplateNode {
             parent: Some(parent),
             children: Vec::new(),
             regex: Some(regex),
             nfa: Some(nfa),
+            dfa,
         });
         self.nodes[parent.index()].children.push(id);
         Ok(id)
@@ -154,6 +169,12 @@ impl Template {
         self.nodes[n.index()].nfa.as_ref()
     }
 
+    /// Cached determinization of the incoming edge automaton (`None` for the
+    /// root, or when subset construction exceeded its state cap).
+    pub fn edge_dfa(&self, n: TemplateNodeId) -> Option<&EdgeDfa> {
+        self.nodes[n.index()].dfa.as_ref()
+    }
+
     /// Is `a` an ancestor of `b` (strict)?
     pub fn is_ancestor(&self, a: TemplateNodeId, b: TemplateNodeId) -> bool {
         let mut cur = self.parent(b);
@@ -186,7 +207,10 @@ impl Template {
 
     /// All non-root nodes (i.e. all edges, identified by their head).
     pub fn edges(&self) -> Vec<TemplateNodeId> {
-        self.preorder().into_iter().filter(|&n| n != self.root()).collect()
+        self.preorder()
+            .into_iter()
+            .filter(|&n| n != self.root())
+            .collect()
     }
 
     /// The size `|R| = |Σ| + Σ_e |A_e|` of Definition 1.
@@ -203,7 +227,11 @@ impl Template {
     /// Maximum number of children of any template node (the arity `a_R`
     /// appearing in the Proposition 3 bounds).
     pub fn max_arity(&self) -> usize {
-        self.nodes.iter().map(|n| n.children.len()).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.children.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Renders an ASCII sketch of the template tree (for docs and debugging).
@@ -269,10 +297,7 @@ mod tests {
     fn preorder_respects_insertion() {
         let (_, t, ids) = template();
         let order = t.preorder();
-        assert_eq!(
-            order,
-            vec![t.root(), ids[0], ids[1], ids[3], ids[2]]
-        );
+        assert_eq!(order, vec![t.root(), ids[0], ids[1], ids[3], ids[2]]);
         assert_eq!(t.edges().len(), 4);
     }
 

@@ -66,7 +66,7 @@ fn ensure_editable(doc: &Document, n: NodeId) -> Result<NodeId, EditError> {
     if !doc.is_alive(n) {
         return Err(EditError::Detached);
     }
-    Ok(doc.parent(n).ok_or(EditError::Detached)?)
+    doc.parent(n).ok_or(EditError::Detached)
 }
 
 /// Replaces the subtree rooted at `n` with `replacement`, returning the id of
@@ -185,7 +185,11 @@ mod tests {
         let new = replace_subtree(
             &mut doc,
             c1,
-            &TreeSpec::elem_named(&a, "candidate", vec![TreeSpec::attr_named(&a, "@IDN", "11")]),
+            &TreeSpec::elem_named(
+                &a,
+                "candidate",
+                vec![TreeSpec::attr_named(&a, "@IDN", "11")],
+            ),
         )
         .unwrap();
         assert_eq!(doc.children(session)[0], new);
@@ -219,8 +223,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(doc.children(session)[0], front);
-        let back = append_child(&mut doc, session, &TreeSpec::elem_named(&a, "closing", vec![]))
-            .unwrap();
+        let back = append_child(
+            &mut doc,
+            session,
+            &TreeSpec::elem_named(&a, "closing", vec![]),
+        )
+        .unwrap();
         assert_eq!(*doc.children(session).last().unwrap(), back);
         assert_eq!(doc.children(session).len(), 4);
         let err = insert_child(
@@ -251,7 +259,10 @@ mod tests {
             replace_subtree(&mut doc, root, &TreeSpec::elem_named(&a, "x", vec![])),
             Err(EditError::CannotEditRoot)
         );
-        assert_eq!(delete_subtree(&mut doc, root), Err(EditError::CannotEditRoot));
+        assert_eq!(
+            delete_subtree(&mut doc, root),
+            Err(EditError::CannotEditRoot)
+        );
     }
 
     #[test]

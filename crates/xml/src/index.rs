@@ -1,0 +1,148 @@
+//! Per-document label index used to prune pattern evaluation.
+//!
+//! Candidate search walks document subtrees looking for nodes whose root
+//! path matches an edge automaton. Most subtrees cannot possibly contain a
+//! match: the automaton's accepting transitions only fire on a handful of
+//! labels, and many subtrees contain none of them. The index precomputes,
+//! in one pass over the document:
+//!
+//! * `label → nodes` occurrence lists (document order), and
+//! * a per-node 64-bit Bloom mask of all labels in the node's subtree.
+//!
+//! A mask test `subtree_mask(n) & label_mask(l) == 0` proves label `l` does
+//! not occur under `n` (one-sided: collisions on `sym % 64` may report a
+//! phantom occurrence, never miss a real one), letting evaluation skip the
+//! whole subtree without visiting it.
+
+use std::collections::HashMap;
+
+use regtree_alphabet::Symbol;
+
+use crate::model::{Document, NodeId};
+
+/// Bloom bit for a label symbol (bit position `sym % 64`).
+#[inline]
+pub fn label_mask(sym: Symbol) -> u64 {
+    1u64 << (sym.0 % 64)
+}
+
+/// Precomputed occurrence lists and subtree label masks for one document.
+///
+/// The index is a snapshot: it is invalidated by any mutation of the
+/// document and must be rebuilt after edits.
+#[derive(Clone, Debug)]
+pub struct LabelIndex {
+    /// Occurrences of each label, in document order.
+    by_label: HashMap<Symbol, Vec<NodeId>>,
+    /// Bloom mask of labels in each node's subtree, indexed by arena slot.
+    subtree: Vec<u64>,
+}
+
+impl LabelIndex {
+    /// Builds the index in a single preorder pass plus a reverse sweep.
+    pub fn build(doc: &Document) -> LabelIndex {
+        let mut by_label: HashMap<Symbol, Vec<NodeId>> = HashMap::new();
+        let mut subtree = vec![0u64; doc.arena_len()];
+        // `all_nodes` is preorder, so parents precede children; sweeping in
+        // reverse folds each node's mask into its parent exactly once.
+        let order = doc.all_nodes();
+        for &n in &order {
+            by_label.entry(doc.label(n)).or_default().push(n);
+            subtree[n.index()] = label_mask(doc.label(n));
+        }
+        for &n in order.iter().rev() {
+            if let Some(p) = doc.parent(n) {
+                subtree[p.index()] |= subtree[n.index()];
+            }
+        }
+        LabelIndex { by_label, subtree }
+    }
+
+    /// Nodes labeled `sym`, in document order (empty if the label is absent).
+    pub fn nodes_with_label(&self, sym: Symbol) -> &[NodeId] {
+        self.by_label.get(&sym).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of occurrences of `sym`.
+    pub fn count(&self, sym: Symbol) -> usize {
+        self.nodes_with_label(sym).len()
+    }
+
+    /// Bloom mask of all labels occurring in the subtree rooted at `n`
+    /// (including `n` itself).
+    pub fn subtree_mask(&self, n: NodeId) -> u64 {
+        self.subtree[n.index()]
+    }
+
+    /// May the subtree of `n` contain a node labeled `sym`?
+    ///
+    /// `false` is definitive; `true` may be a Bloom collision.
+    pub fn subtree_may_contain(&self, n: NodeId, sym: Symbol) -> bool {
+        self.subtree[n.index()] & label_mask(sym) != 0
+    }
+
+    /// May the subtree of `n` contain any label from `mask`
+    /// (a union of [`label_mask`] bits)?
+    pub fn subtree_may_intersect(&self, n: NodeId, mask: u64) -> bool {
+        self.subtree[n.index()] & mask != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regtree_alphabet::Alphabet;
+
+    fn doc() -> (Alphabet, Document) {
+        let a = Alphabet::new();
+        let mut d = Document::new(a.clone());
+        let rec = a.intern("rec");
+        let key = a.intern("key");
+        let r1 = d.add_element(d.root(), rec);
+        d.add_attribute(r1, a.intern("@id"), "1");
+        let k1 = d.add_element(r1, key);
+        d.add_text(k1, "k");
+        let r2 = d.add_element(d.root(), rec);
+        d.add_element(r2, a.intern("val"));
+        (a, d)
+    }
+
+    #[test]
+    fn occurrence_lists_in_doc_order() {
+        let (a, d) = doc();
+        let idx = LabelIndex::build(&d);
+        let recs = idx.nodes_with_label(a.intern("rec"));
+        assert_eq!(recs.len(), 2);
+        assert!(d.doc_order(recs[0], recs[1]).is_lt());
+        assert_eq!(idx.count(a.intern("key")), 1);
+        assert_eq!(idx.count(a.intern("ghost")), 0);
+    }
+
+    #[test]
+    fn subtree_masks_cover_descendants() {
+        let (a, d) = doc();
+        let idx = LabelIndex::build(&d);
+        let key = a.intern("key");
+        let val = a.intern("val");
+        let recs = idx.nodes_with_label(a.intern("rec"));
+        // key occurs under rec #1 only; val under rec #2 only.
+        assert!(idx.subtree_may_contain(recs[0], key));
+        assert!(idx.subtree_may_contain(recs[1], val));
+        assert!(idx.subtree_may_contain(d.root(), key));
+        // Definitive negatives hold when the bits differ.
+        if label_mask(val) != label_mask(key) {
+            assert!(!idx.subtree_may_contain(recs[0], val));
+        }
+        let both = label_mask(key) | label_mask(val);
+        assert!(idx.subtree_may_intersect(d.root(), both));
+    }
+
+    #[test]
+    fn masks_track_text_and_attributes() {
+        let (a, d) = doc();
+        let idx = LabelIndex::build(&d);
+        assert!(idx.subtree_may_contain(d.root(), Alphabet::TEXT));
+        assert!(idx.subtree_may_contain(d.root(), a.intern("@id")));
+        assert_eq!(idx.count(Alphabet::TEXT), 1);
+    }
+}

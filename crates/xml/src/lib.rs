@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod edit;
+pub mod index;
 pub mod model;
 pub mod parse;
 pub mod serialize;
@@ -26,6 +27,7 @@ pub mod spec;
 pub mod value_eq;
 
 pub use edit::{delete_subtree, insert_child, replace_subtree, set_value, EditError};
+pub use index::{label_mask, LabelIndex};
 pub use model::{DocStats, Document, NodeId};
 pub use parse::{parse_document, parse_document_with, ParseOptions, XmlError};
 pub use serialize::{subtree_to_xml, to_xml, to_xml_with, SerializeOptions};
@@ -93,7 +95,7 @@ mod proptests {
         fn spec_document_round_trip(spec in arb_spec()) {
             let a = test_alphabet();
             prop_assume!(spec.check(&a).is_ok());
-            let doc = document_from_specs(a.clone(), &[spec.clone()]);
+            let doc = document_from_specs(a.clone(), std::slice::from_ref(&spec));
             prop_assert!(doc.check_well_formed().is_ok());
             let top = doc.children(doc.root())[0];
             prop_assert_eq!(TreeSpec::from_document(&doc, top), spec);

@@ -420,10 +420,7 @@ impl Document {
             }
             for &c in &node.children {
                 if self.parent(c) != Some(n) {
-                    return Err(format!(
-                        "child link mismatch at {}",
-                        self.dewey_string(n)
-                    ));
+                    return Err(format!("child link mismatch at {}", self.dewey_string(n)));
                 }
             }
         }

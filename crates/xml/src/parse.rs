@@ -27,26 +27,22 @@ pub struct XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
 impl std::error::Error for XmlError {}
 
 /// Parser configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct ParseOptions {
     /// Keep text nodes that consist solely of whitespace (default: false,
     /// so indentation does not pollute value equality).
     pub keep_whitespace_text: bool,
-}
-
-impl Default for ParseOptions {
-    fn default() -> Self {
-        ParseOptions {
-            keep_whitespace_text: false,
-        }
-    }
 }
 
 /// Parses an XML string into a [`Document`] under the reserved `/` root.
@@ -293,9 +289,7 @@ impl<'a> XmlParser<'a> {
                     }
                     let raw = &self.src[start..self.pos];
                     let text = unescape(raw).map_err(|m| self.err(m))?;
-                    if self.options.keep_whitespace_text
-                        || !text.chars().all(char::is_whitespace)
-                    {
+                    if self.options.keep_whitespace_text || !text.chars().all(char::is_whitespace) {
                         doc.add_text(elem, &text);
                     }
                 }
@@ -329,8 +323,7 @@ fn unescape(raw: &str) -> Result<String, String> {
                 let code = u32::from_str_radix(&entity[2..], 16)
                     .map_err(|_| format!("bad character reference &{entity};"))?;
                 out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| format!("invalid code point &{entity};"))?,
+                    char::from_u32(code).ok_or_else(|| format!("invalid code point &{entity};"))?,
                 );
             }
             _ if entity.starts_with('#') => {
@@ -338,8 +331,7 @@ fn unescape(raw: &str) -> Result<String, String> {
                     .parse()
                     .map_err(|_| format!("bad character reference &{entity};"))?;
                 out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| format!("invalid code point &{entity};"))?,
+                    char::from_u32(code).ok_or_else(|| format!("invalid code point &{entity};"))?,
                 );
             }
             _ => return Err(format!("unknown entity &{entity};")),

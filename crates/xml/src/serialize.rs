@@ -11,16 +11,10 @@ use regtree_alphabet::LabelKind;
 use crate::model::{Document, NodeId};
 
 /// Serialization configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SerializeOptions {
     /// Pretty-print with two-space indentation.
     pub indent: bool,
-}
-
-impl Default for SerializeOptions {
-    fn default() -> Self {
-        SerializeOptions { indent: false }
-    }
 }
 
 /// Serializes the whole document (children of the reserved root).
@@ -47,7 +41,13 @@ pub fn subtree_to_xml(doc: &Document, n: NodeId) -> String {
     out
 }
 
-fn write_node(doc: &Document, n: NodeId, out: &mut String, options: SerializeOptions, depth: usize) {
+fn write_node(
+    doc: &Document,
+    n: NodeId,
+    out: &mut String,
+    options: SerializeOptions,
+    depth: usize,
+) {
     match doc.kind(n) {
         LabelKind::Text => {
             indent(out, options, depth);
@@ -87,8 +87,7 @@ fn write_node(doc: &Document, n: NodeId, out: &mut String, options: SerializeOpt
                 out.push_str("/>");
             } else {
                 out.push('>');
-                let only_text =
-                    content.len() == 1 && doc.kind(content[0]) == LabelKind::Text;
+                let only_text = content.len() == 1 && doc.kind(content[0]) == LabelKind::Text;
                 if only_text {
                     out.push_str(&escape_text(doc.value(content[0]).unwrap_or("")));
                 } else {
@@ -186,10 +185,7 @@ mod tests {
     fn pretty_printing_indents() {
         let a = Alphabet::new();
         let doc = parse_document(&a, "<r><x><y/></x></r>").unwrap();
-        let pretty = to_xml_with(
-            &doc,
-            SerializeOptions { indent: true },
-        );
+        let pretty = to_xml_with(&doc, SerializeOptions { indent: true });
         assert!(pretty.contains("\n  <x>"));
         assert!(pretty.contains("\n    <y/>"));
         // Reparsing the pretty output yields the same tree (whitespace text

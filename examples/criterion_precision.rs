@@ -30,7 +30,9 @@ fn random_edge(rng: &mut SmallRng) -> String {
 
 fn random_fd(a: &Alphabet, rng: &mut SmallRng) -> Fd {
     let mut t = Template::new(a.clone());
-    let ctx = t.add_child_str(t.root(), &random_edge(rng)).expect("proper");
+    let ctx = t
+        .add_child_str(t.root(), &random_edge(rng))
+        .expect("proper");
     let mut selected = Vec::new();
     for _ in 0..rng.gen_range(1..=2usize) {
         selected.push(t.add_child_str(ctx, &random_edge(rng)).expect("proper"));
@@ -79,7 +81,9 @@ fn main() {
     println!("random (FD, update-class) pairs over a 3-label alphabet: {pairs}");
     println!("  proven independent : {independent}");
     println!("  confirmed impact   : {confirmed}  (true alarms — criterion had to say Unknown)");
-    println!("  unconfirmed        : {unconfirmed}  (false-alarm candidates within budget {rounds})");
+    println!(
+        "  unconfirmed        : {unconfirmed}  (false-alarm candidates within budget {rounds})"
+    );
     let alarms = confirmed + unconfirmed;
     if alarms > 0 {
         println!(

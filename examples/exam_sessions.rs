@@ -13,7 +13,10 @@ fn main() {
     let schema = gen::exam_schema(&a);
 
     println!("— Figure 1: the exam-session document —");
-    println!("{}", regtree::xml::to_xml_with(&doc, regtree::xml::SerializeOptions { indent: true }));
+    println!(
+        "{}",
+        regtree::xml::to_xml_with(&doc, regtree::xml::SerializeOptions { indent: true })
+    );
     println!("schema-valid: {}\n", schema.validate(&doc).is_ok());
 
     // ---- Figure 2: R1 and R2 ------------------------------------------
@@ -22,7 +25,10 @@ fn main() {
     let r2 = gen::pattern_r2(&a);
     let r1_result = r1.evaluate(&doc);
     let r2_result = r2.evaluate(&doc);
-    println!("R1 (exams of two different candidates): {} pairs", r1_result.len());
+    println!(
+        "R1 (exams of two different candidates): {} pairs",
+        r1_result.len()
+    );
     for pair in &r1_result {
         println!(
             "  ({}, {})",
@@ -30,7 +36,10 @@ fn main() {
             doc.dewey_string(pair[1])
         );
     }
-    println!("R2 (exams of the same candidate): {} pairs", r2_result.len());
+    println!(
+        "R2 (exams of the same candidate): {} pairs",
+        r2_result.len()
+    );
     assert_eq!(r1_result.len(), 4, "paper: four pairs selected by R1");
     assert_eq!(r2_result.len(), 2, "paper: two pairs selected by R2");
 
@@ -40,22 +49,35 @@ fn main() {
     let r4 = gen::pattern_r4(&a).evaluate(&doc);
     println!("R3 (exam before level): {} level node(s)", r3.len());
     println!("R4 (level before exam): {} level node(s)", r4.len());
-    assert!(!r3.is_empty() && r4.is_empty(), "paper: R3 nonempty, R4 empty");
+    assert!(
+        !r3.is_empty() && r4.is_empty(),
+        "paper: R3 nonempty, R4 empty"
+    );
 
     // ---- Figures 4–5: the functional dependencies ----------------------
     println!("\n— Figures 4–5: functional dependencies —");
     for (name, what, fd) in [
         ("fd1", "same discipline+mark ⇒ same rank", gen::fd1(&a)),
-        ("fd2", "no two exams of a discipline at one date", gen::fd2(&a)),
+        (
+            "fd2",
+            "no two exams of a discipline at one date",
+            gen::fd2(&a),
+        ),
         ("fd3", "same two marks ⇒ same level", gen::fd3(&a)),
-        ("fd4", "fd3 restricted to candidates with toBePassed", gen::fd4(&a)),
-        ("fd5", "fd3 restricted to graduated candidates", gen::fd5(&a)),
+        (
+            "fd4",
+            "fd3 restricted to candidates with toBePassed",
+            gen::fd4(&a),
+        ),
+        (
+            "fd5",
+            "fd3 restricted to graduated candidates",
+            gen::fd5(&a),
+        ),
     ] {
         let holds = satisfies(&fd, &doc);
         let in_path_formalism = expressible_in_path_formalism(&fd).is_ok();
-        println!(
-            "{name}: {what} — holds: {holds}, expressible in [8]: {in_path_formalism}"
-        );
+        println!("{name}: {what} — holds: {holds}, expressible in [8]: {in_path_formalism}");
     }
     assert!(expressible_in_path_formalism(&gen::fd1(&a)).is_ok());
     assert!(expressible_in_path_formalism(&gen::fd3(&a)).is_err());

@@ -31,10 +31,8 @@ fn main() {
 
     // The update class: rewrite candidate levels (independent of fd1, which
     // only concerns discipline/mark/rank).
-    let class = UpdateClass::new(
-        parse_corexpath(&a, "/session/candidate/level").expect("parses"),
-    )
-    .expect("leaf");
+    let class = UpdateClass::new(parse_corexpath(&a, "/session/candidate/level").expect("parses"))
+        .expect("leaf");
     let update = Update::new(class.clone(), UpdateOp::SetText("E".into()));
 
     // Strategy 3 pays this once, independent of every document:
@@ -83,11 +81,7 @@ fn main() {
         //    amortized to a single class-level check).
         println!(
             "{:>12} {:>10} {:>16.3?} {:>16.3?} {:>16}",
-            n_candidates,
-            nodes,
-            revalidate_time,
-            incremental_time,
-            "0 (class-level)"
+            n_candidates, nodes, revalidate_time, incremental_time, "0 (class-level)"
         );
     }
 

@@ -16,11 +16,11 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(2010);
 
     let pairs = [
-        ("D+", "D/D+"),       // η ⊄ η' (the word D)
-        ("B/B", "B+"),        // η ⊆ η'
-        ("(B|D)+", "B+|D+"),  // mixed words are counterexamples
-        ("B*/D", "B*/D"),     // equal languages
-        ("D/B?", "D/B"),      // ε-side counterexample
+        ("D+", "D/D+"),      // η ⊄ η' (the word D)
+        ("B/B", "B+"),       // η ⊆ η'
+        ("(B|D)+", "B+|D+"), // mixed words are counterexamples
+        ("B*/D", "B*/D"),    // equal languages
+        ("D/B?", "D/B"),     // ε-side counterexample
     ];
 
     for (eta_src, etap_src) in pairs {

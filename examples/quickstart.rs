@@ -67,8 +67,7 @@ fn main() {
     let mut broken = doc.clone();
     let targets = class2.selected_nodes(&broken);
     let first_price_text = broken.children(targets[0])[0];
-    regtree::xml::set_value(&mut broken, first_price_text, "999")
-        .expect("price has a text child");
+    regtree::xml::set_value(&mut broken, first_price_text, "999").expect("price has a text child");
     match check_fd(&fd, &broken) {
         Ok(()) => println!("still satisfied"),
         Err(v) => println!("after a lopsided reprice: {}", v.describe(&broken)),

@@ -57,15 +57,17 @@ pub mod prelude {
     pub use regtree_alphabet::{Alphabet, LabelKind, Symbol};
     pub use regtree_automata::{parse_regex, Dfa, LangSampler, Nfa, Regex};
     pub use regtree_core::{
-        build_reduction, check_fd, check_independence, expressible_in_path_formalism,
-        is_independent, revalidate_full, satisfies, EqualityType, Fd, FdBuilder,
-        IncrementalChecker, PathFd, Update, UpdateClass, UpdateOp, Verdict,
+        build_reduction, check_fd, check_fds_parallel, check_independence,
+        expressible_in_path_formalism, is_independent, revalidate_full, revalidate_full_many,
+        satisfies, EqualityType, Fd, FdBuilder, IncrementalChecker, PathFd, Update, UpdateClass,
+        UpdateOp, Verdict,
     };
     pub use regtree_hedge::{HedgeAutomaton, Schema};
     pub use regtree_pattern::{
-        compile_pattern, parse_corexpath, RegularTreePattern, Template, TemplateNodeId,
+        compile_pattern, evaluate_many, parse_corexpath, RegularTreePattern, Template,
+        TemplateNodeId,
     };
     pub use regtree_xml::{
-        parse_document, to_xml, value_eq, value_hash, Document, NodeId, TreeSpec,
+        parse_document, to_xml, value_eq, value_hash, Document, LabelIndex, NodeId, TreeSpec,
     };
 }

@@ -13,7 +13,9 @@ fn fixture_schema_parses_and_validates_fixture_document() {
     let a = Alphabet::new();
     let schema = Schema::parse(&a, &fixture("exam.rts")).expect("schema parses");
     let doc = parse_document(&a, &fixture("session.xml")).expect("document parses");
-    schema.validate(&doc).expect("fixture document is schema-valid");
+    schema
+        .validate(&doc)
+        .expect("fixture document is schema-valid");
 }
 
 #[test]
@@ -47,16 +49,14 @@ fn fixture_readme_commands_work_via_api() {
     // eval command lines. Branch order must follow document order
     // (Definition 2): `level` precedes `toBePassed` under a candidate, so
     // the still-has-exams filter is written after the level test.
-    let pattern =
-        parse_corexpath(&a, "/session/candidate[level and toBePassed]").expect("parses");
+    let pattern = parse_corexpath(&a, "/session/candidate[level and toBePassed]").expect("parses");
     assert_eq!(pattern.evaluate(&doc).len(), 1);
     let levels = parse_corexpath(&a, "/session/candidate/level").expect("parses");
     assert_eq!(levels.evaluate(&doc).len(), 2);
     // The naive transliteration `candidate[toBePassed]/level` selects
     // nothing on this layout — the order caveat documented in
     // `regtree_pattern::corexpath`.
-    let wrong_order =
-        parse_corexpath(&a, "/session/candidate[toBePassed]/level").expect("parses");
+    let wrong_order = parse_corexpath(&a, "/session/candidate[toBePassed]/level").expect("parses");
     assert_eq!(wrong_order.evaluate(&doc).len(), 0);
     // independence command line.
     let fd2 = PathFd::parse(
@@ -66,10 +66,8 @@ fn fixture_readme_commands_work_via_api() {
     .expect("parses")
     .to_fd(&a)
     .expect("translates");
-    let class = UpdateClass::new(
-        parse_corexpath(&a, "/session/candidate/level").expect("parses"),
-    )
-    .expect("leaf");
+    let class = UpdateClass::new(parse_corexpath(&a, "/session/candidate/level").expect("parses"))
+        .expect("leaf");
     let schema = Schema::parse(&a, &fixture("exam.rts")).expect("parses");
     assert!(is_independent(&fd2, &class, Some(&schema)));
 }

@@ -1,0 +1,134 @@
+//! Differential tests between the two pattern-evaluation engines.
+//!
+//! The production engine steps cached edge DFAs and prunes with the
+//! document label index; the reference engine threads NFA state sets with
+//! no pruning. On every instance both must return *identical* mapping
+//! lists (same mappings, same order), and the batch/parallel entry points
+//! must agree with their sequential counterparts.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use regtree::prelude::*;
+use regtree_gen as gen;
+use regtree_pattern::{enumerate_mappings, enumerate_mappings_nfa, evaluate_many};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// DFA and NFA engines enumerate identical mapping sets on random
+    /// templates × random schema-valid documents.
+    #[test]
+    fn dfa_and_nfa_engines_agree(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = gen::exam_alphabet();
+        let schema = gen::exam_schema(&a);
+        let doc = gen::random_document(&schema, rng.gen_range(1..5usize), &mut rng);
+        let labels: Vec<Symbol> = a
+            .symbols()
+            .into_iter()
+            .filter(|&s| s != Alphabet::ROOT)
+            .collect();
+        let pattern = gen::random_pattern(&a, &labels, rng.gen_range(1..4usize), &mut rng);
+        let fast = enumerate_mappings(pattern.template(), &doc);
+        let reference = enumerate_mappings_nfa(pattern.template(), &doc);
+        prop_assert_eq!(fast, reference);
+    }
+}
+
+#[test]
+fn engines_agree_on_figure1_and_paper_patterns() {
+    let a = gen::exam_alphabet();
+    let doc = gen::figure1_document(&a);
+    // R4 (two exams in the same failed discipline) matches nothing on the
+    // pristine Figure 1 document — the engines must agree on that too.
+    let expected_counts = [4, 2, 4, 0];
+    for (p, &count) in [
+        gen::pattern_r1(&a),
+        gen::pattern_r2(&a),
+        gen::pattern_r3(&a),
+        gen::pattern_r4(&a),
+    ]
+    .iter()
+    .zip(&expected_counts)
+    {
+        let fast = enumerate_mappings(p.template(), &doc);
+        let reference = enumerate_mappings_nfa(p.template(), &doc);
+        assert_eq!(fast, reference);
+        assert_eq!(fast.len(), count);
+    }
+}
+
+#[test]
+fn parallel_fd_check_agrees_with_sequential_on_figure1() {
+    let a = gen::exam_alphabet();
+    let doc = gen::figure1_document(&a);
+    let fds = vec![
+        gen::fd1(&a),
+        gen::fd2(&a),
+        gen::fd3(&a),
+        gen::fd4(&a),
+        gen::fd5(&a),
+    ];
+    let parallel = check_fds_parallel(&fds, &doc);
+    assert_eq!(parallel.len(), fds.len());
+    for (fd, par) in fds.iter().zip(&parallel) {
+        assert_eq!(par.is_ok(), check_fd(fd, &doc).is_ok());
+        assert!(par.is_ok(), "Figure 1 satisfies fd1–fd5");
+    }
+}
+
+#[test]
+fn parallel_fd_check_agrees_on_schema_valid_sessions() {
+    let a = gen::exam_alphabet();
+    let schema = gen::exam_schema(&a);
+    let fds = vec![gen::fd1(&a), gen::fd2(&a), gen::fd4(&a), gen::fd5(&a)];
+    let mut rng = SmallRng::seed_from_u64(42);
+    for _ in 0..5 {
+        let doc = gen::generate_session(&a, 8, 3, &mut rng);
+        schema.validate(&doc).expect("generator emits valid docs");
+        let parallel = check_fds_parallel(&fds, &doc);
+        for (fd, par) in fds.iter().zip(&parallel) {
+            match (par, check_fd(fd, &doc)) {
+                (Ok(()), Ok(())) => {}
+                (Err(_), Err(_)) => {}
+                (p, s) => panic!("parallel {p:?} != sequential {s:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_evaluate_many_agrees_with_sequential() {
+    let a = gen::exam_alphabet();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let docs: Vec<Document> = (0..4)
+        .map(|i| gen::generate_session(&a, 2 + i, 2, &mut rng))
+        .collect();
+    let patterns = vec![
+        gen::pattern_r1(&a),
+        gen::pattern_r2(&a),
+        gen::pattern_r3(&a),
+        gen::pattern_r4(&a),
+    ];
+    let batch = evaluate_many(&patterns, &docs);
+    for (d, doc) in docs.iter().enumerate() {
+        for (p, pat) in patterns.iter().enumerate() {
+            assert_eq!(batch[d][p], pat.evaluate(doc), "doc {d} pattern {p}");
+        }
+    }
+}
+
+#[test]
+fn revalidate_full_many_agrees_with_single() {
+    let a = gen::exam_alphabet();
+    let doc = gen::figure1_document(&a);
+    let fds = vec![gen::fd1(&a), gen::fd2(&a), gen::fd3(&a)];
+    let update = gen::update_q1(&a);
+    let many = revalidate_full_many(&fds, &update, &doc).unwrap();
+    for (fd, m) in fds.iter().zip(&many) {
+        let single = revalidate_full(fd, &update, &doc).unwrap();
+        assert_eq!(m.is_ok(), single.is_ok());
+    }
+}

@@ -179,8 +179,14 @@ fn e8_independent_verdicts_survive_random_updates() {
             );
         }
     }
-    assert!(independents >= 5, "battery produced {independents} independent pairs");
-    assert!(checked_updates >= 20, "only {checked_updates} updates exercised");
+    assert!(
+        independents >= 5,
+        "battery produced {independents} independent pairs"
+    );
+    assert!(
+        checked_updates >= 20,
+        "only {checked_updates} updates exercised"
+    );
 }
 
 #[test]

@@ -98,10 +98,13 @@ fn e4_expr1_expr2_translate_to_figure4_patterns() {
     assert_eq!(fd1.template().len(), 6, "root+context+shared+3 leaves");
     assert_eq!(fd1.conditions().len(), 2);
     // expr2 → FD2: the target exam node is internal, with [N] equality.
-    let fd2 = PathFd::parse(&a, "/session/candidate : exam/@date, exam/discipline -> exam[N]")
-        .unwrap()
-        .to_fd(&a)
-        .unwrap();
+    let fd2 = PathFd::parse(
+        &a,
+        "/session/candidate : exam/@date, exam/discipline -> exam[N]",
+    )
+    .unwrap()
+    .to_fd(&a)
+    .unwrap();
     assert!(!fd2.template().is_leaf(fd2.target()));
     assert_eq!(fd2.target_equality(), EqualityType::Node);
 

@@ -64,11 +64,7 @@ fn e2_figure2_r2_selects_two_pairs() {
     let result = gen::pattern_r2(&a).evaluate(&doc);
     assert_eq!(result.len(), 2, "the paper: two pairs selected by R2 on D");
     for pair in &result {
-        assert_eq!(
-            doc.parent(pair[0]),
-            doc.parent(pair[1]),
-            "same candidate"
-        );
+        assert_eq!(doc.parent(pair[0]), doc.parent(pair[1]), "same candidate");
         assert_ne!(pair[0], pair[1]);
     }
 }

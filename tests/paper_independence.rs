@@ -142,10 +142,7 @@ fn e6_criterion_is_conservative() {
         .target("candidate/level")
         .build()
         .unwrap();
-    let class = UpdateClass::new(
-        parse_corexpath(&a, "/session/candidate/level").unwrap(),
-    )
-    .unwrap();
+    let class = UpdateClass::new(parse_corexpath(&a, "/session/candidate/level").unwrap()).unwrap();
     let analysis = check_independence(&fd, &class, None);
     assert!(!analysis.verdict.is_independent());
     // …even though an update writing the SAME text everywhere can never

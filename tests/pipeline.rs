@@ -31,7 +31,11 @@ fn full_pipeline_from_text_to_verdicts() {
     let schema = Schema::parse(&a, SCHEMA).expect("schema parses");
     let doc = parse_document(
         &a,
-        &doc_src(&[("p1", "widget", "5"), ("p2", "widget", "5"), ("p3", "gadget", "9")]),
+        &doc_src(&[
+            ("p1", "widget", "5"),
+            ("p2", "widget", "5"),
+            ("p3", "gadget", "9"),
+        ]),
     )
     .expect("doc parses");
     schema.validate(&doc).expect("valid");
@@ -44,14 +48,12 @@ fn full_pipeline_from_text_to_verdicts() {
     assert!(satisfies(&fd, &doc));
 
     // Update classes from CoreXPath.
-    let annotate = UpdateClass::new(
-        parse_corexpath(&a, "/inventory/warehouse/pallet/note").expect("parses"),
-    )
-    .expect("leaf");
-    let requantify = UpdateClass::new(
-        parse_corexpath(&a, "/inventory/warehouse/pallet/qty").expect("parses"),
-    )
-    .expect("leaf");
+    let annotate =
+        UpdateClass::new(parse_corexpath(&a, "/inventory/warehouse/pallet/note").expect("parses"))
+            .expect("leaf");
+    let requantify =
+        UpdateClass::new(parse_corexpath(&a, "/inventory/warehouse/pallet/qty").expect("parses"))
+            .expect("leaf");
 
     assert!(is_independent(&fd, &annotate, Some(&schema)));
     assert!(!is_independent(&fd, &requantify, Some(&schema)));
@@ -180,10 +182,9 @@ fn update_stream_with_incremental_checker() {
 
     // A stream of qty rewrites that keep values uniform: stays satisfied.
     for v in ["6", "7", "8"] {
-        let class = UpdateClass::new(
-            parse_corexpath(&a, "/inventory/warehouse/pallet/qty").expect("ok"),
-        )
-        .expect("leaf");
+        let class =
+            UpdateClass::new(parse_corexpath(&a, "/inventory/warehouse/pallet/qty").expect("ok"))
+                .expect("leaf");
         let update = Update::new(class, UpdateOp::SetText(v.into()));
         assert!(checker.recheck(&fd, &update, &mut doc).expect("applies"));
     }

@@ -1,0 +1,294 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so this workspace vendors the
+//! slice of criterion's API its benches use: [`Criterion::benchmark_group`],
+//! `sample_size`/`measurement_time`/`throughput`, `bench_function` /
+//! `bench_with_input` with [`BenchmarkId`], `b.iter(..)`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is simple but
+//! real: per benchmark it calibrates an iteration count per sample from a
+//! warmup run, collects `sample_size` wall-clock samples, and prints
+//! `min / median / max` per-iteration times (plus throughput when set).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque value barrier (prevents the optimizer from deleting
+/// benchmarked work).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered with `Display` (e.g. a candidate count).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark id with just a function name.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: parameter.to_string(),
+            parameter: None,
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+/// Top-level benchmark driver; create groups from it.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 30,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+/// Runs the timing loop for one benchmark.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_ns_per_iter: &'a mut Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing per-iteration samples for the caller.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: run until ~10% of the measurement budget is
+        // spent, counting iterations to estimate the per-iteration cost.
+        let warmup_budget = (self.measurement_time / 10).max(Duration::from_millis(20));
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < warmup_budget {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+
+        // Pick iterations per sample so all samples fit the remaining budget.
+        let budget_ns = self.measurement_time.as_nanos() as f64 * 0.9;
+        let per_sample_ns = budget_ns / self.sample_size as f64;
+        let iters = ((per_sample_ns / est_ns).floor() as u64).clamp(1, 1_000_000);
+
+        self.samples_ns_per_iter.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns_per_iter.push(elapsed / iters as f64);
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples_ns_per_iter: &mut samples,
+        };
+        f(&mut bencher);
+        self.report(&id, &samples);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (all reporting already happened inline).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, samples: &[f64]) {
+        let full = format!("{}/{}", self.name, id.render());
+        if samples.is_empty() {
+            println!("{full:<50} time: [no samples]");
+            return;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        let mut line = format!(
+            "{full:<50} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if median > 0.0 {
+                let per_sec = count as f64 / (median / 1e9);
+                line.push_str(&format!("  thrpt: {per_sec:.0} {unit}/s"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function callable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Elements(10));
+        let data = vec![3u64; 64];
+        group.bench_with_input(BenchmarkId::new("sum", 64), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        group.bench_function("push", |b| b.iter(|| vec![1u8, 2, 3].len()));
+        group.finish();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 10).render(), "f/10");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

@@ -1,0 +1,846 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so this workspace vendors the
+//! subset of proptest it uses: the [`strategy::Strategy`] trait with
+//! `prop_map`/`prop_recursive`/`boxed`, [`strategy::Just`] and unions
+//! (`prop_oneof!`), integer-range and `"[a-z]{0,3}"`-style string strategies,
+//! `collection::vec`, `sample::Index`, `any::<T>()`, and the `proptest!` /
+//! `prop_assert*!` / `prop_assume!` macros backed by a deterministic runner.
+//!
+//! Unlike upstream there is no shrinking and no persisted failure file: a
+//! failing case panics with the generator seed so it can be replayed by
+//! rerunning the (fully deterministic) test binary.
+
+#![deny(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic case runner and its RNG.
+
+    /// Reason carried by a rejected or failed case.
+    pub type Reason = String;
+
+    /// Outcome of one generated case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case did not meet a `prop_assume!` precondition; retried.
+        Reject(Reason),
+        /// The case failed an assertion.
+        Fail(Reason),
+    }
+
+    impl TestCaseError {
+        /// Builds a rejection (from `prop_assume!`).
+        pub fn reject(r: impl Into<Reason>) -> Self {
+            TestCaseError::Reject(r.into())
+        }
+        /// Builds a failure (from `prop_assert*!`).
+        pub fn fail(r: impl Into<Reason>) -> Self {
+            TestCaseError::Fail(r.into())
+        }
+    }
+
+    /// Runner configuration; only `cases` is interpreted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator RNG (splitmix64-seeded xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Creates an RNG from a 64-bit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            if s == [0; 4] {
+                s[0] = 1;
+            }
+            TestRng { s }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `0..bound` (`bound > 0`), unbiased.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let zone = bound.wrapping_neg() % bound;
+            loop {
+                let m = (self.next_u64() as u128).wrapping_mul(bound as u128);
+                if (m as u64) >= zone {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+    }
+
+    fn name_hash(name: &str) -> u64 {
+        // FNV-1a, good enough to decorrelate per-test streams.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `case` until `config.cases` cases are accepted; panics on the
+    /// first failure, reporting the per-case seed for replay.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = name_hash(name);
+        let mut accepted: u32 = 0;
+        let mut rejected: u64 = 0;
+        let mut attempt: u64 = 0;
+        let max_rejects = 256 * config.cases as u64 + 4096;
+        while accepted < config.cases {
+            let seed = base ^ (attempt.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            attempt += 1;
+            let mut rng = TestRng::from_seed(seed);
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest `{name}`: too many rejected cases \
+                             ({rejected} rejects for {accepted} accepted)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{name}` failed after {accepted} passing case(s) \
+                         (case seed {seed:#018x}): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                f: Rc::new(f),
+            }
+        }
+
+        /// Type-erases this strategy behind a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Builds recursive values: `f` receives a strategy for the inner
+        /// (smaller) values and returns the strategy for one more level.
+        /// `depth` bounds recursion; the size hints are accepted for
+        /// upstream compatibility but not interpreted.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut strat = base.clone();
+            for _ in 0..depth {
+                // Mix leaves back in at every level so sizes vary.
+                let inner = Union::weighted(vec![(1, base.clone()), (2, strat.clone())]);
+                strat = f(inner.boxed()).boxed();
+            }
+            strat
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: Rc<F>,
+    }
+
+    impl<S: Clone, F> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map {
+                source: self.source.clone(),
+                f: Rc::clone(&self.f),
+            }
+        }
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type
+    /// (the `prop_oneof!` macro builds these).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Uniform choice over `arms`.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+        }
+
+        /// Weighted choice over `arms`; weights must not all be zero.
+        pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof!: no arms");
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof!: zero total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w as u64 {
+                    return arm.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "strategy: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "strategy: empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    (lo as i128 + rng.below(span + 1) as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod string {
+    //! `&str` regex-pattern strategies (tiny subset: literals, one-level
+    //! character classes, and `{m,n}` / `{m}` / `*` / `+` / `?` quantifiers).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Debug)]
+    enum Atom {
+        Lit(char),
+        Class(Vec<(char, char)>),
+    }
+
+    #[derive(Clone, Debug)]
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().unwrap();
+                                let hi = chars.next().unwrap();
+                                ranges.push((lo, hi));
+                            }
+                            _ => {
+                                if let Some(p) = prev.replace(c) {
+                                    ranges.push((p, p));
+                                }
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        ranges.push((p, p));
+                    }
+                    assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                    Atom::Class(ranges)
+                }
+                '\\' => Atom::Lit(chars.next().expect("dangling escape")),
+                _ => Atom::Lit(c),
+            };
+            let (min, max) = match chars.peek() {
+                Some('*') => {
+                    chars.next();
+                    (0, 4)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 4)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    let (lo, hi) = match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad repeat"),
+                            hi.trim().parse().expect("bad repeat"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad repeat");
+                            (n, n)
+                        }
+                    };
+                    (lo, hi)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in parse(self) {
+                let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+                for _ in 0..n {
+                    match &piece.atom {
+                        Atom::Lit(c) => out.push(*c),
+                        Atom::Class(ranges) => {
+                            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                            let span = (hi as u32).saturating_sub(lo as u32);
+                            let code = lo as u32 + rng.below(span as u64 + 1) as u32;
+                            out.push(char::from_u32(code).unwrap_or(lo));
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Size bounds for generated collections (inclusive).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec: empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Generates `Vec`s of values from `element` with a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`Index`).
+
+    /// A stable random index, scaled into a concrete `0..len` on demand.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Projects this index into `0..len`; panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index: empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait and [`any`].
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Returns the canonical strategy for `A` (`any::<u64>()`, ...).
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// Canonical full-range strategy for primitives and [`crate::sample::Index`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AnyOf<T>(core::marker::PhantomData<T>);
+
+    macro_rules! impl_arbitrary_uint {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Strategy for AnyOf<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+            impl Arbitrary for $ty {
+                type Strategy = AnyOf<$ty>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyOf(core::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyOf<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyOf<bool>;
+        fn arbitrary() -> Self::Strategy {
+            AnyOf(core::marker::PhantomData)
+        }
+    }
+
+    impl Strategy for AnyOf<crate::sample::Index> {
+        type Value = crate::sample::Index;
+        fn generate(&self, rng: &mut TestRng) -> crate::sample::Index {
+            crate::sample::Index(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        type Strategy = AnyOf<crate::sample::Index>;
+        fn arbitrary() -> Self::Strategy {
+            AnyOf(core::marker::PhantomData)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a test module needs: `use proptest::prelude::*;`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Uniform choice between the listed strategies (all yielding one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Rejects the current case unless `cond` holds (the runner retries).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller and passed
+/// through) that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { @config ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            @config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (@config ($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategies = ($($strategy,)+);
+                $crate::test_runner::run(&config, stringify!($name), |rng| {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&strategies, rng);
+                    #[allow(unused_mut)]
+                    let mut case = move || -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    case()
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u32),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn strings_match_pattern(s in "[a-z]{1,3}") {
+            prop_assert!(!s.is_empty() && s.len() <= 3, "bad len: {}", s.len());
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn recursion_is_bounded(t in arb_tree(), pick in any::<prop::sample::Index>()) {
+            prop_assert!(depth(&t) <= 3);
+            prop_assert!(pick.index(4) < 4);
+        }
+
+        #[test]
+        fn assume_filters(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 1);
+        }
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = prop_oneof![(0u32..10).prop_map(Tree::Leaf), Just(Tree::Leaf(99))];
+        leaf.prop_recursive(3, 16, 3, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        })
+    }
+
+    #[test]
+    fn union_and_vec_compose() {
+        let mut rng = crate::test_runner::TestRng::from_seed(5);
+        let strat = prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 2..4);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() == 2 || v.len() == 3);
+            assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline vendored stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! The build container cannot reach crates.io, so this workspace vendors the
+//! slice of `rand` it uses: the [`RngCore`]/[`Rng`]/[`SeedableRng`] traits,
+//! uniform integer ranges via `gen_range`, `gen_bool`, and
+//! [`rngs::SmallRng`] (xoshiro256++ seeded through splitmix64, matching the
+//! upstream `small_rng` algorithm family). Deterministic: there is no OS
+//! entropy source here; construct generators with `seed_from_u64`/`from_seed`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The core trait every random number generator implements.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Extension trait with the convenience sampling API.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (e.g. `0..10`, `1..=6`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0,1]");
+        // 53 random bits → uniform f64 in [0,1).
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed (expanded via splitmix64).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // splitmix64, as used by upstream rand_core.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Uniform sampling from range types, used by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Rejection-free-ish unbiased sampling of `u64` below `bound` (> 0).
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Widening-multiply method with rejection on the biased zone.
+    let zone = bound.wrapping_neg() % bound; // number of biased low values
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(bound as u128);
+        let lo = m as u64;
+        if lo >= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($ty:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let off = uniform_u64_below(rng, span);
+                ((self.start as $wide).wrapping_add(off as $wide)) as $ty
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                let off = uniform_u64_below(rng, span + 1);
+                ((start as $wide).wrapping_add(off as $wide)) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(
+    u8 => u64,
+    u16 => u64,
+    u32 => u64,
+    u64 => u64,
+    usize => u64,
+    i8 => i64,
+    i16 => i64,
+    i32 => i64,
+    i64 => i64,
+    isize => i64,
+);
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast generator: xoshiro256++ (the upstream `SmallRng`
+    /// algorithm family on 64-bit targets).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // All-zero state is a fixed point for xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen_range(0u64..1 << 60), b.gen_range(0u64..1 << 60));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((1_900..3_100).contains(&hits), "p=0.25 hits: {hits}");
+    }
+}

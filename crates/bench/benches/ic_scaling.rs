@@ -2,20 +2,24 @@
 //! one-dimensional sweeps, each growing exactly one parameter of the bound
 //! `O(a_U a_FD² · |Σ|⁴ · |A_S| · |U|² · |FD|²)`:
 //!
-//! * `vs_fd_size` — number of FD conditions (grows `|FD|` and `a_FD`);
-//! * `vs_update_size` — update-template chain depth (grows `|U|`);
+//! * `vs_fd_conditions` — number of FD conditions (grows `|FD|` and `a_FD`);
+//! * `vs_update_depth` — update-template chain depth (grows `|U|`);
 //! * `vs_alphabet` — filler labels (grows `|Σ|`);
-//! * `vs_schema` — schema rule count (grows `|A_S|`).
+//! * `vs_schema_rules` — schema rule count (grows `|A_S|`).
 //!
-//! The absolute times are implementation-specific; what reproduces the
-//! paper's claim is the *polynomial shape* of each curve (see
-//! EXPERIMENTS.md E9, which also records the automaton sizes).
+//! Every axis is measured twice: `*_lazy` runs the on-the-fly product
+//! emptiness ([`check_independence`]), `*_eager` materializes the full
+//! FD×U×bit×schema product first ([`check_independence_eager`]). The
+//! absolute times are implementation-specific; what reproduces the paper's
+//! claim is the *polynomial shape* of each curve, and what the lazy engine
+//! adds is a constant-factor collapse that widens with `|A_S|` (see
+//! EXPERIMENTS.md E9, which also records explored-vs-total state counts).
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use regtree_bench::{chain_schema, fd_with_conditions, padded_alphabet, update_chain};
-use regtree_core::check_independence;
+use regtree_core::{check_independence, check_independence_eager};
 
 fn bench_ic_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ic_scaling");
@@ -28,8 +32,11 @@ fn bench_ic_scaling(c: &mut Criterion) {
         let a = regtree_gen::exam_alphabet();
         let fd = fd_with_conditions(&a, k);
         let class = update_chain(&a, 2);
-        group.bench_with_input(BenchmarkId::new("vs_fd_conditions", k), &k, |b, _| {
-            b.iter(|| check_independence(&fd, &class, None).ic_states)
+        group.bench_with_input(BenchmarkId::new("vs_fd_conditions_lazy", k), &k, |b, _| {
+            b.iter(|| check_independence(&fd, &class, None).explored_states)
+        });
+        group.bench_with_input(BenchmarkId::new("vs_fd_conditions_eager", k), &k, |b, _| {
+            b.iter(|| check_independence_eager(&fd, &class, None).ic_states)
         });
     }
 
@@ -39,9 +46,14 @@ fn bench_ic_scaling(c: &mut Criterion) {
         let fd = fd_with_conditions(&a, 2);
         let class = update_chain(&a, depth);
         group.bench_with_input(
-            BenchmarkId::new("vs_update_depth", depth),
+            BenchmarkId::new("vs_update_depth_lazy", depth),
             &depth,
-            |b, _| b.iter(|| check_independence(&fd, &class, None).ic_states),
+            |b, _| b.iter(|| check_independence(&fd, &class, None).explored_states),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vs_update_depth_eager", depth),
+            &depth,
+            |b, _| b.iter(|| check_independence_eager(&fd, &class, None).ic_states),
         );
     }
 
@@ -50,9 +62,16 @@ fn bench_ic_scaling(c: &mut Criterion) {
         let a = padded_alphabet(extra);
         let fd = fd_with_conditions(&a, 2);
         let class = update_chain(&a, 2);
-        group.bench_with_input(BenchmarkId::new("vs_alphabet", extra), &extra, |b, _| {
-            b.iter(|| check_independence(&fd, &class, None).ic_states)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("vs_alphabet_lazy", extra),
+            &extra,
+            |b, _| b.iter(|| check_independence(&fd, &class, None).explored_states),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vs_alphabet_eager", extra),
+            &extra,
+            |b, _| b.iter(|| check_independence_eager(&fd, &class, None).ic_states),
+        );
     }
 
     // |A_S| axis.
@@ -62,9 +81,14 @@ fn bench_ic_scaling(c: &mut Criterion) {
         let class = update_chain(&a, 2);
         let schema = chain_schema(&a, rules);
         group.bench_with_input(
-            BenchmarkId::new("vs_schema_rules", rules),
+            BenchmarkId::new("vs_schema_rules_lazy", rules),
             &rules,
-            |b, _| b.iter(|| check_independence(&fd, &class, Some(&schema)).automaton_size),
+            |b, _| b.iter(|| check_independence(&fd, &class, Some(&schema)).explored_states),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vs_schema_rules_eager", rules),
+            &rules,
+            |b, _| b.iter(|| check_independence_eager(&fd, &class, Some(&schema)).automaton_size),
         );
     }
     group.finish();

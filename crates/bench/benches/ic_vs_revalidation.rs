@@ -16,9 +16,10 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use regtree_bench::{session, CANDIDATE_COUNTS};
+use regtree_bench::{fd_with_conditions, session, update_chain, CANDIDATE_COUNTS};
 use regtree_core::{
-    check_independence, revalidate_full, revalidate_full_many, IncrementalChecker, Update, UpdateOp,
+    analyze_matrix, check_independence, check_independence_eager, revalidate_full,
+    revalidate_full_many, IncrementalChecker, Update, UpdateOp,
 };
 
 fn bench_strategies(c: &mut Criterion) {
@@ -100,6 +101,42 @@ fn bench_strategies(c: &mut Criterion) {
         );
     }
     many.finish();
+
+    // The scheduling-table deployment: a whole FD-set × class-set matrix.
+    // `analyze_matrix` shares schema/pattern compilation and the guard
+    // partition across cells and runs them on worker threads; the eager
+    // baseline pays the full per-cell pipeline.
+    let fds: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&k| fd_with_conditions(&a, k))
+        .collect();
+    let classes: Vec<_> = [1usize, 3, 6]
+        .iter()
+        .map(|&d| update_chain(&a, d))
+        .collect();
+    let fd_refs: Vec<(&str, &regtree_core::Fd)> = fds.iter().map(|fd| ("fd", fd)).collect();
+    let class_refs: Vec<(&str, &regtree_core::UpdateClass)> =
+        classes.iter().map(|c| ("class", c)).collect();
+    let mut matrix = c.benchmark_group("independence_matrix");
+    matrix
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    matrix.bench_function("matrix_3x3_lazy_shared", |b| {
+        b.iter(|| analyze_matrix(&fd_refs, &class_refs, Some(&schema)).independent_count())
+    });
+    matrix.bench_function("matrix_3x3_eager_cells", |b| {
+        b.iter(|| {
+            fds.iter()
+                .flat_map(|fd| classes.iter().map(move |class| (fd, class)))
+                .filter(|(fd, class)| {
+                    check_independence_eager(fd, class, Some(&schema))
+                        .verdict
+                        .is_independent()
+                })
+                .count()
+        })
+    });
+    matrix.finish();
 }
 
 criterion_group!(benches, bench_strategies);

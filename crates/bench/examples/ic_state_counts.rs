@@ -1,0 +1,50 @@
+//! Prints the E9 explored-vs-total product-state table: for each point of
+//! the four `ic_scaling` sweeps, how many product states the lazy engine
+//! interned versus the size of the full (never materialized) product the
+//! eager pipeline would build. Companion to `scripts/bench_json.sh`; the
+//! numbers land in EXPERIMENTS.md E9.
+
+use regtree_bench::{chain_schema, fd_with_conditions, padded_alphabet, update_chain};
+use regtree_core::check_independence;
+
+fn main() {
+    println!("axis             point   explored    total   verdict");
+    for &k in &[1usize, 2, 4, 6] {
+        let a = regtree_gen::exam_alphabet();
+        let r = check_independence(&fd_with_conditions(&a, k), &update_chain(&a, 2), None);
+        row("fd_conditions", k, &r);
+    }
+    for &d in &[1usize, 3, 6, 9] {
+        let a = regtree_gen::exam_alphabet();
+        let r = check_independence(&fd_with_conditions(&a, 2), &update_chain(&a, d), None);
+        row("update_depth", d, &r);
+    }
+    for &x in &[0usize, 50, 200, 800] {
+        let a = padded_alphabet(x);
+        let r = check_independence(&fd_with_conditions(&a, 2), &update_chain(&a, 2), None);
+        row("alphabet", x, &r);
+    }
+    for &n in &[2usize, 8, 16, 32] {
+        let a = regtree_gen::exam_alphabet();
+        let schema = chain_schema(&a, n);
+        let r = check_independence(
+            &fd_with_conditions(&a, 2),
+            &update_chain(&a, 2),
+            Some(&schema),
+        );
+        row("schema_rules", n, &r);
+    }
+}
+
+fn row(axis: &str, point: usize, r: &regtree_core::IndependenceAnalysis) {
+    println!(
+        "{axis:<16} {point:>5} {:>10} {:>8}   {}",
+        r.explored_states,
+        r.total_states,
+        if r.verdict.is_independent() {
+            "independent"
+        } else {
+            "unknown"
+        }
+    );
+}

@@ -6,6 +6,7 @@
 //! rtpcheck fd-check      --fds FDS.lst DOC.xml...   (batch, parallel)
 //! rtpcheck eval          --xpath "/session/candidate" DOC.xml
 //! rtpcheck independence  --fd "CTX : P1 -> Q" --update "/xpath" [--schema S] [--json]
+//! rtpcheck independence-matrix --fds FDS.lst --updates UPS.lst [--schema S]
 //! rtpcheck demo
 //! ```
 //!
@@ -54,7 +55,8 @@ USAGE:
   rtpcheck fd-check     --fd EXPR | --fds FILE DOC.xml...
   rtpcheck eval         --xpath PATH DOC.xml
   rtpcheck independence --fd EXPR --update PATH [--schema FILE] [--json]
-  rtpcheck matrix       --fds FILE --updates FILE [--schema FILE]
+  rtpcheck independence-matrix --fds FILE --updates FILE [--schema FILE]
+                        (alias: matrix)
   rtpcheck demo
 
   FD EXPR syntax:   /ctx/path : cond1, cond2[N] -> target
@@ -140,7 +142,7 @@ fn run(args: &[&str]) -> Result<String, CliError> {
         "fd-check" => cmd_fd_check(rest),
         "eval" => cmd_eval(rest),
         "independence" => cmd_independence(rest),
-        "matrix" => cmd_matrix(rest),
+        "independence-matrix" | "matrix" => cmd_matrix(rest),
         "demo" => cmd_demo(),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(usage(format!("unknown subcommand '{other}'"))),
@@ -425,9 +427,11 @@ fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
         classes.iter().map(|(n, c)| (n.as_str(), c)).collect();
     let matrix = regtree_core::analyze_matrix(&fd_refs, &class_refs, schema.as_ref());
     let mut out = matrix.to_string();
+    let explored: usize = matrix.cells.iter().map(|c| c.explored_states).sum();
+    let total: usize = matrix.cells.iter().map(|c| c.automaton_size).sum();
     out.push_str(&format!(
         "
-{} of {} pairs provably independent
+{} of {} pairs provably independent ({explored} of {total} product states explored)
 ",
         matrix.independent_count(),
         fd_refs.len() * class_refs.len()
@@ -651,6 +655,28 @@ mod tests {
         .unwrap();
         assert!(out.contains("1 of 2 pairs provably independent"), "{out}");
         assert!(out.contains("RECHECK"), "{out}");
+    }
+
+    #[test]
+    fn independence_matrix_command_with_schema() {
+        let fds = tmp("price = /catalog : item/sku -> item/price\n", "lst");
+        let ups = tmp("restock = /catalog/item/stock\n", "lst");
+        let schema = tmp(
+            "root: catalog\ncatalog: item*\nitem: sku price stock\nsku: #text\nprice: #text\nstock: #text\n",
+            "rts",
+        );
+        let out = run(&[
+            "independence-matrix",
+            "--fds",
+            fds.0.to_str().unwrap(),
+            "--updates",
+            ups.0.to_str().unwrap(),
+            "--schema",
+            schema.0.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("1 of 1 pairs provably independent"), "{out}");
+        assert!(out.contains("product states explored"), "{out}");
     }
 
     #[test]

@@ -61,7 +61,14 @@ pub struct IndependenceAnalysis {
     /// States of the combined (pre-schema) automaton.
     pub ic_states: usize,
     /// Size `|A|` (states + horizontal automata) of the final automaton.
+    /// The lazy engine never materializes it and reports the state count of
+    /// the full product instead.
     pub automaton_size: usize,
+    /// Product states actually visited by the emptiness check (equals
+    /// `total_states` on the eager path, usually far fewer on the lazy one).
+    pub explored_states: usize,
+    /// States of the full schema×FD×U×bit product.
+    pub total_states: usize,
 }
 
 /// Bit-aggregation mode of a product transition.
@@ -260,7 +267,43 @@ fn horizontal_triple(hf: &Nfa, hu: &Nfa, nf: u32, nu: u32, enc: Enc, mode: BitMo
 
 /// Runs the independence criterion for `fd` against `class`, optionally in
 /// the context of a schema.
+///
+/// This is the lazy on-the-fly engine ([`crate::lazy_ic`]): it explores only
+/// the product states reachable bottom-up from realizable firings and exits
+/// as soon as an accepting root firing appears. The verdict always agrees
+/// with [`check_independence_eager`].
 pub fn check_independence(
+    fd: &Fd,
+    class: &UpdateClass,
+    schema: Option<&Schema>,
+) -> IndependenceAnalysis {
+    let alphabet = fd.template().alphabet().clone();
+    let pa_fd = compile_pattern(fd.pattern(), true);
+    let pa_u = compile_pattern(class.pattern(), false);
+    let ic_states = pa_fd.automaton.num_states() * pa_u.automaton.num_states() * 2;
+    let schema_auto = schema.map(|s| s.compile());
+    let out = crate::lazy_ic::lazy_independence(
+        &alphabet,
+        &pa_fd,
+        &pa_u,
+        class,
+        schema_auto.as_ref(),
+        None,
+    );
+    IndependenceAnalysis {
+        verdict: out.verdict,
+        ic_states,
+        automaton_size: out.total_states,
+        explored_states: out.explored_states,
+        total_states: out.total_states,
+    }
+}
+
+/// The eager reference pipeline: materializes the full IC automaton, takes
+/// the eager schema product, and runs the emptiness fixpoint on the result.
+/// Kept for parity testing and for exact `|A|` size measurements
+/// (Proposition 3 experiments).
+pub fn check_independence_eager(
     fd: &Fd,
     class: &UpdateClass,
     schema: Option<&Schema>,
@@ -273,6 +316,7 @@ pub fn check_independence(
         None => ic,
     };
     let automaton_size = full.size();
+    let total_states = full.num_states();
     let verdict = match witness_document(&full, &alphabet) {
         None => Verdict::Independent,
         Some(doc) => Verdict::Unknown {
@@ -283,6 +327,8 @@ pub fn check_independence(
         verdict,
         ic_states,
         automaton_size,
+        explored_states: total_states,
+        total_states,
     }
 }
 

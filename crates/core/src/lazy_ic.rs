@@ -1,0 +1,512 @@
+//! Lazy, on-the-fly emptiness of the IC product.
+//!
+//! The eager pipeline ([`crate::independence::check_independence_eager`])
+//! materializes the full FD×U×bit automaton, takes a second eager product
+//! with the schema automaton, and only then runs the emptiness fixpoint —
+//! paying for every product state and every horizontal product transition
+//! whether or not it is reachable. This module explores the same product
+//! *bottom-up from realizable firings only*:
+//!
+//! * product states `(f, u, bit, s)` are interned the first time they are
+//!   realized, so the unreachable bulk of the
+//!   `O(aU·aFD·|Σ|·|AS|·|U|·|FD|)` state space is never touched;
+//! * guard-compatible transition triples `(t_FD, t_U, t_S)` are enumerated
+//!   over label-partition classes ([`GuardPartition`] minterms of the
+//!   `Is`/`Any`/`AnyExcept` guards) rather than per symbol;
+//! * each triple keeps an incremental frontier of horizontal-NFA state
+//!   tuples `(s_f, s_u, s_s, seen)` that advances as new product states
+//!   realize — no horizontal product automaton is ever built, and no NFA is
+//!   re-simulated from scratch;
+//! * the search stops the moment an accepting root firing with the update
+//!   bit set appears, reconstructing a witness document from the recorded
+//!   firings.
+//!
+//! Verdicts coincide with the eager path: the frontier's `seen` flag is the
+//! OR of consumed letters' bits and the accepting bit is `local | seen`,
+//! which is exactly the union of the three `BitMode` transition families of
+//! the eager construction. `tests/ic_lazy_parity.rs` checks the equivalence
+//! on randomized inputs.
+
+use std::collections::HashMap;
+
+use regtree_alphabet::{Alphabet, LabelKind};
+use regtree_automata::{Nfa, NfaLabel, StateId};
+use regtree_hedge::{witness_label, GuardPartition, HedgeAutomaton, LabelGuard, TreeState};
+use regtree_pattern::PatternAutomaton;
+use regtree_xml::{Document, TreeSpec};
+
+use crate::independence::Verdict;
+use crate::update::UpdateClass;
+
+/// Verdict plus exploration statistics of one lazy emptiness run.
+pub(crate) struct LazyOutcome {
+    /// The verdict (with witness on `Unknown`).
+    pub verdict: Verdict,
+    /// Product states actually interned during the search.
+    pub explored_states: usize,
+    /// States of the full (never materialized) product: `|FD|·|U|·2·|A_S|`.
+    pub total_states: usize,
+}
+
+/// A product tree state `(f, u, bit, s)`, interned on first realization.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Key {
+    f: TreeState,
+    u: TreeState,
+    bit: u8,
+    s: TreeState,
+}
+
+/// A frontier state of one transition triple's horizontal product:
+/// NFA states of the three components plus the OR of consumed letters' bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct FState {
+    sf: StateId,
+    su: StateId,
+    ss: StateId,
+    seen: u8,
+}
+
+type LetterId = u32;
+
+/// Incremental frontier of one guard-compatible transition triple.
+struct Sim<'a> {
+    hf: &'a Nfa,
+    hu: &'a Nfa,
+    hs: &'a Nfa,
+    guard: LabelGuard,
+    tf_target: TreeState,
+    tu_target: TreeState,
+    ts_target: TreeState,
+    /// This node is an updated node inside the FD region.
+    local: bool,
+    /// The guard only admits leaf labels: only the empty child word applies.
+    leaf_only: bool,
+    /// Accepting at the document root: all three targets final/accepting and
+    /// the guard matches the reserved `/` label.
+    root_final: bool,
+    /// Frontier states, deduplicated by linear scan: frontiers stay small
+    /// (bounded by the realized portion of `|hf|·|hu|·|hs|·2`), so scanning
+    /// beats per-sim hash-map churn.
+    states: Vec<FState>,
+    /// First-reach back-pointer per frontier state: `(consumed letter,
+    /// predecessor)`, letter `None` for ε-moves; `None` at the start tuple.
+    pred: Vec<Option<(Option<LetterId>, u32)>>,
+    /// Interned-but-unexpanded frontier states.
+    fresh: Vec<u32>,
+    /// Realized letters already offered to the settled frontier.
+    cursor: usize,
+    /// `f`-letters some frontier state has a `Sym` edge on (letter skip
+    /// filter; new states always replay all past letters, so skipping is
+    /// sound).
+    wants_f: Vec<u32>,
+    wants_any: bool,
+    dead: bool,
+}
+
+/// Interner of realized product states and their firings.
+struct Shared {
+    letters: Vec<Key>,
+    ids: HashMap<Key, LetterId>,
+    /// Per letter: the `(sim, frontier state)` acceptance that realized it.
+    firings: Vec<(u32, u32)>,
+    /// First accepting root firing `(sim, frontier state)`.
+    root_hit: Option<(u32, u32)>,
+}
+
+impl Shared {
+    fn realize(&mut self, key: Key, si: u32, fi: u32) {
+        if self.ids.contains_key(&key) {
+            return;
+        }
+        let id = self.letters.len() as LetterId;
+        self.ids.insert(key, id);
+        self.letters.push(key);
+        self.firings.push((si, fi));
+    }
+}
+
+/// Interns a frontier state, checking acceptance of all three components.
+fn add_fstate(
+    si: u32,
+    sim: &mut Sim,
+    shared: &mut Shared,
+    st: FState,
+    pred: Option<(Option<LetterId>, u32)>,
+) {
+    if sim.states.contains(&st) {
+        return;
+    }
+    let id = sim.states.len() as u32;
+    sim.states.push(st);
+    sim.pred.push(pred);
+    sim.fresh.push(id);
+    for &(l, _) in sim.hf.transitions_from(st.sf) {
+        match l {
+            NfaLabel::Sym(a) => {
+                if !sim.wants_f.contains(&a) {
+                    sim.wants_f.push(a);
+                }
+            }
+            NfaLabel::Any => sim.wants_any = true,
+            NfaLabel::Eps => {}
+        }
+    }
+    if sim.hf.is_accept(st.sf) && sim.hu.is_accept(st.su) && sim.hs.is_accept(st.ss) {
+        let bit = u8::from(sim.local) | st.seen;
+        shared.realize(
+            Key {
+                f: sim.tf_target,
+                u: sim.tu_target,
+                bit,
+                s: sim.ts_target,
+            },
+            si,
+            id,
+        );
+        if sim.root_final && bit == 1 && shared.root_hit.is_none() {
+            shared.root_hit = Some((si, id));
+        }
+    }
+}
+
+/// Offers realized letter `li` to frontier state `xi`.
+fn try_letter(si: u32, sim: &mut Sim, shared: &mut Shared, xi: u32, li: LetterId) {
+    let x = sim.states[xi as usize];
+    let key = shared.letters[li as usize];
+    let seen2 = x.seen | key.bit;
+    let (hf, hu, hs) = (sim.hf, sim.hu, sim.hs);
+    for &(lf, tf2) in hf.transitions_from(x.sf) {
+        let okf = match lf {
+            NfaLabel::Eps => continue,
+            NfaLabel::Sym(a) => a == key.f,
+            NfaLabel::Any => true,
+        };
+        if !okf {
+            continue;
+        }
+        for &(lu, tu2) in hu.transitions_from(x.su) {
+            let oku = match lu {
+                NfaLabel::Eps => continue,
+                NfaLabel::Sym(a) => a == key.u,
+                NfaLabel::Any => true,
+            };
+            if !oku {
+                continue;
+            }
+            for &(ls, ts2) in hs.transitions_from(x.ss) {
+                let oks = match ls {
+                    NfaLabel::Eps => continue,
+                    NfaLabel::Sym(a) => a == key.s,
+                    NfaLabel::Any => true,
+                };
+                if !oks {
+                    continue;
+                }
+                add_fstate(
+                    si,
+                    sim,
+                    shared,
+                    FState {
+                        sf: tf2,
+                        su: tu2,
+                        ss: ts2,
+                        seen: seen2,
+                    },
+                    Some((Some(li), xi)),
+                );
+            }
+        }
+    }
+}
+
+/// Expands one fresh frontier state: ε-moves of each component, then every
+/// realized letter the settled frontier has already consumed.
+fn expand(si: u32, sim: &mut Sim, shared: &mut Shared, xi: u32) {
+    let x = sim.states[xi as usize];
+    let (hf, hu, hs) = (sim.hf, sim.hu, sim.hs);
+    for &(l, t) in hf.transitions_from(x.sf) {
+        if l == NfaLabel::Eps {
+            add_fstate(si, sim, shared, FState { sf: t, ..x }, Some((None, xi)));
+        }
+    }
+    for &(l, t) in hu.transitions_from(x.su) {
+        if l == NfaLabel::Eps {
+            add_fstate(si, sim, shared, FState { su: t, ..x }, Some((None, xi)));
+        }
+    }
+    for &(l, t) in hs.transitions_from(x.ss) {
+        if l == NfaLabel::Eps {
+            add_fstate(si, sim, shared, FState { ss: t, ..x }, Some((None, xi)));
+        }
+    }
+    if !sim.leaf_only {
+        for li in 0..sim.cursor {
+            try_letter(si, sim, shared, xi, li as LetterId);
+            if shared.root_hit.is_some() {
+                return;
+            }
+        }
+    }
+}
+
+/// Drains a sim's pending work: fresh frontier states and newly realized
+/// letters. Returns whether anything advanced.
+fn pump(si: u32, sim: &mut Sim, shared: &mut Shared) -> bool {
+    if sim.dead {
+        return false;
+    }
+    if !sim.root_final {
+        // All keys the triple can ever realize exist: nothing left to learn.
+        let done = [u8::from(sim.local), 1].iter().all(|&bit| {
+            shared.ids.contains_key(&Key {
+                f: sim.tf_target,
+                u: sim.tu_target,
+                bit,
+                s: sim.ts_target,
+            })
+        });
+        if done {
+            sim.dead = true;
+            return false;
+        }
+    }
+    let mut progress = false;
+    loop {
+        if shared.root_hit.is_some() {
+            return true;
+        }
+        if let Some(xi) = sim.fresh.pop() {
+            progress = true;
+            expand(si, sim, shared, xi);
+        } else if !sim.leaf_only && sim.cursor < shared.letters.len() {
+            let li = sim.cursor as LetterId;
+            sim.cursor += 1;
+            progress = true;
+            let key = shared.letters[li as usize];
+            if !sim.wants_any && !sim.wants_f.contains(&key.f) {
+                continue;
+            }
+            let settled = sim.states.len() as u32;
+            for xi in 0..settled {
+                try_letter(si, sim, shared, xi, li);
+                if shared.root_hit.is_some() {
+                    return true;
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    if sim.leaf_only {
+        // ε-closure of the start tuple has been checked; leaves never gain
+        // children, so the frontier is complete.
+        sim.dead = true;
+    }
+    progress
+}
+
+/// Reconstructs the consumed-letter word of the pred chain ending at `fi`.
+fn word_of(sim: &Sim, fi: u32) -> Vec<LetterId> {
+    let mut word = Vec::new();
+    let mut cur = fi;
+    while let Some((letter, prev)) = sim.pred[cur as usize] {
+        if let Some(l) = letter {
+            word.push(l);
+        }
+        cur = prev;
+    }
+    word.reverse();
+    word
+}
+
+/// Builds the witness subtree realizing `letter`. Terminates because every
+/// letter in a firing's word was realized strictly earlier.
+fn spec_of(alphabet: &Alphabet, sims: &[Sim], shared: &Shared, letter: LetterId) -> TreeSpec {
+    let (si, fi) = shared.firings[letter as usize];
+    let sim = &sims[si as usize];
+    let label = witness_label(&sim.guard, alphabet);
+    match alphabet.kind(label) {
+        LabelKind::Element => {
+            let children = word_of(sim, fi)
+                .into_iter()
+                .map(|l| spec_of(alphabet, sims, shared, l))
+                .collect();
+            TreeSpec::elem(label, children)
+        }
+        LabelKind::Attribute => TreeSpec::attr(label, "w"),
+        LabelKind::Text => TreeSpec::text("w"),
+    }
+}
+
+fn build_witness(alphabet: &Alphabet, sims: &[Sim], shared: &Shared, root: (u32, u32)) -> Document {
+    let mut doc = Document::new(alphabet.clone());
+    for li in word_of(&sims[root.0 as usize], root.1) {
+        let spec = spec_of(alphabet, sims, shared, li);
+        let (parent, pos) = (doc.root(), doc.children(doc.root()).len());
+        regtree_xml::insert_child(&mut doc, parent, pos, &spec)
+            .expect("witness specs are well-formed");
+    }
+    debug_assert!(doc.check_well_formed().is_ok());
+    doc
+}
+
+/// Runs the lazy on-the-fly IC emptiness check.
+///
+/// `pa_fd` must be compiled with marking, `pa_u` without; `schema` is the
+/// compiled schema automaton (`None` falls back to the universal automaton,
+/// which is language-preserving). `partition` lets callers share the guard
+/// minterms across many cells; when absent it is derived from the three
+/// automata.
+pub(crate) fn lazy_independence(
+    alphabet: &Alphabet,
+    pa_fd: &PatternAutomaton,
+    pa_u: &PatternAutomaton,
+    class: &UpdateClass,
+    schema: Option<&HedgeAutomaton>,
+    partition: Option<&GuardPartition>,
+) -> LazyOutcome {
+    let universal;
+    let a_s = match schema {
+        Some(s) => s,
+        None => {
+            universal = HedgeAutomaton::universal();
+            &universal
+        }
+    };
+    let af = &pa_fd.automaton;
+    let au = &pa_u.automaton;
+    let owned_partition;
+    let part = match partition {
+        Some(p) => p,
+        None => {
+            owned_partition = GuardPartition::from_automata([af, au, a_s]);
+            &owned_partition
+        }
+    };
+    let total_states = af.num_states() * au.num_states() * 2 * a_s.num_states();
+
+    // Index schema transitions by guard class: `Is` guards land in their
+    // symbol's class bucket, wildcard-ish guards are always candidates.
+    let mut s_by_class: Vec<Vec<usize>> = vec![Vec::new(); part.num_classes()];
+    let mut s_wild: Vec<usize> = Vec::new();
+    for (i, ts) in a_s.transitions().iter().enumerate() {
+        match &ts.guard {
+            LabelGuard::Is(sym) => s_by_class[part.class_of(*sym)].push(i),
+            LabelGuard::Any | LabelGuard::AnyExcept(_) => s_wild.push(i),
+        }
+    }
+    let masks_f: Vec<_> = af
+        .transitions()
+        .iter()
+        .map(|t| part.mask(&t.guard))
+        .collect();
+    let masks_u: Vec<_> = au
+        .transitions()
+        .iter()
+        .map(|t| part.mask(&t.guard))
+        .collect();
+
+    let selected = class.pattern().selected();
+    let mut sims: Vec<Sim> = Vec::new();
+    let mut shared = Shared {
+        letters: Vec::new(),
+        ids: HashMap::new(),
+        firings: Vec::new(),
+        root_hit: None,
+    };
+    // Dedup stamp over schema-transition candidates per (tf, tu) pair.
+    let mut stamp: Vec<u32> = vec![0; a_s.transitions().len()];
+    let mut generation: u32 = 0;
+
+    for (fi, tf) in af.transitions().iter().enumerate() {
+        let in_region = pa_fd.in_region(tf.target);
+        for (ui, tu) in au.transitions().iter().enumerate() {
+            if !masks_f[fi].intersects(&masks_u[ui]) {
+                continue;
+            }
+            let Some(g_fu) = tf.guard.intersect(&tu.guard) else {
+                continue;
+            };
+            let updated_here = pa_u
+                .endpoint_of(tu.target)
+                .map(|w| selected.contains(&w))
+                .unwrap_or(false);
+            let local = updated_here && in_region;
+            generation += 1;
+            let candidates = masks_f[fi]
+                .classes()
+                .filter(|&c| masks_u[ui].admits(c))
+                .flat_map(|c| s_by_class[c].iter().copied())
+                .chain(s_wild.iter().copied());
+            for si_idx in candidates {
+                if stamp[si_idx] == generation {
+                    continue;
+                }
+                stamp[si_idx] = generation;
+                let ts = &a_s.transitions()[si_idx];
+                let Some(guard) = g_fu.intersect(&ts.guard) else {
+                    continue;
+                };
+                let root_final = tf.target == pa_fd.acc
+                    && tu.target == pa_u.acc
+                    && a_s.finals().contains(&ts.target)
+                    && guard.matches(Alphabet::ROOT);
+                let leaf_only = guard.forces_leaf(alphabet);
+                let si = sims.len() as u32;
+                sims.push(Sim {
+                    hf: &tf.horizontal,
+                    hu: &tu.horizontal,
+                    hs: &ts.horizontal,
+                    guard,
+                    tf_target: tf.target,
+                    tu_target: tu.target,
+                    ts_target: ts.target,
+                    local,
+                    leaf_only,
+                    root_final,
+                    states: Vec::new(),
+                    pred: Vec::new(),
+                    fresh: Vec::new(),
+                    cursor: 0,
+                    wants_f: Vec::new(),
+                    wants_any: false,
+                    dead: false,
+                });
+                let sim = sims.last_mut().unwrap();
+                let start = FState {
+                    sf: sim.hf.start(),
+                    su: sim.hu.start(),
+                    ss: sim.hs.start(),
+                    seen: 0,
+                };
+                add_fstate(si, sim, &mut shared, start, None);
+            }
+        }
+    }
+
+    // Round-robin the sims until no frontier advances (fixpoint) or a root
+    // firing accepts (early exit).
+    let mut round_progress = true;
+    while round_progress && shared.root_hit.is_none() {
+        round_progress = false;
+        for (si, sim) in sims.iter_mut().enumerate() {
+            round_progress |= pump(si as u32, sim, &mut shared);
+            if shared.root_hit.is_some() {
+                break;
+            }
+        }
+    }
+
+    let verdict = match shared.root_hit {
+        Some(root) => Verdict::Unknown {
+            witness: Some(Box::new(build_witness(alphabet, &sims, &shared, root))),
+        },
+        None => Verdict::Independent,
+    };
+    LazyOutcome {
+        verdict,
+        explored_states: shared.letters.len(),
+        total_states,
+    }
+}

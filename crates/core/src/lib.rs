@@ -24,6 +24,7 @@
 pub mod fd;
 pub mod impact;
 pub mod independence;
+mod lazy_ic;
 pub mod matrix;
 pub mod pathfd;
 pub mod reduction;
@@ -34,8 +35,8 @@ pub mod update;
 pub use fd::{EqualityType, Fd, FdBuilder, FdError};
 pub use impact::{classify_pair, search_impact, ImpactWitness, PairClassification};
 pub use independence::{
-    build_ic_automaton, check_independence, in_language_naive, is_independent,
-    IndependenceAnalysis, Verdict,
+    build_ic_automaton, check_independence, check_independence_eager, in_language_naive,
+    is_independent, IndependenceAnalysis, Verdict,
 };
 pub use matrix::{analyze_matrix, IndependenceMatrix, MatrixCell};
 pub use pathfd::{expressible_in_path_formalism, Inexpressibility, PathFd, PathFdError};

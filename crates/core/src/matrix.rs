@@ -5,13 +5,23 @@
 //! *set* of update classes. [`analyze_matrix`] runs the criterion for every
 //! pair and summarizes which FDs need re-verification after which update
 //! classes — the static complement of a validator's scheduling table.
+//!
+//! The matrix amortizes everything shareable across cells: the schema
+//! automaton is compiled once, each FD row and update-class column is
+//! compiled to its pattern automaton once, and a single
+//! [`GuardPartition`] of label minterms serves every cell's guard
+//! intersections. Cells then run the lazy on-the-fly emptiness engine
+//! ([`crate::lazy_ic`]) on scoped worker threads
+//! ([`regtree_pattern::parallel_map`]).
 
 use std::fmt;
 
-use regtree_hedge::Schema;
+use regtree_hedge::{GuardPartition, Schema};
+use regtree_pattern::{compile_pattern, parallel_map};
 
 use crate::fd::Fd;
-use crate::independence::{check_independence, Verdict};
+use crate::independence::Verdict;
+use crate::lazy_ic::lazy_independence;
 use crate::update::UpdateClass;
 
 /// One cell of the analysis matrix.
@@ -23,8 +33,10 @@ pub struct MatrixCell {
     pub class: usize,
     /// The criterion's verdict.
     pub verdict: Verdict,
-    /// Size of the product automaton tested for emptiness.
+    /// State count of the full product the criterion ranges over.
     pub automaton_size: usize,
+    /// Product states the lazy engine actually explored.
+    pub explored_states: usize,
 }
 
 /// The full matrix plus aggregate statistics.
@@ -97,23 +109,52 @@ impl fmt::Display for IndependenceMatrix {
 }
 
 /// Runs the criterion for every (FD, class) pair.
+///
+/// Shared work — schema compilation, pattern compilation per row/column, and
+/// the guard minterm partition — happens once up front; the cells themselves
+/// run in parallel on scoped worker threads.
 pub fn analyze_matrix(
     fds: &[(&str, &Fd)],
     classes: &[(&str, &UpdateClass)],
     schema: Option<&Schema>,
 ) -> IndependenceMatrix {
-    let mut cells = Vec::with_capacity(fds.len() * classes.len());
-    for (i, (_, fd)) in fds.iter().enumerate() {
-        for (j, (_, class)) in classes.iter().enumerate() {
-            let analysis = check_independence(fd, class, schema);
-            cells.push(MatrixCell {
-                fd: i,
-                class: j,
-                verdict: analysis.verdict,
-                automaton_size: analysis.automaton_size,
-            });
+    let schema_auto = schema.map(|s| s.compile());
+    let pa_fds: Vec<_> = fds
+        .iter()
+        .map(|(_, fd)| compile_pattern(fd.pattern(), true))
+        .collect();
+    let pa_us: Vec<_> = classes
+        .iter()
+        .map(|(_, class)| compile_pattern(class.pattern(), false))
+        .collect();
+    let partition = GuardPartition::from_automata(
+        pa_fds
+            .iter()
+            .chain(pa_us.iter())
+            .map(|pa| &pa.automaton)
+            .chain(schema_auto.iter()),
+    );
+    let pairs: Vec<(usize, usize)> = (0..fds.len())
+        .flat_map(|i| (0..classes.len()).map(move |j| (i, j)))
+        .collect();
+    let cells = parallel_map(&pairs, |&(i, j)| {
+        let alphabet = fds[i].1.template().alphabet();
+        let out = lazy_independence(
+            alphabet,
+            &pa_fds[i],
+            &pa_us[j],
+            classes[j].1,
+            schema_auto.as_ref(),
+            Some(&partition),
+        );
+        MatrixCell {
+            fd: i,
+            class: j,
+            verdict: out.verdict,
+            automaton_size: out.total_states,
+            explored_states: out.explored_states,
         }
-    }
+    });
     IndependenceMatrix {
         fd_names: fds.iter().map(|(n, _)| n.to_string()).collect(),
         class_names: classes.iter().map(|(n, _)| n.to_string()).collect(),
@@ -186,7 +227,50 @@ mod tests {
         let (fds, classes) = setup();
         let m = analyze_matrix(&[("p", &fds[0])], &[("r", &classes[0])], None);
         assert!(m.cell(0, 0).automaton_size > 0);
+        assert!(m.cell(0, 0).explored_states > 0);
+        assert!(m.cell(0, 0).explored_states <= m.cell(0, 0).automaton_size);
         assert_eq!(m.cell(0, 0).fd, 0);
         assert_eq!(m.cell(0, 0).class, 0);
+    }
+
+    #[test]
+    fn cell_indexing_is_row_major() {
+        let (fds, classes) = setup();
+        let m = analyze_matrix(
+            &[("price", &fds[0]), ("name", &fds[1])],
+            &[("restock", &classes[0]), ("reprice", &classes[1])],
+            None,
+        );
+        assert_eq!(m.cells.len(), 4);
+        for i in 0..2 {
+            for j in 0..2 {
+                let cell = m.cell(i, j);
+                assert_eq!((cell.fd, cell.class), (i, j));
+                // Row-major layout: cells[i * ncols + j].
+                assert_eq!((m.cells[i * 2 + j].fd, m.cells[i * 2 + j].class), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = analyze_matrix(&[], &[], None);
+        assert!(m.cells.is_empty());
+        assert!(m.fd_names.is_empty());
+        assert_eq!(m.independent_count(), 0);
+        // Display of an empty matrix must not panic.
+        let rendered = m.to_string();
+        assert!(rendered.ends_with('\n'));
+        // No rows and no columns also means nothing to recheck.
+        assert!(m.fds_to_recheck(0).is_empty());
+    }
+
+    #[test]
+    fn empty_rows_with_columns() {
+        let (_, classes) = setup();
+        let m = analyze_matrix(&[], &[("restock", &classes[0])], None);
+        assert!(m.cells.is_empty());
+        assert_eq!(m.class_names.len(), 1);
+        assert!(m.fds_to_recheck(0).is_empty());
     }
 }

@@ -9,7 +9,7 @@
 //! (an [`Nfa`] whose letters are tree states). A document is accepted when
 //! its root can take a final state.
 
-use regtree_alphabet::{Alphabet, Symbol};
+use regtree_alphabet::{Alphabet, LabelKind, Symbol};
 use regtree_automata::{Nfa, NfaBuilder};
 use regtree_xml::{Document, NodeId};
 
@@ -37,8 +37,20 @@ impl LabelGuard {
         }
     }
 
-    /// The conjunction of two guards, when satisfiable (used by product
-    /// constructions).
+    /// Can the guard *only* accept attribute/text labels? Such nodes are
+    /// leaves in well-formed documents, so a transition guarded this way can
+    /// only ever fire with the empty child word.
+    pub fn forces_leaf(&self, alphabet: &Alphabet) -> bool {
+        match self {
+            LabelGuard::Is(s) => alphabet.kind(*s) != LabelKind::Element,
+            // Any/AnyExcept guards can always be satisfied by an element
+            // label (fresh element labels can be interned at will).
+            LabelGuard::Any | LabelGuard::AnyExcept(_) => false,
+        }
+    }
+
+    /// The conjunction of two guards, when satisfiable (the single shared
+    /// implementation used by every product construction).
     pub fn intersect(&self, other: &LabelGuard) -> Option<LabelGuard> {
         match (self, other) {
             (LabelGuard::Is(x), LabelGuard::Is(y)) => (x == y).then_some(LabelGuard::Is(*x)),

@@ -4,16 +4,29 @@
 //! emptiness of the language `L` of a product hedge automaton. The classical
 //! fixpoint — a state is *realizable* once some transition can fire using
 //! only realizable child states — runs in polynomial time; we additionally
-//! record, per state, a minimal firing so that a concrete **witness
-//! document** can be rebuilt whenever the language is nonempty. Witnesses
-//! make a failed independence check actionable: they exhibit a document on
-//! which an update may interact with the FD.
+//! record, per state, a firing so that a concrete **witness document** can be
+//! rebuilt whenever the language is nonempty. Witnesses make a failed
+//! independence check actionable: they exhibit a document on which an update
+//! may interact with the FD.
+//!
+//! The fixpoint is *worklist-driven and incremental*: every transition keeps
+//! a frontier of horizontal-NFA states reachable over the realized letters
+//! seen so far, NFA edges blocked on a not-yet-realized letter are indexed in
+//! a waiting list keyed by that letter, and realizing a state advances
+//! exactly the frontiers waiting on it. No horizontal automaton is ever
+//! re-simulated from scratch, and [`witness_document`] exits the moment an
+//! accepting root firing appears. Each frontier records a first-reach
+//! back-pointer per NFA state, from which the accepted child word is
+//! reconstructed.
 //!
 //! Well-formedness of witnesses is respected: a transition guarded by an
 //! attribute/text label can only fire with an empty child word (those nodes
 //! are leaves carrying a placeholder value).
 
+use std::collections::HashMap;
+
 use regtree_alphabet::{Alphabet, LabelKind, Symbol};
+use regtree_automata::{NfaLabel, StateId};
 use regtree_xml::{Document, TreeSpec};
 
 use crate::automaton::{generic_element_label, HedgeAutomaton, LabelGuard, TreeState};
@@ -29,75 +42,265 @@ struct Firing {
 /// Result of the realizability analysis.
 pub struct Realizability {
     firings: Vec<Option<Firing>>,
+    realizable: Vec<bool>,
+    /// Realized states in realization order; each state appears exactly once.
+    order: Vec<TreeState>,
 }
 
 impl Realizability {
-    /// Which states are realizable at some well-formed node?
-    pub fn realizable_states(&self) -> Vec<TreeState> {
-        self.firings
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.is_some())
-            .map(|(i, _)| i as TreeState)
-            .collect()
+    /// Which states are realizable at some well-formed node? Returned in
+    /// realization order, without duplicates and without allocating.
+    pub fn realizable_states(&self) -> &[TreeState] {
+        &self.order
     }
 
-    /// Is `q` realizable?
+    /// Is `q` realizable? Constant-time bitset probe.
     pub fn is_realizable(&self, q: TreeState) -> bool {
-        self.firings
-            .get(q as usize)
-            .map(|f| f.is_some())
-            .unwrap_or(false)
+        self.realizable.get(q as usize).copied().unwrap_or(false)
     }
+}
+
+/// Incremental simulation of one transition's horizontal NFA over the
+/// realized letters seen so far.
+struct Sim {
+    /// NFA states reached using realized letters only.
+    reached: Vec<bool>,
+    /// First-reach back-pointer: `(consumed letter, predecessor)`, with the
+    /// letter `None` for ε-moves; `None` at the NFA start state. Never
+    /// overwritten, so pred chains form a tree rooted at the start state.
+    pred: Vec<Option<(Option<TreeState>, StateId)>>,
+    /// The transition can contribute nothing further.
+    dead: bool,
+    /// Targets a final state under a root-matching guard: its acceptances
+    /// decide language-level emptiness.
+    root_final: bool,
+}
+
+/// One pending "NFA state reached" event.
+struct Reach {
+    sim: usize,
+    state: StateId,
+    pred: Option<(Option<TreeState>, StateId)>,
+}
+
+struct Engine<'a> {
+    automaton: &'a HedgeAutomaton,
+    sims: Vec<Sim>,
+    firings: Vec<Option<Firing>>,
+    realizable: Vec<bool>,
+    order: Vec<TreeState>,
+    /// Letter → NFA edges blocked on it: `(sim, from, to)`.
+    waiting_sym: HashMap<TreeState, Vec<(usize, StateId, StateId)>>,
+    /// Wildcard edges blocked on the *first* realized letter (an `Any` edge
+    /// can consume any realized letter, so only emptiness of the realized set
+    /// blocks it).
+    waiting_any: Vec<(usize, StateId, StateId)>,
+    stack: Vec<Reach>,
+    /// First accepted root firing: `(transition, child word)`.
+    root_word: Option<(usize, Vec<TreeState>)>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(automaton: &'a HedgeAutomaton) -> Engine<'a> {
+        let n = automaton.num_states();
+        Engine {
+            automaton,
+            sims: Vec::with_capacity(automaton.transitions().len()),
+            firings: vec![None; n],
+            realizable: vec![false; n],
+            order: Vec::new(),
+            waiting_sym: HashMap::new(),
+            waiting_any: Vec::new(),
+            stack: Vec::new(),
+            root_word: None,
+        }
+    }
+
+    /// Runs the fixpoint. With `stop_at_root`, stops as soon as a root-final
+    /// transition accepts (the realizability data stays sufficient to expand
+    /// every letter of the accepted word into a witness subtree).
+    fn run(&mut self, alphabet: &Alphabet, stop_at_root: bool) {
+        let transitions = self.automaton.transitions();
+        for (ti, t) in transitions.iter().enumerate() {
+            let root_final =
+                self.automaton.finals().contains(&t.target) && t.guard.matches(Alphabet::ROOT);
+            let nh = t.horizontal.num_states();
+            self.sims.push(Sim {
+                reached: vec![false; nh],
+                pred: vec![None; nh],
+                dead: false,
+                root_final,
+            });
+            if t.guard.forces_leaf(alphabet) {
+                // Attribute/text nodes are leaves: ε is the only candidate
+                // child word, checked once; the frontier never advances.
+                if t.horizontal.accepts(&[]) {
+                    self.on_accept(ti, Vec::new());
+                }
+                self.sims[ti].dead = true;
+            } else {
+                self.stack.push(Reach {
+                    sim: ti,
+                    state: t.horizontal.start(),
+                    pred: None,
+                });
+            }
+            while let Some(r) = self.stack.pop() {
+                if stop_at_root && self.root_word.is_some() {
+                    return;
+                }
+                self.expand(r);
+            }
+            if stop_at_root && self.root_word.is_some() {
+                return;
+            }
+        }
+    }
+
+    fn expand(&mut self, r: Reach) {
+        let automaton = self.automaton;
+        let t = &automaton.transitions()[r.sim];
+        let target_realized = self.realizable[t.target as usize];
+        let accepted_word = {
+            let sim = &mut self.sims[r.sim];
+            // A sim whose target is realized contributes nothing further —
+            // unless it is root-final and a root word is still wanted.
+            if sim.dead || (target_realized && (!sim.root_final || self.root_word.is_some())) {
+                sim.dead = true;
+                return;
+            }
+            if sim.reached[r.state as usize] {
+                return;
+            }
+            sim.reached[r.state as usize] = true;
+            sim.pred[r.state as usize] = r.pred;
+            t.horizontal
+                .is_accept(r.state)
+                .then(|| word_to(sim, r.state))
+        };
+        let first_letter = self.order.first().copied();
+        for &(label, to) in t.horizontal.transitions_from(r.state) {
+            match label {
+                NfaLabel::Eps => self.stack.push(Reach {
+                    sim: r.sim,
+                    state: to,
+                    pred: Some((None, r.state)),
+                }),
+                NfaLabel::Sym(x) => {
+                    // Letters may name states the automaton does not have
+                    // (e.g. sentinel fillers); those simply never realize.
+                    if self.realizable.get(x as usize).copied().unwrap_or(false) {
+                        self.stack.push(Reach {
+                            sim: r.sim,
+                            state: to,
+                            pred: Some((Some(x), r.state)),
+                        });
+                    } else {
+                        self.waiting_sym
+                            .entry(x)
+                            .or_default()
+                            .push((r.sim, r.state, to));
+                    }
+                }
+                NfaLabel::Any => match first_letter {
+                    Some(w) => self.stack.push(Reach {
+                        sim: r.sim,
+                        state: to,
+                        pred: Some((Some(w), r.state)),
+                    }),
+                    None => self.waiting_any.push((r.sim, r.state, to)),
+                },
+            }
+        }
+        if let Some(word) = accepted_word {
+            self.on_accept(r.sim, word);
+        }
+    }
+
+    fn on_accept(&mut self, ti: usize, word: Vec<TreeState>) {
+        if self.sims[ti].root_final && self.root_word.is_none() {
+            self.root_word = Some((ti, word.clone()));
+        }
+        let target = self.automaton.transitions()[ti].target;
+        if !self.realizable[target as usize] {
+            self.realize(
+                target,
+                Firing {
+                    transition: ti,
+                    child_states: word,
+                },
+            );
+        }
+    }
+
+    fn realize(&mut self, q: TreeState, firing: Firing) {
+        // Invariant (and regression guard): each state enters `order` at most
+        // once, no matter how many transitions target it.
+        assert!(
+            !self.realizable[q as usize],
+            "state {q} pushed to the realized list twice"
+        );
+        self.realizable[q as usize] = true;
+        self.firings[q as usize] = Some(firing);
+        if self.order.is_empty() {
+            for (si, from, to) in std::mem::take(&mut self.waiting_any) {
+                self.stack.push(Reach {
+                    sim: si,
+                    state: to,
+                    pred: Some((Some(q), from)),
+                });
+            }
+        }
+        self.order.push(q);
+        if let Some(edges) = self.waiting_sym.remove(&q) {
+            for (si, from, to) in edges {
+                self.stack.push(Reach {
+                    sim: si,
+                    state: to,
+                    pred: Some((Some(q), from)),
+                });
+            }
+        }
+    }
+
+    fn finish(self) -> (Realizability, Option<(usize, Vec<TreeState>)>) {
+        (
+            Realizability {
+                firings: self.firings,
+                realizable: self.realizable,
+                order: self.order,
+            },
+            self.root_word,
+        )
+    }
+}
+
+/// Reconstructs the accepted word from the first-reach pred chain ending at
+/// `state`. Pred chains point strictly toward earlier-reached states, so the
+/// walk terminates; every letter on it was realized before the acceptance.
+fn word_to(sim: &Sim, state: StateId) -> Vec<TreeState> {
+    let mut word = Vec::new();
+    let mut cur = state;
+    while let Some((letter, prev)) = sim.pred[cur as usize] {
+        if let Some(l) = letter {
+            word.push(l);
+        }
+        cur = prev;
+    }
+    word.reverse();
+    word
 }
 
 /// Computes realizable states (the emptiness fixpoint of Proposition 3).
 pub fn realizability(automaton: &HedgeAutomaton, alphabet: &Alphabet) -> Realizability {
-    let n = automaton.num_states();
-    let mut firings: Vec<Option<Firing>> = vec![None; n];
-    let mut realized: Vec<TreeState> = Vec::new();
-    loop {
-        let mut changed = false;
-        for (ti, t) in automaton.transitions().iter().enumerate() {
-            if firings[t.target as usize].is_some() {
-                continue;
-            }
-            let leaf_only = guard_is_leaf_kind(&t.guard, alphabet);
-            let word = if leaf_only {
-                if t.horizontal.accepts(&[]) {
-                    Some(Vec::new())
-                } else {
-                    None
-                }
-            } else {
-                t.horizontal.shortest_accepted_over(&realized)
-            };
-            if let Some(w) = word {
-                firings[t.target as usize] = Some(Firing {
-                    transition: ti,
-                    child_states: w,
-                });
-                realized.push(t.target);
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    Realizability { firings }
+    let mut eng = Engine::new(automaton);
+    eng.run(alphabet, false);
+    eng.finish().0
 }
 
-fn guard_is_leaf_kind(guard: &LabelGuard, alphabet: &Alphabet) -> bool {
-    match guard {
-        LabelGuard::Is(s) => alphabet.kind(*s) != LabelKind::Element,
-        // Any/AnyExcept guards can always be satisfied by an element label
-        // (fresh element labels can be interned at will).
-        LabelGuard::Any | LabelGuard::AnyExcept(_) => false,
-    }
-}
-
-fn pick_label(guard: &LabelGuard, alphabet: &Alphabet) -> Symbol {
+/// Chooses a concrete label satisfying `guard` for witness construction,
+/// always preferring an element label so the witness node may carry children.
+pub fn witness_label(guard: &LabelGuard, alphabet: &Alphabet) -> Symbol {
     match guard {
         LabelGuard::Is(s) => *s,
         // An element label always keeps the witness well-formed whether or
@@ -133,7 +336,7 @@ pub fn witness_spec(
 ) -> Option<TreeSpec> {
     let firing = real.firings.get(q as usize)?.as_ref()?;
     let t = &automaton.transitions()[firing.transition];
-    let label = pick_label(&t.guard, alphabet);
+    let label = witness_label(&t.guard, alphabet);
     match alphabet.kind(label) {
         LabelKind::Element => {
             let children = firing
@@ -150,27 +353,21 @@ pub fn witness_spec(
 
 /// Produces a document of the automaton's language, or `None` when it is
 /// empty. The language-level check additionally requires a final state
-/// reachable *at the reserved `/` root*.
+/// reachable *at the reserved `/` root*; the fixpoint early-exits the moment
+/// such a root firing accepts.
 pub fn witness_document(automaton: &HedgeAutomaton, alphabet: &Alphabet) -> Option<Document> {
-    let real = realizability(automaton, alphabet);
-    let realized = real.realizable_states();
-    for t in automaton.transitions() {
-        if !automaton.finals().contains(&t.target) || !t.guard.matches(Alphabet::ROOT) {
-            continue;
-        }
-        let Some(word) = t.horizontal.shortest_accepted_over(&realized) else {
-            continue;
-        };
-        let mut doc = Document::new(alphabet.clone());
-        for &c in &word {
-            let spec = witness_spec(automaton, alphabet, &real, c)
-                .expect("letters of the shortest word are realizable states");
-            spec_attach(&mut doc, &spec);
-        }
-        debug_assert!(doc.check_well_formed().is_ok());
-        return Some(doc);
+    let mut eng = Engine::new(automaton);
+    eng.run(alphabet, true);
+    let (real, root_word) = eng.finish();
+    let (_, word) = root_word?;
+    let mut doc = Document::new(alphabet.clone());
+    for &c in &word {
+        let spec = witness_spec(automaton, alphabet, &real, c)
+            .expect("letters of an accepted word are realizable states");
+        spec_attach(&mut doc, &spec);
     }
-    None
+    debug_assert!(doc.check_well_formed().is_ok());
+    Some(doc)
 }
 
 /// Appends `spec` under the document root.
@@ -190,7 +387,7 @@ mod tests {
     use crate::automaton::{
         horizontal_epsilon, horizontal_interleaved, horizontal_star, HedgeTransition,
     };
-    use regtree_automata::{NfaBuilder, NfaLabel};
+    use regtree_automata::NfaBuilder;
 
     /// root '/' must contain one `b` whose children are `a*`.
     fn sample(alpha: &Alphabet) -> HedgeAutomaton {
@@ -276,6 +473,7 @@ mod tests {
         assert!(!real.is_realizable(0));
         assert!(!real.is_realizable(1));
         assert!(!real.is_realizable(2));
+        assert!(real.realizable_states().is_empty());
     }
 
     #[test]
@@ -361,6 +559,84 @@ mod tests {
         let doc = witness_document(&m, &alpha).unwrap();
         let child = doc.children(doc.root())[0];
         assert_ne!(doc.label(child), x);
+        assert!(m.accepts(&doc));
+    }
+
+    #[test]
+    fn multi_transition_target_realized_once() {
+        // Regression: several transitions target the same state and all can
+        // fire; the state must enter the realized list exactly once (the
+        // engine asserts this internally) and keep a single firing.
+        let alpha = Alphabet::new();
+        let x = alpha.intern("x");
+        let y = alpha.intern("y");
+        let z = alpha.intern("z");
+        let m = HedgeAutomaton::new(
+            2,
+            vec![
+                HedgeTransition {
+                    guard: LabelGuard::Is(x),
+                    horizontal: horizontal_epsilon(),
+                    target: 0,
+                },
+                HedgeTransition {
+                    guard: LabelGuard::Is(y),
+                    horizontal: horizontal_epsilon(),
+                    target: 0,
+                },
+                HedgeTransition {
+                    guard: LabelGuard::Is(z),
+                    horizontal: horizontal_star(0),
+                    target: 0,
+                },
+                HedgeTransition {
+                    guard: LabelGuard::Is(Alphabet::ROOT),
+                    horizontal: horizontal_interleaved(9999, &[0]),
+                    target: 1,
+                },
+            ],
+            vec![1],
+        );
+        let real = realizability(&m, &alpha);
+        assert_eq!(real.realizable_states(), &[0, 1]);
+        assert!(real.is_realizable(0));
+        assert!(real.is_realizable(1));
+        assert!(!real.is_realizable(7));
+        let doc = witness_document(&m, &alpha).unwrap();
+        assert!(m.accepts(&doc));
+    }
+
+    #[test]
+    fn incremental_frontier_handles_chained_dependencies() {
+        // A chain q0 <- q1 <- ... <- q9 where each q(i+1) needs a child in
+        // state qi: the waiting-list index must wake each transition exactly
+        // when its letter realizes.
+        let alpha = Alphabet::new();
+        let x = alpha.intern("x");
+        let depth = 10u32;
+        let mut transitions = vec![HedgeTransition {
+            guard: LabelGuard::Is(x),
+            horizontal: horizontal_epsilon(),
+            target: 0,
+        }];
+        for q in 1..depth {
+            transitions.push(HedgeTransition {
+                guard: LabelGuard::Is(x),
+                horizontal: horizontal_interleaved(9999, &[q - 1]),
+                target: q,
+            });
+        }
+        transitions.push(HedgeTransition {
+            guard: LabelGuard::Is(Alphabet::ROOT),
+            horizontal: horizontal_interleaved(9999, &[depth - 1]),
+            target: depth,
+        });
+        let m = HedgeAutomaton::new(depth as usize + 1, transitions, vec![depth]);
+        let real = realizability(&m, &alpha);
+        for q in 0..=depth {
+            assert!(real.is_realizable(q), "state {q} should be realizable");
+        }
+        let doc = witness_document(&m, &alpha).unwrap();
         assert!(m.accepts(&doc));
     }
 }

@@ -20,6 +20,7 @@
 
 pub mod automaton;
 pub mod emptiness;
+pub mod partition;
 pub mod product;
 pub mod schema;
 
@@ -27,7 +28,10 @@ pub use automaton::{
     generic_element_label, horizontal_epsilon, horizontal_interleaved, horizontal_star,
     HedgeAutomaton, HedgeTransition, LabelGuard, TreeState, ValidationError,
 };
-pub use emptiness::{is_empty_language, realizability, witness_document, witness_spec};
+pub use emptiness::{
+    is_empty_language, realizability, witness_document, witness_label, witness_spec,
+};
+pub use partition::{GuardMask, GuardPartition};
 pub use product::{intersect, intersect_with_encoding, union, PairEncoding};
 pub use schema::{Schema, SchemaError};
 

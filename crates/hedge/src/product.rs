@@ -6,7 +6,7 @@
 
 use regtree_automata::{Nfa, NfaBuilder, NfaLabel};
 
-use crate::automaton::{HedgeAutomaton, HedgeTransition, LabelGuard, TreeState};
+use crate::automaton::{HedgeAutomaton, HedgeTransition, TreeState};
 
 /// Pair-state encoding for products: `(qa, qb) -> qa * nb + qb`.
 #[derive(Clone, Copy, Debug)]
@@ -25,11 +25,6 @@ impl PairEncoding {
     pub fn decode(&self, q: TreeState) -> (TreeState, TreeState) {
         (q / self.nb, q % self.nb)
     }
-}
-
-/// Intersection of two guards, when satisfiable.
-fn guard_intersect(a: &LabelGuard, b: &LabelGuard) -> Option<LabelGuard> {
-    a.intersect(b)
 }
 
 /// Product of two horizontal NFAs over pair-encoded letters: accepts a word
@@ -142,7 +137,7 @@ pub fn intersect_with_encoding(
     let mut transitions = Vec::new();
     for ta in a.transitions() {
         for tb in b.transitions() {
-            let Some(guard) = guard_intersect(&ta.guard, &tb.guard) else {
+            let Some(guard) = ta.guard.intersect(&tb.guard) else {
                 continue;
             };
             let horizontal = horizontal_product(&ta.horizontal, &tb.horizontal, na, enc);
@@ -203,7 +198,7 @@ pub fn union(a: &HedgeAutomaton, b: &HedgeAutomaton) -> HedgeAutomaton {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::automaton::horizontal_star;
+    use crate::automaton::{horizontal_star, LabelGuard};
     use regtree_alphabet::Alphabet;
     use regtree_xml::parse_document;
 
@@ -357,29 +352,23 @@ mod tests {
         let x = a.intern("x");
         let y = a.intern("y");
         assert_eq!(
-            guard_intersect(&LabelGuard::Is(x), &LabelGuard::Is(x)),
+            LabelGuard::Is(x).intersect(&LabelGuard::Is(x)),
+            Some(LabelGuard::Is(x))
+        );
+        assert_eq!(LabelGuard::Is(x).intersect(&LabelGuard::Is(y)), None);
+        assert_eq!(
+            LabelGuard::Is(x).intersect(&LabelGuard::Any),
             Some(LabelGuard::Is(x))
         );
         assert_eq!(
-            guard_intersect(&LabelGuard::Is(x), &LabelGuard::Is(y)),
+            LabelGuard::AnyExcept(vec![x]).intersect(&LabelGuard::Is(x)),
             None
         );
         assert_eq!(
-            guard_intersect(&LabelGuard::Is(x), &LabelGuard::Any),
-            Some(LabelGuard::Is(x))
-        );
-        assert_eq!(
-            guard_intersect(&LabelGuard::AnyExcept(vec![x]), &LabelGuard::Is(x)),
-            None
-        );
-        assert_eq!(
-            guard_intersect(&LabelGuard::AnyExcept(vec![x]), &LabelGuard::Is(y)),
+            LabelGuard::AnyExcept(vec![x]).intersect(&LabelGuard::Is(y)),
             Some(LabelGuard::Is(y))
         );
-        match guard_intersect(
-            &LabelGuard::AnyExcept(vec![x]),
-            &LabelGuard::AnyExcept(vec![y]),
-        ) {
+        match LabelGuard::AnyExcept(vec![x]).intersect(&LabelGuard::AnyExcept(vec![y])) {
             Some(LabelGuard::AnyExcept(n)) => {
                 assert!(n.contains(&x) && n.contains(&y));
             }

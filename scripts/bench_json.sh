@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the independence-criterion benches (E9 ic_scaling, E10
+# ic_vs_revalidation incl. the independence_matrix group) and emits
+# BENCH_ic.json mapping each benchmark id to its median nanoseconds.
+# Commit the refreshed BENCH_ic.json alongside perf-relevant changes so the
+# trajectory stays in-tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_ic.json}"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+cargo bench -p regtree-bench --bench ic_scaling | tee "$raw"
+cargo bench -p regtree-bench --bench ic_vs_revalidation | tee -a "$raw"
+
+python3 - "$raw" "$out" <<'EOF'
+import json, re, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+unit_ns = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+line_re = re.compile(
+    r"^(\S+)\s+time:\s+\[\s*"
+    r"[\d.]+ (?:ns|µs|us|ms|s) "
+    r"([\d.]+) (ns|µs|us|ms|s) "
+    r"[\d.]+ (?:ns|µs|us|ms|s)\s*\]"
+)
+
+medians = {}
+with open(raw, encoding="utf-8") as fh:
+    for line in fh:
+        m = line_re.match(line.strip())
+        if m:
+            name, median, unit = m.group(1), float(m.group(2)), m.group(3)
+            medians[name] = round(median * unit_ns[unit])
+
+if not medians:
+    sys.exit("bench_json.sh: no benchmark lines parsed")
+
+with open(out, "w", encoding="utf-8") as fh:
+    json.dump(medians, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+print(f"wrote {out} ({len(medians)} benchmarks)")
+EOF

@@ -1,6 +1,11 @@
 //! E4 — Figures 4–5: FD satisfaction checking (Definition 5) on exam
 //! sessions of growing size, for the path-style `fd1` and the
 //! beyond-[8] `fd3`.
+// Intentionally on the deprecated free functions: they recompile the
+// automata every iteration, which is the cost these timings have always
+// measured. Migrating to the caching `Analyzer` would change the workload
+// and invalidate comparisons against the committed baselines.
+#![allow(deprecated)]
 
 use std::time::Duration;
 

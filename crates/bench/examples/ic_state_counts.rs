@@ -3,26 +3,34 @@
 //! interned versus the size of the full (never materialized) product the
 //! eager pipeline would build. Companion to `scripts/bench_json.sh`; the
 //! numbers land in EXPERIMENTS.md E9.
+// Intentionally on the deprecated free functions: they recompile the
+// automata every iteration, which is the cost these timings have always
+// measured. Migrating to the caching `Analyzer` would change the workload
+// and invalidate comparisons against the committed baselines.
+#![allow(deprecated)]
 
 use regtree_bench::{chain_schema, fd_with_conditions, padded_alphabet, update_chain};
 use regtree_core::check_independence;
 
 fn main() {
-    println!("axis             point   explored    total   verdict");
+    let machine = std::env::args().any(|a| a == "--counters");
+    if !machine {
+        println!("axis             point   explored    total   verdict");
+    }
     for &k in &[1usize, 2, 4, 6] {
         let a = regtree_gen::exam_alphabet();
         let r = check_independence(&fd_with_conditions(&a, k), &update_chain(&a, 2), None);
-        row("fd_conditions", k, &r);
+        row("fd_conditions", k, &r, machine);
     }
     for &d in &[1usize, 3, 6, 9] {
         let a = regtree_gen::exam_alphabet();
         let r = check_independence(&fd_with_conditions(&a, 2), &update_chain(&a, d), None);
-        row("update_depth", d, &r);
+        row("update_depth", d, &r, machine);
     }
     for &x in &[0usize, 50, 200, 800] {
         let a = padded_alphabet(x);
         let r = check_independence(&fd_with_conditions(&a, 2), &update_chain(&a, 2), None);
-        row("alphabet", x, &r);
+        row("alphabet", x, &r, machine);
     }
     for &n in &[2usize, 8, 16, 32] {
         let a = regtree_gen::exam_alphabet();
@@ -32,11 +40,29 @@ fn main() {
             &update_chain(&a, 2),
             Some(&schema),
         );
-        row("schema_rules", n, &r);
+        row("schema_rules", n, &r, machine);
     }
 }
 
-fn row(axis: &str, point: usize, r: &regtree_core::IndependenceAnalysis) {
+fn row(axis: &str, point: usize, r: &regtree_core::IndependenceAnalysis, machine: bool) {
+    if machine {
+        // Flat keys for scripts/bench_json.sh: counters land in BENCH_ic.json
+        // next to the medians so the work done per sweep point is versioned
+        // alongside the time it took.
+        let m = &r.metrics;
+        for (metric, value) in [
+            ("states_interned", m.states_interned),
+            ("transitions_fired", m.transitions_fired),
+            ("guard_intersections", m.guard_intersections),
+            ("dfa_steps", m.dfa_steps),
+            ("frontier_pushes", m.frontier_pushes),
+            ("explored_states", r.explored_states as u64),
+            ("total_states", r.total_states as u64),
+        ] {
+            println!("counters/{axis}/{point}/{metric} {value}");
+        }
+        return;
+    }
     println!(
         "{axis:<16} {point:>5} {:>10} {:>8}   {}",
         r.explored_states,

@@ -5,7 +5,9 @@
 //! rtpcheck fd-check      --fd "CTX : P1,P2 -> Q" DOC.xml...
 //! rtpcheck fd-check      --fds FDS.lst DOC.xml...   (batch, parallel)
 //! rtpcheck eval          --xpath "/session/candidate" DOC.xml
-//! rtpcheck independence  --fd "CTX : P1 -> Q" --update "/xpath" [--schema S] [--json]
+//! rtpcheck independence  --fd "CTX : P1 -> Q" --update "/xpath" [--schema S]
+//!                        [--deadline-ms N] [--max-states N] [--stats]
+//!                        [--format json]
 //! rtpcheck independence-matrix --fds FDS.lst --updates UPS.lst [--schema S]
 //! rtpcheck demo
 //! ```
@@ -15,12 +17,17 @@
 //! [`regtree_core::PathFd::parse`]; update classes are positive-CoreXPath
 //! queries whose final step is predicate-free (the selected node must be a
 //! leaf of the update template).
+//!
+//! Analysis commands run through the [`regtree_core::Analyzer`] façade and
+//! accept resource budgets (`--deadline-ms`, `--max-states`, `--max-memo`,
+//! `--max-frontier`). A run that exhausts a budget prints what it knows and
+//! exits 3 instead of hanging on an adversarial instance.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use regtree_alphabet::Alphabet;
-use regtree_core::{check_fds_parallel, check_independence, PathFd, UpdateClass, Verdict};
+use regtree_core::{Analyzer, FdOutcome, PathFd, RunLimits, RunMetrics, UpdateClass, Verdict};
 use regtree_hedge::Schema;
 use regtree_pattern::parse_corexpath;
 use regtree_xml::{parse_document, to_xml_with, SerializeOptions};
@@ -34,15 +41,19 @@ fn main() -> ExitCode {
         }
         Err(CliError::Violation(out)) => {
             print!("{out}");
-            ExitCode::from(2)
+            ExitCode::from(1)
+        }
+        Err(CliError::Exhausted(out)) => {
+            print!("{out}");
+            ExitCode::from(3)
         }
         Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}\n\n{USAGE}");
-            ExitCode::from(64)
+            ExitCode::from(2)
         }
         Err(CliError::Runtime(msg)) => {
             eprintln!("error: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
@@ -52,13 +63,18 @@ rtpcheck — regular tree patterns: XML FDs, updates and independence
 
 USAGE:
   rtpcheck validate     --schema FILE DOC.xml...
-  rtpcheck fd-check     --fd EXPR | --fds FILE DOC.xml...
+  rtpcheck fd-check     --fd EXPR | --fds FILE [BUDGET] [--stats] DOC.xml...
   rtpcheck eval         --xpath PATH DOC.xml
-  rtpcheck independence --fd EXPR --update PATH [--schema FILE] [--json]
+  rtpcheck independence --fd EXPR --update PATH [--schema FILE] [BUDGET]
+                        [--stats] [--format json|text] [--json]
   rtpcheck independence-matrix --fds FILE --updates FILE [--schema FILE]
-                        (alias: matrix)
+                        [BUDGET] [--stats]      (alias: matrix)
   rtpcheck demo
 
+  BUDGET flags:     --deadline-ms N  --max-states N  --max-memo N
+                    --max-frontier N  (an exhausted run reports UNKNOWN)
+  EXIT CODES:       0 independent/satisfied · 1 violation or unproven
+                    independence · 2 usage/input errors · 3 budget exhausted
   FD EXPR syntax:   /ctx/path : cond1, cond2[N] -> target
   PATH syntax:      positive CoreXPath, e.g. /session/candidate/level
                     (predicate branches map in document order: [p] before
@@ -68,12 +84,16 @@ USAGE:
 /// CLI outcomes that need distinct exit codes.
 #[derive(Debug)]
 enum CliError {
-    /// Bad arguments (exit 64).
+    /// Bad arguments (exit 2).
     Usage(String),
-    /// A check ran and failed (exit 2) — output still printed.
+    /// A check ran and found a violation or an unproven pair (exit 1) —
+    /// output still printed.
     Violation(String),
-    /// IO/parse failures (exit 1).
+    /// IO/parse failures (exit 2).
     Runtime(String),
+    /// A resource budget ran out before the answer was decided (exit 3) —
+    /// partial output still printed.
+    Exhausted(String),
 }
 
 fn usage(msg: impl Into<String>) -> CliError {
@@ -89,17 +109,22 @@ struct Flags {
     values: Vec<(String, String)>,
     positional: Vec<String>,
     json: bool,
+    stats: bool,
 }
 
 fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
     let mut values = Vec::new();
     let mut positional = Vec::new();
     let mut json = false;
+    let mut stats = false;
     let mut i = 0;
     while i < args.len() {
         let a = args[i];
         if a == "--json" {
             json = true;
+            i += 1;
+        } else if a == "--stats" {
+            stats = true;
             i += 1;
         } else if let Some(key) = a.strip_prefix("--") {
             let v = args
@@ -116,6 +141,7 @@ fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
         values,
         positional,
         json,
+        stats,
     })
 }
 
@@ -130,6 +156,46 @@ impl Flags {
     fn require(&self, key: &str) -> Result<&str, CliError> {
         self.get(key)
             .ok_or_else(|| usage(format!("missing required flag --{key}")))
+    }
+
+    /// Did the user ask for JSON output (`--format json` or legacy `--json`)?
+    fn wants_json(&self) -> Result<bool, CliError> {
+        match self.get("format") {
+            None => Ok(self.json),
+            Some("json") => Ok(true),
+            Some("text") => Ok(false),
+            Some(other) => Err(usage(format!(
+                "--format expects 'json' or 'text', got '{other}'"
+            ))),
+        }
+    }
+
+    fn u64_flag(&self, key: &str) -> Result<Option<u64>, CliError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| usage(format!("--{key} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// Collects the budget flags into [`RunLimits`] (absent = unlimited).
+    fn limits(&self) -> Result<RunLimits, CliError> {
+        let mut l = RunLimits::default();
+        if let Some(ms) = self.u64_flag("deadline-ms")? {
+            l = l.with_deadline_ms(ms);
+        }
+        if let Some(n) = self.u64_flag("max-states")? {
+            l = l.with_max_states(n);
+        }
+        if let Some(n) = self.u64_flag("max-memo")? {
+            l = l.with_max_memo(n);
+        }
+        if let Some(n) = self.u64_flag("max-frontier")? {
+            l = l.with_max_frontier(n);
+        }
+        Ok(l)
     }
 }
 
@@ -170,6 +236,17 @@ fn load_docs(
         .collect()
 }
 
+/// Builds an [`Analyzer`] from the shared CLI flags: an optional schema plus
+/// the budget flags. Also reports whether a schema was given.
+fn build_analyzer(alphabet: &Alphabet, flags: &Flags) -> Result<(Analyzer, bool), CliError> {
+    let mut builder = Analyzer::builder().limits(flags.limits()?);
+    let with_schema = flags.get("schema").is_some();
+    if let Some(path) = flags.get("schema") {
+        builder = builder.schema(Schema::parse(alphabet, &read_file(path)?).map_err(runtime)?);
+    }
+    Ok((builder.build(), with_schema))
+}
+
 fn cmd_validate(args: &[&str]) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
     let alphabet = Alphabet::new();
@@ -198,8 +275,8 @@ fn cmd_fd_check(args: &[&str]) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
     let alphabet = Alphabet::new();
     // Either one inline dependency (--fd EXPR) or a whole named list
-    // (--fds FILE); a batch is checked per document by
-    // `check_fds_parallel`, one worker thread per core.
+    // (--fds FILE); a batch is checked per document by the analyzer's
+    // governed parallel runner, one worker thread per core.
     let mut names: Vec<String> = Vec::new();
     let mut fds: Vec<regtree_core::Fd> = Vec::new();
     if let Some(path) = flags.get("fds") {
@@ -222,27 +299,46 @@ fn cmd_fd_check(args: &[&str]) -> Result<String, CliError> {
         return Err(usage("missing required flag --fd EXPR (or --fds FILE)"));
     }
     let docs = load_docs(&alphabet, &flags.positional)?;
+    let analyzer = Analyzer::builder().limits(flags.limits()?).build();
     let mut out = String::new();
     let mut failed = false;
+    let mut ran_out = false;
+    let mut totals = RunMetrics::default();
     for (path, doc) in &docs {
-        for (name, verdict) in names.iter().zip(check_fds_parallel(&fds, doc)) {
+        let report = analyzer.check_fds(&fds, doc);
+        for (name, outcome) in names.iter().zip(&report.outcomes) {
             let prefix = if fds.len() == 1 {
                 path.clone()
             } else {
                 format!("{path} [{name}]")
             };
-            match verdict {
-                Ok(()) => writeln!(out, "{prefix}: satisfies the FD").expect("write to string"),
-                Err(v) => {
+            match outcome {
+                FdOutcome::Satisfied => {
+                    writeln!(out, "{prefix}: satisfies the FD").expect("write to string");
+                }
+                FdOutcome::Violated(v) => {
                     failed = true;
                     writeln!(out, "{prefix}: VIOLATED — {}", v.describe(doc))
                         .expect("write to string");
                 }
+                FdOutcome::Unknown { exhausted, .. } => {
+                    ran_out = true;
+                    writeln!(out, "{prefix}: UNKNOWN — {exhausted}").expect("write to string");
+                }
+                other => {
+                    writeln!(out, "{prefix}: {other:?}").expect("write to string");
+                }
             }
         }
+        totals.merge(&report.metrics);
+    }
+    if flags.stats {
+        writeln!(out, "stats: {totals}").expect("write to string");
     }
     if failed {
         Err(CliError::Violation(out))
+    } else if ran_out {
+        Err(CliError::Exhausted(out))
     } else {
         Ok(out)
     }
@@ -274,9 +370,14 @@ fn cmd_eval(args: &[&str]) -> Result<String, CliError> {
 
 struct IndependenceReport {
     independent: bool,
+    /// The exhausted resource's machine name, when the run was cut short.
+    exhausted: Option<&'static str>,
     ic_states: usize,
     automaton_size: usize,
+    explored_states: usize,
     witness_xml: Option<String>,
+    /// Work counters, included when `--stats` was given.
+    metrics: Option<RunMetrics>,
 }
 
 impl IndependenceReport {
@@ -288,11 +389,41 @@ impl IndependenceReport {
             Some(xml) => json_escape(xml),
             None => "null".to_string(),
         };
-        format!(
-            "{{\n  \"independent\": {},\n  \"ic_states\": {},\n  \"automaton_size\": {},\n  \"witness_xml\": {}\n}}",
-            self.independent, self.ic_states, self.automaton_size, witness
-        )
+        let exhausted = match self.exhausted {
+            Some(name) => format!("\"{name}\""),
+            None => "null".to_string(),
+        };
+        let mut out = format!(
+            "{{\n  \"independent\": {},\n  \"exhausted\": {},\n  \"ic_states\": {},\n  \"automaton_size\": {},\n  \"explored_states\": {},\n  \"witness_xml\": {}",
+            self.independent,
+            exhausted,
+            self.ic_states,
+            self.automaton_size,
+            self.explored_states,
+            witness
+        );
+        if let Some(m) = &self.metrics {
+            out.push_str(",\n  \"metrics\": ");
+            out.push_str(&metrics_json(m, "  "));
+        }
+        out.push_str("\n}");
+        out
     }
+}
+
+/// JSON object for a [`RunMetrics`], nested one level below `indent`.
+fn metrics_json(m: &RunMetrics, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"states_interned\": {},\n{indent}  \"transitions_fired\": {},\n{indent}  \"guard_intersections\": {},\n{indent}  \"dfa_steps\": {},\n{indent}  \"frontier_pushes\": {},\n{indent}  \"memo_entries\": {},\n{indent}  \"compile_nanos\": {},\n{indent}  \"search_nanos\": {}\n{indent}}}",
+        m.states_interned,
+        m.transitions_fired,
+        m.guard_intersections,
+        m.dfa_steps,
+        m.frontier_pushes,
+        m.memo_entries,
+        m.compile_nanos,
+        m.search_nanos,
+    )
 }
 
 fn json_escape(s: &str) -> String {
@@ -317,6 +448,7 @@ fn json_escape(s: &str) -> String {
 
 fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
+    let json = flags.wants_json()?;
     let alphabet = Alphabet::new();
     let fd = PathFd::parse(&alphabet, flags.require("fd")?)
         .and_then(|p| p.to_fd(&alphabet))
@@ -327,55 +459,72 @@ fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
             "{e}; the final CoreXPath step must be predicate-free"
         ))
     })?;
-    let schema = match flags.get("schema") {
-        Some(path) => Some(Schema::parse(&alphabet, &read_file(path)?).map_err(runtime)?),
-        None => None,
-    };
-    let analysis = check_independence(&fd, &class, schema.as_ref());
+    let (analyzer, with_schema) = build_analyzer(&alphabet, &flags)?;
+    let analysis = analyzer.independence(&fd, &class);
     let report = IndependenceReport {
         independent: analysis.verdict.is_independent(),
+        exhausted: analysis.verdict.exhausted().map(|r| r.name()),
         ic_states: analysis.ic_states,
         automaton_size: analysis.automaton_size,
+        explored_states: analysis.explored_states,
         witness_xml: match &analysis.verdict {
             Verdict::Unknown {
                 witness: Some(doc), ..
             } => Some(to_xml_with(doc, SerializeOptions { indent: true })),
             _ => None,
         },
+        metrics: flags.stats.then_some(analysis.metrics),
     };
-    if flags.json {
-        return Ok(format!("{}\n", report.to_json_pretty()));
-    }
-    let mut out = String::new();
-    if report.independent {
-        writeln!(
-            out,
-            "INDEPENDENT: no update of this class can break the FD{}",
-            if schema.is_some() {
-                " (under the schema)"
-            } else {
-                ""
-            }
-        )
-        .expect("write to string");
+    let out = if json {
+        format!("{}\n", report.to_json_pretty())
     } else {
+        let mut out = String::new();
+        if report.independent {
+            writeln!(
+                out,
+                "INDEPENDENT: no update of this class can break the FD{}",
+                if with_schema {
+                    " (under the schema)"
+                } else {
+                    ""
+                }
+            )
+            .expect("write to string");
+        } else if let Some(resource) = analysis.verdict.exhausted() {
+            writeln!(
+                out,
+                "EXHAUSTED: {resource} before the criterion decided — re-run with a larger budget"
+            )
+            .expect("write to string");
+        } else {
+            writeln!(
+                out,
+                "UNKNOWN: the criterion cannot prove independence (IC language nonempty)"
+            )
+            .expect("write to string");
+            if let Some(xml) = &report.witness_xml {
+                writeln!(out, "witness document where update and FD interact:\n{xml}")
+                    .expect("write to string");
+            }
+        }
         writeln!(
             out,
-            "UNKNOWN: the criterion cannot prove independence (IC language nonempty)"
+            "automaton: {} IC states, size {}, {} product states explored",
+            report.ic_states, report.automaton_size, report.explored_states
         )
         .expect("write to string");
-        if let Some(xml) = &report.witness_xml {
-            writeln!(out, "witness document where update and FD interact:\n{xml}")
-                .expect("write to string");
+        if let Some(m) = &report.metrics {
+            writeln!(out, "stats: {m}").expect("write to string");
         }
+        out
+    };
+    if report.independent {
+        Ok(out)
+    } else if report.exhausted.is_some() {
+        Err(CliError::Exhausted(out))
+    } else {
+        Err(CliError::Violation(out))
     }
-    writeln!(
-        out,
-        "automaton: {} IC states, size {}",
-        report.ic_states, report.automaton_size
-    )
-    .expect("write to string");
-    Ok(out)
 }
 
 /// Parses a `name = expression` list file (one entry per line; `#` comments).
@@ -402,10 +551,6 @@ fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
     let alphabet = Alphabet::new();
     let fd_list = parse_named_list(&read_file(flags.require("fds")?)?)?;
     let update_list = parse_named_list(&read_file(flags.require("updates")?)?)?;
-    let schema = match flags.get("schema") {
-        Some(path) => Some(Schema::parse(&alphabet, &read_file(path)?).map_err(runtime)?),
-        None => None,
-    };
     let mut fds = Vec::new();
     for (name, expr) in &fd_list {
         let fd = PathFd::parse(&alphabet, expr)
@@ -425,18 +570,44 @@ fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
         fds.iter().map(|(n, f)| (n.as_str(), f)).collect();
     let class_refs: Vec<(&str, &UpdateClass)> =
         classes.iter().map(|(n, c)| (n.as_str(), c)).collect();
-    let matrix = regtree_core::analyze_matrix(&fd_refs, &class_refs, schema.as_ref());
+    let (analyzer, _) = build_analyzer(&alphabet, &flags)?;
+    let matrix = analyzer.matrix(&fd_refs, &class_refs);
     let mut out = matrix.to_string();
     let explored: usize = matrix.cells.iter().map(|c| c.explored_states).sum();
     let total: usize = matrix.cells.iter().map(|c| c.automaton_size).sum();
-    out.push_str(&format!(
-        "
-{} of {} pairs provably independent ({explored} of {total} product states explored)
-",
-        matrix.independent_count(),
-        fd_refs.len() * class_refs.len()
-    ));
-    Ok(out)
+    let pairs = fd_refs.len() * class_refs.len();
+    writeln!(
+        out,
+        "\n{} of {pairs} pairs provably independent ({explored} of {total} product states explored)",
+        matrix.independent_count()
+    )
+    .expect("write to string");
+    // Every non-independent cell must be rechecked after its update class
+    // runs — including Unknown cells whose budget ran out.
+    let exhausted = matrix.exhausted_count();
+    writeln!(
+        out,
+        "{} of {pairs} pairs must be rechecked after updates{}",
+        matrix.recheck_count(),
+        if exhausted > 0 {
+            format!(" ({exhausted} undecided: budget exhausted, marked RECHECK?)")
+        } else {
+            String::new()
+        }
+    )
+    .expect("write to string");
+    if flags.stats {
+        let mut totals = RunMetrics::default();
+        for cell in &matrix.cells {
+            totals.merge(&cell.metrics);
+        }
+        writeln!(out, "stats: {totals}").expect("write to string");
+    }
+    if exhausted > 0 {
+        Err(CliError::Exhausted(out))
+    } else {
+        Ok(out)
+    }
 }
 
 fn cmd_demo() -> Result<String, CliError> {
@@ -474,11 +645,12 @@ fn cmd_demo() -> Result<String, CliError> {
         .expect("write");
     }
     let class = regtree_gen::update_class_u(&alphabet);
+    let analyzer = Analyzer::builder().schema(schema).build();
     for (name, fd) in [
         ("fd3 vs U", regtree_gen::fd3(&alphabet)),
         ("fd5 vs U", regtree_gen::fd5(&alphabet)),
     ] {
-        let a = check_independence(&fd, &class, Some(&schema));
+        let a = analyzer.independence(&fd, &class);
         writeln!(
             out,
             "{name} (with schema): {}",
@@ -608,6 +780,32 @@ mod tests {
     }
 
     #[test]
+    fn fd_check_budget_exhaustion() {
+        let good = tmp(
+            "<s><i><k>a</k><v>1</v></i><i><k>a</k><v>1</v></i></s>",
+            "xml",
+        );
+        // A zero memo budget trips on the first memoized candidate list:
+        // the outcome must be UNKNOWN (exit 3), never a wrong verdict.
+        let err = run(&[
+            "fd-check",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--max-memo",
+            "0",
+            "--stats",
+            good.0.to_str().unwrap(),
+        ]);
+        match err {
+            Err(CliError::Exhausted(out)) => {
+                assert!(out.contains("UNKNOWN"), "{out}");
+                assert!(out.contains("stats:"), "{out}");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn eval_command() {
         let doc = tmp("<s><c/><c/></s>", "xml");
         let out = run(&["eval", "--xpath", "/s/c", doc.0.to_str().unwrap()]).unwrap();
@@ -626,16 +824,79 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("\"independent\": true"), "{out}");
-        let out2 = run(&[
+        assert!(out.contains("\"exhausted\": null"), "{out}");
+        // A dependent pair is a reportable failure: exit 1, output intact.
+        let err = run(&[
             "independence",
             "--fd",
             "/s : i/k -> i/v",
             "--update",
             "/s/i/v",
+        ]);
+        match err {
+            Err(CliError::Violation(out2)) => {
+                assert!(out2.contains("UNKNOWN"), "{out2}");
+                assert!(out2.contains("witness"), "{out2}");
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn independence_stats_flag() {
+        let out = run(&[
+            "independence",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--update",
+            "/archive/entry",
+            "--stats",
         ])
         .unwrap();
-        assert!(out2.contains("UNKNOWN"), "{out2}");
-        assert!(out2.contains("witness"), "{out2}");
+        assert!(out.contains("INDEPENDENT"), "{out}");
+        assert!(out.contains("stats: states"), "{out}");
+    }
+
+    #[test]
+    fn independence_budget_exhaustion() {
+        // One interned state cannot decide this dependent pair: the run
+        // must stop gracefully with an EXHAUSTED report, not a wrong answer.
+        let err = run(&[
+            "independence",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--update",
+            "/s/i/v",
+            "--max-states",
+            "1",
+        ]);
+        match err {
+            Err(CliError::Exhausted(out)) => {
+                assert!(out.contains("EXHAUSTED"), "{out}");
+                assert!(out.contains("interned-state budget"), "{out}");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        // Same run in JSON with stats: machine-readable resource + counters.
+        let err = run(&[
+            "independence",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--update",
+            "/s/i/v",
+            "--max-states",
+            "1",
+            "--format",
+            "json",
+            "--stats",
+        ]);
+        match err {
+            Err(CliError::Exhausted(out)) => {
+                assert!(out.contains("\"exhausted\": \"states\""), "{out}");
+                assert!(out.contains("\"states_interned\""), "{out}");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
     }
 
     #[test]
@@ -654,7 +915,34 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("1 of 2 pairs provably independent"), "{out}");
+        assert!(out.contains("1 of 2 pairs must be rechecked"), "{out}");
         assert!(out.contains("RECHECK"), "{out}");
+    }
+
+    #[test]
+    fn matrix_budget_exhaustion_counts_as_recheck() {
+        let fds = tmp("price = /catalog : item/sku -> item/price\n", "lst");
+        let ups = tmp("restock = /catalog/item/stock\n", "lst");
+        let err = run(&[
+            "matrix",
+            "--fds",
+            fds.0.to_str().unwrap(),
+            "--updates",
+            ups.0.to_str().unwrap(),
+            "--max-states",
+            "1",
+        ]);
+        match err {
+            Err(CliError::Exhausted(out)) => {
+                // The pair is provably independent with a real budget, but a
+                // 1-state cap leaves it undecided — and undecided means it
+                // must be counted as a recheck, never as independent.
+                assert!(out.contains("0 of 1 pairs provably independent"), "{out}");
+                assert!(out.contains("1 of 1 pairs must be rechecked"), "{out}");
+                assert!(out.contains("RECHECK?"), "{out}");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
     }
 
     #[test]
@@ -689,6 +977,30 @@ mod tests {
         ));
         assert!(matches!(
             run(&["fd-check", "--fd", "/s : a -> b"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "independence",
+                "--fd",
+                "/s : a -> b",
+                "--update",
+                "/s/a",
+                "--max-states",
+                "lots"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "independence",
+                "--fd",
+                "/s : a -> b",
+                "--update",
+                "/s/a",
+                "--format",
+                "xml"
+            ]),
             Err(CliError::Usage(_))
         ));
     }

@@ -1,0 +1,336 @@
+//! The [`Analyzer`] façade: one reusable handle over the whole analysis
+//! surface — independence checks, batch matrices, and FD satisfaction —
+//! with shared compiled state, resource budgets, metrics, and cancellation.
+//!
+//! The free functions this crate grew up with (`check_independence`,
+//! `analyze_matrix`, `check_fds_parallel`, …) recompile the schema hedge
+//! automaton and the pattern automata on every call. An `Analyzer` is built
+//! once per (schema, limits) configuration and amortizes:
+//!
+//! * the compiled schema automaton (`A_S` of Proposition 3), compiled at
+//!   build time;
+//! * pattern automata, cached by structural template sketch + selected
+//!   tuple + marking flag, so repeated queries over the same FD or update
+//!   class hit the cache — including across matrix calls;
+//! * the [`RunLimits`] every run is governed by, with an optional
+//!   [`CancelToken`] for early abort of batch work.
+//!
+//! ```
+//! use regtree_core::{Analyzer, FdBuilder, update_class_from_edges};
+//! use regtree_alphabet::Alphabet;
+//!
+//! let a = Alphabet::new();
+//! let fd = FdBuilder::new(a.clone())
+//!     .context("catalog")
+//!     .condition("item/sku")
+//!     .target("item/price")
+//!     .build()
+//!     .unwrap();
+//! let class = update_class_from_edges(&a, &["catalog/item/stock"]).unwrap();
+//! let analyzer = Analyzer::builder().build();
+//! let analysis = analyzer.independence(&fd, &class);
+//! assert!(analysis.verdict.is_independent());
+//! assert!(analysis.metrics.states_interned > 0);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use regtree_hedge::{HedgeAutomaton, Schema};
+use regtree_pattern::{compile_pattern, PatternAutomaton, RegularTreePattern};
+use regtree_runtime::{Budget, CancelToken, RunLimits, Stopwatch};
+use regtree_xml::Document;
+
+use crate::fd::Fd;
+use crate::independence::{check_independence_governed, IndependenceAnalysis};
+use crate::matrix::{analyze_matrix_governed, IndependenceMatrix};
+use crate::satisfy::{check_fds_governed, FdBatchReport};
+use crate::update::UpdateClass;
+
+/// Cache key of one compiled pattern automaton: the deterministic template
+/// sketch (labels + edge regexes + shape), the selected tuple, and whether
+/// the compilation marks the FD region.
+type PatternKey = (String, Vec<u32>, bool);
+
+/// Builder for [`Analyzer`].
+#[derive(Default)]
+pub struct AnalyzerBuilder {
+    schema: Option<Schema>,
+    limits: RunLimits,
+    cancel: Option<CancelToken>,
+}
+
+impl AnalyzerBuilder {
+    /// A builder with no schema and unlimited budgets.
+    pub fn new() -> AnalyzerBuilder {
+        AnalyzerBuilder::default()
+    }
+
+    /// Analyses run relative to `schema` (compiled once, at build time).
+    pub fn schema(mut self, schema: Schema) -> AnalyzerBuilder {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Resource budgets every run is governed by.
+    pub fn limits(mut self, limits: RunLimits) -> AnalyzerBuilder {
+        self.limits = limits;
+        self
+    }
+
+    /// Cancellation token batch operations poll. Cancelling it aborts
+    /// in-flight matrix cells and FD checks at their next checkpoint.
+    pub fn cancel_token(mut self, token: CancelToken) -> AnalyzerBuilder {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Builds the analyzer, compiling the schema automaton if one was set.
+    pub fn build(self) -> Analyzer {
+        Analyzer {
+            schema_auto: self.schema.as_ref().map(|s| s.compile()),
+            schema: self.schema,
+            limits: self.limits,
+            cancel: self.cancel,
+            patterns: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// A reusable, thread-safe front end over independence analysis, batch
+/// matrices, and FD satisfaction checking. See the [module docs](self).
+pub struct Analyzer {
+    schema: Option<Schema>,
+    schema_auto: Option<HedgeAutomaton>,
+    limits: RunLimits,
+    cancel: Option<CancelToken>,
+    /// Compiled pattern automata, keyed by structural identity so distinct
+    /// but identical `Fd`/`UpdateClass` values share one compilation.
+    patterns: Mutex<HashMap<PatternKey, Arc<PatternAutomaton>>>,
+}
+
+impl Analyzer {
+    /// Entry point: `Analyzer::builder().schema(s).limits(l).build()`.
+    pub fn builder() -> AnalyzerBuilder {
+        AnalyzerBuilder::new()
+    }
+
+    /// The schema analyses run against, if any.
+    pub fn schema(&self) -> Option<&Schema> {
+        self.schema.as_ref()
+    }
+
+    /// The budgets every run is governed by.
+    pub fn limits(&self) -> &RunLimits {
+        &self.limits
+    }
+
+    /// Compiled patterns currently cached (observability/test hook).
+    pub fn cached_patterns(&self) -> usize {
+        self.patterns.lock().len()
+    }
+
+    /// Compiles (or recalls) the automaton of `pattern`.
+    fn compiled(&self, pattern: &RegularTreePattern, marked: bool) -> Arc<PatternAutomaton> {
+        let key: PatternKey = (
+            pattern.template().sketch(),
+            pattern.selected().iter().map(|w| w.0).collect(),
+            marked,
+        );
+        if let Some(hit) = self.patterns.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        // Compile outside the lock: compilation can be slow and concurrent
+        // misses for the same key are idempotent.
+        let compiled = Arc::new(compile_pattern(pattern, marked));
+        Arc::clone(self.patterns.lock().entry(key).or_insert(compiled))
+    }
+
+    /// A per-run budget honoring the analyzer's limits and cancel token.
+    fn budget(&self) -> Budget {
+        let mut b = Budget::new(&self.limits);
+        if let Some(c) = &self.cancel {
+            b = b.with_cancel(c.clone());
+        }
+        b
+    }
+
+    /// Runs the independence criterion for `fd` against `class` under the
+    /// analyzer's schema and budgets.
+    ///
+    /// Equivalent to the deprecated [`crate::check_independence`] when the
+    /// limits are unlimited; under finite budgets an undecided run returns
+    /// `Verdict::Unknown { exhausted: Some(resource) }` instead of running
+    /// to completion. [`IndependenceAnalysis::metrics`] is always populated.
+    pub fn independence(&self, fd: &Fd, class: &UpdateClass) -> IndependenceAnalysis {
+        let alphabet = fd.template().alphabet().clone();
+        let compile = Stopwatch::start();
+        let pa_fd = self.compiled(fd.pattern(), true);
+        let pa_u = self.compiled(class.pattern(), false);
+        let compile_nanos = compile.elapsed_nanos();
+        check_independence_governed(
+            &alphabet,
+            &pa_fd,
+            &pa_u,
+            class,
+            self.schema_auto.as_ref(),
+            None,
+            self.budget(),
+            compile_nanos,
+        )
+    }
+
+    /// Runs the criterion for every (FD, class) pair in parallel, sharing
+    /// the schema automaton, cached pattern compilations, one guard-minterm
+    /// partition, and — when a deadline is set — one wall-clock budget for
+    /// the whole matrix (count caps apply per cell).
+    ///
+    /// Cancellation (via the builder's token) aborts remaining cells; the
+    /// returned matrix still has every cell, with aborted ones reporting
+    /// `Unknown { exhausted: Some(Cancelled) }`.
+    pub fn matrix(
+        &self,
+        fds: &[(&str, &Fd)],
+        classes: &[(&str, &UpdateClass)],
+    ) -> IndependenceMatrix {
+        let compile = Stopwatch::start();
+        let pa_fds: Vec<_> = fds
+            .iter()
+            .map(|(_, fd)| self.compiled(fd.pattern(), true))
+            .collect();
+        let pa_us: Vec<_> = classes
+            .iter()
+            .map(|(_, class)| self.compiled(class.pattern(), false))
+            .collect();
+        let compile_nanos = compile.elapsed_nanos();
+        analyze_matrix_governed(
+            fds,
+            classes,
+            self.schema_auto.as_ref(),
+            &pa_fds,
+            &pa_us,
+            &self.limits,
+            self.cancel.as_ref(),
+            compile_nanos,
+        )
+    }
+
+    /// Checks every FD of `fds` on `doc` in parallel under the analyzer's
+    /// budgets (deadline shared by the batch, count caps per FD). Outcomes
+    /// are in input order; the report carries merged work counters.
+    pub fn check_fds(&self, fds: &[Fd], doc: &Document) -> FdBatchReport {
+        check_fds_governed(fds, doc, &self.limits, self.cancel.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::FdBuilder;
+    use crate::independence::Verdict;
+    use crate::update::update_class_from_edges;
+    use regtree_alphabet::Alphabet;
+    use regtree_runtime::Resource;
+    use regtree_xml::parse_document;
+
+    fn fd_price(a: &Alphabet) -> Fd {
+        FdBuilder::new(a.clone())
+            .context("catalog")
+            .condition("item/sku")
+            .target("item/price")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn independence_matches_free_function() {
+        let a = Alphabet::new();
+        let fd = fd_price(&a);
+        let indep = update_class_from_edges(&a, &["catalog/item/stock"]).unwrap();
+        let dep = update_class_from_edges(&a, &["catalog/item/price"]).unwrap();
+        let an = Analyzer::builder().build();
+        assert!(an.independence(&fd, &indep).verdict.is_independent());
+        assert!(!an.independence(&fd, &dep).verdict.is_independent());
+    }
+
+    #[test]
+    fn pattern_cache_is_shared_across_calls() {
+        let a = Alphabet::new();
+        let fd = fd_price(&a);
+        let class = update_class_from_edges(&a, &["catalog/item/stock"]).unwrap();
+        let an = Analyzer::builder().build();
+        an.independence(&fd, &class);
+        let after_first = an.cached_patterns();
+        assert_eq!(after_first, 2, "one FD + one class compilation");
+        an.independence(&fd, &class);
+        assert_eq!(an.cached_patterns(), after_first, "second call hits cache");
+        // The matrix reuses the same cache entries.
+        an.matrix(&[("p", &fd)], &[("s", &class)]);
+        assert_eq!(an.cached_patterns(), after_first);
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let a = Alphabet::new();
+        let fd = fd_price(&a);
+        let class = update_class_from_edges(&a, &["catalog/item/price"]).unwrap();
+        let an = Analyzer::builder().build();
+        let r = an.independence(&fd, &class);
+        assert!(r.metrics.states_interned > 0, "{:?}", r.metrics);
+        assert!(r.metrics.frontier_pushes > 0, "{:?}", r.metrics);
+        assert!(r.metrics.guard_intersections > 0, "{:?}", r.metrics);
+    }
+
+    #[test]
+    fn one_state_budget_reports_exhaustion_not_a_wrong_verdict() {
+        let a = Alphabet::new();
+        let fd = fd_price(&a);
+        let class = update_class_from_edges(&a, &["catalog/item/price"]).unwrap();
+        let an = Analyzer::builder()
+            .limits(RunLimits::default().with_max_states(1))
+            .build();
+        match an.independence(&fd, &class).verdict {
+            Verdict::Unknown {
+                exhausted: Some(Resource::States),
+                ..
+            } => {}
+            // A root hit within one state would also be sound, but this
+            // instance needs several states: anything else is a bug.
+            other => panic!("expected states exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_fds_reports_outcomes_in_order() {
+        let a = Alphabet::new();
+        let fd = fd_price(&a);
+        let doc = parse_document(
+            &a,
+            "<catalog><item><sku>1</sku><price>2</price></item>\
+             <item><sku>1</sku><price>3</price></item></catalog>",
+        )
+        .unwrap();
+        let an = Analyzer::builder().build();
+        let report = an.check_fds(&[fd], &doc);
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(!report.all_satisfied());
+        assert!(report.metrics.dfa_steps > 0);
+    }
+
+    #[test]
+    fn schema_is_compiled_once_and_used() {
+        let a = Alphabet::new();
+        let schema = Schema::parse(
+            &a,
+            "root: catalog\ncatalog: item*\nitem: sku price\nsku: #text\nprice: #text\n",
+        )
+        .unwrap();
+        let fd = fd_price(&a);
+        let class = update_class_from_edges(&a, &["catalog/item/stock"]).unwrap();
+        let an = Analyzer::builder().schema(schema).build();
+        assert!(an.schema().is_some());
+        // `stock` cannot occur under the schema at all: still independent.
+        assert!(an.independence(&fd, &class).verdict.is_independent());
+    }
+}

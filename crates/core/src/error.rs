@@ -1,0 +1,106 @@
+//! The unified error type of `regtree-core`.
+//!
+//! Each subsystem keeps its precise error enum ([`FdError`],
+//! [`UpdateClassError`], [`ApplyError`], [`PathFdError`]); this module adds
+//! the umbrella [`Error`] that `?` can funnel them all into, so application
+//! code (the CLI, services embedding the [`crate::Analyzer`]) handles one
+//! type. The wrapped error stays reachable through
+//! [`std::error::Error::source`] and the variant payload.
+
+use std::fmt;
+
+use crate::fd::FdError;
+use crate::pathfd::PathFdError;
+use crate::update::{ApplyError, UpdateClassError};
+
+/// Any error raised by `regtree-core` construction or update application.
+///
+/// Marked `#[non_exhaustive]`: future subsystems may add variants without a
+/// breaking release, so matches need a wildcard arm.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Constructing a functional dependency failed.
+    Fd(FdError),
+    /// Constructing an update class failed.
+    UpdateClass(UpdateClassError),
+    /// Applying a concrete update failed.
+    Apply(ApplyError),
+    /// Parsing or translating a path FD failed.
+    PathFd(PathFdError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Fd(e) => write!(f, "functional dependency: {e}"),
+            Error::UpdateClass(e) => write!(f, "update class: {e}"),
+            Error::Apply(e) => write!(f, "update application: {e}"),
+            Error::PathFd(e) => write!(f, "path FD: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Fd(e) => Some(e),
+            Error::UpdateClass(e) => Some(e),
+            Error::Apply(e) => Some(e),
+            Error::PathFd(e) => Some(e),
+        }
+    }
+}
+
+impl From<FdError> for Error {
+    fn from(e: FdError) -> Error {
+        Error::Fd(e)
+    }
+}
+
+impl From<UpdateClassError> for Error {
+    fn from(e: UpdateClassError) -> Error {
+        Error::UpdateClass(e)
+    }
+}
+
+impl From<ApplyError> for Error {
+    fn from(e: ApplyError) -> Error {
+        Error::Apply(e)
+    }
+}
+
+impl From<PathFdError> for Error {
+    fn from(e: PathFdError) -> Error {
+        Error::PathFd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_preserved() {
+        use std::error::Error as _;
+        let e: Error = FdError::NoTarget.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("functional dependency"));
+        let e: Error = PathFdError {
+            message: "bad".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().unwrap().to_string().contains("bad"));
+    }
+
+    #[test]
+    fn question_mark_funnels_subsystem_errors() {
+        fn build() -> Result<(), Error> {
+            let failed: Result<(), FdError> = Err(FdError::NoTarget);
+            failed?;
+            Ok(())
+        }
+        assert!(matches!(build(), Err(Error::Fd(FdError::NoTarget))));
+    }
+}

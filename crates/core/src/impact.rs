@@ -21,7 +21,7 @@ use regtree_hedge::Schema;
 use regtree_xml::{Document, TreeSpec};
 
 use crate::fd::Fd;
-use crate::independence::{check_independence, Verdict};
+use crate::independence::{check_independence_internal, Verdict};
 use crate::satisfy::satisfies;
 use crate::update::{Update, UpdateClass, UpdateOp};
 
@@ -156,10 +156,10 @@ pub fn search_impact<R: Rng>(
     rng: &mut R,
 ) -> Option<ImpactWitness> {
     let alphabet = fd.template().alphabet().clone();
-    let analysis = check_independence(fd, class, schema);
+    let analysis = check_independence_internal(fd, class, schema);
     let seed = match &analysis.verdict {
         Verdict::Independent => return None, // sound: no impact exists
-        Verdict::Unknown { witness } => witness.as_deref().cloned()?,
+        Verdict::Unknown { witness, .. } => witness.as_deref().cloned()?,
     };
     let admissible =
         |d: &Document| schema.map_or(true, |s| s.validate(d).is_ok()) && satisfies(fd, d);
@@ -237,7 +237,7 @@ pub fn classify_pair<R: Rng>(
     rounds: usize,
     rng: &mut R,
 ) -> PairClassification {
-    if check_independence(fd, class, schema)
+    if check_independence_internal(fd, class, schema)
         .verdict
         .is_independent()
     {

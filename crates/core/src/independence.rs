@@ -23,9 +23,11 @@
 
 use regtree_automata::{Nfa, NfaBuilder, NfaLabel};
 use regtree_hedge::{
-    intersect, witness_document, HedgeAutomaton, HedgeTransition, Schema, TreeState,
+    intersect, witness_document_governed, GuardPartition, HedgeAutomaton, HedgeTransition, Schema,
+    TreeState,
 };
 use regtree_pattern::{compile_pattern, PatternAutomaton};
+use regtree_runtime::{Budget, Resource, RunMetrics, Stopwatch};
 use regtree_xml::Document;
 
 use crate::fd::Fd;
@@ -33,16 +35,25 @@ use crate::update::UpdateClass;
 
 /// Result of the independence analysis.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub enum Verdict {
     /// `L = ∅`: provably independent — no update of the class can ever
     /// break the FD on a schema-valid document (Proposition 2).
     Independent,
-    /// The criterion is inconclusive: `L` is nonempty. The witness exhibits
-    /// a document where an update interacts with the FD (it does **not**
-    /// prove an actual impact — IC is sufficient, not complete).
+    /// The criterion is inconclusive: either `L` is nonempty, or the run
+    /// exhausted its resource budget before the emptiness fixpoint settled.
+    /// In both cases the sound reading is the same — the FD must be
+    /// re-verified after an update of the class.
+    #[non_exhaustive]
     Unknown {
-        /// A member of `L`, when extraction succeeded.
+        /// A member of `L`, when `L` was proven nonempty and extraction
+        /// succeeded. The witness exhibits a document where an update
+        /// interacts with the FD (it does **not** prove an actual impact —
+        /// IC is sufficient, not complete).
         witness: Option<Box<Document>>,
+        /// The resource that ran out, when the verdict is inconclusive
+        /// because the run was cut short rather than because `L ≠ ∅`.
+        exhausted: Option<Resource>,
     },
 }
 
@@ -50,6 +61,14 @@ impl Verdict {
     /// Is the verdict `Independent`?
     pub fn is_independent(&self) -> bool {
         matches!(self, Verdict::Independent)
+    }
+
+    /// The exhausted resource, when the run was cut short by its budget.
+    pub fn exhausted(&self) -> Option<Resource> {
+        match self {
+            Verdict::Unknown { exhausted, .. } => *exhausted,
+            _ => None,
+        }
     }
 }
 
@@ -69,6 +88,8 @@ pub struct IndependenceAnalysis {
     pub explored_states: usize,
     /// States of the full schema×FD×U×bit product.
     pub total_states: usize,
+    /// Work counters and per-phase wall time of the run.
+    pub metrics: RunMetrics,
 }
 
 /// Bit-aggregation mode of a product transition.
@@ -265,6 +286,86 @@ fn horizontal_triple(hf: &Nfa, hu: &Nfa, nf: u32, nu: u32, enc: Enc, mode: BitMo
     b.finish()
 }
 
+/// The lazy engine on precompiled inputs under an explicit budget. This is
+/// the single shared entry point of [`crate::analyzer::Analyzer`], the batch
+/// matrix, and the deprecated free functions.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn check_independence_governed(
+    alphabet: &regtree_alphabet::Alphabet,
+    pa_fd: &PatternAutomaton,
+    pa_u: &PatternAutomaton,
+    class: &UpdateClass,
+    schema_auto: Option<&HedgeAutomaton>,
+    partition: Option<&GuardPartition>,
+    mut budget: Budget,
+    compile_nanos: u64,
+) -> IndependenceAnalysis {
+    let ic_states = pa_fd.automaton.num_states() * pa_u.automaton.num_states() * 2;
+    // One unconditional poll before any work: a pre-cancelled token or an
+    // already-elapsed deadline aborts the run even on instances so small
+    // they would otherwise decide before the first amortized poll fires.
+    if let Err(r) = budget.poll_now() {
+        let mut metrics = budget.into_metrics();
+        metrics.compile_nanos += compile_nanos;
+        return IndependenceAnalysis {
+            verdict: Verdict::Unknown {
+                witness: None,
+                exhausted: Some(r),
+            },
+            ic_states,
+            automaton_size: 0,
+            explored_states: 0,
+            total_states: 0,
+            metrics,
+        };
+    }
+    let search = Stopwatch::start();
+    let out = crate::lazy_ic::lazy_independence(
+        alphabet,
+        pa_fd,
+        pa_u,
+        class,
+        schema_auto,
+        partition,
+        &mut budget,
+    );
+    let mut metrics = budget.into_metrics();
+    metrics.compile_nanos += compile_nanos;
+    metrics.search_nanos += search.elapsed_nanos();
+    IndependenceAnalysis {
+        verdict: out.verdict,
+        ic_states,
+        automaton_size: out.total_states,
+        explored_states: out.explored_states,
+        total_states: out.total_states,
+        metrics,
+    }
+}
+
+/// Non-deprecated internal form of [`check_independence`] (unlimited budget).
+pub(crate) fn check_independence_internal(
+    fd: &Fd,
+    class: &UpdateClass,
+    schema: Option<&Schema>,
+) -> IndependenceAnalysis {
+    let alphabet = fd.template().alphabet().clone();
+    let compile = Stopwatch::start();
+    let pa_fd = compile_pattern(fd.pattern(), true);
+    let pa_u = compile_pattern(class.pattern(), false);
+    let schema_auto = schema.map(|s| s.compile());
+    let compile_nanos = compile.elapsed_nanos();
+    check_independence_governed(
+        &alphabet,
+        &pa_fd,
+        &pa_u,
+        class,
+        schema_auto.as_ref(),
+        None,
+        Budget::unlimited(),
+        compile_nanos,
+    )
+}
+
 /// Runs the independence criterion for `fd` against `class`, optionally in
 /// the context of a schema.
 ///
@@ -272,30 +373,56 @@ fn horizontal_triple(hf: &Nfa, hu: &Nfa, nf: u32, nu: u32, enc: Enc, mode: BitMo
 /// the product states reachable bottom-up from realizable firings and exits
 /// as soon as an accepting root firing appears. The verdict always agrees
 /// with [`check_independence_eager`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use Analyzer::independence, which caches compiled automata and supports budgets"
+)]
 pub fn check_independence(
     fd: &Fd,
     class: &UpdateClass,
     schema: Option<&Schema>,
 ) -> IndependenceAnalysis {
+    check_independence_internal(fd, class, schema)
+}
+
+/// Non-deprecated internal form of [`check_independence_eager`].
+pub(crate) fn check_independence_eager_internal(
+    fd: &Fd,
+    class: &UpdateClass,
+    schema: Option<&Schema>,
+) -> IndependenceAnalysis {
     let alphabet = fd.template().alphabet().clone();
-    let pa_fd = compile_pattern(fd.pattern(), true);
-    let pa_u = compile_pattern(class.pattern(), false);
-    let ic_states = pa_fd.automaton.num_states() * pa_u.automaton.num_states() * 2;
-    let schema_auto = schema.map(|s| s.compile());
-    let out = crate::lazy_ic::lazy_independence(
-        &alphabet,
-        &pa_fd,
-        &pa_u,
-        class,
-        schema_auto.as_ref(),
-        None,
-    );
+    let compile = Stopwatch::start();
+    let ic = build_ic_automaton(fd, class);
+    let ic_states = ic.num_states();
+    let full = match schema {
+        Some(s) => intersect(&ic, &s.compile()),
+        None => ic,
+    };
+    let compile_nanos = compile.elapsed_nanos();
+    let automaton_size = full.size();
+    let total_states = full.num_states();
+    let search = Stopwatch::start();
+    let mut budget = Budget::unlimited();
+    let verdict = match witness_document_governed(&full, &alphabet, &mut budget)
+        .expect("unlimited budget cannot be exhausted")
+    {
+        None => Verdict::Independent,
+        Some(doc) => Verdict::Unknown {
+            witness: Some(Box::new(doc)),
+            exhausted: None,
+        },
+    };
+    let mut metrics = budget.into_metrics();
+    metrics.compile_nanos += compile_nanos;
+    metrics.search_nanos += search.elapsed_nanos();
     IndependenceAnalysis {
-        verdict: out.verdict,
+        verdict,
         ic_states,
-        automaton_size: out.total_states,
-        explored_states: out.explored_states,
-        total_states: out.total_states,
+        automaton_size,
+        explored_states: total_states,
+        total_states,
+        metrics,
     }
 }
 
@@ -303,38 +430,22 @@ pub fn check_independence(
 /// the eager schema product, and runs the emptiness fixpoint on the result.
 /// Kept for parity testing and for exact `|A|` size measurements
 /// (Proposition 3 experiments).
+#[deprecated(
+    since = "0.1.0",
+    note = "use Analyzer::independence; the eager pipeline remains available for parity testing"
+)]
 pub fn check_independence_eager(
     fd: &Fd,
     class: &UpdateClass,
     schema: Option<&Schema>,
 ) -> IndependenceAnalysis {
-    let alphabet = fd.template().alphabet().clone();
-    let ic = build_ic_automaton(fd, class);
-    let ic_states = ic.num_states();
-    let full = match schema {
-        Some(s) => intersect(&ic, &s.compile()),
-        None => ic,
-    };
-    let automaton_size = full.size();
-    let total_states = full.num_states();
-    let verdict = match witness_document(&full, &alphabet) {
-        None => Verdict::Independent,
-        Some(doc) => Verdict::Unknown {
-            witness: Some(Box::new(doc)),
-        },
-    };
-    IndependenceAnalysis {
-        verdict,
-        ic_states,
-        automaton_size,
-        explored_states: total_states,
-        total_states,
-    }
+    check_independence_eager_internal(fd, class, schema)
 }
 
 /// Convenience: is `fd` provably independent of `class` (under `schema`)?
+#[deprecated(since = "0.1.0", note = "use Analyzer::independence")]
 pub fn is_independent(fd: &Fd, class: &UpdateClass, schema: Option<&Schema>) -> bool {
-    check_independence(fd, class, schema)
+    check_independence_internal(fd, class, schema)
         .verdict
         .is_independent()
 }
@@ -375,6 +486,8 @@ pub fn in_language_naive(fd: &Fd, class: &UpdateClass, doc: &Document) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the deprecated wrappers stay covered by tests
+
     use super::*;
     use crate::fd::FdBuilder;
     use crate::update::update_class_from_edges;
@@ -408,7 +521,9 @@ mod tests {
         let class = update_class_from_edges(&a, &["session/candidate/exam/rank"]).unwrap();
         let analysis = check_independence(&fd, &class, None);
         match analysis.verdict {
-            Verdict::Unknown { witness: Some(w) } => {
+            Verdict::Unknown {
+                witness: Some(w), ..
+            } => {
                 assert!(in_language_naive(&fd, &class, &w), "witness not in L");
             }
             other => panic!("expected Unknown with witness, got {other:?}"),

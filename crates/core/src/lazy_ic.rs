@@ -33,6 +33,7 @@ use regtree_alphabet::{Alphabet, LabelKind};
 use regtree_automata::{Nfa, NfaLabel, StateId};
 use regtree_hedge::{witness_label, GuardPartition, HedgeAutomaton, LabelGuard, TreeState};
 use regtree_pattern::PatternAutomaton;
+use regtree_runtime::{Budget, Resource};
 use regtree_xml::{Document, TreeSpec};
 
 use crate::independence::Verdict;
@@ -105,24 +106,39 @@ struct Sim<'a> {
 }
 
 /// Interner of realized product states and their firings.
-struct Shared {
+struct Shared<'b> {
     letters: Vec<Key>,
     ids: HashMap<Key, LetterId>,
     /// Per letter: the `(sim, frontier state)` acceptance that realized it.
     firings: Vec<(u32, u32)>,
     /// First accepting root firing `(sim, frontier state)`.
     root_hit: Option<(u32, u32)>,
+    /// Cooperative resource governor; counters are cheap per-event integer
+    /// compares, the deadline/cancel poll is amortized inside the budget.
+    budget: &'b mut Budget,
+    /// First exhausted resource: the search unwinds as soon as it is set
+    /// (treated exactly like `root_hit` by the fixpoint loops).
+    exhausted: Option<Resource>,
 }
 
-impl Shared {
+impl Shared<'_> {
     fn realize(&mut self, key: Key, si: u32, fi: u32) {
         if self.ids.contains_key(&key) {
+            return;
+        }
+        if let Err(r) = self.budget.on_state() {
+            self.exhausted.get_or_insert(r);
             return;
         }
         let id = self.letters.len() as LetterId;
         self.ids.insert(key, id);
         self.letters.push(key);
         self.firings.push((si, fi));
+    }
+
+    /// Has the search hit a root firing or run out of budget?
+    fn stop(&self) -> bool {
+        self.root_hit.is_some() || self.exhausted.is_some()
     }
 }
 
@@ -135,6 +151,10 @@ fn add_fstate(
     pred: Option<(Option<LetterId>, u32)>,
 ) {
     if sim.states.contains(&st) {
+        return;
+    }
+    if let Err(r) = shared.budget.on_frontier_push() {
+        shared.exhausted.get_or_insert(r);
         return;
     }
     let id = sim.states.len() as u32;
@@ -174,6 +194,7 @@ fn add_fstate(
 fn try_letter(si: u32, sim: &mut Sim, shared: &mut Shared, xi: u32, li: LetterId) {
     let x = sim.states[xi as usize];
     let key = shared.letters[li as usize];
+    shared.budget.on_transition();
     let seen2 = x.seen | key.bit;
     let (hf, hu, hs) = (sim.hf, sim.hu, sim.hs);
     for &(lf, tf2) in hf.transitions_from(x.sf) {
@@ -243,7 +264,7 @@ fn expand(si: u32, sim: &mut Sim, shared: &mut Shared, xi: u32) {
     if !sim.leaf_only {
         for li in 0..sim.cursor {
             try_letter(si, sim, shared, xi, li as LetterId);
-            if shared.root_hit.is_some() {
+            if shared.stop() {
                 return;
             }
         }
@@ -273,7 +294,7 @@ fn pump(si: u32, sim: &mut Sim, shared: &mut Shared) -> bool {
     }
     let mut progress = false;
     loop {
-        if shared.root_hit.is_some() {
+        if shared.stop() {
             return true;
         }
         if let Some(xi) = sim.fresh.pop() {
@@ -290,7 +311,7 @@ fn pump(si: u32, sim: &mut Sim, shared: &mut Shared) -> bool {
             let settled = sim.states.len() as u32;
             for xi in 0..settled {
                 try_letter(si, sim, shared, xi, li);
-                if shared.root_hit.is_some() {
+                if shared.stop() {
                     return true;
                 }
             }
@@ -365,6 +386,7 @@ pub(crate) fn lazy_independence(
     class: &UpdateClass,
     schema: Option<&HedgeAutomaton>,
     partition: Option<&GuardPartition>,
+    budget: &mut Budget,
 ) -> LazyOutcome {
     let universal;
     let a_s = match schema {
@@ -414,17 +436,24 @@ pub(crate) fn lazy_independence(
         ids: HashMap::new(),
         firings: Vec::new(),
         root_hit: None,
+        budget,
+        exhausted: None,
     };
     // Dedup stamp over schema-transition candidates per (tf, tu) pair.
     let mut stamp: Vec<u32> = vec![0; a_s.transitions().len()];
     let mut generation: u32 = 0;
 
-    for (fi, tf) in af.transitions().iter().enumerate() {
+    'setup: for (fi, tf) in af.transitions().iter().enumerate() {
         let in_region = pa_fd.in_region(tf.target);
         for (ui, tu) in au.transitions().iter().enumerate() {
+            if let Err(r) = shared.budget.checkpoint() {
+                shared.exhausted.get_or_insert(r);
+                break 'setup;
+            }
             if !masks_f[fi].intersects(&masks_u[ui]) {
                 continue;
             }
+            shared.budget.on_guard_intersection();
             let Some(g_fu) = tf.guard.intersect(&tu.guard) else {
                 continue;
             };
@@ -445,6 +474,7 @@ pub(crate) fn lazy_independence(
                 }
                 stamp[si_idx] = generation;
                 let ts = &a_s.transitions()[si_idx];
+                shared.budget.on_guard_intersection();
                 let Some(guard) = g_fu.intersect(&ts.guard) else {
                     continue;
                 };
@@ -485,24 +515,30 @@ pub(crate) fn lazy_independence(
         }
     }
 
-    // Round-robin the sims until no frontier advances (fixpoint) or a root
-    // firing accepts (early exit).
+    // Round-robin the sims until no frontier advances (fixpoint), a root
+    // firing accepts (early exit), or the budget runs out (graceful abort).
     let mut round_progress = true;
-    while round_progress && shared.root_hit.is_none() {
+    while round_progress && !shared.stop() {
         round_progress = false;
         for (si, sim) in sims.iter_mut().enumerate() {
             round_progress |= pump(si as u32, sim, &mut shared);
-            if shared.root_hit.is_some() {
+            if shared.stop() {
                 break;
             }
         }
     }
 
-    let verdict = match shared.root_hit {
-        Some(root) => Verdict::Unknown {
+    let verdict = match (shared.root_hit, shared.exhausted) {
+        // A root hit is a definite answer even under an exhausted budget.
+        (Some(root), _) => Verdict::Unknown {
             witness: Some(Box::new(build_witness(alphabet, &sims, &shared, root))),
+            exhausted: None,
         },
-        None => Verdict::Independent,
+        (None, Some(r)) => Verdict::Unknown {
+            witness: None,
+            exhausted: Some(r),
+        },
+        (None, None) => Verdict::Independent,
     };
     LazyOutcome {
         verdict,

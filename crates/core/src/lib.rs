@@ -21,6 +21,8 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyzer;
+pub mod error;
 pub mod fd;
 pub mod impact;
 pub mod independence;
@@ -32,17 +34,27 @@ pub mod revalidate;
 pub mod satisfy;
 pub mod update;
 
+pub use analyzer::{Analyzer, AnalyzerBuilder};
+pub use error::Error;
 pub use fd::{EqualityType, Fd, FdBuilder, FdError};
 pub use impact::{classify_pair, search_impact, ImpactWitness, PairClassification};
-pub use independence::{
-    build_ic_automaton, check_independence, check_independence_eager, in_language_naive,
-    is_independent, IndependenceAnalysis, Verdict,
-};
-pub use matrix::{analyze_matrix, IndependenceMatrix, MatrixCell};
+pub use independence::{build_ic_automaton, in_language_naive, IndependenceAnalysis, Verdict};
+#[allow(deprecated)]
+pub use independence::{check_independence, check_independence_eager, is_independent};
+#[allow(deprecated)]
+pub use matrix::analyze_matrix;
+pub use matrix::{IndependenceMatrix, MatrixCell};
 pub use pathfd::{expressible_in_path_formalism, Inexpressibility, PathFd, PathFdError};
 pub use reduction::{build_patterns, build_reduction, gadget_alphabet, ReductionInstance};
 pub use revalidate::{revalidate_full, revalidate_full_many, IncrementalChecker};
-pub use satisfy::{check_fd, check_fd_indexed, check_fds_parallel, satisfies, FdViolation};
+#[allow(deprecated)]
+pub use satisfy::check_fds_parallel;
+pub use satisfy::{
+    check_fd, check_fd_governed, check_fd_indexed, satisfies, FdBatchReport, FdOutcome, FdViolation,
+};
+// Re-exported so downstreams govern runs without a direct dependency on
+// `regtree-runtime`.
+pub use regtree_runtime::{Budget, CancelToken, Resource, RunLimits, RunMetrics};
 pub use update::{
     update_class_from_edges, ApplyError, Update, UpdateClass, UpdateClassError, UpdateOp,
 };

@@ -15,13 +15,14 @@
 //! ([`regtree_pattern::parallel_map`]).
 
 use std::fmt;
+use std::sync::Arc;
 
-use regtree_hedge::{GuardPartition, Schema};
-use regtree_pattern::{compile_pattern, parallel_map};
+use regtree_hedge::{GuardPartition, HedgeAutomaton, Schema};
+use regtree_pattern::{compile_pattern, parallel_map, PatternAutomaton};
+use regtree_runtime::{Budget, CancelToken, RunLimits, RunMetrics, Stopwatch};
 
 use crate::fd::Fd;
-use crate::independence::Verdict;
-use crate::lazy_ic::lazy_independence;
+use crate::independence::{check_independence_governed, Verdict};
 use crate::update::UpdateClass;
 
 /// One cell of the analysis matrix.
@@ -37,6 +38,8 @@ pub struct MatrixCell {
     pub automaton_size: usize,
     /// Product states the lazy engine actually explored.
     pub explored_states: usize,
+    /// Work counters and wall time of this cell's run.
+    pub metrics: RunMetrics,
 }
 
 /// The full matrix plus aggregate statistics.
@@ -70,11 +73,30 @@ impl IndependenceMatrix {
     }
 
     /// For an update class: the FDs that must be re-verified after an
-    /// update of that class (the non-independent rows).
+    /// update of that class. Every non-`Independent` row counts — including
+    /// `Unknown` cells whose run was cancelled or exhausted its budget
+    /// (only a proof of independence may skip re-verification).
     pub fn fds_to_recheck(&self, class: usize) -> Vec<usize> {
         (0..self.fd_names.len())
             .filter(|&fd| !self.independent(fd, class))
             .collect()
+    }
+
+    /// Number of `Unknown` cells whose run was cut short (budget or
+    /// cancellation) rather than decided. These are sound to treat as
+    /// "recheck", but re-running them with a larger budget may still prove
+    /// independence.
+    pub fn exhausted_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.verdict.exhausted().is_some())
+            .count()
+    }
+
+    /// Number of cells that must be rechecked (every non-independent cell,
+    /// exhausted ones included).
+    pub fn recheck_count(&self) -> usize {
+        self.cells.len() - self.independent_count()
     }
 }
 
@@ -95,8 +117,13 @@ impl fmt::Display for IndependenceMatrix {
         for (i, name) in self.fd_names.iter().enumerate() {
             write!(f, "{name:<w$}  ", w = w)?;
             for j in 0..self.class_names.len() {
-                let mark = if self.independent(i, j) {
+                let cell = self.cell(i, j);
+                let mark = if cell.verdict.is_independent() {
                     "indep"
+                } else if cell.verdict.exhausted().is_some() {
+                    // Cut short by budget/cancellation: still a recheck, but
+                    // a bigger budget might prove independence.
+                    "RECHECK?"
                 } else {
                     "RECHECK"
                 };
@@ -108,62 +135,124 @@ impl fmt::Display for IndependenceMatrix {
     }
 }
 
-/// Runs the criterion for every (FD, class) pair.
-///
-/// Shared work — schema compilation, pattern compilation per row/column, and
-/// the guard minterm partition — happens once up front; the cells themselves
-/// run in parallel on scoped worker threads.
-pub fn analyze_matrix(
+/// Matrix analysis on precompiled rows/columns under a shared budget. The
+/// wall-clock deadline is global to the whole matrix (a deadline bounds the
+/// *call*, not each cell); the count caps apply per cell. A cancelled run
+/// still returns every cell: cells that never ran report
+/// `Unknown { exhausted: Some(Cancelled) }`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn analyze_matrix_governed(
     fds: &[(&str, &Fd)],
     classes: &[(&str, &UpdateClass)],
-    schema: Option<&Schema>,
+    schema_auto: Option<&HedgeAutomaton>,
+    pa_fds: &[Arc<PatternAutomaton>],
+    pa_us: &[Arc<PatternAutomaton>],
+    limits: &RunLimits,
+    cancel: Option<&CancelToken>,
+    compile_nanos: u64,
 ) -> IndependenceMatrix {
-    let schema_auto = schema.map(|s| s.compile());
-    let pa_fds: Vec<_> = fds
-        .iter()
-        .map(|(_, fd)| compile_pattern(fd.pattern(), true))
-        .collect();
-    let pa_us: Vec<_> = classes
-        .iter()
-        .map(|(_, class)| compile_pattern(class.pattern(), false))
-        .collect();
     let partition = GuardPartition::from_automata(
         pa_fds
             .iter()
             .chain(pa_us.iter())
             .map(|pa| &pa.automaton)
-            .chain(schema_auto.iter()),
+            .chain(schema_auto),
     );
+    // One deadline for the whole matrix, captured before the first cell.
+    let deadline_at = Budget::new(limits).deadline_at();
     let pairs: Vec<(usize, usize)> = (0..fds.len())
         .flat_map(|i| (0..classes.len()).map(move |j| (i, j)))
         .collect();
-    let cells = parallel_map(&pairs, |&(i, j)| {
-        let alphabet = fds[i].1.template().alphabet();
-        let out = lazy_independence(
-            alphabet,
+    let mut cells = parallel_map(&pairs, |&(i, j)| {
+        let alphabet = fds[i].1.template().alphabet().clone();
+        let mut budget = Budget::new(limits).with_deadline_at(deadline_at);
+        if let Some(c) = cancel {
+            budget = budget.with_cancel(c.clone());
+        }
+        check_independence_governed(
+            &alphabet,
             &pa_fds[i],
             &pa_us[j],
             classes[j].1,
-            schema_auto.as_ref(),
+            schema_auto,
             Some(&partition),
-        );
-        MatrixCell {
-            fd: i,
-            class: j,
-            verdict: out.verdict,
-            automaton_size: out.total_states,
-            explored_states: out.explored_states,
-        }
+            budget,
+            0,
+        )
     });
+    // Attribute the shared compile time to the first cell so the matrix
+    // totals stay faithful without double counting.
+    if let Some(first) = cells.first_mut() {
+        first.metrics.compile_nanos += compile_nanos;
+    }
     IndependenceMatrix {
         fd_names: fds.iter().map(|(n, _)| n.to_string()).collect(),
         class_names: classes.iter().map(|(n, _)| n.to_string()).collect(),
-        cells,
+        cells: cells
+            .into_iter()
+            .zip(&pairs)
+            .map(|(a, &(i, j))| MatrixCell {
+                fd: i,
+                class: j,
+                verdict: a.verdict,
+                automaton_size: a.total_states,
+                explored_states: a.explored_states,
+                metrics: a.metrics,
+            })
+            .collect(),
     }
+}
+
+/// Non-deprecated internal form of [`analyze_matrix`] (unlimited budget).
+pub(crate) fn analyze_matrix_internal(
+    fds: &[(&str, &Fd)],
+    classes: &[(&str, &UpdateClass)],
+    schema: Option<&Schema>,
+) -> IndependenceMatrix {
+    let compile = Stopwatch::start();
+    let schema_auto = schema.map(|s| s.compile());
+    let pa_fds: Vec<_> = fds
+        .iter()
+        .map(|(_, fd)| Arc::new(compile_pattern(fd.pattern(), true)))
+        .collect();
+    let pa_us: Vec<_> = classes
+        .iter()
+        .map(|(_, class)| Arc::new(compile_pattern(class.pattern(), false)))
+        .collect();
+    let compile_nanos = compile.elapsed_nanos();
+    analyze_matrix_governed(
+        fds,
+        classes,
+        schema_auto.as_ref(),
+        &pa_fds,
+        &pa_us,
+        &RunLimits::UNLIMITED,
+        None,
+        compile_nanos,
+    )
+}
+
+/// Runs the criterion for every (FD, class) pair.
+///
+/// Shared work — schema compilation, pattern compilation per row/column, and
+/// the guard minterm partition — happens once up front; the cells themselves
+/// run in parallel on scoped worker threads.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Analyzer::matrix, which caches compiled automata and supports budgets and cancellation"
+)]
+pub fn analyze_matrix(
+    fds: &[(&str, &Fd)],
+    classes: &[(&str, &UpdateClass)],
+    schema: Option<&Schema>,
+) -> IndependenceMatrix {
+    analyze_matrix_internal(fds, classes, schema)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the deprecated wrapper stays covered by tests
+
     use super::*;
     use crate::fd::FdBuilder;
     use crate::update::update_class_from_edges;

@@ -10,7 +10,7 @@
 use regtree_xml::{Document, NodeId};
 
 use crate::fd::Fd;
-use crate::satisfy::{check_fd, check_fds_parallel, FdViolation};
+use crate::satisfy::{check_fd, check_fds_parallel_internal, FdViolation};
 use crate::update::{ApplyError, Update};
 
 /// Applies `update` to a clone of `doc` and fully re-verifies `fd` on the
@@ -34,7 +34,7 @@ pub fn revalidate_full_many(
     doc: &Document,
 ) -> Result<Vec<Result<(), FdViolation>>, ApplyError> {
     let after = update.apply_cloned(doc)?;
-    Ok(check_fds_parallel(fds, &after))
+    Ok(check_fds_parallel_internal(fds, &after))
 }
 
 /// A document-level incremental checker in the spirit of \[14\]: it stores,

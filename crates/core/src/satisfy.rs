@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use regtree_runtime::{Budget, CancelToken, Resource, RunLimits, RunMetrics, Stopwatch};
 use regtree_xml::{value_eq_in, value_hash, Document, LabelIndex, NodeId};
 
 use crate::fd::{EqualityType, Fd};
@@ -84,10 +85,74 @@ pub fn check_fd(fd: &Fd, doc: &Document) -> Result<(), FdViolation> {
 /// [`check_fd`] against a prebuilt label index for `doc` (amortizes the
 /// index across many FDs on one document).
 pub fn check_fd_indexed(fd: &Fd, doc: &Document, index: &LabelIndex) -> Result<(), FdViolation> {
+    let mut budget = Budget::unlimited();
+    match check_fd_governed(fd, doc, index, &mut budget) {
+        FdOutcome::Satisfied => Ok(()),
+        FdOutcome::Violated(v) => Err(v),
+        FdOutcome::Unknown { .. } => unreachable!("unlimited budget cannot be exhausted"),
+    }
+}
+
+/// Outcome of one governed FD check: the budget can run out before the
+/// trace enumeration settles, in which case the verdict is `Unknown`.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum FdOutcome {
+    /// Every pair of traces agrees: the FD holds on the document.
+    Satisfied,
+    /// A concrete pair of traces violates the FD.
+    Violated(FdViolation),
+    /// The run was cut short before a verdict was reached.
+    #[non_exhaustive]
+    Unknown {
+        /// The resource that ran out.
+        exhausted: Resource,
+    },
+}
+
+impl FdOutcome {
+    /// Is this outcome `Satisfied`?
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, FdOutcome::Satisfied)
+    }
+
+    /// The exhausted resource, when the run was cut short.
+    pub fn exhausted(&self) -> Option<Resource> {
+        match self {
+            FdOutcome::Unknown { exhausted, .. } => Some(*exhausted),
+            _ => None,
+        }
+    }
+}
+
+/// [`check_fd_indexed`] under a resource [`Budget`]: pattern-evaluation work
+/// (DFA steps, candidate-memo entries) is metered and the check aborts with
+/// [`FdOutcome::Unknown`] once a cap or the deadline is crossed.
+pub fn check_fd_governed(
+    fd: &Fd,
+    doc: &Document,
+    index: &LabelIndex,
+    budget: &mut Budget,
+) -> FdOutcome {
+    // One unconditional poll before any work: a pre-cancelled token or an
+    // already-elapsed deadline aborts even FDs that would decide before the
+    // first amortized poll fires.
+    if let Err(r) = budget.poll_now() {
+        return FdOutcome::Unknown { exhausted: r };
+    }
     let mut keep = vec![fd.context()];
     keep.extend_from_slice(fd.conditions());
     keep.push(fd.target());
-    let projections = regtree_pattern::project_mappings_indexed(fd.template(), doc, index, &keep);
+    let projections = match regtree_pattern::project_mappings_governed(
+        fd.template(),
+        doc,
+        index,
+        &keep,
+        budget,
+    ) {
+        Ok(p) => p,
+        Err(r) => return FdOutcome::Unknown { exhausted: r },
+    };
 
     let n_cond = fd.conditions().len();
     let eqs = fd.equality();
@@ -125,7 +190,7 @@ pub fn check_fd_indexed(fd: &Fd, doc: &Document, index: &LabelIndex) -> Result<(
             }
             matched = true;
             if !nodes_equal(doc, g.target, target, target_eq) {
-                return Err(FdViolation {
+                return FdOutcome::Violated(FdViolation {
                     context,
                     conditions_a: g.conditions.clone(),
                     conditions_b: conditions,
@@ -139,7 +204,7 @@ pub fn check_fd_indexed(fd: &Fd, doc: &Document, index: &LabelIndex) -> Result<(
             groups.push(Group { conditions, target });
         }
     }
-    Ok(())
+    FdOutcome::Satisfied
 }
 
 /// Boolean convenience wrapper.
@@ -147,14 +212,74 @@ pub fn satisfies(fd: &Fd, doc: &Document) -> bool {
     check_fd(fd, doc).is_ok()
 }
 
+/// Report of a governed batch FD check: one outcome per FD (in input
+/// order) plus the merged work counters of all runs.
+#[derive(Clone, Debug)]
+pub struct FdBatchReport {
+    /// One outcome per FD, in input order.
+    pub outcomes: Vec<FdOutcome>,
+    /// Merged counters and wall time across all FD checks.
+    pub metrics: RunMetrics,
+}
+
+impl FdBatchReport {
+    /// Do all FDs hold? (`Unknown` outcomes count as not-satisfied.)
+    pub fn all_satisfied(&self) -> bool {
+        self.outcomes.iter().all(FdOutcome::is_satisfied)
+    }
+}
+
+/// Non-deprecated internal form of [`check_fds_parallel`].
+pub(crate) fn check_fds_parallel_internal(
+    fds: &[Fd],
+    doc: &Document,
+) -> Vec<Result<(), FdViolation>> {
+    let index = LabelIndex::build(doc);
+    regtree_pattern::parallel_map(fds, |fd| check_fd_indexed(fd, doc, &index))
+}
+
+/// Checks many FDs on one document over scoped worker threads, under a
+/// shared budget. The wall-clock deadline is global to the batch; count
+/// caps apply per FD. Cancellation aborts pending checks, which report
+/// `Unknown { exhausted: Cancelled }`.
+pub(crate) fn check_fds_governed(
+    fds: &[Fd],
+    doc: &Document,
+    limits: &RunLimits,
+    cancel: Option<&CancelToken>,
+) -> FdBatchReport {
+    let search = Stopwatch::start();
+    let index = LabelIndex::build(doc);
+    let deadline_at = Budget::new(limits).deadline_at();
+    let results = regtree_pattern::parallel_map(fds, |fd| {
+        let mut budget = Budget::new(limits).with_deadline_at(deadline_at);
+        if let Some(c) = cancel {
+            budget = budget.with_cancel(c.clone());
+        }
+        let outcome = check_fd_governed(fd, doc, &index, &mut budget);
+        (outcome, budget.into_metrics())
+    });
+    let mut metrics = RunMetrics::default();
+    let mut outcomes = Vec::with_capacity(results.len());
+    for (outcome, m) in results {
+        metrics.merge(&m);
+        outcomes.push(outcome);
+    }
+    metrics.search_nanos = search.elapsed_nanos();
+    FdBatchReport { outcomes, metrics }
+}
+
 /// Checks many FDs on one document over scoped worker threads.
 ///
 /// The label index is built once and shared (read-only) by all workers;
 /// results are in `fds` order and agree exactly with [`check_fd`] run
 /// sequentially on each FD.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Analyzer::check_fds, which supports budgets, cancellation and metrics"
+)]
 pub fn check_fds_parallel(fds: &[Fd], doc: &Document) -> Vec<Result<(), FdViolation>> {
-    let index = LabelIndex::build(doc);
-    regtree_pattern::parallel_map(fds, |fd| check_fd_indexed(fd, doc, &index))
+    check_fds_parallel_internal(fds, doc)
 }
 
 #[cfg(test)]

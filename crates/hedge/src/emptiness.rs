@@ -27,6 +27,7 @@ use std::collections::HashMap;
 
 use regtree_alphabet::{Alphabet, LabelKind, Symbol};
 use regtree_automata::{NfaLabel, StateId};
+use regtree_runtime::{Budget, Resource};
 use regtree_xml::{Document, TreeSpec};
 
 use crate::automaton::{generic_element_label, HedgeAutomaton, LabelGuard, TreeState};
@@ -116,10 +117,18 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Runs the fixpoint. With `stop_at_root`, stops as soon as a root-final
-    /// transition accepts (the realizability data stays sufficient to expand
-    /// every letter of the accepted word into a witness subtree).
-    fn run(&mut self, alphabet: &Alphabet, stop_at_root: bool) {
+    /// Runs the fixpoint under `budget`. With `stop_at_root`, stops as soon
+    /// as a root-final transition accepts (the realizability data stays
+    /// sufficient to expand every letter of the accepted word into a witness
+    /// subtree). An `Err` means the budget ran out mid-fixpoint: the
+    /// realizability data computed so far is sound but incomplete, so no
+    /// emptiness verdict may be drawn from it.
+    fn run(
+        &mut self,
+        alphabet: &Alphabet,
+        stop_at_root: bool,
+        budget: &mut Budget,
+    ) -> Result<(), Resource> {
         let transitions = self.automaton.transitions();
         for (ti, t) in transitions.iter().enumerate() {
             let root_final =
@@ -135,7 +144,7 @@ impl<'a> Engine<'a> {
                 // Attribute/text nodes are leaves: ε is the only candidate
                 // child word, checked once; the frontier never advances.
                 if t.horizontal.accepts(&[]) {
-                    self.on_accept(ti, Vec::new());
+                    self.on_accept(ti, Vec::new(), budget)?;
                 }
                 self.sims[ti].dead = true;
             } else {
@@ -147,17 +156,19 @@ impl<'a> Engine<'a> {
             }
             while let Some(r) = self.stack.pop() {
                 if stop_at_root && self.root_word.is_some() {
-                    return;
+                    return Ok(());
                 }
-                self.expand(r);
+                budget.on_frontier_push()?;
+                self.expand(r, budget)?;
             }
             if stop_at_root && self.root_word.is_some() {
-                return;
+                return Ok(());
             }
         }
+        Ok(())
     }
 
-    fn expand(&mut self, r: Reach) {
+    fn expand(&mut self, r: Reach, budget: &mut Budget) -> Result<(), Resource> {
         let automaton = self.automaton;
         let t = &automaton.transitions()[r.sim];
         let target_realized = self.realizable[t.target as usize];
@@ -167,10 +178,10 @@ impl<'a> Engine<'a> {
             // unless it is root-final and a root word is still wanted.
             if sim.dead || (target_realized && (!sim.root_final || self.root_word.is_some())) {
                 sim.dead = true;
-                return;
+                return Ok(());
             }
             if sim.reached[r.state as usize] {
-                return;
+                return Ok(());
             }
             sim.reached[r.state as usize] = true;
             sim.pred[r.state as usize] = r.pred;
@@ -213,11 +224,18 @@ impl<'a> Engine<'a> {
             }
         }
         if let Some(word) = accepted_word {
-            self.on_accept(r.sim, word);
+            self.on_accept(r.sim, word, budget)?;
         }
+        Ok(())
     }
 
-    fn on_accept(&mut self, ti: usize, word: Vec<TreeState>) {
+    fn on_accept(
+        &mut self,
+        ti: usize,
+        word: Vec<TreeState>,
+        budget: &mut Budget,
+    ) -> Result<(), Resource> {
+        budget.on_transition();
         if self.sims[ti].root_final && self.root_word.is_none() {
             self.root_word = Some((ti, word.clone()));
         }
@@ -229,11 +247,19 @@ impl<'a> Engine<'a> {
                     transition: ti,
                     child_states: word,
                 },
-            );
+                budget,
+            )?;
         }
+        Ok(())
     }
 
-    fn realize(&mut self, q: TreeState, firing: Firing) {
+    fn realize(
+        &mut self,
+        q: TreeState,
+        firing: Firing,
+        budget: &mut Budget,
+    ) -> Result<(), Resource> {
+        budget.on_state()?;
         // Invariant (and regression guard): each state enters `order` at most
         // once, no matter how many transitions target it.
         assert!(
@@ -261,6 +287,7 @@ impl<'a> Engine<'a> {
                 });
             }
         }
+        Ok(())
     }
 
     fn finish(self) -> (Realizability, Option<(usize, Vec<TreeState>)>) {
@@ -293,9 +320,22 @@ fn word_to(sim: &Sim, state: StateId) -> Vec<TreeState> {
 
 /// Computes realizable states (the emptiness fixpoint of Proposition 3).
 pub fn realizability(automaton: &HedgeAutomaton, alphabet: &Alphabet) -> Realizability {
+    let mut budget = Budget::unlimited();
+    realizability_governed(automaton, alphabet, &mut budget)
+        .expect("unlimited budget cannot be exhausted")
+}
+
+/// [`realizability`] under a resource [`Budget`]. `Err` means the budget ran
+/// out before the fixpoint completed; the partial data is discarded because
+/// it proves nothing about unrealized states.
+pub fn realizability_governed(
+    automaton: &HedgeAutomaton,
+    alphabet: &Alphabet,
+    budget: &mut Budget,
+) -> Result<Realizability, Resource> {
     let mut eng = Engine::new(automaton);
-    eng.run(alphabet, false);
-    eng.finish().0
+    eng.run(alphabet, false, budget)?;
+    Ok(eng.finish().0)
 }
 
 /// Chooses a concrete label satisfying `guard` for witness construction,
@@ -356,10 +396,25 @@ pub fn witness_spec(
 /// reachable *at the reserved `/` root*; the fixpoint early-exits the moment
 /// such a root firing accepts.
 pub fn witness_document(automaton: &HedgeAutomaton, alphabet: &Alphabet) -> Option<Document> {
+    let mut budget = Budget::unlimited();
+    witness_document_governed(automaton, alphabet, &mut budget)
+        .expect("unlimited budget cannot be exhausted")
+}
+
+/// [`witness_document`] under a resource [`Budget`]: `Ok(None)` proves the
+/// language empty, `Ok(Some(doc))` exhibits a member, and `Err(resource)`
+/// means the budget ran out before either could be established.
+pub fn witness_document_governed(
+    automaton: &HedgeAutomaton,
+    alphabet: &Alphabet,
+    budget: &mut Budget,
+) -> Result<Option<Document>, Resource> {
     let mut eng = Engine::new(automaton);
-    eng.run(alphabet, true);
+    eng.run(alphabet, true, budget)?;
     let (real, root_word) = eng.finish();
-    let (_, word) = root_word?;
+    let Some((_, word)) = root_word else {
+        return Ok(None);
+    };
     let mut doc = Document::new(alphabet.clone());
     for &c in &word {
         let spec = witness_spec(automaton, alphabet, &real, c)
@@ -367,7 +422,7 @@ pub fn witness_document(automaton: &HedgeAutomaton, alphabet: &Alphabet) -> Opti
         spec_attach(&mut doc, &spec);
     }
     debug_assert!(doc.check_well_formed().is_ok());
-    Some(doc)
+    Ok(Some(doc))
 }
 
 /// Appends `spec` under the document root.

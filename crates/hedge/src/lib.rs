@@ -29,7 +29,8 @@ pub use automaton::{
     HedgeAutomaton, HedgeTransition, LabelGuard, TreeState, ValidationError,
 };
 pub use emptiness::{
-    is_empty_language, realizability, witness_document, witness_label, witness_spec,
+    is_empty_language, realizability, realizability_governed, witness_document,
+    witness_document_governed, witness_label, witness_spec,
 };
 pub use partition::{GuardMask, GuardPartition};
 pub use product::{intersect, intersect_with_encoding, union, PairEncoding};

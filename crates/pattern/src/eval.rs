@@ -22,9 +22,43 @@ use std::rc::Rc;
 
 use regtree_alphabet::Symbol;
 use regtree_automata::EDGE_DEAD;
+use regtree_runtime::{Budget, Resource};
 use regtree_xml::{label_mask, Document, LabelIndex, NodeId};
 
 use crate::template::{Template, TemplateNodeId};
+
+/// Optional resource governor threaded through the matcher. `None` keeps
+/// the ungoverned hot path branch-predictable (the `Option` check is a
+/// single well-predicted branch per candidate batch, not per DFA step).
+struct Gov<'a> {
+    budget: Option<&'a mut Budget>,
+}
+
+impl Gov<'_> {
+    #[inline]
+    fn dfa_steps(&mut self, n: u64) -> Result<(), Resource> {
+        match &mut self.budget {
+            Some(b) => b.on_dfa_steps(n),
+            None => Ok(()),
+        }
+    }
+
+    #[inline]
+    fn memo_entry(&mut self) -> Result<(), Resource> {
+        match &mut self.budget {
+            Some(b) => b.on_memo_entry(),
+            None => Ok(()),
+        }
+    }
+
+    #[inline]
+    fn checkpoint(&mut self) -> Result<(), Resource> {
+        match &mut self.budget {
+            Some(b) => b.checkpoint(),
+            None => Ok(()),
+        }
+    }
+}
 
 /// A mapping of a template on a document: one image per template node.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -87,6 +121,31 @@ pub fn enumerate_mappings_indexed(
     doc: &Document,
     index: &LabelIndex,
 ) -> Vec<Mapping> {
+    let mut gov = Gov { budget: None };
+    enumerate_impl(template, doc, index, &mut gov).expect("ungoverned search cannot be exhausted")
+}
+
+/// [`enumerate_mappings_indexed`] under a resource [`Budget`]: counts DFA
+/// steps and candidate-memo entries, and aborts with the exhausted
+/// [`Resource`] once a cap or the deadline is crossed.
+pub fn enumerate_mappings_governed(
+    template: &Template,
+    doc: &Document,
+    index: &LabelIndex,
+    budget: &mut Budget,
+) -> Result<Vec<Mapping>, Resource> {
+    let mut gov = Gov {
+        budget: Some(budget),
+    };
+    enumerate_impl(template, doc, index, &mut gov)
+}
+
+fn enumerate_impl(
+    template: &Template,
+    doc: &Document,
+    index: &LabelIndex,
+    gov: &mut Gov,
+) -> Result<Vec<Mapping>, Resource> {
     // Per-edge pruning data: the Bloom mask of letters that can end an
     // accepted word, and whether unmentioned letters can (wildcard endings).
     let mut final_masks: Vec<(u64, bool)> = vec![(0, false); template.len()];
@@ -101,7 +160,7 @@ pub fn enumerate_mappings_indexed(
                         .iter()
                         .all(|&l| index.count(Symbol(l)) == 0)
                 {
-                    return Vec::new();
+                    return Ok(Vec::new());
                 }
                 let mask = dfa
                     .final_letters()
@@ -117,10 +176,11 @@ pub fn enumerate_mappings_indexed(
     search(
         template,
         doc,
-        &mut |w, source, memo_hit| {
-            candidates_dfa(template, doc, index, &final_masks, w, source, memo_hit)
+        &mut |w, source, memo_hit, gov| {
+            candidates_dfa(template, doc, index, &final_masks, w, source, memo_hit, gov)
         },
         &mut memo,
+        gov,
     )
 }
 
@@ -129,12 +189,15 @@ pub fn enumerate_mappings_indexed(
 /// baseline in `regtree-bench`; results must equal [`enumerate_mappings`].
 pub fn enumerate_mappings_nfa(template: &Template, doc: &Document) -> Vec<Mapping> {
     let mut memo: CandidateMemo = HashMap::new();
+    let mut gov = Gov { budget: None };
     search(
         template,
         doc,
-        &mut |w, source, memo_hit| candidates_nfa(template, doc, w, source, memo_hit),
+        &mut |w, source, memo_hit, gov| candidates_nfa(template, doc, w, source, memo_hit, gov),
         &mut memo,
+        &mut gov,
     )
+    .expect("ungoverned search cannot be exhausted")
 }
 
 /// Candidate target nodes of an edge from a given source image, annotated
@@ -143,14 +206,18 @@ pub fn enumerate_mappings_nfa(template: &Template, doc: &Document) -> Vec<Mappin
 type CandidateList = Rc<Vec<(usize, NodeId)>>;
 type CandidateMemo = HashMap<(TemplateNodeId, NodeId), CandidateList>;
 
+/// Result of one candidate-list computation under the governor.
+type CandidateResult = Result<CandidateList, Resource>;
+
 /// Backtracking search over template nodes in preorder, shared by both
 /// engines; `cands` computes (or recalls) the candidate list of one edge.
 fn search(
     template: &Template,
     doc: &Document,
-    cands: &mut dyn FnMut(TemplateNodeId, NodeId, &mut CandidateMemo) -> CandidateList,
+    cands: &mut dyn FnMut(TemplateNodeId, NodeId, &mut CandidateMemo, &mut Gov) -> CandidateResult,
     memo: &mut CandidateMemo,
-) -> Vec<Mapping> {
+    gov: &mut Gov,
+) -> Result<Vec<Mapping>, Resource> {
     let order: Vec<TemplateNodeId> = template
         .preorder()
         .into_iter()
@@ -159,12 +226,23 @@ fn search(
     let mut images: Vec<Option<NodeId>> = vec![None; template.len()];
     images[template.root().index()] = Some(doc.root());
     let mut out = Vec::new();
-    assign(template, doc, &order, 0, &mut images, cands, memo, &mut out);
-    out
+    assign(
+        template,
+        doc,
+        &order,
+        0,
+        &mut images,
+        cands,
+        memo,
+        gov,
+        &mut out,
+    )?;
+    Ok(out)
 }
 
 /// DFA engine: steps a single state id per node; prunes dead and non-live
 /// states, and whole subtrees whose label Bloom mask cannot end a match.
+#[allow(clippy::too_many_arguments)]
 fn candidates_dfa(
     template: &Template,
     doc: &Document,
@@ -173,19 +251,21 @@ fn candidates_dfa(
     edge_head: TemplateNodeId,
     source: NodeId,
     memo: &mut CandidateMemo,
-) -> CandidateList {
+    gov: &mut Gov,
+) -> CandidateResult {
     if let Some(c) = memo.get(&(edge_head, source)) {
-        return Rc::clone(c);
+        return Ok(Rc::clone(c));
     }
     let Some(dfa) = template.edge_dfa(edge_head) else {
         // Pathological determinization blow-up: fall back to NFA stepping.
-        return candidates_nfa(template, doc, edge_head, source, memo);
+        return candidates_nfa(template, doc, edge_head, source, memo, gov);
     };
     let (fmask, other_final) = final_masks[edge_head.index()];
     // A subtree can contribute a candidate only if some node in it can be
     // the *last* letter of an accepted word.
     let viable = |n: NodeId| other_final || index.subtree_may_intersect(n, fmask);
     let mut found: Vec<(usize, NodeId)> = Vec::new();
+    let mut steps: u64 = 0;
     for (ci, &child) in doc.children(source).iter().enumerate() {
         if !viable(child) {
             continue;
@@ -193,6 +273,7 @@ fn candidates_dfa(
         let mut stack: Vec<(NodeId, u32)> = vec![(child, dfa.start())];
         while let Some((v, state)) = stack.pop() {
             let next = dfa.step(state, doc.label(v).0);
+            steps += 1;
             if next == EDGE_DEAD || !dfa.is_live(next) {
                 continue;
             }
@@ -209,9 +290,11 @@ fn candidates_dfa(
             }
         }
     }
+    gov.dfa_steps(steps)?;
+    gov.memo_entry()?;
     let found = Rc::new(found);
     memo.insert((edge_head, source), Rc::clone(&found));
-    found
+    Ok(found)
 }
 
 /// NFA engine: threads `Vec<u32>` state sets down the document (baseline).
@@ -221,20 +304,23 @@ fn candidates_nfa(
     edge_head: TemplateNodeId,
     source: NodeId,
     memo: &mut CandidateMemo,
-) -> CandidateList {
+    gov: &mut Gov,
+) -> CandidateResult {
     if let Some(c) = memo.get(&(edge_head, source)) {
-        return Rc::clone(c);
+        return Ok(Rc::clone(c));
     }
     let nfa = template
         .edge_nfa(edge_head)
         .expect("non-root nodes have an incoming edge");
     let init = nfa.initial_set();
     let mut found: Vec<(usize, NodeId)> = Vec::new();
+    let mut steps: u64 = 0;
     for (ci, &child) in doc.children(source).iter().enumerate() {
         // DFS down the subtree of `child`, threading the NFA state set.
         let mut stack: Vec<(NodeId, Vec<u32>)> = vec![(child, init.clone())];
         while let Some((v, states)) = stack.pop() {
             let next = nfa.step(&states, doc.label(v).0);
+            steps += 1;
             if next.is_empty() {
                 continue;
             }
@@ -246,11 +332,13 @@ fn candidates_nfa(
             }
         }
     }
+    gov.dfa_steps(steps)?;
+    gov.memo_entry()?;
     // Deterministic order: by child index, then document order.
     found.sort_by(|a, b| a.0.cmp(&b.0).then(doc.doc_order(a.1, b.1)));
     let found = Rc::new(found);
     memo.insert((edge_head, source), Rc::clone(&found));
-    found
+    Ok(found)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -260,15 +348,17 @@ fn assign(
     order: &[TemplateNodeId],
     pos: usize,
     images: &mut Vec<Option<NodeId>>,
-    cands: &mut dyn FnMut(TemplateNodeId, NodeId, &mut CandidateMemo) -> CandidateList,
+    cands: &mut dyn FnMut(TemplateNodeId, NodeId, &mut CandidateMemo, &mut Gov) -> CandidateResult,
     memo: &mut CandidateMemo,
+    gov: &mut Gov,
     out: &mut Vec<Mapping>,
-) {
+) -> Result<(), Resource> {
+    gov.checkpoint()?;
     let Some(&w) = order.get(pos) else {
         out.push(Mapping {
             images: images.iter().map(|i| i.expect("all assigned")).collect(),
         });
-        return;
+        return Ok(());
     };
     let parent = template.parent(w).expect("non-root");
     let source = images[parent.index()].expect("parent assigned before child");
@@ -286,15 +376,16 @@ fn assign(
         .max()
         .map(|b| b + 1)
         .unwrap_or(0);
-    let list = cands(w, source, memo);
+    let list = cands(w, source, memo, gov)?;
     for &(ci, v) in list.iter() {
         if ci < min_branch {
             continue;
         }
         images[w.index()] = Some(v);
-        assign(template, doc, order, pos + 1, images, cands, memo, out);
+        assign(template, doc, order, pos + 1, images, cands, memo, gov, out)?;
     }
     images[w.index()] = None;
+    Ok(())
 }
 
 /// Distinct projections of all mappings onto `keep` (in the given order).
@@ -314,11 +405,28 @@ pub fn project_mappings_indexed(
     index: &LabelIndex,
     keep: &[TemplateNodeId],
 ) -> Vec<Vec<NodeId>> {
+    let mappings = enumerate_mappings_indexed(template, doc, index);
+    dedup_projections(mappings, keep)
+}
+
+/// [`project_mappings_indexed`] under a resource [`Budget`].
+pub fn project_mappings_governed(
+    template: &Template,
+    doc: &Document,
+    index: &LabelIndex,
+    keep: &[TemplateNodeId],
+    budget: &mut Budget,
+) -> Result<Vec<Vec<NodeId>>, Resource> {
+    let mappings = enumerate_mappings_governed(template, doc, index, budget)?;
+    Ok(dedup_projections(mappings, keep))
+}
+
+fn dedup_projections(mappings: Vec<Mapping>, keep: &[TemplateNodeId]) -> Vec<Vec<NodeId>> {
     // Each projection is stored once (shared between the dedup set and the
     // output order) instead of cloned into both.
     let mut out: Vec<Rc<[NodeId]>> = Vec::new();
     let mut seen: HashSet<Rc<[NodeId]>> = HashSet::new();
-    for m in enumerate_mappings_indexed(template, doc, index) {
+    for m in mappings {
         let proj: Rc<[NodeId]> = keep.iter().map(|&w| m.image(w)).collect();
         if seen.insert(Rc::clone(&proj)) {
             out.push(proj);
@@ -340,6 +448,17 @@ pub fn evaluate_indexed(
     index: &LabelIndex,
 ) -> Vec<Vec<NodeId>> {
     project_mappings_indexed(pattern.template(), doc, index, pattern.selected())
+}
+
+/// [`evaluate_indexed`] under a resource [`Budget`]: aborts with the
+/// exhausted [`Resource`] once a cap or deadline is crossed.
+pub fn evaluate_governed(
+    pattern: &crate::pattern::RegularTreePattern,
+    doc: &Document,
+    index: &LabelIndex,
+    budget: &mut Budget,
+) -> Result<Vec<Vec<NodeId>>, Resource> {
+    project_mappings_governed(pattern.template(), doc, index, pattern.selected(), budget)
 }
 
 #[cfg(test)]

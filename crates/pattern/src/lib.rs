@@ -28,8 +28,9 @@ pub use batch::{evaluate_many, parallel_map};
 pub use compile::{compile_pattern, compile_template_plain, PatternAutomaton, StateRole};
 pub use corexpath::{parse_corexpath, XPathError};
 pub use eval::{
-    enumerate_mappings, enumerate_mappings_indexed, enumerate_mappings_nfa, evaluate,
-    evaluate_indexed, project_mappings, project_mappings_indexed, Mapping,
+    enumerate_mappings, enumerate_mappings_governed, enumerate_mappings_indexed,
+    enumerate_mappings_nfa, evaluate, evaluate_governed, evaluate_indexed, project_mappings,
+    project_mappings_governed, project_mappings_indexed, Mapping,
 };
 pub use pattern::{PatternError, RegularTreePattern};
 pub use template::{Template, TemplateError, TemplateNodeId};

@@ -50,6 +50,7 @@ fn main() {
     ];
 
     println!("FD: same isbn ⇒ same section (per library)\n");
+    let analyzer = Analyzer::builder().schema(schema.clone()).build();
     for xpath in updates {
         let pattern = parse_corexpath(&a, xpath).expect("parses");
         let class = match UpdateClass::new(pattern) {
@@ -59,7 +60,7 @@ fn main() {
                 continue;
             }
         };
-        let analysis = check_independence(&fd, &class, Some(&schema));
+        let analysis = analyzer.independence(&fd, &class);
         println!(
             "{xpath:<44} {}",
             if analysis.verdict.is_independent() {

@@ -134,8 +134,9 @@ fn main() {
     // ---- Example 6: independence in the context of the schema ----------
     println!("\n— Example 6 / Section 5: the independence criterion —");
     let fd5 = gen::fd5(&a);
-    let no_schema = check_independence(&fd5, &class_u, None);
-    let with_schema = check_independence(&fd5, &class_u, Some(&schema));
+    let no_schema = Analyzer::builder().build().independence(&fd5, &class_u);
+    let schemad = Analyzer::builder().schema(schema.clone()).build();
+    let with_schema = schemad.independence(&fd5, &class_u);
     println!(
         "fd5 vs U without schema: {}",
         verdict_str(&no_schema.verdict)
@@ -147,7 +148,7 @@ fn main() {
     assert!(!no_schema.verdict.is_independent());
     assert!(with_schema.verdict.is_independent());
 
-    let fd3_vs_u = check_independence(&fd3, &class_u, Some(&schema));
+    let fd3_vs_u = schemad.independence(&fd3, &class_u);
     println!(
         "fd3 vs U with schema: {} (consistent with the Example 5 impact)",
         verdict_str(&fd3_vs_u.verdict)

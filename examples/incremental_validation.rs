@@ -37,7 +37,8 @@ fn main() {
 
     // Strategy 3 pays this once, independent of every document:
     let t = Instant::now();
-    let analysis = check_independence(&fd1, &class, Some(&schema));
+    let analyzer = Analyzer::builder().schema(schema.clone()).build();
+    let analysis = analyzer.independence(&fd1, &class);
     let ic_time = t.elapsed();
     println!(
         "independence criterion: verdict = {}, one-off cost = {:.3?} (automaton size {})",

@@ -63,7 +63,7 @@ fn main() {
         &parse_regex(&a, "D+").expect("parses"),
         &parse_regex(&a, "D/D+").expect("parses"),
     );
-    let analysis = check_independence(&fd, &class, None);
+    let analysis = Analyzer::builder().build().independence(&fd, &class);
     println!(
         "IC on the gadget patterns (η = D+, η' = D/D+): independent = {} — as expected, \
          the polynomial criterion does not decide PSPACE-hard instances",

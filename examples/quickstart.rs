@@ -39,25 +39,39 @@ fn main() {
     let restock = parse_corexpath(&alphabet, "/catalog/item/stock").expect("parses");
     let class = UpdateClass::new(restock).expect("selected node is a leaf");
 
+    // One Analyzer serves every analysis: it caches compiled automata and
+    // (optionally) governs runs with budgets — see `RunLimits`.
+    let analyzer = Analyzer::builder().build();
+
     // The independence criterion: can ANY restocking update, on ANY
     // document, break the FD? (No document needed for the analysis.)
-    let analysis = check_independence(&fd, &class, None);
+    let analysis = analyzer.independence(&fd, &class);
     match &analysis.verdict {
         Verdict::Independent => {
             println!("restocking is provably independent of the price FD");
         }
-        Verdict::Unknown { witness } => {
+        Verdict::Unknown {
+            witness, exhausted, ..
+        } => {
             println!("criterion inconclusive");
+            if let Some(r) = exhausted {
+                println!("(run stopped early: {r})");
+            }
             if let Some(w) = witness {
                 println!("interaction witness:\n{}", to_xml(w));
             }
         }
+        _ => unreachable!("future verdicts"),
     }
+    println!(
+        "work done: {} product states interned, {} frontier pushes",
+        analysis.metrics.states_interned, analysis.metrics.frontier_pushes
+    );
 
     // A price-rewriting class is *not* provably independent.
     let reprice = parse_corexpath(&alphabet, "/catalog/item/price").expect("parses");
     let class2 = UpdateClass::new(reprice).expect("leaf");
-    let analysis2 = check_independence(&fd, &class2, None);
+    let analysis2 = analyzer.independence(&fd, &class2);
     println!(
         "repricing independent? {}",
         analysis2.verdict.is_independent()

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs the independence-criterion benches (E9 ic_scaling, E10
 # ic_vs_revalidation incl. the independence_matrix group) and emits
-# BENCH_ic.json mapping each benchmark id to its median nanoseconds.
+# BENCH_ic.json mapping each benchmark id to its median nanoseconds, plus
+# flat `counters/<axis>/<point>/<metric>` work counters (states interned,
+# transitions fired, DFA steps, …) from the E9 sweep points so the *work
+# done* is versioned next to the time it took.
 # Commit the refreshed BENCH_ic.json alongside perf-relevant changes so the
 # trajectory stays in-tree.
 set -euo pipefail
@@ -14,6 +17,7 @@ trap 'rm -f "$raw"' EXIT
 
 cargo bench -p regtree-bench --bench ic_scaling | tee "$raw"
 cargo bench -p regtree-bench --bench ic_vs_revalidation | tee -a "$raw"
+cargo run --release -p regtree-bench --example ic_state_counts -- --counters | tee -a "$raw"
 
 python3 - "$raw" "$out" <<'EOF'
 import json, re, sys
@@ -27,13 +31,20 @@ line_re = re.compile(
     r"[\d.]+ (?:ns|µs|us|ms|s)\s*\]"
 )
 
+counter_re = re.compile(r"^(counters/\S+) (\d+)$")
+
 medians = {}
 with open(raw, encoding="utf-8") as fh:
     for line in fh:
-        m = line_re.match(line.strip())
+        line = line.strip()
+        m = line_re.match(line)
         if m:
             name, median, unit = m.group(1), float(m.group(2)), m.group(3)
             medians[name] = round(median * unit_ns[unit])
+            continue
+        c = counter_re.match(line)
+        if c:
+            medians[c.group(1)] = int(c.group(2))
 
 if not medians:
     sys.exit("bench_json.sh: no benchmark lines parsed")

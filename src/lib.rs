@@ -37,8 +37,10 @@
 //! // The paper's update class U: levels of candidates with exams to pass.
 //! let class = regtree_gen::update_class_u(&alphabet);
 //! let schema = regtree_gen::exam_schema(&alphabet);
-//! let analysis = check_independence(&fd1, &class, Some(&schema));
+//! let analyzer = Analyzer::builder().schema(schema).build();
+//! let analysis = analyzer.independence(&fd1, &class);
 //! assert!(analysis.verdict.is_independent());
+//! assert!(analysis.metrics.states_interned > 0);
 //! ```
 
 #![deny(unsafe_code)]
@@ -57,11 +59,16 @@ pub mod prelude {
     pub use regtree_alphabet::{Alphabet, LabelKind, Symbol};
     pub use regtree_automata::{parse_regex, Dfa, LangSampler, Nfa, Regex};
     pub use regtree_core::{
-        build_reduction, check_fd, check_fds_parallel, check_independence,
-        expressible_in_path_formalism, is_independent, revalidate_full, revalidate_full_many,
-        satisfies, EqualityType, Fd, FdBuilder, IncrementalChecker, PathFd, Update, UpdateClass,
-        UpdateOp, Verdict,
+        build_reduction, check_fd, expressible_in_path_formalism, revalidate_full,
+        revalidate_full_many, satisfies, Analyzer, AnalyzerBuilder, Budget, CancelToken,
+        EqualityType, Error, Fd, FdBatchReport, FdBuilder, FdOutcome, IncrementalChecker,
+        IndependenceMatrix, PathFd, Resource, RunLimits, RunMetrics, Update, UpdateClass, UpdateOp,
+        Verdict,
     };
+    // Deprecated free functions stay in the prelude for downstream source
+    // compatibility; new code should go through `Analyzer`.
+    #[allow(deprecated)]
+    pub use regtree_core::{check_fds_parallel, check_independence, is_independent};
     pub use regtree_hedge::{HedgeAutomaton, Schema};
     pub use regtree_pattern::{
         compile_pattern, evaluate_many, parse_corexpath, RegularTreePattern, Template,

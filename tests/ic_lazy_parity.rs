@@ -1,20 +1,28 @@
 //! Lazy/eager parity of the independence criterion.
 //!
-//! The lazy on-the-fly engine (`check_independence`, `crates/core/src/lazy_ic.rs`)
-//! and the eager pipeline (`check_independence_eager`: full FD×U×bit product,
-//! eager schema intersection, worklist emptiness) decide the same language
-//! emptiness question. This suite drives both over random FD × update-class ×
+//! The lazy on-the-fly engine (`Analyzer::independence`, backed by
+//! `crates/core/src/lazy_ic.rs`) and the eager pipeline
+//! (`check_independence_eager`: full FD×U×bit product, eager schema
+//! intersection, worklist emptiness) decide the same language emptiness
+//! question. This suite drives both over random FD × update-class ×
 //! optional-schema triples and asserts:
 //!
-//! 1. identical verdicts, and
+//! 1. identical verdicts — for an `Analyzer` with unlimited limits (the
+//!    governed engine must be invisible when no budget is set) *and* for the
+//!    deprecated `check_independence` wrapper, and
 //! 2. every non-`Independent` verdict's witness document is accepted by the
 //!    *eager* product automaton (i.e. the lazy engine's reconstructed firing
 //!    tree denotes a genuine member of the IC language, schema included).
 
+// The deprecated wrappers are exercised on purpose: parity must keep
+// covering them until they are removed.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use regtree_alphabet::Alphabet;
 use regtree_core::{
-    build_ic_automaton, check_independence, check_independence_eager, Fd, UpdateClass, Verdict,
+    build_ic_automaton, check_independence, check_independence_eager, Analyzer, Fd, UpdateClass,
+    Verdict,
 };
 use regtree_hedge::{intersect, Schema};
 use regtree_pattern::{RegularTreePattern, Template};
@@ -98,18 +106,33 @@ proptest! {
 
     #[test]
     fn lazy_and_eager_agree(fd in arb_fd(), class in arb_class(), schema in arb_schema_opt()) {
-        let lazy = check_independence(&fd, &class, schema.as_ref());
+        // An Analyzer with no limits set: the governed lazy engine must be
+        // verdict-identical to the eager pipeline on every instance.
+        let mut builder = Analyzer::builder();
+        if let Some(s) = &schema {
+            builder = builder.schema(s.clone());
+        }
+        let lazy = builder.build().independence(&fd, &class);
         let eager = check_independence_eager(&fd, &class, schema.as_ref());
         prop_assert_eq!(
             lazy.verdict.is_independent(),
             eager.verdict.is_independent(),
-            "lazy and eager disagree (schema: {})",
+            "analyzer (lazy) and eager disagree (schema: {})",
             schema.is_some()
         );
+        // The deprecated free-function wrapper must keep agreeing too.
+        let wrapper = check_independence(&fd, &class, schema.as_ref());
+        prop_assert_eq!(
+            wrapper.verdict.is_independent(),
+            eager.verdict.is_independent(),
+            "check_independence wrapper and eager disagree"
+        );
+        // An unlimited run never reports an exhausted resource.
+        prop_assert!(lazy.verdict.exhausted().is_none());
         // The never-materialized product is at least as large as what the
         // lazy engine actually interned.
         prop_assert!(lazy.explored_states <= lazy.total_states);
-        if let Verdict::Unknown { witness: Some(w) } = &lazy.verdict {
+        if let Verdict::Unknown { witness: Some(w), .. } = &lazy.verdict {
             // The lazy witness must be a genuine member of the IC language —
             // checked against the eager product automaton, schema included.
             let mut product = build_ic_automaton(&fd, &class);

@@ -143,10 +143,11 @@ fn e8_independent_verdicts_survive_random_updates() {
     let mut rng = SmallRng::seed_from_u64(4242);
     let mut independents = 0usize;
     let mut checked_updates = 0usize;
+    let analyzer = Analyzer::builder().build();
     for _ in 0..80 {
         let fd = random_fd(&a, &mut rng);
         let class = random_class(&a, &mut rng);
-        if !is_independent(&fd, &class, None) {
+        if !analyzer.independence(&fd, &class).verdict.is_independent() {
             continue;
         }
         independents += 1;
@@ -194,11 +195,15 @@ fn e8_unknown_witnesses_are_genuine_members_of_l() {
     let a = Alphabet::with_labels(LABELS);
     let mut rng = SmallRng::seed_from_u64(77);
     let mut witnesses = 0usize;
+    let analyzer = Analyzer::builder().build();
     for _ in 0..40 {
         let fd = random_fd(&a, &mut rng);
         let class = random_class(&a, &mut rng);
-        let analysis = check_independence(&fd, &class, None);
-        if let Verdict::Unknown { witness: Some(w) } = &analysis.verdict {
+        let analysis = analyzer.independence(&fd, &class);
+        if let Verdict::Unknown {
+            witness: Some(w), ..
+        } = &analysis.verdict
+        {
             witnesses += 1;
             assert!(
                 in_language_naive(&fd, &class, w),
@@ -217,11 +222,15 @@ fn e8_schema_product_respects_validity() {
     let schema = Schema::parse(&a, "root: a+\na: (b|c)*\nb: c? #text?\nc: EMPTY\n").unwrap();
     let mut rng = SmallRng::seed_from_u64(123);
     let mut found = 0;
+    let analyzer = Analyzer::builder().schema(schema.clone()).build();
     for _ in 0..120 {
         let fd = random_fd(&a, &mut rng);
         let class = random_class(&a, &mut rng);
-        let analysis = check_independence(&fd, &class, Some(&schema));
-        if let Verdict::Unknown { witness: Some(w) } = &analysis.verdict {
+        let analysis = analyzer.independence(&fd, &class);
+        if let Verdict::Unknown {
+            witness: Some(w), ..
+        } = &analysis.verdict
+        {
             found += 1;
             assert!(schema.validate(w).is_ok(), "witness not schema-valid");
             assert!(in_language_naive(&fd, &class, w), "witness not in L");

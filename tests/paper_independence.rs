@@ -49,7 +49,8 @@ fn e6_example5_q1_impacts_fd3() {
         "q1 decreases only candidate 1's level — fd3 violated in q1(D)"
     );
     // Consequently the criterion must NOT declare (fd3, U) independent.
-    let analysis = check_independence(&fd3, &gen::update_class_u(&a), Some(&gen::exam_schema(&a)));
+    let analyzer = Analyzer::builder().schema(gen::exam_schema(&a)).build();
+    let analysis = analyzer.independence(&fd3, &gen::update_class_u(&a));
     assert!(!analysis.verdict.is_independent());
 }
 
@@ -62,15 +63,18 @@ fn e6_example6_schema_enables_independence() {
     let class = gen::update_class_u(&a);
     let schema = gen::exam_schema(&a);
 
-    let with = check_independence(&fd5, &class, Some(&schema));
+    let with = Analyzer::builder()
+        .schema(schema)
+        .build()
+        .independence(&fd5, &class);
     assert!(
         with.verdict.is_independent(),
         "updates of U only touch candidates with toBePassed, which fd5 never relates"
     );
 
-    let without = check_independence(&fd5, &class, None);
+    let without = Analyzer::builder().build().independence(&fd5, &class);
     match &without.verdict {
-        Verdict::Unknown { witness } => {
+        Verdict::Unknown { witness, .. } => {
             // The witness document must genuinely be in the language L.
             let w = witness.as_ref().expect("witness extracted");
             assert!(in_language_naive(&fd5, &class, w), "witness ∉ L");
@@ -143,7 +147,7 @@ fn e6_criterion_is_conservative() {
         .build()
         .unwrap();
     let class = UpdateClass::new(parse_corexpath(&a, "/session/candidate/level").unwrap()).unwrap();
-    let analysis = check_independence(&fd, &class, None);
+    let analysis = Analyzer::builder().build().independence(&fd, &class);
     assert!(!analysis.verdict.is_independent());
     // …even though an update writing the SAME text everywhere can never
     // violate this FD (IDs are unique per candidate). The criterion cannot

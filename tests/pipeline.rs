@@ -55,8 +55,15 @@ fn full_pipeline_from_text_to_verdicts() {
         UpdateClass::new(parse_corexpath(&a, "/inventory/warehouse/pallet/qty").expect("parses"))
             .expect("leaf");
 
-    assert!(is_independent(&fd, &annotate, Some(&schema)));
-    assert!(!is_independent(&fd, &requantify, Some(&schema)));
+    let analyzer = Analyzer::builder().schema(schema.clone()).build();
+    assert!(analyzer
+        .independence(&fd, &annotate)
+        .verdict
+        .is_independent());
+    assert!(!analyzer
+        .independence(&fd, &requantify)
+        .verdict
+        .is_independent());
 
     // Execute an annotate update: the FD survives, as promised.
     // (note? is optional in the schema but absent from the document, so the
@@ -120,9 +127,13 @@ fn witness_documents_guide_schema_refinement() {
     let class = UpdateClass::new(parse_corexpath(&a, "/db/scratch").expect("ok")).expect("leaf");
 
     // The loose FD can reach keys *inside* scratch areas: Unknown.
-    let loose = check_independence(&loose_fd, &class, None);
+    let unschemad = Analyzer::builder().build();
+    let loose = unschemad.independence(&loose_fd, &class);
     assert!(!loose.verdict.is_independent());
-    if let Verdict::Unknown { witness: Some(w) } = &loose.verdict {
+    if let Verdict::Unknown {
+        witness: Some(w), ..
+    } = &loose.verdict
+    {
         assert!(regtree::core::in_language_naive(&loose_fd, &class, w));
     }
 
@@ -132,11 +143,14 @@ fn witness_documents_guide_schema_refinement() {
         "root: db\ndb: rec* scratch*\nrec: key val\nkey: #text\nval: #text\nscratch: pad*\npad: EMPTY\n",
     )
     .expect("parses");
-    let tight = check_independence(&loose_fd, &class, Some(&schema));
+    let tight = Analyzer::builder()
+        .schema(schema)
+        .build()
+        .independence(&loose_fd, &class);
     assert!(tight.verdict.is_independent());
 
     // The strict (path-shaped) FD never interacted in the first place.
-    assert!(is_independent(&fd, &class, None));
+    assert!(unschemad.independence(&fd, &class).verdict.is_independent());
 }
 
 #[test]

@@ -3,44 +3,120 @@
 //! interned versus the size of the full (never materialized) product the
 //! eager pipeline would build. Companion to `scripts/bench_json.sh`; the
 //! numbers land in EXPERIMENTS.md E9.
+//!
+//! Modes: default is the human-readable table; `--counters` prints flat
+//! `counters/<axis>/<point>/<metric>` work counters; `--phases` re-runs the
+//! sweep through an [`regtree_core::Analyzer`] wired to a
+//! [`regtree_core::SummarySink`] and prints flat
+//! `phases/<axis>/<point>/<phase>_{count,nanos}` per-phase wall-time rows.
 // Intentionally on the deprecated free functions: they recompile the
 // automata every iteration, which is the cost these timings have always
 // measured. Migrating to the caching `Analyzer` would change the workload
-// and invalidate comparisons against the committed baselines.
+// and invalidate comparisons against the committed baselines. (The
+// `--phases` mode is the exception: span hooks only exist on the governed
+// engine, and its rows are wall-time breakdowns, not baseline counters.)
 #![allow(deprecated)]
 
+use std::sync::Arc;
+
 use regtree_bench::{chain_schema, fd_with_conditions, padded_alphabet, update_chain};
-use regtree_core::check_independence;
+use regtree_core::{check_independence, Analyzer, Fd, SpanKind, SummarySink, UpdateClass};
+use regtree_hedge::Schema;
 
 fn main() {
     let machine = std::env::args().any(|a| a == "--counters");
-    if !machine {
+    let phases = std::env::args().any(|a| a == "--phases");
+    if !machine && !phases {
         println!("axis             point   explored    total   verdict");
     }
     for &k in &[1usize, 2, 4, 6] {
         let a = regtree_gen::exam_alphabet();
-        let r = check_independence(&fd_with_conditions(&a, k), &update_chain(&a, 2), None);
-        row("fd_conditions", k, &r, machine);
+        point(
+            "fd_conditions",
+            k,
+            &fd_with_conditions(&a, k),
+            &update_chain(&a, 2),
+            None,
+            machine,
+            phases,
+        );
     }
     for &d in &[1usize, 3, 6, 9] {
         let a = regtree_gen::exam_alphabet();
-        let r = check_independence(&fd_with_conditions(&a, 2), &update_chain(&a, d), None);
-        row("update_depth", d, &r, machine);
+        point(
+            "update_depth",
+            d,
+            &fd_with_conditions(&a, 2),
+            &update_chain(&a, d),
+            None,
+            machine,
+            phases,
+        );
     }
     for &x in &[0usize, 50, 200, 800] {
         let a = padded_alphabet(x);
-        let r = check_independence(&fd_with_conditions(&a, 2), &update_chain(&a, 2), None);
-        row("alphabet", x, &r, machine);
+        point(
+            "alphabet",
+            x,
+            &fd_with_conditions(&a, 2),
+            &update_chain(&a, 2),
+            None,
+            machine,
+            phases,
+        );
     }
     for &n in &[2usize, 8, 16, 32] {
         let a = regtree_gen::exam_alphabet();
         let schema = chain_schema(&a, n);
-        let r = check_independence(
+        point(
+            "schema_rules",
+            n,
             &fd_with_conditions(&a, 2),
             &update_chain(&a, 2),
             Some(&schema),
+            machine,
+            phases,
         );
-        row("schema_rules", n, &r, machine);
+    }
+}
+
+fn point(
+    axis: &str,
+    p: usize,
+    fd: &Fd,
+    class: &UpdateClass,
+    schema: Option<&Schema>,
+    machine: bool,
+    phases: bool,
+) {
+    if phases {
+        phase_rows(axis, p, fd, class, schema);
+        return;
+    }
+    let r = check_independence(fd, class, schema);
+    row(axis, p, &r, machine);
+}
+
+/// One governed run per sweep point, its wall time split by phase.
+fn phase_rows(axis: &str, point: usize, fd: &Fd, class: &UpdateClass, schema: Option<&Schema>) {
+    let sink = Arc::new(SummarySink::new());
+    let mut builder = Analyzer::builder().tracer(sink.clone());
+    if let Some(s) = schema {
+        builder = builder.schema(s.clone());
+    }
+    let _ = builder.build().independence(fd, class);
+    let summary = sink.summary();
+    for kind in SpanKind::ALL {
+        let s = summary.span(kind);
+        if s.count == 0 {
+            continue;
+        }
+        println!("phases/{axis}/{point}/{}_count {}", kind.name(), s.count);
+        println!(
+            "phases/{axis}/{point}/{}_nanos {}",
+            kind.name(),
+            s.total_nanos
+        );
     }
 }
 

@@ -7,7 +7,7 @@
 //! rtpcheck eval          --xpath "/session/candidate" DOC.xml
 //! rtpcheck independence  --fd "CTX : P1 -> Q" --update "/xpath" [--schema S]
 //!                        [--deadline-ms N] [--max-states N] [--stats]
-//!                        [--format json]
+//!                        [--format json] [--trace out.json] [--stats-verbose]
 //! rtpcheck independence-matrix --fds FDS.lst --updates UPS.lst [--schema S]
 //! rtpcheck demo
 //! ```
@@ -22,12 +22,23 @@
 //! accept resource budgets (`--deadline-ms`, `--max-states`, `--max-memo`,
 //! `--max-frontier`). A run that exhausts a budget prints what it knows and
 //! exits 3 instead of hanging on an adversarial instance.
+//!
+//! Analysis commands also accept the tracing flags: `--trace FILE` captures
+//! a timeline loadable in `chrome://tracing`/Perfetto (`--trace-format
+//! jsonl` switches to one-record-per-line JSON), and `--stats-verbose`
+//! prints a per-phase wall-time breakdown. With `--format json`, stdout is
+//! exactly one JSON document — progress notes (such as the trace-file
+//! confirmation) go to stderr.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use regtree_alphabet::Alphabet;
-use regtree_core::{Analyzer, FdOutcome, PathFd, RunLimits, RunMetrics, UpdateClass, Verdict};
+use regtree_core::{
+    Analyzer, ChromeTraceSink, EventKind, FdOutcome, PathFd, RunLimits, RunMetrics, SpanId,
+    SpanKind, SummarySink, TraceFormat, TraceSummary, Tracer, UpdateClass, Verdict,
+};
 use regtree_hedge::Schema;
 use regtree_pattern::parse_corexpath;
 use regtree_xml::{parse_document, to_xml_with, SerializeOptions};
@@ -63,16 +74,20 @@ rtpcheck — regular tree patterns: XML FDs, updates and independence
 
 USAGE:
   rtpcheck validate     --schema FILE DOC.xml...
-  rtpcheck fd-check     --fd EXPR | --fds FILE [BUDGET] [--stats] DOC.xml...
+  rtpcheck fd-check     --fd EXPR | --fds FILE [BUDGET] [OUTPUT] DOC.xml...
   rtpcheck eval         --xpath PATH DOC.xml
   rtpcheck independence --fd EXPR --update PATH [--schema FILE] [BUDGET]
-                        [--stats] [--format json|text] [--json]
+                        [OUTPUT]
   rtpcheck independence-matrix --fds FILE --updates FILE [--schema FILE]
-                        [BUDGET] [--stats]      (alias: matrix)
+                        [BUDGET] [OUTPUT]       (alias: matrix)
   rtpcheck demo
 
   BUDGET flags:     --deadline-ms N  --max-states N  --max-memo N
                     --max-frontier N  (an exhausted run reports UNKNOWN)
+  OUTPUT flags:     --format json|text  --stats  --stats-verbose
+                    --trace FILE  --trace-format chrome|jsonl
+                    (--format json: stdout is one JSON document; notes on
+                    stderr. --trace: timeline for chrome://tracing/Perfetto)
   EXIT CODES:       0 independent/satisfied · 1 violation or unproven
                     independence · 2 usage/input errors · 3 budget exhausted
   FD EXPR syntax:   /ctx/path : cond1, cond2[N] -> target
@@ -110,6 +125,7 @@ struct Flags {
     positional: Vec<String>,
     json: bool,
     stats: bool,
+    stats_verbose: bool,
 }
 
 fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
@@ -117,6 +133,7 @@ fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
     let mut positional = Vec::new();
     let mut json = false;
     let mut stats = false;
+    let mut stats_verbose = false;
     let mut i = 0;
     while i < args.len() {
         let a = args[i];
@@ -125,6 +142,9 @@ fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
             i += 1;
         } else if a == "--stats" {
             stats = true;
+            i += 1;
+        } else if a == "--stats-verbose" {
+            stats_verbose = true;
             i += 1;
         } else if let Some(key) = a.strip_prefix("--") {
             let v = args
@@ -142,6 +162,7 @@ fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
         positional,
         json,
         stats,
+        stats_verbose,
     })
 }
 
@@ -236,13 +257,106 @@ fn load_docs(
         .collect()
 }
 
-/// Builds an [`Analyzer`] from the shared CLI flags: an optional schema plus
-/// the budget flags. Also reports whether a schema was given.
-fn build_analyzer(alphabet: &Alphabet, flags: &Flags) -> Result<(Analyzer, bool), CliError> {
+/// Trace sinks requested on the command line: `--trace FILE` captures a
+/// Chrome-trace (or JSONL) timeline, `--stats-verbose` aggregates a per-phase
+/// summary. Both may be active at once; [`TeeTracer`] fans the hooks out.
+struct Tracing {
+    /// Timeline sink plus its output path and format, when `--trace` was given.
+    chrome: Option<(Arc<ChromeTraceSink>, String, TraceFormat)>,
+    /// Aggregating sink, when `--stats-verbose` was given.
+    summary: Option<Arc<SummarySink>>,
+}
+
+impl Tracing {
+    fn from_flags(flags: &Flags) -> Result<Tracing, CliError> {
+        let format = match flags.get("trace-format") {
+            None => TraceFormat::Chrome,
+            Some(name) => TraceFormat::from_name(name).ok_or_else(|| {
+                usage(format!(
+                    "--trace-format expects 'chrome' or 'jsonl', got '{name}'"
+                ))
+            })?,
+        };
+        let chrome = match flags.get("trace") {
+            Some(path) => Some((Arc::new(ChromeTraceSink::new()), path.to_string(), format)),
+            None if flags.get("trace-format").is_some() => {
+                return Err(usage("--trace-format needs --trace FILE"));
+            }
+            None => None,
+        };
+        let summary = flags.stats_verbose.then(|| Arc::new(SummarySink::new()));
+        Ok(Tracing { chrome, summary })
+    }
+
+    /// The tracer to attach to the analyzer, if any sink was requested.
+    fn tracer(&self) -> Option<Arc<dyn Tracer>> {
+        let mut sinks: Vec<Arc<dyn Tracer>> = Vec::new();
+        if let Some((sink, _, _)) = &self.chrome {
+            sinks.push(Arc::clone(sink) as Arc<dyn Tracer>);
+        }
+        if let Some(sink) = &self.summary {
+            sinks.push(Arc::clone(sink) as Arc<dyn Tracer>);
+        }
+        match sinks.len() {
+            0 => None,
+            1 => sinks.pop(),
+            _ => Some(Arc::new(TeeTracer(sinks))),
+        }
+    }
+
+    /// Writes the trace file (if any) and snapshots the phase summary (if
+    /// any). Called on every exit path — violation and exhaustion included —
+    /// so a cut-short run still leaves its timeline behind.
+    fn finish(&self) -> Result<Option<TraceSummary>, CliError> {
+        if let Some((sink, path, format)) = &self.chrome {
+            sink.save_to(path, *format)
+                .map_err(|e| runtime(format!("writing trace {path}: {e}")))?;
+            eprintln!("trace written to {path} ({} records)", sink.len());
+        }
+        Ok(self.summary.as_ref().map(|s| s.summary()))
+    }
+}
+
+/// Forwards every hook to each sink. Span ids are allocated by the traced
+/// code, not the sink, so the same id reaches all sinks and their span
+/// begin/end pairs line up without translation.
+struct TeeTracer(Vec<Arc<dyn Tracer>>);
+
+impl Tracer for TeeTracer {
+    fn span_begin(&self, id: SpanId, kind: SpanKind, label: &str) {
+        for t in &self.0 {
+            t.span_begin(id, kind, label);
+        }
+    }
+
+    fn span_end(&self, id: SpanId, kind: SpanKind) {
+        for t in &self.0 {
+            t.span_end(id, kind);
+        }
+    }
+
+    fn event(&self, kind: EventKind) {
+        for t in &self.0 {
+            t.event(kind);
+        }
+    }
+}
+
+/// Builds an [`Analyzer`] from the shared CLI flags: an optional schema, the
+/// budget flags, and any requested trace sinks. Also reports whether a
+/// schema was given.
+fn build_analyzer(
+    alphabet: &Alphabet,
+    flags: &Flags,
+    tracing: &Tracing,
+) -> Result<(Analyzer, bool), CliError> {
     let mut builder = Analyzer::builder().limits(flags.limits()?);
     let with_schema = flags.get("schema").is_some();
     if let Some(path) = flags.get("schema") {
         builder = builder.schema(Schema::parse(alphabet, &read_file(path)?).map_err(runtime)?);
+    }
+    if let Some(tracer) = tracing.tracer() {
+        builder = builder.tracer(tracer);
     }
     Ok((builder.build(), with_schema))
 }
@@ -298,43 +412,124 @@ fn cmd_fd_check(args: &[&str]) -> Result<String, CliError> {
     if fds.is_empty() {
         return Err(usage("missing required flag --fd EXPR (or --fds FILE)"));
     }
+    let json = flags.wants_json()?;
+    let tracing = Tracing::from_flags(&flags)?;
     let docs = load_docs(&alphabet, &flags.positional)?;
-    let analyzer = Analyzer::builder().limits(flags.limits()?).build();
-    let mut out = String::new();
+    let mut builder = Analyzer::builder().limits(flags.limits()?);
+    if let Some(tracer) = tracing.tracer() {
+        builder = builder.tracer(tracer);
+    }
+    let analyzer = builder.build();
     let mut failed = false;
     let mut ran_out = false;
     let mut totals = RunMetrics::default();
+    let mut reports = Vec::with_capacity(docs.len());
     for (path, doc) in &docs {
         let report = analyzer.check_fds(&fds, doc);
-        for (name, outcome) in names.iter().zip(&report.outcomes) {
-            let prefix = if fds.len() == 1 {
-                path.clone()
-            } else {
-                format!("{path} [{name}]")
-            };
+        totals.merge(&report.metrics);
+        for outcome in &report.outcomes {
             match outcome {
-                FdOutcome::Satisfied => {
-                    writeln!(out, "{prefix}: satisfies the FD").expect("write to string");
-                }
-                FdOutcome::Violated(v) => {
-                    failed = true;
-                    writeln!(out, "{prefix}: VIOLATED — {}", v.describe(doc))
-                        .expect("write to string");
-                }
-                FdOutcome::Unknown { exhausted, .. } => {
-                    ran_out = true;
-                    writeln!(out, "{prefix}: UNKNOWN — {exhausted}").expect("write to string");
-                }
-                other => {
-                    writeln!(out, "{prefix}: {other:?}").expect("write to string");
+                FdOutcome::Violated(_) => failed = true,
+                FdOutcome::Unknown { .. } => ran_out = true,
+                _ => {}
+            }
+        }
+        reports.push((path, doc, report));
+    }
+    // The trace file is written before rendering so violation and
+    // exhaustion exits still produce it.
+    let phases = tracing.finish()?;
+    let out = if json {
+        // Machine-readable mode: stdout is exactly one JSON document.
+        let mut out = String::from("{\n  \"documents\": [");
+        for (di, (path, doc, report)) in reports.iter().enumerate() {
+            let sep = if di == 0 { "" } else { "," };
+            write!(
+                out,
+                "{sep}\n    {{\n      \"path\": {},\n      \"checks\": [",
+                json_escape(path)
+            )
+            .expect("write to string");
+            for (ci, (name, outcome)) in names.iter().zip(&report.outcomes).enumerate() {
+                let sep = if ci == 0 { "" } else { "," };
+                let (verdict, exhausted, violation) = match outcome {
+                    FdOutcome::Satisfied => ("satisfied", "null".to_string(), "null".to_string()),
+                    FdOutcome::Violated(v) => (
+                        "violated",
+                        "null".to_string(),
+                        json_escape(&v.describe(doc)),
+                    ),
+                    FdOutcome::Unknown { exhausted, .. } => (
+                        "unknown",
+                        format!("\"{}\"", exhausted.name()),
+                        "null".to_string(),
+                    ),
+                    other => (
+                        "unknown",
+                        json_escape(&format!("{other:?}")),
+                        "null".to_string(),
+                    ),
+                };
+                write!(
+                    out,
+                    "{sep}\n        {{ \"fd\": {}, \"outcome\": \"{verdict}\", \"exhausted\": {exhausted}, \"violation\": {violation} }}",
+                    json_escape(name)
+                )
+                .expect("write to string");
+            }
+            out.push_str("\n      ]\n    }");
+        }
+        write!(
+            out,
+            "\n  ],\n  \"all_satisfied\": {},\n  \"exhausted\": {}",
+            !failed && !ran_out,
+            ran_out
+        )
+        .expect("write to string");
+        if flags.stats {
+            out.push_str(",\n  \"metrics\": ");
+            out.push_str(&metrics_json(&totals, "  "));
+        }
+        if let Some(s) = &phases {
+            out.push_str(",\n  \"phases\": ");
+            out.push_str(&phases_json(s, "  "));
+        }
+        out.push_str("\n}\n");
+        out
+    } else {
+        let mut out = String::new();
+        for (path, doc, report) in &reports {
+            for (name, outcome) in names.iter().zip(&report.outcomes) {
+                let prefix = if fds.len() == 1 {
+                    (*path).clone()
+                } else {
+                    format!("{path} [{name}]")
+                };
+                match outcome {
+                    FdOutcome::Satisfied => {
+                        writeln!(out, "{prefix}: satisfies the FD").expect("write to string");
+                    }
+                    FdOutcome::Violated(v) => {
+                        writeln!(out, "{prefix}: VIOLATED — {}", v.describe(doc))
+                            .expect("write to string");
+                    }
+                    FdOutcome::Unknown { exhausted, .. } => {
+                        writeln!(out, "{prefix}: UNKNOWN — {exhausted}").expect("write to string");
+                    }
+                    other => {
+                        writeln!(out, "{prefix}: {other:?}").expect("write to string");
+                    }
                 }
             }
         }
-        totals.merge(&report.metrics);
-    }
-    if flags.stats {
-        writeln!(out, "stats: {totals}").expect("write to string");
-    }
+        if flags.stats {
+            writeln!(out, "stats: {totals}").expect("write to string");
+        }
+        if let Some(s) = &phases {
+            write!(out, "{s}").expect("write to string");
+        }
+        out
+    };
     if failed {
         Err(CliError::Violation(out))
     } else if ran_out {
@@ -378,6 +573,9 @@ struct IndependenceReport {
     witness_xml: Option<String>,
     /// Work counters, included when `--stats` was given.
     metrics: Option<RunMetrics>,
+    /// Per-phase wall-time breakdown, included when `--stats-verbose` was
+    /// given.
+    phases: Option<TraceSummary>,
 }
 
 impl IndependenceReport {
@@ -406,6 +604,10 @@ impl IndependenceReport {
             out.push_str(",\n  \"metrics\": ");
             out.push_str(&metrics_json(m, "  "));
         }
+        if let Some(s) = &self.phases {
+            out.push_str(",\n  \"phases\": ");
+            out.push_str(&phases_json(s, "  "));
+        }
         out.push_str("\n}");
         out
     }
@@ -414,16 +616,50 @@ impl IndependenceReport {
 /// JSON object for a [`RunMetrics`], nested one level below `indent`.
 fn metrics_json(m: &RunMetrics, indent: &str) -> String {
     format!(
-        "{{\n{indent}  \"states_interned\": {},\n{indent}  \"transitions_fired\": {},\n{indent}  \"guard_intersections\": {},\n{indent}  \"dfa_steps\": {},\n{indent}  \"frontier_pushes\": {},\n{indent}  \"memo_entries\": {},\n{indent}  \"compile_nanos\": {},\n{indent}  \"search_nanos\": {}\n{indent}}}",
+        "{{\n{indent}  \"states_interned\": {},\n{indent}  \"transitions_fired\": {},\n{indent}  \"guard_intersections\": {},\n{indent}  \"dfa_steps\": {},\n{indent}  \"frontier_pushes\": {},\n{indent}  \"memo_entries\": {},\n{indent}  \"memo_hits\": {},\n{indent}  \"compile_nanos\": {},\n{indent}  \"search_nanos\": {}\n{indent}}}",
         m.states_interned,
         m.transitions_fired,
         m.guard_intersections,
         m.dfa_steps,
         m.frontier_pushes,
         m.memo_entries,
+        m.memo_hits,
         m.compile_nanos,
         m.search_nanos,
     )
+}
+
+/// JSON object for a [`TraceSummary`] (`--stats-verbose` in JSON mode):
+/// per-phase span counts with total wall time, plus event totals. Every
+/// phase and event is present — zero counts included — so the shape is
+/// stable for downstream parsers.
+fn phases_json(s: &TraceSummary, indent: &str) -> String {
+    let mut out = format!("{{\n{indent}  \"spans\": {{");
+    for (i, kind) in SpanKind::ALL.into_iter().enumerate() {
+        let stats = s.span(kind);
+        let sep = if i == 0 { "" } else { "," };
+        write!(
+            out,
+            "{sep}\n{indent}    \"{}\": {{ \"count\": {}, \"total_nanos\": {} }}",
+            kind.name(),
+            stats.count,
+            stats.total_nanos
+        )
+        .expect("write to string");
+    }
+    write!(out, "\n{indent}  }},\n{indent}  \"events\": {{").expect("write to string");
+    for (i, kind) in EventKind::ALL.into_iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        write!(
+            out,
+            "{sep}\n{indent}    \"{}\": {}",
+            kind.name(),
+            s.event_count(kind)
+        )
+        .expect("write to string");
+    }
+    write!(out, "\n{indent}  }}\n{indent}}}").expect("write to string");
+    out
 }
 
 fn json_escape(s: &str) -> String {
@@ -449,6 +685,7 @@ fn json_escape(s: &str) -> String {
 fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
     let json = flags.wants_json()?;
+    let tracing = Tracing::from_flags(&flags)?;
     let alphabet = Alphabet::new();
     let fd = PathFd::parse(&alphabet, flags.require("fd")?)
         .and_then(|p| p.to_fd(&alphabet))
@@ -459,8 +696,9 @@ fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
             "{e}; the final CoreXPath step must be predicate-free"
         ))
     })?;
-    let (analyzer, with_schema) = build_analyzer(&alphabet, &flags)?;
+    let (analyzer, with_schema) = build_analyzer(&alphabet, &flags, &tracing)?;
     let analysis = analyzer.independence(&fd, &class);
+    let phases = tracing.finish()?;
     let report = IndependenceReport {
         independent: analysis.verdict.is_independent(),
         exhausted: analysis.verdict.exhausted().map(|r| r.name()),
@@ -474,6 +712,7 @@ fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
             _ => None,
         },
         metrics: flags.stats.then_some(analysis.metrics),
+        phases,
     };
     let out = if json {
         format!("{}\n", report.to_json_pretty())
@@ -515,6 +754,9 @@ fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
         .expect("write to string");
         if let Some(m) = &report.metrics {
             writeln!(out, "stats: {m}").expect("write to string");
+        }
+        if let Some(s) = &report.phases {
+            write!(out, "{s}").expect("write to string");
         }
         out
     };
@@ -570,39 +812,100 @@ fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
         fds.iter().map(|(n, f)| (n.as_str(), f)).collect();
     let class_refs: Vec<(&str, &UpdateClass)> =
         classes.iter().map(|(n, c)| (n.as_str(), c)).collect();
-    let (analyzer, _) = build_analyzer(&alphabet, &flags)?;
+    let json = flags.wants_json()?;
+    let tracing = Tracing::from_flags(&flags)?;
+    let (analyzer, _) = build_analyzer(&alphabet, &flags, &tracing)?;
     let matrix = analyzer.matrix(&fd_refs, &class_refs);
-    let mut out = matrix.to_string();
-    let explored: usize = matrix.cells.iter().map(|c| c.explored_states).sum();
-    let total: usize = matrix.cells.iter().map(|c| c.automaton_size).sum();
+    let phases = tracing.finish()?;
     let pairs = fd_refs.len() * class_refs.len();
-    writeln!(
-        out,
-        "\n{} of {pairs} pairs provably independent ({explored} of {total} product states explored)",
-        matrix.independent_count()
-    )
-    .expect("write to string");
-    // Every non-independent cell must be rechecked after its update class
-    // runs — including Unknown cells whose budget ran out.
     let exhausted = matrix.exhausted_count();
-    writeln!(
-        out,
-        "{} of {pairs} pairs must be rechecked after updates{}",
-        matrix.recheck_count(),
-        if exhausted > 0 {
-            format!(" ({exhausted} undecided: budget exhausted, marked RECHECK?)")
-        } else {
-            String::new()
-        }
-    )
-    .expect("write to string");
-    if flags.stats {
-        let mut totals = RunMetrics::default();
-        for cell in &matrix.cells {
-            totals.merge(&cell.metrics);
-        }
-        writeln!(out, "stats: {totals}").expect("write to string");
+    let mut totals = RunMetrics::default();
+    for cell in &matrix.cells {
+        totals.merge(&cell.metrics);
     }
+    let out = if json {
+        let mut out = String::from("{\n  \"fds\": [");
+        for (i, (name, _)) in fd_refs.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            write!(out, "{sep}{}", json_escape(name)).expect("write to string");
+        }
+        out.push_str("],\n  \"updates\": [");
+        for (i, (name, _)) in class_refs.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            write!(out, "{sep}{}", json_escape(name)).expect("write to string");
+        }
+        out.push_str("],\n  \"cells\": [");
+        for (i, cell) in matrix.cells.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let verdict = if cell.verdict.is_independent() {
+                "independent"
+            } else if cell.verdict.exhausted().is_some() {
+                "unknown"
+            } else {
+                "recheck"
+            };
+            let cell_exhausted = match cell.verdict.exhausted() {
+                Some(r) => format!("\"{}\"", r.name()),
+                None => "null".to_string(),
+            };
+            write!(
+                out,
+                "{sep}\n    {{ \"fd\": {}, \"update\": {}, \"verdict\": \"{verdict}\", \"exhausted\": {cell_exhausted}, \"explored_states\": {}, \"automaton_size\": {} }}",
+                json_escape(&matrix.fd_names[cell.fd]),
+                json_escape(&matrix.class_names[cell.class]),
+                cell.explored_states,
+                cell.automaton_size
+            )
+            .expect("write to string");
+        }
+        write!(
+            out,
+            "\n  ],\n  \"pairs\": {pairs},\n  \"independent_pairs\": {},\n  \"recheck_pairs\": {},\n  \"exhausted_pairs\": {exhausted}",
+            matrix.independent_count(),
+            matrix.recheck_count()
+        )
+        .expect("write to string");
+        if flags.stats {
+            out.push_str(",\n  \"metrics\": ");
+            out.push_str(&metrics_json(&totals, "  "));
+        }
+        if let Some(s) = &phases {
+            out.push_str(",\n  \"phases\": ");
+            out.push_str(&phases_json(s, "  "));
+        }
+        out.push_str("\n}\n");
+        out
+    } else {
+        let mut out = matrix.to_string();
+        let explored: usize = matrix.cells.iter().map(|c| c.explored_states).sum();
+        let total: usize = matrix.cells.iter().map(|c| c.automaton_size).sum();
+        writeln!(
+            out,
+            "\n{} of {pairs} pairs provably independent ({explored} of {total} product states explored)",
+            matrix.independent_count()
+        )
+        .expect("write to string");
+        // Every non-independent cell must be rechecked after its update class
+        // runs — including Unknown cells whose budget ran out.
+        writeln!(
+            out,
+            "{} of {pairs} pairs must be rechecked after updates{}",
+            matrix.recheck_count(),
+            if exhausted > 0 {
+                format!(" ({exhausted} undecided: budget exhausted, marked RECHECK?)")
+            } else {
+                String::new()
+            }
+        )
+        .expect("write to string");
+        if flags.stats {
+            writeln!(out, "stats: {totals}").expect("write to string");
+        }
+        if let Some(s) = &phases {
+            write!(out, "{s}").expect("write to string");
+        }
+        out
+    };
     if exhausted > 0 {
         Err(CliError::Exhausted(out))
     } else {
@@ -1009,5 +1312,212 @@ mod tests {
     fn help_prints_usage() {
         let out = run(&["--help"]).unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn fd_check_json_stdout_is_pure_json() {
+        use regtree_core::validate_json;
+        let good = tmp(
+            "<s><i><k>a</k><v>1</v></i><i><k>a</k><v>1</v></i></s>",
+            "xml",
+        );
+        let bad = tmp(
+            "<s><i><k>a</k><v>1</v></i><i><k>a</k><v>2</v></i></s>",
+            "xml",
+        );
+        let out = run(&[
+            "fd-check",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--format",
+            "json",
+            "--stats",
+            good.0.to_str().unwrap(),
+        ])
+        .unwrap();
+        validate_json(&out).unwrap_or_else(|e| panic!("stdout is not JSON: {e}\n{out}"));
+        assert!(out.contains("\"outcome\": \"satisfied\""), "{out}");
+        assert!(out.contains("\"all_satisfied\": true"), "{out}");
+        assert!(out.contains("\"memo_hits\""), "{out}");
+        // A violation still yields exactly one JSON document on stdout.
+        let err = run(&[
+            "fd-check",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--format",
+            "json",
+            bad.0.to_str().unwrap(),
+        ]);
+        match err {
+            Err(CliError::Violation(out)) => {
+                validate_json(&out).unwrap_or_else(|e| panic!("stdout is not JSON: {e}\n{out}"));
+                assert!(out.contains("\"outcome\": \"violated\""), "{out}");
+                assert!(out.contains("\"violation\": \""), "{out}");
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fd_check_json_exhaustion_is_pure_json() {
+        use regtree_core::validate_json;
+        let good = tmp(
+            "<s><i><k>a</k><v>1</v></i><i><k>a</k><v>1</v></i></s>",
+            "xml",
+        );
+        let err = run(&[
+            "fd-check",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--max-memo",
+            "0",
+            "--format",
+            "json",
+            good.0.to_str().unwrap(),
+        ]);
+        match err {
+            Err(CliError::Exhausted(out)) => {
+                validate_json(&out).unwrap_or_else(|e| panic!("stdout is not JSON: {e}\n{out}"));
+                assert!(out.contains("\"outcome\": \"unknown\""), "{out}");
+                assert!(out.contains("\"exhausted\": true"), "{out}");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matrix_json_stdout_is_pure_json() {
+        use regtree_core::validate_json;
+        let fds = tmp("price = /catalog : item/sku -> item/price\n", "lst");
+        let ups = tmp(
+            "restock = /catalog/item/stock\nreprice = /catalog/item/price\n",
+            "lst",
+        );
+        let out = run(&[
+            "matrix",
+            "--fds",
+            fds.0.to_str().unwrap(),
+            "--updates",
+            ups.0.to_str().unwrap(),
+            "--format",
+            "json",
+            "--stats",
+        ])
+        .unwrap();
+        validate_json(&out).unwrap_or_else(|e| panic!("stdout is not JSON: {e}\n{out}"));
+        assert!(out.contains("\"verdict\": \"independent\""), "{out}");
+        assert!(out.contains("\"verdict\": \"recheck\""), "{out}");
+        assert!(out.contains("\"independent_pairs\": 1"), "{out}");
+        assert!(out.contains("\"recheck_pairs\": 1"), "{out}");
+    }
+
+    #[test]
+    fn independence_trace_writes_loadable_chrome_json() {
+        use regtree_core::validate_json;
+        let trace = tmp("", "json");
+        let out = run(&[
+            "independence",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--update",
+            "/archive/entry",
+            "--trace",
+            trace.0.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("INDEPENDENT"), "{out}");
+        let written = std::fs::read_to_string(&trace.0).expect("trace file written");
+        validate_json(&written)
+            .unwrap_or_else(|e| panic!("trace is not valid JSON: {e}\n{written}"));
+        assert!(written.contains("\"traceEvents\""), "{written}");
+        assert!(written.contains("\"ph\":\"B\""), "{written}");
+        assert!(written.contains("\"ph\":\"E\""), "{written}");
+        assert!(written.contains("ic_search"), "{written}");
+    }
+
+    #[test]
+    fn independence_trace_written_even_when_exhausted() {
+        let trace = tmp("", "json");
+        let err = run(&[
+            "independence",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--update",
+            "/s/i/v",
+            "--max-states",
+            "1",
+            "--trace",
+            trace.0.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
+        ]);
+        assert!(matches!(err, Err(CliError::Exhausted(_))), "{err:?}");
+        let written = std::fs::read_to_string(&trace.0).expect("trace file written");
+        assert!(
+            written.lines().any(|l| l.contains("exhausted")),
+            "{written}"
+        );
+    }
+
+    #[test]
+    fn stats_verbose_prints_phase_table() {
+        let out = run(&[
+            "independence",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--update",
+            "/archive/entry",
+            "--stats-verbose",
+        ])
+        .unwrap();
+        assert!(out.contains("phase"), "{out}");
+        assert!(out.contains("ic_search"), "{out}");
+        assert!(out.contains("state_interned"), "{out}");
+    }
+
+    #[test]
+    fn stats_verbose_json_embeds_phases() {
+        use regtree_core::validate_json;
+        let out = run(&[
+            "independence",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--update",
+            "/archive/entry",
+            "--format",
+            "json",
+            "--stats-verbose",
+        ])
+        .unwrap();
+        validate_json(&out).unwrap_or_else(|e| panic!("stdout is not JSON: {e}\n{out}"));
+        assert!(out.contains("\"phases\""), "{out}");
+        assert!(out.contains("\"ic_search\""), "{out}");
+        assert!(out.contains("\"state_interned\""), "{out}");
+    }
+
+    #[test]
+    fn trace_format_without_trace_is_usage_error() {
+        let err = run(&[
+            "independence",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--update",
+            "/archive/entry",
+            "--trace-format",
+            "jsonl",
+        ]);
+        assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
+        let err = run(&[
+            "independence",
+            "--fd",
+            "/s : i/k -> i/v",
+            "--update",
+            "/archive/entry",
+            "--trace",
+            "/tmp/t.json",
+            "--trace-format",
+            "perfetto",
+        ]);
+        assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
     }
 }

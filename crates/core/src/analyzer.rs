@@ -39,7 +39,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use regtree_hedge::{HedgeAutomaton, Schema};
 use regtree_pattern::{compile_pattern, PatternAutomaton, RegularTreePattern};
-use regtree_runtime::{Budget, CancelToken, RunLimits, Stopwatch};
+use regtree_runtime::{Budget, CancelToken, RunLimits, SpanKind, Stopwatch, TraceHandle, Tracer};
 use regtree_xml::Document;
 
 use crate::fd::Fd;
@@ -59,6 +59,7 @@ pub struct AnalyzerBuilder {
     schema: Option<Schema>,
     limits: RunLimits,
     cancel: Option<CancelToken>,
+    tracer: Option<Arc<dyn Tracer>>,
 }
 
 impl AnalyzerBuilder {
@@ -74,6 +75,27 @@ impl AnalyzerBuilder {
     }
 
     /// Resource budgets every run is governed by.
+    ///
+    /// # Examples
+    ///
+    /// A one-state cap cannot decide a dependent pair; the run stops with
+    /// an exhausted verdict instead of a wrong answer:
+    ///
+    /// ```
+    /// use regtree_core::{Analyzer, FdBuilder, update_class_from_edges, Resource, RunLimits};
+    /// use regtree_alphabet::Alphabet;
+    ///
+    /// let a = Alphabet::new();
+    /// let fd = FdBuilder::new(a.clone())
+    ///     .context("catalog").condition("item/sku").target("item/price")
+    ///     .build().unwrap();
+    /// let class = update_class_from_edges(&a, &["catalog/item/price"]).unwrap();
+    /// let analyzer = Analyzer::builder()
+    ///     .limits(RunLimits::default().with_max_states(1))
+    ///     .build();
+    /// let analysis = analyzer.independence(&fd, &class);
+    /// assert_eq!(analysis.verdict.exhausted(), Some(Resource::States));
+    /// ```
     pub fn limits(mut self, limits: RunLimits) -> AnalyzerBuilder {
         self.limits = limits;
         self
@@ -86,6 +108,34 @@ impl AnalyzerBuilder {
         self
     }
 
+    /// Attaches a [`Tracer`]: every run emits phase spans (compile,
+    /// search, matrix cells, FD checks) and budget-site events to it.
+    /// Without a tracer the emission sites compile down to a null check —
+    /// see [`regtree_runtime::trace`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regtree_core::{Analyzer, FdBuilder, update_class_from_edges, SummarySink, SpanKind};
+    /// use regtree_alphabet::Alphabet;
+    /// use std::sync::Arc;
+    ///
+    /// let a = Alphabet::new();
+    /// let fd = FdBuilder::new(a.clone())
+    ///     .context("catalog").condition("item/sku").target("item/price")
+    ///     .build().unwrap();
+    /// let class = update_class_from_edges(&a, &["catalog/item/stock"]).unwrap();
+    ///
+    /// let sink = Arc::new(SummarySink::new());
+    /// let analyzer = Analyzer::builder().tracer(sink.clone()).build();
+    /// analyzer.independence(&fd, &class);
+    /// assert_eq!(sink.summary().span(SpanKind::IcSearch).count, 1);
+    /// ```
+    pub fn tracer(mut self, tracer: Arc<dyn Tracer>) -> AnalyzerBuilder {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Builds the analyzer, compiling the schema automaton if one was set.
     pub fn build(self) -> Analyzer {
         Analyzer {
@@ -93,6 +143,7 @@ impl AnalyzerBuilder {
             schema: self.schema,
             limits: self.limits,
             cancel: self.cancel,
+            trace: self.tracer.map(TraceHandle::new).unwrap_or_default(),
             patterns: Mutex::new(HashMap::new()),
         }
     }
@@ -105,6 +156,7 @@ pub struct Analyzer {
     schema_auto: Option<HedgeAutomaton>,
     limits: RunLimits,
     cancel: Option<CancelToken>,
+    trace: TraceHandle,
     /// Compiled pattern automata, keyed by structural identity so distinct
     /// but identical `Fd`/`UpdateClass` values share one compilation.
     patterns: Mutex<HashMap<PatternKey, Arc<PatternAutomaton>>>,
@@ -147,9 +199,10 @@ impl Analyzer {
         Arc::clone(self.patterns.lock().entry(key).or_insert(compiled))
     }
 
-    /// A per-run budget honoring the analyzer's limits and cancel token.
+    /// A per-run budget honoring the analyzer's limits, cancel token and
+    /// trace handle.
     fn budget(&self) -> Budget {
-        let mut b = Budget::new(&self.limits);
+        let mut b = Budget::new(&self.limits).with_trace(self.trace.clone());
         if let Some(c) = &self.cancel {
             b = b.with_cancel(c.clone());
         }
@@ -163,11 +216,38 @@ impl Analyzer {
     /// limits are unlimited; under finite budgets an undecided run returns
     /// `Verdict::Unknown { exhausted: Some(resource) }` instead of running
     /// to completion. [`IndependenceAnalysis::metrics`] is always populated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regtree_core::{Analyzer, FdBuilder, update_class_from_edges};
+    /// use regtree_alphabet::Alphabet;
+    ///
+    /// let a = Alphabet::new();
+    /// // catalog : item/sku -> item/price
+    /// let fd = FdBuilder::new(a.clone())
+    ///     .context("catalog").condition("item/sku").target("item/price")
+    ///     .build().unwrap();
+    /// let analyzer = Analyzer::builder().build();
+    ///
+    /// // Restocking never touches sku or price: provably independent.
+    /// let restock = update_class_from_edges(&a, &["catalog/item/stock"]).unwrap();
+    /// assert!(analyzer.independence(&fd, &restock).verdict.is_independent());
+    ///
+    /// // Repricing rewrites the FD's target: the criterion finds a witness.
+    /// let reprice = update_class_from_edges(&a, &["catalog/item/price"]).unwrap();
+    /// assert!(!analyzer.independence(&fd, &reprice).verdict.is_independent());
+    /// ```
     pub fn independence(&self, fd: &Fd, class: &UpdateClass) -> IndependenceAnalysis {
         let alphabet = fd.template().alphabet().clone();
         let compile = Stopwatch::start();
-        let pa_fd = self.compiled(fd.pattern(), true);
-        let pa_u = self.compiled(class.pattern(), false);
+        let (pa_fd, pa_u) = {
+            let _span = self.trace.span(SpanKind::Compile, "independence patterns");
+            (
+                self.compiled(fd.pattern(), true),
+                self.compiled(class.pattern(), false),
+            )
+        };
         let compile_nanos = compile.elapsed_nanos();
         check_independence_governed(
             &alphabet,
@@ -189,20 +269,47 @@ impl Analyzer {
     /// Cancellation (via the builder's token) aborts remaining cells; the
     /// returned matrix still has every cell, with aborted ones reporting
     /// `Unknown { exhausted: Some(Cancelled) }`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regtree_core::{Analyzer, FdBuilder, update_class_from_edges};
+    /// use regtree_alphabet::Alphabet;
+    ///
+    /// let a = Alphabet::new();
+    /// let fd = FdBuilder::new(a.clone())
+    ///     .context("catalog").condition("item/sku").target("item/price")
+    ///     .build().unwrap();
+    /// let restock = update_class_from_edges(&a, &["catalog/item/stock"]).unwrap();
+    /// let reprice = update_class_from_edges(&a, &["catalog/item/price"]).unwrap();
+    ///
+    /// let analyzer = Analyzer::builder().build();
+    /// let matrix = analyzer.matrix(
+    ///     &[("price", &fd)],
+    ///     &[("restock", &restock), ("reprice", &reprice)],
+    /// );
+    /// assert!(matrix.independent(0, 0));
+    /// assert!(!matrix.independent(0, 1));
+    /// assert_eq!(matrix.recheck_count(), 1);
+    /// ```
     pub fn matrix(
         &self,
         fds: &[(&str, &Fd)],
         classes: &[(&str, &UpdateClass)],
     ) -> IndependenceMatrix {
         let compile = Stopwatch::start();
-        let pa_fds: Vec<_> = fds
-            .iter()
-            .map(|(_, fd)| self.compiled(fd.pattern(), true))
-            .collect();
-        let pa_us: Vec<_> = classes
-            .iter()
-            .map(|(_, class)| self.compiled(class.pattern(), false))
-            .collect();
+        let (pa_fds, pa_us) = {
+            let _span = self.trace.span(SpanKind::Compile, "matrix rows/columns");
+            let pa_fds: Vec<_> = fds
+                .iter()
+                .map(|(_, fd)| self.compiled(fd.pattern(), true))
+                .collect();
+            let pa_us: Vec<_> = classes
+                .iter()
+                .map(|(_, class)| self.compiled(class.pattern(), false))
+                .collect();
+            (pa_fds, pa_us)
+        };
         let compile_nanos = compile.elapsed_nanos();
         analyze_matrix_governed(
             fds,
@@ -212,6 +319,7 @@ impl Analyzer {
             &pa_us,
             &self.limits,
             self.cancel.as_ref(),
+            &self.trace,
             compile_nanos,
         )
     }
@@ -219,8 +327,29 @@ impl Analyzer {
     /// Checks every FD of `fds` on `doc` in parallel under the analyzer's
     /// budgets (deadline shared by the batch, count caps per FD). Outcomes
     /// are in input order; the report carries merged work counters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regtree_core::{Analyzer, FdBuilder};
+    /// use regtree_alphabet::Alphabet;
+    /// use regtree_xml::parse_document;
+    ///
+    /// let a = Alphabet::new();
+    /// let fd = FdBuilder::new(a.clone())
+    ///     .context("s").condition("i/k").target("i/v")
+    ///     .build().unwrap();
+    /// let doc = parse_document(
+    ///     &a,
+    ///     "<s><i><k>a</k><v>1</v></i><i><k>a</k><v>1</v></i></s>",
+    /// ).unwrap();
+    ///
+    /// let report = Analyzer::builder().build().check_fds(&[fd], &doc);
+    /// assert!(report.all_satisfied());
+    /// assert!(report.metrics.dfa_steps > 0);
+    /// ```
     pub fn check_fds(&self, fds: &[Fd], doc: &Document) -> FdBatchReport {
-        check_fds_governed(fds, doc, &self.limits, self.cancel.as_ref())
+        check_fds_governed(fds, doc, &self.limits, self.cancel.as_ref(), &self.trace)
     }
 }
 

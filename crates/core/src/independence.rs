@@ -27,7 +27,7 @@ use regtree_hedge::{
     TreeState,
 };
 use regtree_pattern::{compile_pattern, PatternAutomaton};
-use regtree_runtime::{Budget, Resource, RunMetrics, Stopwatch};
+use regtree_runtime::{Budget, Resource, RunMetrics, SpanKind, Stopwatch};
 use regtree_xml::Document;
 
 use crate::fd::Fd;
@@ -320,6 +320,8 @@ pub(crate) fn check_independence_governed(
         };
     }
     let search = Stopwatch::start();
+    let trace = budget.trace().clone();
+    let span = trace.span(SpanKind::IcSearch, "");
     let out = crate::lazy_ic::lazy_independence(
         alphabet,
         pa_fd,
@@ -329,6 +331,7 @@ pub(crate) fn check_independence_governed(
         partition,
         &mut budget,
     );
+    drop(span);
     let mut metrics = budget.into_metrics();
     metrics.compile_nanos += compile_nanos;
     metrics.search_nanos += search.elapsed_nanos();
@@ -369,7 +372,7 @@ pub(crate) fn check_independence_internal(
 /// Runs the independence criterion for `fd` against `class`, optionally in
 /// the context of a schema.
 ///
-/// This is the lazy on-the-fly engine ([`crate::lazy_ic`]): it explores only
+/// This is the lazy on-the-fly engine (`crate::lazy_ic`): it explores only
 /// the product states reachable bottom-up from realizable firings and exits
 /// as soon as an accepting root firing appears. The verdict always agrees
 /// with [`check_independence_eager`].

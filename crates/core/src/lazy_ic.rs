@@ -33,7 +33,7 @@ use regtree_alphabet::{Alphabet, LabelKind};
 use regtree_automata::{Nfa, NfaLabel, StateId};
 use regtree_hedge::{witness_label, GuardPartition, HedgeAutomaton, LabelGuard, TreeState};
 use regtree_pattern::PatternAutomaton;
-use regtree_runtime::{Budget, Resource};
+use regtree_runtime::{Budget, Resource, SpanKind};
 use regtree_xml::{Document, TreeSpec};
 
 use crate::independence::Verdict;
@@ -517,6 +517,8 @@ pub(crate) fn lazy_independence(
 
     // Round-robin the sims until no frontier advances (fixpoint), a root
     // firing accepts (early exit), or the budget runs out (graceful abort).
+    let trace = shared.budget.trace().clone();
+    let fixpoint_span = trace.span(SpanKind::EmptinessFixpoint, "lazy product");
     let mut round_progress = true;
     while round_progress && !shared.stop() {
         round_progress = false;
@@ -527,6 +529,7 @@ pub(crate) fn lazy_independence(
             }
         }
     }
+    drop(fixpoint_span);
 
     let verdict = match (shared.root_hit, shared.exhausted) {
         // A root hit is a definite answer even under an exhausted budget.

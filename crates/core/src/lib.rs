@@ -19,7 +19,7 @@
 //!   compares the criterion against.
 
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analyzer;
 pub mod error;
@@ -54,7 +54,11 @@ pub use satisfy::{
 };
 // Re-exported so downstreams govern runs without a direct dependency on
 // `regtree-runtime`.
-pub use regtree_runtime::{Budget, CancelToken, Resource, RunLimits, RunMetrics};
+pub use regtree_runtime::{
+    validate_json, Budget, CancelToken, ChromeTraceSink, EventKind, NullTracer, Resource,
+    RunLimits, RunMetrics, SpanId, SpanKind, SummarySink, TraceFormat, TraceHandle, TraceSummary,
+    Tracer,
+};
 pub use update::{
     update_class_from_edges, ApplyError, Update, UpdateClass, UpdateClassError, UpdateOp,
 };

@@ -11,7 +11,7 @@
 //! compiled to its pattern automaton once, and a single
 //! [`GuardPartition`] of label minterms serves every cell's guard
 //! intersections. Cells then run the lazy on-the-fly emptiness engine
-//! ([`crate::lazy_ic`]) on scoped worker threads
+//! (`crate::lazy_ic`) on scoped worker threads
 //! ([`regtree_pattern::parallel_map`]).
 
 use std::fmt;
@@ -19,7 +19,9 @@ use std::sync::Arc;
 
 use regtree_hedge::{GuardPartition, HedgeAutomaton, Schema};
 use regtree_pattern::{compile_pattern, parallel_map, PatternAutomaton};
-use regtree_runtime::{Budget, CancelToken, RunLimits, RunMetrics, Stopwatch};
+use regtree_runtime::{
+    Budget, CancelToken, RunLimits, RunMetrics, SpanKind, Stopwatch, TraceHandle,
+};
 
 use crate::fd::Fd;
 use crate::independence::{check_independence_governed, Verdict};
@@ -149,6 +151,7 @@ pub(crate) fn analyze_matrix_governed(
     pa_us: &[Arc<PatternAutomaton>],
     limits: &RunLimits,
     cancel: Option<&CancelToken>,
+    trace: &TraceHandle,
     compile_nanos: u64,
 ) -> IndependenceMatrix {
     let partition = GuardPartition::from_automata(
@@ -165,7 +168,17 @@ pub(crate) fn analyze_matrix_governed(
         .collect();
     let mut cells = parallel_map(&pairs, |&(i, j)| {
         let alphabet = fds[i].1.template().alphabet().clone();
-        let mut budget = Budget::new(limits).with_deadline_at(deadline_at);
+        let _span = if trace.is_enabled() {
+            Some(trace.span(
+                SpanKind::MatrixCell,
+                &format!("{} × {}", fds[i].0, classes[j].0),
+            ))
+        } else {
+            None
+        };
+        let mut budget = Budget::new(limits)
+            .with_deadline_at(deadline_at)
+            .with_trace(trace.clone());
         if let Some(c) = cancel {
             budget = budget.with_cancel(c.clone());
         }
@@ -228,6 +241,7 @@ pub(crate) fn analyze_matrix_internal(
         &pa_us,
         &RunLimits::UNLIMITED,
         None,
+        &TraceHandle::disabled(),
         compile_nanos,
     )
 }

@@ -89,6 +89,20 @@ fn parse_path(alphabet: &Alphabet, src: &str) -> Result<(Vec<Symbol>, EqualityTy
 
 impl PathFd {
     /// Parses the one-line concrete syntax (see module docs).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regtree_core::PathFd;
+    /// use regtree_alphabet::Alphabet;
+    ///
+    /// let a = Alphabet::new();
+    /// let fd = PathFd::parse(&a, "/catalog : item/sku -> item/price").unwrap();
+    /// // The path FD embeds into a regular tree pattern (Section 3.2).
+    /// assert!(fd.to_fd(&a).is_ok());
+    ///
+    /// assert!(PathFd::parse(&a, "no arrow here").is_err());
+    /// ```
     pub fn parse(alphabet: &Alphabet, src: &str) -> Result<PathFd, PathFdError> {
         let (ctx_src, rest) = src
             .split_once(':')

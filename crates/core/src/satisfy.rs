@@ -14,7 +14,9 @@
 
 use std::collections::HashMap;
 
-use regtree_runtime::{Budget, CancelToken, Resource, RunLimits, RunMetrics, Stopwatch};
+use regtree_runtime::{
+    Budget, CancelToken, Resource, RunLimits, RunMetrics, SpanKind, Stopwatch, TraceHandle,
+};
 use regtree_xml::{value_eq_in, value_hash, Document, LabelIndex, NodeId};
 
 use crate::fd::{EqualityType, Fd};
@@ -134,6 +136,8 @@ pub fn check_fd_governed(
     index: &LabelIndex,
     budget: &mut Budget,
 ) -> FdOutcome {
+    let trace = budget.trace().clone();
+    let _span = trace.span(SpanKind::FdCheck, "");
     // One unconditional poll before any work: a pre-cancelled token or an
     // already-elapsed deadline aborts even FDs that would decide before the
     // first amortized poll fires.
@@ -208,6 +212,29 @@ pub fn check_fd_governed(
 }
 
 /// Boolean convenience wrapper.
+///
+/// # Examples
+///
+/// ```
+/// use regtree_core::{satisfies, FdBuilder};
+/// use regtree_alphabet::Alphabet;
+/// use regtree_xml::parse_document;
+///
+/// let a = Alphabet::new();
+/// let fd = FdBuilder::new(a.clone())
+///     .context("s").condition("i/k").target("i/v")
+///     .build().unwrap();
+/// let same = parse_document(
+///     &a,
+///     "<s><i><k>a</k><v>1</v></i><i><k>a</k><v>1</v></i></s>",
+/// ).unwrap();
+/// let clash = parse_document(
+///     &a,
+///     "<s><i><k>a</k><v>1</v></i><i><k>a</k><v>2</v></i></s>",
+/// ).unwrap();
+/// assert!(satisfies(&fd, &same));
+/// assert!(!satisfies(&fd, &clash)); // same key, different values
+/// ```
 pub fn satisfies(fd: &Fd, doc: &Document) -> bool {
     check_fd(fd, doc).is_ok()
 }
@@ -247,12 +274,15 @@ pub(crate) fn check_fds_governed(
     doc: &Document,
     limits: &RunLimits,
     cancel: Option<&CancelToken>,
+    trace: &TraceHandle,
 ) -> FdBatchReport {
     let search = Stopwatch::start();
     let index = LabelIndex::build(doc);
     let deadline_at = Budget::new(limits).deadline_at();
     let results = regtree_pattern::parallel_map(fds, |fd| {
-        let mut budget = Budget::new(limits).with_deadline_at(deadline_at);
+        let mut budget = Budget::new(limits)
+            .with_deadline_at(deadline_at)
+            .with_trace(trace.clone());
         if let Some(c) = cancel {
             budget = budget.with_cancel(c.clone());
         }

@@ -27,7 +27,7 @@ use std::collections::HashMap;
 
 use regtree_alphabet::{Alphabet, LabelKind, Symbol};
 use regtree_automata::{NfaLabel, StateId};
-use regtree_runtime::{Budget, Resource};
+use regtree_runtime::{Budget, Resource, SpanKind};
 use regtree_xml::{Document, TreeSpec};
 
 use crate::automaton::{generic_element_label, HedgeAutomaton, LabelGuard, TreeState};
@@ -333,6 +333,8 @@ pub fn realizability_governed(
     alphabet: &Alphabet,
     budget: &mut Budget,
 ) -> Result<Realizability, Resource> {
+    let trace = budget.trace().clone();
+    let _span = trace.span(SpanKind::EmptinessFixpoint, "realizability");
     let mut eng = Engine::new(automaton);
     eng.run(alphabet, false, budget)?;
     Ok(eng.finish().0)
@@ -409,6 +411,8 @@ pub fn witness_document_governed(
     alphabet: &Alphabet,
     budget: &mut Budget,
 ) -> Result<Option<Document>, Resource> {
+    let trace = budget.trace().clone();
+    let _span = trace.span(SpanKind::EmptinessFixpoint, "witness");
     let mut eng = Engine::new(automaton);
     eng.run(alphabet, true, budget)?;
     let (real, root_word) = eng.finish();

@@ -52,6 +52,13 @@ impl Gov<'_> {
     }
 
     #[inline]
+    fn memo_hit(&mut self) {
+        if let Some(b) = &mut self.budget {
+            b.on_memo_hit();
+        }
+    }
+
+    #[inline]
     fn checkpoint(&mut self) -> Result<(), Resource> {
         match &mut self.budget {
             Some(b) => b.checkpoint(),
@@ -254,6 +261,7 @@ fn candidates_dfa(
     gov: &mut Gov,
 ) -> CandidateResult {
     if let Some(c) = memo.get(&(edge_head, source)) {
+        gov.memo_hit();
         return Ok(Rc::clone(c));
     }
     let Some(dfa) = template.edge_dfa(edge_head) else {
@@ -307,6 +315,7 @@ fn candidates_nfa(
     gov: &mut Gov,
 ) -> CandidateResult {
     if let Some(c) = memo.get(&(edge_head, source)) {
+        gov.memo_hit();
         return Ok(Rc::clone(c));
     }
     let nfa = template

@@ -23,9 +23,21 @@
 //! A run that exhausts a budget reports *which* resource ran out via
 //! [`Resource`]; engines translate that into a graceful
 //! `Verdict::Unknown { exhausted }` instead of a wrong answer or a hang.
+//!
+//! The [`trace`] module adds the event-level counterpart: a [`Tracer`]
+//! attached to a [`Budget`] (via [`TraceHandle`]) observes every counter
+//! bump as a structured event and every engine phase as a span, at zero
+//! cost when disabled.
 
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+
+pub mod trace;
+
+pub use trace::{
+    validate_json, ChromeTraceSink, EventKind, NullTracer, SpanGuard, SpanId, SpanKind, SpanStats,
+    SummarySink, TraceFormat, TraceHandle, TraceSummary, Tracer,
+};
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -185,6 +197,8 @@ pub struct RunMetrics {
     pub frontier_pushes: u64,
     /// Memoized entries created (frontier tuples, candidate lists).
     pub memo_entries: u64,
+    /// Memoized results reused instead of recomputed.
+    pub memo_hits: u64,
     /// Wall time of the compile phase (schema/pattern automata), in ns.
     pub compile_nanos: u64,
     /// Wall time of the search/fixpoint phase, in ns.
@@ -200,6 +214,7 @@ impl RunMetrics {
         self.dfa_steps += other.dfa_steps;
         self.frontier_pushes += other.frontier_pushes;
         self.memo_entries += other.memo_entries;
+        self.memo_hits += other.memo_hits;
         self.compile_nanos += other.compile_nanos;
         self.search_nanos += other.search_nanos;
     }
@@ -209,12 +224,14 @@ impl fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "states {} · transitions {} · guard∩ {} · dfa steps {} · frontier pushes {} · compile {:.3}ms · search {:.3}ms",
+            "states {} · transitions {} · guard∩ {} · dfa steps {} · frontier pushes {} · memo {}+{} hits · compile {:.3}ms · search {:.3}ms",
             self.states_interned,
             self.transitions_fired,
             self.guard_intersections,
             self.dfa_steps,
             self.frontier_pushes,
+            self.memo_entries,
+            self.memo_hits,
             self.compile_nanos as f64 / 1e6,
             self.search_nanos as f64 / 1e6,
         )
@@ -242,6 +259,7 @@ pub struct Budget {
     max_frontier: u64,
     cancel: Option<CancelToken>,
     metrics: RunMetrics,
+    trace: TraceHandle,
     tick: u32,
 }
 
@@ -255,6 +273,7 @@ impl Budget {
             max_frontier: limits.max_frontier.unwrap_or(u64::MAX),
             cancel: None,
             metrics: RunMetrics::default(),
+            trace: TraceHandle::disabled(),
             tick: 0,
         }
     }
@@ -280,6 +299,30 @@ impl Budget {
     /// The absolute deadline instant, if any.
     pub fn deadline_at(&self) -> Option<Instant> {
         self.deadline_at
+    }
+
+    /// Attaches a trace handle: every counter bump from here on also emits
+    /// the corresponding [`EventKind`] to the handle's [`Tracer`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regtree_runtime::{Budget, EventKind, SummarySink, TraceHandle};
+    /// use std::sync::Arc;
+    ///
+    /// let sink = Arc::new(SummarySink::new());
+    /// let mut budget = Budget::unlimited().with_trace(TraceHandle::new(sink.clone()));
+    /// budget.on_frontier_push().unwrap();
+    /// assert_eq!(sink.summary().event_count(EventKind::FrontierPush), 1);
+    /// ```
+    pub fn with_trace(mut self, trace: TraceHandle) -> Budget {
+        self.trace = trace;
+        self
+    }
+
+    /// The attached trace handle (disabled by default).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Read access to the metrics accumulated so far.
@@ -309,17 +352,25 @@ impl Budget {
     /// Unconditionally polls the deadline and cancellation flag.
     #[inline]
     pub fn poll_now(&mut self) -> Result<(), Resource> {
+        self.trace.event(EventKind::BudgetPoll);
         if let Some(t) = &self.cancel {
             if t.is_cancelled() {
-                return Err(Resource::Cancelled);
+                return Err(self.exhausted(Resource::Cancelled));
             }
         }
         if let Some(at) = self.deadline_at {
             if Instant::now() >= at {
-                return Err(Resource::Deadline);
+                return Err(self.exhausted(Resource::Deadline));
             }
         }
         Ok(())
+    }
+
+    /// Emits the exhaustion event and passes the resource through.
+    #[inline]
+    fn exhausted(&mut self, r: Resource) -> Resource {
+        self.trace.event(EventKind::Exhausted);
+        r
     }
 
     /// A cooperative checkpoint with no counter attached (loop headers).
@@ -332,8 +383,9 @@ impl Budget {
     #[inline]
     pub fn on_state(&mut self) -> Result<(), Resource> {
         self.metrics.states_interned += 1;
+        self.trace.event(EventKind::StateInterned);
         if self.metrics.states_interned > self.max_states {
-            return Err(Resource::States);
+            return Err(self.exhausted(Resource::States));
         }
         self.poll()
     }
@@ -342,18 +394,27 @@ impl Budget {
     #[inline]
     pub fn on_memo_entry(&mut self) -> Result<(), Resource> {
         self.metrics.memo_entries += 1;
+        self.trace.event(EventKind::MemoMiss);
         if self.metrics.memo_entries > self.max_memo {
-            return Err(Resource::Memo);
+            return Err(self.exhausted(Resource::Memo));
         }
         self.poll()
+    }
+
+    /// Records one reused memoized result (counter only, never errs).
+    #[inline]
+    pub fn on_memo_hit(&mut self) {
+        self.metrics.memo_hits += 1;
+        self.trace.event(EventKind::MemoHit);
     }
 
     /// Records one frontier push; errs when the frontier cap is crossed.
     #[inline]
     pub fn on_frontier_push(&mut self) -> Result<(), Resource> {
         self.metrics.frontier_pushes += 1;
+        self.trace.event(EventKind::FrontierPush);
         if self.metrics.frontier_pushes > self.max_frontier {
-            return Err(Resource::Frontier);
+            return Err(self.exhausted(Resource::Frontier));
         }
         self.poll()
     }
@@ -368,6 +429,7 @@ impl Budget {
     #[inline]
     pub fn on_guard_intersection(&mut self) {
         self.metrics.guard_intersections += 1;
+        self.trace.event(EventKind::GuardIntersection);
     }
 
     /// Records a batch of DFA steps, then polls (counter plus checkpoint).
@@ -460,6 +522,43 @@ mod tests {
         token.cancel();
         assert_eq!(b.poll_now(), Err(Resource::Cancelled));
         assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn budget_events_mirror_metrics() {
+        use std::sync::Arc;
+        let sink = Arc::new(SummarySink::new());
+        let mut b = Budget::unlimited().with_trace(TraceHandle::new(sink.clone()));
+        for _ in 0..10 {
+            b.on_state().unwrap();
+            b.on_frontier_push().unwrap();
+            b.on_memo_entry().unwrap();
+            b.on_guard_intersection();
+        }
+        b.on_memo_hit();
+        b.on_memo_hit();
+        let s = sink.summary();
+        let m = b.metrics();
+        assert_eq!(s.event_count(EventKind::StateInterned), m.states_interned);
+        assert_eq!(s.event_count(EventKind::FrontierPush), m.frontier_pushes);
+        assert_eq!(s.event_count(EventKind::MemoMiss), m.memo_entries);
+        assert_eq!(s.event_count(EventKind::MemoHit), m.memo_hits);
+        assert_eq!(
+            s.event_count(EventKind::GuardIntersection),
+            m.guard_intersections
+        );
+        assert_eq!(s.event_count(EventKind::Exhausted), 0);
+    }
+
+    #[test]
+    fn exhaustion_emits_event() {
+        use std::sync::Arc;
+        let sink = Arc::new(SummarySink::new());
+        let mut b = Budget::new(&RunLimits::default().with_max_states(1))
+            .with_trace(TraceHandle::new(sink.clone()));
+        b.on_state().unwrap();
+        assert_eq!(b.on_state(), Err(Resource::States));
+        assert_eq!(sink.summary().event_count(EventKind::Exhausted), 1);
     }
 
     #[test]

@@ -1,0 +1,1079 @@
+//! Structured tracing for the analysis engines.
+//!
+//! [`RunMetrics`](crate::RunMetrics) answers *how much* a run cost; this
+//! module answers *where* and *when*. Engines emit two kinds of records
+//! through a [`TraceHandle`]:
+//!
+//! * **spans** ([`SpanKind`]) — bracketed phases with wall-clock extent:
+//!   pattern/schema compilation, the lazy IC product search, a hedge
+//!   emptiness fixpoint, one FD document check, one matrix cell;
+//! * **events** ([`EventKind`]) — instantaneous occurrences at the existing
+//!   amortized budget sites: a state interned, a frontier push, a memo hit
+//!   or miss, a guard-minterm intersection, a deadline/cancellation poll,
+//!   a budget exhaustion.
+//!
+//! A [`Tracer`] is any sink for those records. Three are shipped:
+//!
+//! * [`NullTracer`] — the default; never invoked, because a disabled
+//!   [`TraceHandle`] short-circuits on a null check before any dispatch;
+//! * [`ChromeTraceSink`] — records everything and serializes to the
+//!   Chrome-trace JSON consumed by `chrome://tracing` and Perfetto (or to
+//!   a line-per-record JSONL variant);
+//! * [`SummarySink`] — keeps only per-kind aggregates (span counts and
+//!   total wall time, event counts), cheap enough to leave on in
+//!   production.
+//!
+//! # Zero cost when disabled
+//!
+//! The handle stores `Option<Arc<dyn Tracer>>`; every emission site is an
+//! inlined `if self.tracer.is_none() { return }`. The hooks reuse the
+//! budget-poll sites the engines already pay for, so the disabled overhead
+//! is one predictable branch per counter bump — within measurement noise
+//! (verified against the committed `BENCH_ic.json` baseline).
+//!
+//! # Examples
+//!
+//! ```
+//! use regtree_runtime::{Budget, EventKind, SpanKind, SummarySink, TraceHandle};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(SummarySink::new());
+//! let trace = TraceHandle::new(sink.clone());
+//! let mut budget = Budget::unlimited().with_trace(trace.clone());
+//!
+//! {
+//!     let _span = trace.span(SpanKind::IcSearch, "fd1 × levels");
+//!     budget.on_state().unwrap(); // emits EventKind::StateInterned
+//! }
+//!
+//! let summary = sink.summary();
+//! assert_eq!(summary.span(SpanKind::IcSearch).count, 1);
+//! assert_eq!(summary.event_count(EventKind::StateInterned), 1);
+//! assert_eq!(
+//!     summary.event_count(EventKind::StateInterned),
+//!     budget.metrics().states_interned,
+//! );
+//! ```
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// The phase a [`Tracer`] span brackets.
+///
+/// # Examples
+///
+/// ```
+/// use regtree_runtime::SpanKind;
+/// assert_eq!(SpanKind::IcSearch.name(), "ic_search");
+/// assert_eq!(SpanKind::ALL.len(), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpanKind {
+    /// Schema/pattern automaton compilation (the `Analyzer` cache fill).
+    Compile,
+    /// One lazy independence-criterion product search.
+    IcSearch,
+    /// One hedge-automaton emptiness fixpoint (realizability / witness).
+    EmptinessFixpoint,
+    /// One FD checked against one document.
+    FdCheck,
+    /// One cell of an FD × update-class independence matrix.
+    MatrixCell,
+}
+
+impl SpanKind {
+    /// Every span kind, in rendering order.
+    pub const ALL: [SpanKind; 5] = [
+        SpanKind::Compile,
+        SpanKind::IcSearch,
+        SpanKind::EmptinessFixpoint,
+        SpanKind::FdCheck,
+        SpanKind::MatrixCell,
+    ];
+
+    /// Short machine-readable name (used by trace files and `bench_json.sh`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Compile => "compile",
+            SpanKind::IcSearch => "ic_search",
+            SpanKind::EmptinessFixpoint => "emptiness_fixpoint",
+            SpanKind::FdCheck => "fd_check",
+            SpanKind::MatrixCell => "matrix_cell",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            SpanKind::Compile => 0,
+            SpanKind::IcSearch => 1,
+            SpanKind::EmptinessFixpoint => 2,
+            SpanKind::FdCheck => 3,
+            SpanKind::MatrixCell => 4,
+        }
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An instantaneous occurrence emitted at a budget site.
+///
+/// # Examples
+///
+/// ```
+/// use regtree_runtime::EventKind;
+/// assert_eq!(EventKind::MemoHit.name(), "memo_hit");
+/// assert_eq!(EventKind::ALL.len(), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventKind {
+    /// A product/tree state was interned ([`Budget::on_state`]).
+    ///
+    /// [`Budget::on_state`]: crate::Budget::on_state
+    StateInterned,
+    /// A worklist/frontier push ([`Budget::on_frontier_push`]).
+    ///
+    /// [`Budget::on_frontier_push`]: crate::Budget::on_frontier_push
+    FrontierPush,
+    /// A memoized result was reused ([`Budget::on_memo_hit`]).
+    ///
+    /// [`Budget::on_memo_hit`]: crate::Budget::on_memo_hit
+    MemoHit,
+    /// A new memo entry was created ([`Budget::on_memo_entry`]).
+    ///
+    /// [`Budget::on_memo_entry`]: crate::Budget::on_memo_entry
+    MemoMiss,
+    /// A guard intersection over label-partition minterms
+    /// ([`Budget::on_guard_intersection`]).
+    ///
+    /// [`Budget::on_guard_intersection`]: crate::Budget::on_guard_intersection
+    GuardIntersection,
+    /// An unconditional deadline/cancellation poll ([`Budget::poll_now`]).
+    ///
+    /// [`Budget::poll_now`]: crate::Budget::poll_now
+    BudgetPoll,
+    /// A resource budget ran out; the run is about to stop with
+    /// `Unknown { exhausted }`.
+    Exhausted,
+}
+
+impl EventKind {
+    /// Every event kind, in rendering order.
+    pub const ALL: [EventKind; 7] = [
+        EventKind::StateInterned,
+        EventKind::FrontierPush,
+        EventKind::MemoHit,
+        EventKind::MemoMiss,
+        EventKind::GuardIntersection,
+        EventKind::BudgetPoll,
+        EventKind::Exhausted,
+    ];
+
+    /// Short machine-readable name (used by trace files).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::StateInterned => "state_interned",
+            EventKind::FrontierPush => "frontier_push",
+            EventKind::MemoHit => "memo_hit",
+            EventKind::MemoMiss => "memo_miss",
+            EventKind::GuardIntersection => "guard_intersection",
+            EventKind::BudgetPoll => "budget_poll",
+            EventKind::Exhausted => "exhausted",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            EventKind::StateInterned => 0,
+            EventKind::FrontierPush => 1,
+            EventKind::MemoHit => 2,
+            EventKind::MemoMiss => 3,
+            EventKind::GuardIntersection => 4,
+            EventKind::BudgetPoll => 5,
+            EventKind::Exhausted => 6,
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identifies one span across its begin/end pair.
+///
+/// Ids are allocated process-wide by [`TraceHandle::span`], so records from
+/// concurrent matrix cells never collide.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SpanId(pub u64);
+
+/// A sink for trace records. Implementations must be thread-safe: matrix
+/// analysis emits from scoped worker threads concurrently.
+///
+/// The caller allocates the [`SpanId`] and passes it to both `span_begin`
+/// and `span_end`, so fan-out tracers (the CLI tees a [`ChromeTraceSink`]
+/// and a [`SummarySink`]) need no id translation.
+///
+/// # Examples
+///
+/// A tracer that counts begun spans:
+///
+/// ```
+/// use regtree_runtime::{EventKind, SpanId, SpanKind, TraceHandle, Tracer};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// #[derive(Default)]
+/// struct Counting(AtomicU64);
+/// impl Tracer for Counting {
+///     fn span_begin(&self, _id: SpanId, _kind: SpanKind, _label: &str) {
+///         self.0.fetch_add(1, Ordering::Relaxed);
+///     }
+///     fn span_end(&self, _id: SpanId, _kind: SpanKind) {}
+///     fn event(&self, _kind: EventKind) {}
+/// }
+///
+/// let sink = Arc::new(Counting::default());
+/// let trace = TraceHandle::new(sink.clone());
+/// drop(trace.span(SpanKind::Compile, "warm the cache"));
+/// assert_eq!(sink.0.load(Ordering::Relaxed), 1);
+/// ```
+pub trait Tracer: Send + Sync {
+    /// A span of kind `kind` begins now. `label` narrows the instance
+    /// (e.g. `"fd1 × levels"` for a matrix cell).
+    fn span_begin(&self, id: SpanId, kind: SpanKind, label: &str);
+
+    /// The span opened under `id` ends now.
+    fn span_end(&self, id: SpanId, kind: SpanKind);
+
+    /// An instantaneous event of kind `kind` occurred.
+    fn event(&self, kind: EventKind);
+}
+
+/// The do-nothing sink: attaching it is behaviorally identical to not
+/// tracing at all (verified by the `ic_lazy_parity` proptest).
+///
+/// # Examples
+///
+/// ```
+/// use regtree_runtime::{NullTracer, SpanKind, TraceHandle};
+/// use std::sync::Arc;
+///
+/// let trace = TraceHandle::new(Arc::new(NullTracer));
+/// let _span = trace.span(SpanKind::FdCheck, "fd1");
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn span_begin(&self, _id: SpanId, _kind: SpanKind, _label: &str) {}
+    fn span_end(&self, _id: SpanId, _kind: SpanKind) {}
+    fn event(&self, _kind: EventKind) {}
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A cheaply clonable, possibly-disabled reference to a [`Tracer`].
+///
+/// This is what the engines actually hold (inside [`Budget`] and the
+/// `Analyzer`): the `Option` means a disabled handle costs one predictable
+/// null-check branch per emission site and allocates nothing.
+///
+/// [`Budget`]: crate::Budget
+///
+/// # Examples
+///
+/// ```
+/// use regtree_runtime::{EventKind, SummarySink, TraceHandle};
+/// use std::sync::Arc;
+///
+/// let disabled = TraceHandle::disabled();
+/// assert!(!disabled.is_enabled());
+/// disabled.event(EventKind::BudgetPoll); // no-op
+///
+/// let sink = Arc::new(SummarySink::new());
+/// let enabled = TraceHandle::new(sink.clone());
+/// enabled.event(EventKind::BudgetPoll);
+/// assert_eq!(sink.summary().event_count(EventKind::BudgetPoll), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    tracer: Option<Arc<dyn Tracer>>,
+}
+
+impl TraceHandle {
+    /// The disabled handle (every emission is a no-op).
+    pub fn disabled() -> TraceHandle {
+        TraceHandle { tracer: None }
+    }
+
+    /// A handle that forwards every record to `tracer`.
+    pub fn new(tracer: Arc<dyn Tracer>) -> TraceHandle {
+        TraceHandle {
+            tracer: Some(tracer),
+        }
+    }
+
+    /// Is a sink attached?
+    pub fn is_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Emits an instantaneous event (no-op when disabled).
+    #[inline]
+    pub fn event(&self, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.event(kind);
+        }
+    }
+
+    /// Opens a span; it ends when the returned guard drops.
+    ///
+    /// When disabled this allocates nothing and returns an inert guard.
+    #[inline]
+    pub fn span(&self, kind: SpanKind, label: &str) -> SpanGuard {
+        match &self.tracer {
+            None => SpanGuard { open: None },
+            Some(t) => {
+                let id = SpanId(NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed));
+                t.span_begin(id, kind, label);
+                SpanGuard {
+                    open: Some((Arc::clone(t), id, kind)),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// RAII guard returned by [`TraceHandle::span`]; emits the matching
+/// `span_end` when dropped, so spans stay balanced on every exit path
+/// (including early returns on budget exhaustion).
+#[must_use = "the span ends when this guard drops"]
+pub struct SpanGuard {
+    open: Option<(Arc<dyn Tracer>, SpanId, SpanKind)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((tracer, id, kind)) = self.open.take() {
+            tracer.span_end(id, kind);
+        }
+    }
+}
+
+impl fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("enabled", &self.open.is_some())
+            .finish()
+    }
+}
+
+/// On-disk layout written by [`ChromeTraceSink::save_to`].
+///
+/// # Examples
+///
+/// ```
+/// use regtree_runtime::TraceFormat;
+/// assert_eq!(TraceFormat::from_name("chrome"), Some(TraceFormat::Chrome));
+/// assert_eq!(TraceFormat::from_name("jsonl"), Some(TraceFormat::Jsonl));
+/// assert_eq!(TraceFormat::from_name("xml"), None);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceFormat {
+    /// One JSON document: `{"traceEvents": [...]}` — the Trace Event
+    /// Format loaded by `chrome://tracing` and Perfetto.
+    Chrome,
+    /// One JSON object per line (easier to stream/grep).
+    Jsonl,
+}
+
+impl TraceFormat {
+    /// Parses the CLI spelling (`"chrome"` / `"jsonl"`).
+    pub fn from_name(name: &str) -> Option<TraceFormat> {
+        match name {
+            "chrome" => Some(TraceFormat::Chrome),
+            "jsonl" => Some(TraceFormat::Jsonl),
+            _ => None,
+        }
+    }
+}
+
+/// One record captured by [`ChromeTraceSink`].
+struct ChromeRecord {
+    /// Trace Event Format phase: `'B'`egin, `'E'`nd, or `'i'`nstant.
+    ph: char,
+    ts_micros: u64,
+    tid: u32,
+    name: Cow<'static, str>,
+    cat: &'static str,
+}
+
+#[derive(Default)]
+struct ChromeInner {
+    records: Vec<ChromeRecord>,
+    tids: HashMap<ThreadId, u32>,
+}
+
+impl ChromeInner {
+    fn tid(&mut self) -> u32 {
+        let next = self.tids.len() as u32 + 1;
+        *self.tids.entry(std::thread::current().id()).or_insert(next)
+    }
+}
+
+/// Records every span and event and serializes them in the [Trace Event
+/// Format] understood by `chrome://tracing` and [Perfetto].
+///
+/// Spans become `B`/`E` pairs; events become thread-scoped instants.
+/// Timestamps are microseconds since the sink was created; worker threads
+/// get distinct `tid`s so matrix cells render as parallel tracks.
+///
+/// [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+/// [Perfetto]: https://ui.perfetto.dev
+///
+/// # Examples
+///
+/// ```
+/// use regtree_runtime::{validate_json, ChromeTraceSink, SpanKind, TraceHandle};
+/// use std::sync::Arc;
+///
+/// let sink = Arc::new(ChromeTraceSink::new());
+/// let trace = TraceHandle::new(sink.clone());
+/// drop(trace.span(SpanKind::Compile, "exam schema"));
+///
+/// let json = sink.to_chrome_json();
+/// validate_json(&json).unwrap();
+/// assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""));
+/// ```
+pub struct ChromeTraceSink {
+    start: Instant,
+    inner: Mutex<ChromeInner>,
+}
+
+impl ChromeTraceSink {
+    /// An empty sink; timestamps count from now.
+    pub fn new() -> ChromeTraceSink {
+        ChromeTraceSink {
+            start: Instant::now(),
+            inner: Mutex::new(ChromeInner::default()),
+        }
+    }
+
+    /// Number of records captured so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().records.len()
+    }
+
+    /// Has nothing been captured?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, ph: char, name: Cow<'static, str>, cat: &'static str) {
+        let ts_micros = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut inner = self.inner.lock().unwrap();
+        let tid = inner.tid();
+        inner.records.push(ChromeRecord {
+            ph,
+            ts_micros,
+            tid,
+            name,
+            cat,
+        });
+    }
+
+    fn write_record(w: &mut impl Write, r: &ChromeRecord) -> io::Result<()> {
+        write!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+            escape_json(&r.name),
+            r.cat,
+            r.ph,
+            r.ts_micros,
+            r.tid
+        )?;
+        if r.ph == 'i' {
+            // Thread-scoped instant (renders as a tick on the emitting track).
+            write!(w, ",\"s\":\"t\"")?;
+        }
+        write!(w, "}}")
+    }
+
+    /// Writes the capture as one Chrome-trace JSON document.
+    pub fn write_chrome_json(&self, w: &mut impl Write) -> io::Result<()> {
+        let inner = self.inner.lock().unwrap();
+        write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        for (i, r) in inner.records.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            writeln!(w)?;
+            Self::write_record(w, r)?;
+        }
+        write!(w, "\n]}}\n")
+    }
+
+    /// Writes the capture as JSONL: one record object per line.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        let inner = self.inner.lock().unwrap();
+        for r in inner.records.iter() {
+            Self::write_record(w, r)?;
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// The Chrome-trace JSON document as a string.
+    pub fn to_chrome_json(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_chrome_json(&mut buf).expect("Vec write");
+        String::from_utf8(buf).expect("trace output is UTF-8")
+    }
+
+    /// The JSONL rendering as a string.
+    pub fn to_jsonl(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_jsonl(&mut buf).expect("Vec write");
+        String::from_utf8(buf).expect("trace output is UTF-8")
+    }
+
+    /// Writes the capture to `path` in `format`.
+    pub fn save_to(&self, path: impl AsRef<Path>, format: TraceFormat) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = io::BufWriter::new(file);
+        match format {
+            TraceFormat::Chrome => self.write_chrome_json(&mut w)?,
+            TraceFormat::Jsonl => self.write_jsonl(&mut w)?,
+        }
+        w.flush()
+    }
+}
+
+impl Default for ChromeTraceSink {
+    fn default() -> Self {
+        ChromeTraceSink::new()
+    }
+}
+
+impl fmt::Debug for ChromeTraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChromeTraceSink")
+            .field("records", &self.len())
+            .finish()
+    }
+}
+
+impl Tracer for ChromeTraceSink {
+    fn span_begin(&self, _id: SpanId, kind: SpanKind, label: &str) {
+        let name: Cow<'static, str> = if label.is_empty() {
+            Cow::Borrowed(kind.name())
+        } else {
+            Cow::Owned(format!("{}: {label}", kind.name()))
+        };
+        self.push('B', name, "span");
+    }
+
+    fn span_end(&self, _id: SpanId, kind: SpanKind) {
+        // The Trace Event Format matches B/E by nesting order per tid, so
+        // the end record only needs to repeat the kind.
+        self.push('E', Cow::Borrowed(kind.name()), "span");
+    }
+
+    fn event(&self, kind: EventKind) {
+        self.push('i', Cow::Borrowed(kind.name()), "event");
+    }
+}
+
+/// Aggregate statistics of one span kind, from a [`SummarySink`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// How many spans of this kind completed.
+    pub count: u64,
+    /// Total wall time across those spans, in nanoseconds. Concurrent
+    /// spans (matrix cells on worker threads) accumulate CPU-track time,
+    /// which can exceed elapsed wall time.
+    pub total_nanos: u64,
+}
+
+#[derive(Default)]
+struct SummaryInner {
+    open: HashMap<u64, Instant>,
+    spans: [SpanStats; SpanKind::ALL.len()],
+    events: [u64; EventKind::ALL.len()],
+}
+
+/// An immutable snapshot of a [`SummarySink`].
+///
+/// # Examples
+///
+/// ```
+/// use regtree_runtime::{EventKind, SpanKind, TraceSummary};
+/// let summary = TraceSummary::default();
+/// assert_eq!(summary.span(SpanKind::Compile).count, 0);
+/// assert_eq!(summary.event_count(EventKind::MemoHit), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    spans: [SpanStats; SpanKind::ALL.len()],
+    events: [u64; EventKind::ALL.len()],
+}
+
+impl TraceSummary {
+    /// The aggregate for one span kind.
+    pub fn span(&self, kind: SpanKind) -> SpanStats {
+        self.spans[kind.index()]
+    }
+
+    /// How many events of `kind` were emitted.
+    pub fn event_count(&self, kind: EventKind) -> u64 {
+        self.events[kind.index()]
+    }
+
+    /// Sum of all span counts (handy for "did anything run" checks).
+    pub fn total_span_count(&self) -> u64 {
+        self.spans.iter().map(|s| s.count).sum()
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    /// Renders the per-phase table printed by `rtpcheck --stats-verbose`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "phase                 count   total wall")?;
+        for kind in SpanKind::ALL {
+            let s = self.span(kind);
+            if s.count == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<20} {:>6}   {:>9.3} ms",
+                kind.name(),
+                s.count,
+                s.total_nanos as f64 / 1e6
+            )?;
+        }
+        let mut wrote_header = false;
+        for kind in EventKind::ALL {
+            let n = self.event_count(kind);
+            if n == 0 {
+                continue;
+            }
+            if !wrote_header {
+                writeln!(f, "event                 count")?;
+                wrote_header = true;
+            }
+            writeln!(f, "{:<20} {:>6}", kind.name(), n)?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregating sink: per-[`SpanKind`] counts and total wall time plus
+/// per-[`EventKind`] counts, with no per-record storage.
+///
+/// Its totals are definitionally consistent with [`RunMetrics`]: every
+/// counter bump that a [`Budget`] records emits exactly one event here, so
+/// e.g. `event_count(StateInterned)` equals the summed
+/// `metrics.states_interned` of all runs traced through this sink.
+///
+/// [`RunMetrics`]: crate::RunMetrics
+/// [`Budget`]: crate::Budget
+///
+/// # Examples
+///
+/// ```
+/// use regtree_runtime::{EventKind, SpanKind, SummarySink, TraceHandle};
+/// use std::sync::Arc;
+///
+/// let sink = Arc::new(SummarySink::new());
+/// let trace = TraceHandle::new(sink.clone());
+/// {
+///     let _outer = trace.span(SpanKind::MatrixCell, "fd1 × levels");
+///     trace.event(EventKind::FrontierPush);
+/// }
+/// let summary = sink.summary();
+/// assert_eq!(summary.span(SpanKind::MatrixCell).count, 1);
+/// assert_eq!(summary.event_count(EventKind::FrontierPush), 1);
+/// ```
+pub struct SummarySink {
+    inner: Mutex<SummaryInner>,
+}
+
+impl SummarySink {
+    /// An empty sink.
+    pub fn new() -> SummarySink {
+        SummarySink {
+            inner: Mutex::new(SummaryInner::default()),
+        }
+    }
+
+    /// Snapshots the aggregates collected so far. Spans still open are not
+    /// included (their wall time is unknown until they end).
+    pub fn summary(&self) -> TraceSummary {
+        let inner = self.inner.lock().unwrap();
+        TraceSummary {
+            spans: inner.spans,
+            events: inner.events,
+        }
+    }
+}
+
+impl Default for SummarySink {
+    fn default() -> Self {
+        SummarySink::new()
+    }
+}
+
+impl fmt::Debug for SummarySink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SummarySink").finish_non_exhaustive()
+    }
+}
+
+impl Tracer for SummarySink {
+    fn span_begin(&self, id: SpanId, _kind: SpanKind, _label: &str) {
+        let now = Instant::now();
+        self.inner.lock().unwrap().open.insert(id.0, now);
+    }
+
+    fn span_end(&self, id: SpanId, kind: SpanKind) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(started) = inner.open.remove(&id.0) {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let slot = &mut inner.spans[kind.index()];
+            slot.count += 1;
+            slot.total_nanos = slot.total_nanos.saturating_add(nanos);
+        }
+    }
+
+    fn event(&self, kind: EventKind) {
+        self.inner.lock().unwrap().events[kind.index()] += 1;
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates that `input` is one syntactically well-formed JSON value.
+///
+/// A dependency-free checker for tests and tooling around the trace sinks
+/// (the workspace has no serde): it verifies structure, string escapes and
+/// number syntax, and rejects trailing garbage. It does **not** build a
+/// value tree.
+///
+/// # Examples
+///
+/// ```
+/// use regtree_runtime::validate_json;
+/// assert!(validate_json("{\"a\": [1, 2.5e3, null, \"x\\n\"]}").is_ok());
+/// assert!(validate_json("{\"a\": }").is_err());
+/// assert!(validate_json("[1] trailing").is_err());
+/// ```
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                skip_ws(b, pos);
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte in string at {pos}", pos = *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut saw_digit = false;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+        saw_digit = true;
+    }
+    if !saw_digit {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return Err(format!("bad fraction at byte {pos}", pos = *pos));
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return Err(format!("bad exponent at byte {pos}", pos = *pos));
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = TraceHandle::disabled();
+        assert!(!h.is_enabled());
+        h.event(EventKind::StateInterned);
+        let g = h.span(SpanKind::Compile, "x");
+        drop(g);
+    }
+
+    #[test]
+    fn chrome_sink_balances_and_validates() {
+        let sink = Arc::new(ChromeTraceSink::new());
+        let h = TraceHandle::new(sink.clone());
+        {
+            let _outer = h.span(SpanKind::IcSearch, "outer");
+            let _inner = h.span(SpanKind::EmptinessFixpoint, "");
+            h.event(EventKind::FrontierPush);
+        }
+        assert_eq!(sink.len(), 5); // 2×B + 2×E + 1×i
+        let json = sink.to_chrome_json();
+        validate_json(&json).unwrap();
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        let jsonl = sink.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 5);
+        for line in jsonl.lines() {
+            validate_json(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn chrome_sink_escapes_labels() {
+        let sink = Arc::new(ChromeTraceSink::new());
+        let h = TraceHandle::new(sink.clone());
+        drop(h.span(SpanKind::MatrixCell, "a\"b\\c\nd"));
+        validate_json(&sink.to_chrome_json()).unwrap();
+    }
+
+    #[test]
+    fn summary_sink_aggregates() {
+        let sink = Arc::new(SummarySink::new());
+        let h = TraceHandle::new(sink.clone());
+        for _ in 0..3 {
+            let _g = h.span(SpanKind::FdCheck, "fd");
+            h.event(EventKind::MemoHit);
+            h.event(EventKind::MemoMiss);
+        }
+        let s = sink.summary();
+        assert_eq!(s.span(SpanKind::FdCheck).count, 3);
+        assert_eq!(s.span(SpanKind::Compile).count, 0);
+        assert_eq!(s.event_count(EventKind::MemoHit), 3);
+        assert_eq!(s.event_count(EventKind::MemoMiss), 3);
+        assert_eq!(s.total_span_count(), 3);
+        let rendered = s.to_string();
+        assert!(rendered.contains("fd_check"));
+        assert!(rendered.contains("memo_hit"));
+    }
+
+    #[test]
+    fn summary_sink_is_thread_safe() {
+        let sink = Arc::new(SummarySink::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = TraceHandle::new(sink.clone());
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        let _g = h.span(SpanKind::MatrixCell, "cell");
+                        h.event(EventKind::StateInterned);
+                    }
+                });
+            }
+        });
+        let s = sink.summary();
+        assert_eq!(s.span(SpanKind::MatrixCell).count, 4000);
+        assert_eq!(s.event_count(EventKind::StateInterned), 4000);
+    }
+
+    #[test]
+    fn validate_json_accepts_and_rejects() {
+        for good in [
+            "null",
+            "true",
+            "-12.5e-3",
+            "\"a\\u00e9b\"",
+            "[]",
+            "{}",
+            "{\"k\": [1, {\"n\": null}]}",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01x",
+            "nul",
+            "[1] 2",
+            "{\"a\": 1,}",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn trace_format_names() {
+        assert_eq!(TraceFormat::from_name("chrome"), Some(TraceFormat::Chrome));
+        assert_eq!(TraceFormat::from_name("jsonl"), Some(TraceFormat::Jsonl));
+        assert_eq!(TraceFormat::from_name(""), None);
+    }
+}

@@ -3,8 +3,10 @@
 # ic_vs_revalidation incl. the independence_matrix group) and emits
 # BENCH_ic.json mapping each benchmark id to its median nanoseconds, plus
 # flat `counters/<axis>/<point>/<metric>` work counters (states interned,
-# transitions fired, DFA steps, …) from the E9 sweep points so the *work
-# done* is versioned next to the time it took.
+# transitions fired, DFA steps, …) and `phases/<axis>/<point>/<phase>_*`
+# per-phase wall-time breakdowns (from a SummarySink-traced run) for the E9
+# sweep points, so the *work done* — and where the time went — is versioned
+# next to the time it took.
 # Commit the refreshed BENCH_ic.json alongside perf-relevant changes so the
 # trajectory stays in-tree.
 set -euo pipefail
@@ -18,6 +20,7 @@ trap 'rm -f "$raw"' EXIT
 cargo bench -p regtree-bench --bench ic_scaling | tee "$raw"
 cargo bench -p regtree-bench --bench ic_vs_revalidation | tee -a "$raw"
 cargo run --release -p regtree-bench --example ic_state_counts -- --counters | tee -a "$raw"
+cargo run --release -p regtree-bench --example ic_state_counts -- --phases | tee -a "$raw"
 
 python3 - "$raw" "$out" <<'EOF'
 import json, re, sys
@@ -31,7 +34,7 @@ line_re = re.compile(
     r"[\d.]+ (?:ns|µs|us|ms|s)\s*\]"
 )
 
-counter_re = re.compile(r"^(counters/\S+) (\d+)$")
+counter_re = re.compile(r"^((?:counters|phases)/\S+) (\d+)$")
 
 medians = {}
 with open(raw, encoding="utf-8") as fh:

@@ -61,9 +61,10 @@ pub mod prelude {
     pub use regtree_core::{
         build_reduction, check_fd, expressible_in_path_formalism, revalidate_full,
         revalidate_full_many, satisfies, Analyzer, AnalyzerBuilder, Budget, CancelToken,
-        EqualityType, Error, Fd, FdBatchReport, FdBuilder, FdOutcome, IncrementalChecker,
-        IndependenceMatrix, PathFd, Resource, RunLimits, RunMetrics, Update, UpdateClass, UpdateOp,
-        Verdict,
+        ChromeTraceSink, EqualityType, Error, EventKind, Fd, FdBatchReport, FdBuilder, FdOutcome,
+        IncrementalChecker, IndependenceMatrix, NullTracer, PathFd, Resource, RunLimits,
+        RunMetrics, SpanId, SpanKind, SummarySink, TraceFormat, TraceHandle, TraceSummary, Tracer,
+        Update, UpdateClass, UpdateOp, Verdict,
     };
     // Deprecated free functions stay in the prelude for downstream source
     // compatibility; new code should go through `Analyzer`.

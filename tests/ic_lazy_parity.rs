@@ -18,11 +18,13 @@
 // covering them until they are removed.
 #![allow(deprecated)]
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use regtree_alphabet::Alphabet;
 use regtree_core::{
-    build_ic_automaton, check_independence, check_independence_eager, Analyzer, Fd, UpdateClass,
-    Verdict,
+    build_ic_automaton, check_independence, check_independence_eager, Analyzer, Fd, NullTracer,
+    UpdateClass, Verdict,
 };
 use regtree_hedge::{intersect, Schema};
 use regtree_pattern::{RegularTreePattern, Template};
@@ -129,6 +131,30 @@ proptest! {
         );
         // An unlimited run never reports an exhausted resource.
         prop_assert!(lazy.verdict.exhausted().is_none());
+        // Tracing parity: attaching a NullTracer must change nothing — the
+        // identical verdict and the identical work counters (wall times are
+        // excluded: they vary run to run, the counters must not).
+        let mut traced_builder = Analyzer::builder().tracer(Arc::new(NullTracer));
+        if let Some(s) = &schema {
+            traced_builder = traced_builder.schema(s.clone());
+        }
+        let traced = traced_builder.build().independence(&fd, &class);
+        prop_assert_eq!(
+            traced.verdict.is_independent(),
+            lazy.verdict.is_independent(),
+            "NullTracer changed the verdict"
+        );
+        prop_assert_eq!(traced.explored_states, lazy.explored_states);
+        prop_assert_eq!(traced.metrics.states_interned, lazy.metrics.states_interned);
+        prop_assert_eq!(traced.metrics.transitions_fired, lazy.metrics.transitions_fired);
+        prop_assert_eq!(
+            traced.metrics.guard_intersections,
+            lazy.metrics.guard_intersections
+        );
+        prop_assert_eq!(traced.metrics.dfa_steps, lazy.metrics.dfa_steps);
+        prop_assert_eq!(traced.metrics.frontier_pushes, lazy.metrics.frontier_pushes);
+        prop_assert_eq!(traced.metrics.memo_entries, lazy.metrics.memo_entries);
+        prop_assert_eq!(traced.metrics.memo_hits, lazy.metrics.memo_hits);
         // The never-materialized product is at least as large as what the
         // lazy engine actually interned.
         prop_assert!(lazy.explored_states <= lazy.total_states);

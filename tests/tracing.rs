@@ -1,0 +1,187 @@
+//! Integration tests for the structured tracing layer.
+//!
+//! Three properties hold the subsystem together:
+//!
+//! 1. a [`ChromeTraceSink`] capture of a real analysis is valid JSON with
+//!    every span's begin/end records present and properly nested per
+//!    thread (a trace with dangling `B` records renders as garbage in
+//!    `chrome://tracing`);
+//! 2. a [`SummarySink`] capture agrees with the engine's own
+//!    [`RunMetrics`] counters — each counter bump emits exactly one trace
+//!    event, so the two tallies must be byte-identical;
+//! 3. tracing is observation only: the traced run's verdict and counters
+//!    match an untraced run (the per-case proptest lives in
+//!    `ic_lazy_parity.rs`; here the paper's running example is checked
+//!    end to end, matrix and FD batch included).
+
+use std::sync::Arc;
+
+use regtree_core::{
+    validate_json, Analyzer, ChromeTraceSink, EventKind, RunMetrics, SpanKind, SummarySink,
+};
+
+/// Per-tid stack simulation over the JSONL rendering: every `E` must close
+/// the innermost open `B` on its thread, and nothing may stay open.
+fn assert_balanced(jsonl: &str) {
+    use std::collections::HashMap;
+    let mut stacks: HashMap<u64, u64> = HashMap::new();
+    for line in jsonl.lines() {
+        let tid = field_u64(line, "\"tid\":");
+        if line.contains("\"ph\":\"B\"") {
+            *stacks.entry(tid).or_insert(0) += 1;
+        } else if line.contains("\"ph\":\"E\"") {
+            let depth = stacks
+                .get_mut(&tid)
+                .unwrap_or_else(|| panic!("E with no open span on tid {tid}: {line}"));
+            assert!(*depth > 0, "E with no open span on tid {tid}: {line}");
+            *depth -= 1;
+        } else {
+            assert!(line.contains("\"ph\":\"i\""), "unexpected record: {line}");
+        }
+    }
+    for (tid, depth) in stacks {
+        assert_eq!(depth, 0, "tid {tid} ended with {depth} spans still open");
+    }
+}
+
+fn field_u64(line: &str, key: &str) -> u64 {
+    let rest = &line[line.find(key).expect("key present") + key.len()..];
+    rest.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric field")
+}
+
+/// Runs the paper's running example (FD1/FD3/FD5 of the exam document
+/// against update class U, schema included) through an analyzer wired to
+/// `tracer`, exercising all three analysis entry points.
+fn drive_example(analyzer: &Analyzer) -> (bool, RunMetrics) {
+    let alphabet = regtree_gen::exam_alphabet();
+    let doc = regtree_gen::figure1_document(&alphabet);
+    let fd1 = regtree_gen::fd1(&alphabet);
+    let fd3 = regtree_gen::fd3(&alphabet);
+    let fd5 = regtree_gen::fd5(&alphabet);
+    let class = regtree_gen::update_class_u(&alphabet);
+
+    let mut totals = RunMetrics::default();
+    let analysis = analyzer.independence(&fd5, &class);
+    let verdict = analysis.verdict.is_independent();
+    totals.merge(&analysis.metrics);
+
+    let matrix = analyzer.matrix(&[("fd3", &fd3), ("fd5", &fd5)], &[("U", &class)]);
+    for cell in &matrix.cells {
+        totals.merge(&cell.metrics);
+    }
+
+    let batch = analyzer.check_fds(&[fd1], &doc);
+    totals.merge(&batch.metrics);
+
+    (verdict, totals)
+}
+
+fn traced_analyzer(tracer: Arc<dyn regtree_core::Tracer>) -> Analyzer {
+    let alphabet = regtree_gen::exam_alphabet();
+    Analyzer::builder()
+        .schema(regtree_gen::exam_schema(&alphabet))
+        .tracer(tracer)
+        .build()
+}
+
+fn plain_analyzer() -> Analyzer {
+    let alphabet = regtree_gen::exam_alphabet();
+    Analyzer::builder()
+        .schema(regtree_gen::exam_schema(&alphabet))
+        .build()
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_balanced_spans() {
+    let sink = Arc::new(ChromeTraceSink::new());
+    let analyzer = traced_analyzer(sink.clone());
+    let (independent, _) = drive_example(&analyzer);
+    assert!(
+        independent,
+        "fd5 vs U under the schema is the paper's yes-case"
+    );
+
+    let chrome = sink.to_chrome_json();
+    validate_json(&chrome).unwrap_or_else(|e| panic!("chrome trace is not JSON: {e}"));
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("\"displayTimeUnit\":\"ms\""));
+
+    // Same capture, line-oriented: simulate the per-thread span stacks.
+    let jsonl = sink.to_jsonl();
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        validate_json(line).unwrap_or_else(|e| panic!("JSONL line is not JSON: {e}\n{line}"));
+    }
+    assert_balanced(&jsonl);
+
+    // All five span kinds fire across independence + matrix + fd batch.
+    for kind in SpanKind::ALL {
+        assert!(
+            jsonl.contains(kind.name()),
+            "no {} span in the capture",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn summary_sink_totals_match_run_metrics() {
+    let sink = Arc::new(SummarySink::new());
+    let analyzer = traced_analyzer(sink.clone());
+    let (_, totals) = drive_example(&analyzer);
+    let summary = sink.summary();
+
+    // Each Budget counter bump emits exactly one event, so the sink's
+    // tallies and the engine's own metrics must agree exactly.
+    assert_eq!(
+        summary.event_count(EventKind::StateInterned),
+        totals.states_interned,
+        "states_interned"
+    );
+    assert_eq!(
+        summary.event_count(EventKind::FrontierPush),
+        totals.frontier_pushes,
+        "frontier_pushes"
+    );
+    assert_eq!(
+        summary.event_count(EventKind::MemoMiss),
+        totals.memo_entries,
+        "memo_entries"
+    );
+    assert_eq!(
+        summary.event_count(EventKind::MemoHit),
+        totals.memo_hits,
+        "memo_hits"
+    );
+    assert_eq!(
+        summary.event_count(EventKind::GuardIntersection),
+        totals.guard_intersections,
+        "guard_intersections"
+    );
+    // No budget ran out in an unlimited run.
+    assert_eq!(summary.event_count(EventKind::Exhausted), 0);
+    // Spans closed: every kind that ran has wall time attributed.
+    for kind in [SpanKind::Compile, SpanKind::IcSearch, SpanKind::MatrixCell] {
+        assert!(summary.span(kind).count > 0, "{} never ran", kind.name());
+    }
+}
+
+#[test]
+fn tracing_is_observation_only() {
+    let sink = Arc::new(ChromeTraceSink::new());
+    let (traced_verdict, traced_totals) = drive_example(&traced_analyzer(sink));
+    let (plain_verdict, plain_totals) = drive_example(&plain_analyzer());
+    assert_eq!(traced_verdict, plain_verdict);
+    assert_eq!(traced_totals.states_interned, plain_totals.states_interned);
+    assert_eq!(traced_totals.frontier_pushes, plain_totals.frontier_pushes);
+    assert_eq!(traced_totals.memo_entries, plain_totals.memo_entries);
+    assert_eq!(traced_totals.memo_hits, plain_totals.memo_hits);
+    assert_eq!(
+        traced_totals.guard_intersections,
+        plain_totals.guard_intersections
+    );
+}

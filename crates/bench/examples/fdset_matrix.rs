@@ -1,0 +1,90 @@
+//! Prints the FD-set pruning table behind `BENCH_fdset.json`: for
+//! `n ∈ {50, 100, 200}` synthetic FDs ([`regtree_bench::fdset_corpus`])
+//! against the fixed update-class columns, how many matrix cells the
+//! engine actually checked with and without FD-set reasoning
+//! ([`regtree_core::Analyzer::matrix_pruned`] vs
+//! [`regtree_core::Analyzer::matrix`]), how many rows were dropped as
+//! implied, how many verdicts were reused through containment — and that
+//! the two paths agree on every cell both computed (`parity_mismatches`
+//! must be 0). Companion to `scripts/bench_json.sh`; the numbers land in
+//! EXPERIMENTS.md.
+//!
+//! Modes: default is the human-readable table; `--counters` prints flat
+//! `counters/fdset/<n>/<mode>/<metric>` rows for the JSON harness.
+
+use std::time::Instant;
+
+use regtree_bench::{fdset_classes, fdset_corpus};
+use regtree_core::{Analyzer, CellProvenance, Fd, UpdateClass};
+
+fn main() {
+    let machine = std::env::args().any(|a| a == "--counters");
+    if !machine {
+        println!("n     mode       cells  implied  reused  mismatch   wall_ms");
+    }
+    for &n in &[50usize, 100, 200] {
+        let a = regtree_alphabet::Alphabet::new();
+        let fds = fdset_corpus(&a, n);
+        let classes = fdset_classes(&a);
+        let fd_refs: Vec<(&str, &Fd)> =
+            fds.iter().map(|(s, f)| (s.as_str(), f)).collect();
+        let class_refs: Vec<(&str, &UpdateClass)> =
+            classes.iter().map(|(s, c)| (s.as_str(), c)).collect();
+
+        // Fresh analyzers per mode so neither run rides the other's
+        // pattern-compilation cache.
+        let t0 = Instant::now();
+        let plain = Analyzer::builder().build().matrix(&fd_refs, &class_refs);
+        let plain_nanos = t0.elapsed().as_nanos();
+
+        let t1 = Instant::now();
+        let pruned = Analyzer::builder()
+            .build()
+            .matrix_pruned(&fd_refs, &class_refs);
+        let pruned_nanos = t1.elapsed().as_nanos();
+
+        let mut mismatches = 0usize;
+        for (p, q) in plain.cells.iter().zip(&pruned.cells) {
+            // Implied rows carry a placeholder verdict, not a computation.
+            if matches!(q.provenance, CellProvenance::ImpliedRow { .. }) {
+                continue;
+            }
+            if p.verdict.is_independent() != q.verdict.is_independent() {
+                mismatches += 1;
+            }
+        }
+
+        let total = n * classes.len();
+        if machine {
+            println!("counters/fdset/{n}/unpruned/cells_checked {total}");
+            println!("counters/fdset/{n}/unpruned/wall_nanos {plain_nanos}");
+            println!(
+                "counters/fdset/{n}/pruned/cells_checked {}",
+                pruned.computed_count()
+            );
+            println!(
+                "counters/fdset/{n}/pruned/rows_implied {}",
+                pruned.implied_row_count()
+            );
+            println!(
+                "counters/fdset/{n}/pruned/verdicts_reused {}",
+                pruned.reused_count()
+            );
+            println!("counters/fdset/{n}/pruned/wall_nanos {pruned_nanos}");
+            println!("counters/fdset/{n}/pruned/parity_mismatches {mismatches}");
+        } else {
+            println!(
+                "{n:<5} unpruned  {total:>6}        -       -         -  {:>8.2}",
+                plain_nanos as f64 / 1e6
+            );
+            println!(
+                "{n:<5} pruned    {:>6}  {:>7}  {:>6}  {mismatches:>8}  {:>8.2}",
+                pruned.computed_count(),
+                pruned.implied_row_count(),
+                pruned.reused_count(),
+                pruned_nanos as f64 / 1e6
+            );
+        }
+        assert_eq!(mismatches, 0, "pruned/unpruned parity violated at n={n}");
+    }
+}

@@ -13,7 +13,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use regtree_alphabet::Alphabet;
-use regtree_core::{Fd, FdBuilder, UpdateClass};
+use regtree_core::{update_class_from_edges, Fd, FdBuilder, PathFd, UpdateClass};
 use regtree_pattern::{RegularTreePattern, Template};
 use regtree_xml::Document;
 
@@ -66,6 +66,65 @@ pub fn chain_schema(a: &Alphabet, n: usize) -> regtree_hedge::Schema {
     regtree_hedge::Schema::parse(a, &text).expect("schema parses")
 }
 
+/// A synthetic path-FD corpus for the FD-set pruning study
+/// (`BENCH_fdset.json`): groups of six FDs under a shared `/db` context,
+/// each group `g{i}` contributing
+///
+/// 1. `wide`    — `/db : g{i}/d -> g{i}[N]` (kept; structurally *contains*
+///    `narrow`, so its INDEPENDENT verdicts are reusable downward);
+/// 2. `narrow`  — `/db : g{i}/d -> g{i}/r` (kept; reuse beneficiary);
+/// 3. `aug`     — `/db : g{i}/d, g{i}/x -> g{i}/r` (augmentation of
+///    `narrow`, dropped as implied);
+/// 4. `chain1`  — `/db : g{i}/c/e -> g{i}/c[N]` (kept);
+/// 5. `chain2`  — `/db : g{i}/c[N] -> g{i}/c/f` (kept);
+/// 6. `goal`    — `/db : g{i}/c/e -> g{i}/c/f` (transitive consequence of
+///    `chain1` + `chain2`, dropped as implied).
+///
+/// So a full group yields 2 implied rows in 6 (≈33% of matrix cells never
+/// reach the engine) plus one containment pair among the kept rows. `n`
+/// need not be a multiple of six; a truncated trailing group just keeps
+/// whatever members it has.
+pub fn fdset_corpus(a: &Alphabet, n: usize) -> Vec<(String, Fd)> {
+    let mut out = Vec::with_capacity(n);
+    let mut g = 0usize;
+    while out.len() < n {
+        let specs = [
+            ("wide", format!("/db : g{g}/d -> g{g}[N]")),
+            ("narrow", format!("/db : g{g}/d -> g{g}/r")),
+            ("aug", format!("/db : g{g}/d, g{g}/x -> g{g}/r")),
+            ("chain1", format!("/db : g{g}/c/e -> g{g}/c[N]")),
+            ("chain2", format!("/db : g{g}/c[N] -> g{g}/c/f")),
+            ("goal", format!("/db : g{g}/c/e -> g{g}/c/f")),
+        ];
+        for (tag, src) in specs {
+            if out.len() == n {
+                break;
+            }
+            let fd = PathFd::parse(a, &src)
+                .expect("corpus FD parses")
+                .to_fd(a)
+                .expect("corpus FD factorizes");
+            out.push((format!("g{g}-{tag}"), fd));
+        }
+        g += 1;
+    }
+    out
+}
+
+/// The update-class columns paired with [`fdset_corpus`]: monadic edits
+/// touching a handful of early groups (so most rows are independent of
+/// most columns, and containment reuse actually fires) plus the targets of
+/// group 0 (so dependent cells exist too).
+pub fn fdset_classes(a: &Alphabet) -> Vec<(String, UpdateClass)> {
+    ["db/g0/d", "db/g0/r", "db/g1/c/e", "db/g2/x"]
+        .iter()
+        .map(|e| {
+            let class = update_class_from_edges(a, &[e]).expect("valid edge path");
+            (e.replace('/', "-"), class)
+        })
+        .collect()
+}
+
 /// An alphabet with `extra` filler labels beyond the exam vocabulary
 /// (for the `|Σ|` axis of the Proposition 3 study).
 pub fn padded_alphabet(extra: usize) -> Alphabet {
@@ -91,6 +150,22 @@ mod tests {
         let s = chain_schema(&a, 3);
         assert_eq!(s.rules().len(), 3);
         assert!(padded_alphabet(10).len() >= 21);
+    }
+
+    #[test]
+    fn fdset_corpus_drops_a_third_of_each_full_group() {
+        let a = Alphabet::new();
+        let fds = fdset_corpus(&a, 12);
+        assert_eq!(fds.len(), 12);
+        let mut set = regtree_core::FdSet::new();
+        for (name, fd) in &fds {
+            set.push(name.clone(), fd.clone());
+        }
+        let min = set.minimize(&regtree_core::RunLimits::UNLIMITED);
+        assert!(min.is_complete());
+        // Two of six per group: aug and goal.
+        assert_eq!(min.dropped.len(), 4);
+        assert!(!fdset_classes(&a).is_empty());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!                        [--deadline-ms N] [--max-states N] [--stats]
 //!                        [--format json] [--trace out.json] [--stats-verbose]
 //! rtpcheck independence-matrix --fds FDS.lst --updates UPS.lst [--schema S]
+//!                        [--prune]
+//! rtpcheck fds minimize  --fds FDS.lst [BUDGET] [--format json]
 //! rtpcheck demo
 //! ```
 //!
@@ -36,8 +38,9 @@ use std::sync::Arc;
 
 use regtree_alphabet::Alphabet;
 use regtree_core::{
-    Analyzer, ChromeTraceSink, EventKind, FdOutcome, PathFd, RunLimits, RunMetrics, SpanId,
-    SpanKind, SummarySink, TraceFormat, TraceSummary, Tracer, UpdateClass, Verdict,
+    Analyzer, CellProvenance, ChromeTraceSink, EventKind, FdOutcome, FdSet, PathFd, RunLimits,
+    RunMetrics, SpanId, SpanKind, SummarySink, TraceFormat, TraceSummary, Tracer, UpdateClass,
+    Verdict,
 };
 use regtree_hedge::Schema;
 use regtree_pattern::parse_corexpath;
@@ -79,7 +82,13 @@ USAGE:
   rtpcheck independence --fd EXPR --update PATH [--schema FILE] [BUDGET]
                         [OUTPUT]
   rtpcheck independence-matrix --fds FILE --updates FILE [--schema FILE]
-                        [BUDGET] [OUTPUT]       (alias: matrix)
+                        [--prune] [BUDGET] [OUTPUT] (alias: matrix)
+                        (--prune drops FDs implied by the rest of the set
+                        and reuses verdicts along structural containment)
+  rtpcheck fds minimize --fds FILE [BUDGET] [OUTPUT]
+                        (irredundant core of an FD set with provenance;
+                        exit 3 when the closure budget ran out — the
+                        partial result is still sound)
   rtpcheck demo
 
   BUDGET flags:     --deadline-ms N  --max-states N  --max-memo N
@@ -126,6 +135,7 @@ struct Flags {
     json: bool,
     stats: bool,
     stats_verbose: bool,
+    prune: bool,
 }
 
 fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
@@ -134,6 +144,7 @@ fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
     let mut json = false;
     let mut stats = false;
     let mut stats_verbose = false;
+    let mut prune = false;
     let mut i = 0;
     while i < args.len() {
         let a = args[i];
@@ -145,6 +156,9 @@ fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
             i += 1;
         } else if a == "--stats-verbose" {
             stats_verbose = true;
+            i += 1;
+        } else if a == "--prune" {
+            prune = true;
             i += 1;
         } else if let Some(key) = a.strip_prefix("--") {
             let v = args
@@ -163,6 +177,7 @@ fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
         json,
         stats,
         stats_verbose,
+        prune,
     })
 }
 
@@ -230,6 +245,11 @@ fn run(args: &[&str]) -> Result<String, CliError> {
         "eval" => cmd_eval(rest),
         "independence" => cmd_independence(rest),
         "independence-matrix" | "matrix" => cmd_matrix(rest),
+        "fds" => match rest.split_first() {
+            Some((&"minimize", rest)) => cmd_fds_minimize(rest),
+            Some((other, _)) => Err(usage(format!("unknown fds subcommand '{other}'"))),
+            None => Err(usage("fds needs a subcommand (minimize)")),
+        },
         "demo" => cmd_demo(),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(usage(format!("unknown subcommand '{other}'"))),
@@ -616,7 +636,7 @@ impl IndependenceReport {
 /// JSON object for a [`RunMetrics`], nested one level below `indent`.
 fn metrics_json(m: &RunMetrics, indent: &str) -> String {
     format!(
-        "{{\n{indent}  \"states_interned\": {},\n{indent}  \"transitions_fired\": {},\n{indent}  \"guard_intersections\": {},\n{indent}  \"dfa_steps\": {},\n{indent}  \"frontier_pushes\": {},\n{indent}  \"memo_entries\": {},\n{indent}  \"memo_hits\": {},\n{indent}  \"compile_nanos\": {},\n{indent}  \"search_nanos\": {}\n{indent}}}",
+        "{{\n{indent}  \"states_interned\": {},\n{indent}  \"transitions_fired\": {},\n{indent}  \"guard_intersections\": {},\n{indent}  \"dfa_steps\": {},\n{indent}  \"frontier_pushes\": {},\n{indent}  \"memo_entries\": {},\n{indent}  \"memo_hits\": {},\n{indent}  \"verdicts_reused\": {},\n{indent}  \"compile_nanos\": {},\n{indent}  \"search_nanos\": {}\n{indent}}}",
         m.states_interned,
         m.transitions_fired,
         m.guard_intersections,
@@ -624,6 +644,7 @@ fn metrics_json(m: &RunMetrics, indent: &str) -> String {
         m.frontier_pushes,
         m.memo_entries,
         m.memo_hits,
+        m.verdicts_reused,
         m.compile_nanos,
         m.search_nanos,
     )
@@ -788,6 +809,100 @@ fn parse_named_list(src: &str) -> Result<Vec<(String, String)>, CliError> {
     Ok(out)
 }
 
+/// `rtpcheck fds minimize --fds FILE`: the irredundant core of an FD set
+/// with provenance (which kept FDs imply each dropped one). Budget flags
+/// govern the implication closure; a run that exhausts its budget prints
+/// the sound partial result and exits 3.
+fn cmd_fds_minimize(args: &[&str]) -> Result<String, CliError> {
+    let flags = parse_flags(args)?;
+    let json = flags.wants_json()?;
+    let alphabet = Alphabet::new();
+    let fd_list = parse_named_list(&read_file(flags.require("fds")?)?)?;
+    let mut set = FdSet::new();
+    for (name, expr) in &fd_list {
+        let fd = PathFd::parse(&alphabet, expr)
+            .and_then(|p| p.to_fd(&alphabet))
+            .map_err(|e| runtime(format!("fd '{name}': {e}")))?;
+        set.push(name.clone(), fd);
+    }
+    let min = set.minimize(&flags.limits()?);
+    let out = if json {
+        let mut out = String::from("{\n  \"kept\": [");
+        for (i, &k) in min.kept.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            write!(out, "{sep}{}", json_escape(set.name(k))).expect("write to string");
+        }
+        out.push_str("],\n  \"dropped\": [");
+        for (i, d) in min.dropped.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let by = d
+                .by
+                .iter()
+                .map(|&j| json_escape(set.name(j)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            write!(
+                out,
+                "{sep}\n    {{ \"fd\": {}, \"implied_by\": [{by}] }}",
+                json_escape(set.name(d.index))
+            )
+            .expect("write to string");
+        }
+        let exhausted = match min.exhausted {
+            Some(r) => format!("\"{}\"", r.name()),
+            None => "null".to_string(),
+        };
+        write!(
+            out,
+            "\n  ],\n  \"total\": {},\n  \"complete\": {},\n  \"exhausted\": {exhausted}\n}}\n",
+            set.len(),
+            min.is_complete()
+        )
+        .expect("write to string");
+        out
+    } else {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{} of {} FDs form the irredundant core:",
+            min.kept.len(),
+            set.len()
+        )
+        .expect("write to string");
+        for &k in &min.kept {
+            writeln!(out, "  keep  {}", set.name(k)).expect("write to string");
+        }
+        for d in &min.dropped {
+            let by = if d.by.is_empty() {
+                "trivial".to_string()
+            } else {
+                format!(
+                    "implied by {}",
+                    d.by.iter()
+                        .map(|&j| set.name(j))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            writeln!(out, "  drop  {} ({by})", set.name(d.index)).expect("write to string");
+        }
+        if let Some(r) = min.exhausted {
+            writeln!(
+                out,
+                "PARTIAL: closure budget exhausted ({r}) — recorded drops are \
+                 proven, further drops may have been missed"
+            )
+            .expect("write to string");
+        }
+        out
+    };
+    if min.is_complete() {
+        Ok(out)
+    } else {
+        Err(CliError::Exhausted(out))
+    }
+}
+
 fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
     let alphabet = Alphabet::new();
@@ -815,7 +930,11 @@ fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
     let json = flags.wants_json()?;
     let tracing = Tracing::from_flags(&flags)?;
     let (analyzer, _) = build_analyzer(&alphabet, &flags, &tracing)?;
-    let matrix = analyzer.matrix(&fd_refs, &class_refs);
+    let matrix = if flags.prune {
+        analyzer.matrix_pruned(&fd_refs, &class_refs)
+    } else {
+        analyzer.matrix(&fd_refs, &class_refs)
+    };
     let phases = tracing.finish()?;
     let pairs = fd_refs.len() * class_refs.len();
     let exhausted = matrix.exhausted_count();
@@ -837,20 +956,35 @@ fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
         out.push_str("],\n  \"cells\": [");
         for (i, cell) in matrix.cells.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let verdict = if cell.verdict.is_independent() {
-                "independent"
-            } else if cell.verdict.exhausted().is_some() {
-                "unknown"
-            } else {
-                "recheck"
+            let verdict = match &cell.provenance {
+                // Implied rows carry no criterion verdict.
+                CellProvenance::ImpliedRow { .. } => "implied",
+                _ if cell.verdict.is_independent() => "independent",
+                _ if cell.verdict.exhausted().is_some() => "unknown",
+                _ => "recheck",
             };
             let cell_exhausted = match cell.verdict.exhausted() {
                 Some(r) => format!("\"{}\"", r.name()),
                 None => "null".to_string(),
             };
+            let provenance = match &cell.provenance {
+                CellProvenance::Computed => "\"computed\"".to_string(),
+                CellProvenance::ImpliedRow { by } => format!(
+                    "\"implied\", \"implied_by\": [{}]",
+                    by.iter()
+                        .map(|&j| json_escape(&matrix.fd_names[j]))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                CellProvenance::ReusedFrom { fd } => format!(
+                    "\"reused\", \"reused_from\": {}",
+                    json_escape(&matrix.fd_names[*fd])
+                ),
+                other => json_escape(&format!("{other:?}")),
+            };
             write!(
                 out,
-                "{sep}\n    {{ \"fd\": {}, \"update\": {}, \"verdict\": \"{verdict}\", \"exhausted\": {cell_exhausted}, \"explored_states\": {}, \"automaton_size\": {} }}",
+                "{sep}\n    {{ \"fd\": {}, \"update\": {}, \"verdict\": \"{verdict}\", \"exhausted\": {cell_exhausted}, \"provenance\": {provenance}, \"explored_states\": {}, \"automaton_size\": {} }}",
                 json_escape(&matrix.fd_names[cell.fd]),
                 json_escape(&matrix.class_names[cell.class]),
                 cell.explored_states,
@@ -860,9 +994,12 @@ fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
         }
         write!(
             out,
-            "\n  ],\n  \"pairs\": {pairs},\n  \"independent_pairs\": {},\n  \"recheck_pairs\": {},\n  \"exhausted_pairs\": {exhausted}",
+            "\n  ],\n  \"pairs\": {pairs},\n  \"independent_pairs\": {},\n  \"recheck_pairs\": {},\n  \"exhausted_pairs\": {exhausted},\n  \"computed_cells\": {},\n  \"reused_cells\": {},\n  \"implied_rows\": {}",
             matrix.independent_count(),
-            matrix.recheck_count()
+            matrix.recheck_count(),
+            matrix.computed_count(),
+            matrix.reused_count(),
+            matrix.implied_row_count()
         )
         .expect("write to string");
         if flags.stats {
@@ -898,6 +1035,16 @@ fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
             }
         )
         .expect("write to string");
+        if flags.prune {
+            writeln!(
+                out,
+                "pruning: {} cells computed, {} reused (*), {} rows dropped as implied",
+                matrix.computed_count(),
+                matrix.reused_count(),
+                matrix.implied_row_count()
+            )
+            .expect("write to string");
+        }
         if flags.stats {
             writeln!(out, "stats: {totals}").expect("write to string");
         }
@@ -1220,6 +1367,143 @@ mod tests {
         assert!(out.contains("1 of 2 pairs provably independent"), "{out}");
         assert!(out.contains("1 of 2 pairs must be rechecked"), "{out}");
         assert!(out.contains("RECHECK"), "{out}");
+    }
+
+    #[test]
+    fn matrix_prune_drops_implied_rows() {
+        use regtree_core::validate_json;
+        // `weak` is `price` with an extra condition: implied, dropped.
+        let fds = tmp(
+            "price = /catalog : item/sku -> item/price\n\
+             weak = /catalog : item/sku, item/name -> item/price\n",
+            "lst",
+        );
+        let ups = tmp(
+            "restock = /catalog/item/stock\nreprice = /catalog/item/price\n",
+            "lst",
+        );
+        let out = run(&[
+            "matrix",
+            "--prune",
+            "--fds",
+            fds.0.to_str().unwrap(),
+            "--updates",
+            ups.0.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("implied"), "{out}");
+        assert!(
+            out.contains("2 cells computed, 0 reused (*), 1 rows dropped as implied"),
+            "{out}"
+        );
+        // Only the kept implier is ever listed for recheck.
+        assert!(out.contains("1 of 4 pairs must be rechecked"), "{out}");
+
+        // JSON mode: provenance is machine-readable and stdout parses.
+        let json = run(&[
+            "matrix",
+            "--prune",
+            "--format",
+            "json",
+            "--stats",
+            "--fds",
+            fds.0.to_str().unwrap(),
+            "--updates",
+            ups.0.to_str().unwrap(),
+        ])
+        .unwrap();
+        validate_json(&json).expect("pruned matrix JSON parses");
+        assert!(json.contains("\"provenance\": \"implied\""), "{json}");
+        assert!(json.contains("\"implied_by\": [\"price\"]"), "{json}");
+        assert!(json.contains("\"implied_rows\": 1"), "{json}");
+        assert!(json.contains("\"computed_cells\": 2"), "{json}");
+        assert!(json.contains("\"verdicts_reused\""), "{json}");
+    }
+
+    #[test]
+    fn matrix_prune_reuses_verdicts_via_containment() {
+        // `wide` marks the whole subtree at item; `narrow` a sub-region.
+        // Neither implies the other, but `wide` subsumes `narrow`, so the
+        // restock column computes `wide` and reuses for `narrow`.
+        let fds = tmp(
+            "wide = /catalog : item/sku -> item[N]\n\
+             narrow = /catalog : item/sku -> item/price\n",
+            "lst",
+        );
+        let ups = tmp("other = /inventory/pallet\n", "lst");
+        let out = run(&[
+            "matrix",
+            "--prune",
+            "--format",
+            "json",
+            "--fds",
+            fds.0.to_str().unwrap(),
+            "--updates",
+            ups.0.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("\"provenance\": \"reused\""), "{out}");
+        assert!(out.contains("\"reused_from\": \"wide\""), "{out}");
+        assert!(out.contains("\"reused_cells\": 1"), "{out}");
+    }
+
+    #[test]
+    fn fds_minimize_command() {
+        use regtree_core::validate_json;
+        let fds = tmp(
+            "base = /s : c/e/d, c/e/m -> c/e/r\n\
+             weaker = /s : c/e/d, c/e/m, c/x -> c/e/r\n\
+             other = /s : c/n -> c/z\n",
+            "lst",
+        );
+        let out = run(&["fds", "minimize", "--fds", fds.0.to_str().unwrap()]).unwrap();
+        assert!(out.contains("2 of 3 FDs form the irredundant core"), "{out}");
+        assert!(out.contains("keep  base"), "{out}");
+        assert!(out.contains("keep  other"), "{out}");
+        assert!(out.contains("drop  weaker (implied by base)"), "{out}");
+
+        let json = run(&[
+            "fds",
+            "minimize",
+            "--format",
+            "json",
+            "--fds",
+            fds.0.to_str().unwrap(),
+        ])
+        .unwrap();
+        validate_json(&json).expect("minimize JSON parses");
+        assert!(json.contains("\"kept\": [\"base\", \"other\"]"), "{json}");
+        assert!(json.contains("\"implied_by\": [\"base\"]"), "{json}");
+        assert!(json.contains("\"complete\": true"), "{json}");
+
+        // A zero deadline exhausts the closure: exit 3 with a sound
+        // partial result (nothing dropped).
+        let err = run(&[
+            "fds",
+            "minimize",
+            "--deadline-ms",
+            "0",
+            "--fds",
+            fds.0.to_str().unwrap(),
+        ]);
+        match err {
+            Err(CliError::Exhausted(out)) => {
+                assert!(out.contains("PARTIAL"), "{out}");
+                assert!(out.contains("3 of 3 FDs form the irredundant core"), "{out}");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+
+        // Usage errors keep exit 2.
+        assert!(matches!(
+            run(&["fds", "minimize"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run(&["fds"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["fds", "maximize"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -43,8 +43,9 @@ use regtree_runtime::{Budget, CancelToken, RunLimits, SpanKind, Stopwatch, Trace
 use regtree_xml::Document;
 
 use crate::fd::Fd;
+use crate::fdset::FdSet;
 use crate::independence::{check_independence_governed, IndependenceAnalysis};
-use crate::matrix::{analyze_matrix_governed, IndependenceMatrix};
+use crate::matrix::{analyze_matrix_governed, analyze_matrix_pruned_governed, IndependenceMatrix};
 use crate::satisfy::{check_fds_governed, FdBatchReport};
 use crate::update::UpdateClass;
 
@@ -316,6 +317,90 @@ impl Analyzer {
             classes,
             self.schema_auto.as_ref(),
             &pa_fds,
+            &pa_us,
+            &self.limits,
+            self.cancel.as_ref(),
+            &self.trace,
+            compile_nanos,
+        )
+    }
+
+    /// Like [`Analyzer::matrix`], but reasons about the FD *set* first:
+    /// rows implied by the rest ([`FdSet::minimize`], run under the
+    /// analyzer's limits) never reach the engine and report
+    /// [`crate::CellProvenance::ImpliedRow`]; among the kept rows a
+    /// verdict is reused along structural containment ([`crate::subsumes`])
+    /// in the sound direction only. Reused cells count in
+    /// `RunMetrics::verdicts_reused` and fire
+    /// [`crate::EventKind::VerdictReused`].
+    ///
+    /// The pruned matrix has the same shape as the unpruned one (every FD
+    /// keeps its row), and agrees with it on every cell both paths compute.
+    /// Dropping implied rows is sound for the *set-invariant* deployment —
+    /// the FD set held before the update, so re-verifying the kept core
+    /// re-establishes the dropped FDs — not because implied rows would be
+    /// individually independent; accordingly they are excluded from
+    /// [`IndependenceMatrix::fds_to_recheck`] but never claimed
+    /// independent.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regtree_core::{Analyzer, CellProvenance, FdBuilder, update_class_from_edges};
+    /// use regtree_alphabet::Alphabet;
+    ///
+    /// let a = Alphabet::new();
+    /// let fd = FdBuilder::new(a.clone())
+    ///     .context("catalog").condition("item/sku").target("item/price")
+    ///     .build().unwrap();
+    /// // Same FD weakened with an extra condition: implied, hence pruned.
+    /// let weaker = FdBuilder::new(a.clone())
+    ///     .context("catalog").condition("item/sku").condition("item/name")
+    ///     .target("item/price")
+    ///     .build().unwrap();
+    /// let reprice = update_class_from_edges(&a, &["catalog/item/price"]).unwrap();
+    ///
+    /// let analyzer = Analyzer::builder().build();
+    /// let m = analyzer.matrix_pruned(
+    ///     &[("price", &fd), ("price-weak", &weaker)],
+    ///     &[("reprice", &reprice)],
+    /// );
+    /// assert_eq!(m.cell(1, 0).provenance, CellProvenance::ImpliedRow { by: vec![0] });
+    /// // Only the implier needs a recheck after a reprice.
+    /// assert_eq!(m.fds_to_recheck(0), vec![0]);
+    /// assert_eq!(m.computed_count(), 1);
+    /// ```
+    pub fn matrix_pruned(
+        &self,
+        fds: &[(&str, &Fd)],
+        classes: &[(&str, &UpdateClass)],
+    ) -> IndependenceMatrix {
+        let mut set = FdSet::new();
+        for (name, fd) in fds {
+            set.push(*name, (*fd).clone());
+        }
+        let minimization = set.minimize(&self.limits);
+        let compile = Stopwatch::start();
+        let (pa_kept, pa_us) = {
+            let _span = self.trace.span(SpanKind::Compile, "pruned matrix rows/columns");
+            let pa_kept: Vec<_> = minimization
+                .kept
+                .iter()
+                .map(|&i| self.compiled(fds[i].1.pattern(), true))
+                .collect();
+            let pa_us: Vec<_> = classes
+                .iter()
+                .map(|(_, class)| self.compiled(class.pattern(), false))
+                .collect();
+            (pa_kept, pa_us)
+        };
+        let compile_nanos = compile.elapsed_nanos();
+        analyze_matrix_pruned_governed(
+            fds,
+            classes,
+            self.schema_auto.as_ref(),
+            &minimization,
+            &pa_kept,
             &pa_us,
             &self.limits,
             self.cancel.as_ref(),

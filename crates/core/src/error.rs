@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use regtree_pattern::{PatternError, TemplateError};
+
 use crate::fd::FdError;
 use crate::pathfd::PathFdError;
 use crate::update::{ApplyError, UpdateClassError};
@@ -28,6 +30,10 @@ pub enum Error {
     Apply(ApplyError),
     /// Parsing or translating a path FD failed.
     PathFd(PathFdError),
+    /// Building a pattern template failed (bad edge expression).
+    Template(TemplateError),
+    /// Assembling a regular tree pattern failed (bad selected tuple).
+    Pattern(PatternError),
 }
 
 impl fmt::Display for Error {
@@ -37,6 +43,8 @@ impl fmt::Display for Error {
             Error::UpdateClass(e) => write!(f, "update class: {e}"),
             Error::Apply(e) => write!(f, "update application: {e}"),
             Error::PathFd(e) => write!(f, "path FD: {e}"),
+            Error::Template(e) => write!(f, "template: {e}"),
+            Error::Pattern(e) => write!(f, "pattern: {e}"),
         }
     }
 }
@@ -48,6 +56,8 @@ impl std::error::Error for Error {
             Error::UpdateClass(e) => Some(e),
             Error::Apply(e) => Some(e),
             Error::PathFd(e) => Some(e),
+            Error::Template(e) => Some(e),
+            Error::Pattern(e) => Some(e),
         }
     }
 }
@@ -73,6 +83,18 @@ impl From<ApplyError> for Error {
 impl From<PathFdError> for Error {
     fn from(e: PathFdError) -> Error {
         Error::PathFd(e)
+    }
+}
+
+impl From<TemplateError> for Error {
+    fn from(e: TemplateError) -> Error {
+        Error::Template(e)
+    }
+}
+
+impl From<PatternError> for Error {
+    fn from(e: PatternError) -> Error {
+        Error::Pattern(e)
     }
 }
 

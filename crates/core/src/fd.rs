@@ -41,6 +41,10 @@ pub enum FdError {
     ContextNotAncestor(TemplateNodeId),
     /// An FD needs at least a target node.
     NoTarget,
+    /// [`FdBuilder::build`] was called without a context edge.
+    MissingContext,
+    /// [`FdBuilder::build`] was called without a target edge.
+    MissingTarget,
 }
 
 impl fmt::Display for FdError {
@@ -57,6 +61,8 @@ impl fmt::Display for FdError {
                 write!(f, "context is not an ancestor of selected node n{}", n.0)
             }
             FdError::NoTarget => write!(f, "an FD needs at least one selected node (the target)"),
+            FdError::MissingContext => write!(f, "the builder needs a context edge"),
+            FdError::MissingTarget => write!(f, "the builder needs a target edge"),
         }
     }
 }
@@ -256,45 +262,39 @@ impl FdBuilder {
     /// into *disjoint* subtrees by Definition 2(b), changing the semantics.
     /// Edges using regex operators skip factorization and become separate
     /// sibling branches (disjoint-subtree semantics).
-    pub fn build(self) -> Result<Fd, String> {
+    ///
+    /// Errors surface as the unified [`enum@crate::Error`] ([`FdError`],
+    /// template, pattern, and path-FD errors each keep their own variant).
+    pub fn build(self) -> Result<Fd, crate::Error> {
         // Try the factorized (path-formalism) construction first.
         if let Some(fd) = self.try_factorized()? {
             return Ok(fd);
         }
         let mut template = Template::new(self.alphabet.clone());
-        let context_edge = self
-            .context_edge
-            .clone()
-            .ok_or_else(|| "missing context".to_string())?;
-        let context = template
-            .add_child_str(template.root(), &context_edge)
-            .map_err(|e| e.to_string())?;
+        let context_edge = self.context_edge.clone().ok_or(FdError::MissingContext)?;
+        let context = template.add_child_str(template.root(), &context_edge)?;
         let mut selected = Vec::new();
         let mut equality = Vec::new();
         for (edge, eq) in &self.conditions {
-            let n = template
-                .add_child_str(context, edge)
-                .map_err(|e| e.to_string())?;
+            let n = template.add_child_str(context, edge)?;
             selected.push(n);
             equality.push(*eq);
         }
-        let (target_edge, target_eq) = self.target.ok_or_else(|| "missing target".to_string())?;
-        let q = template
-            .add_child_str(context, &target_edge)
-            .map_err(|e| e.to_string())?;
+        let (target_edge, target_eq) = self.target.ok_or(FdError::MissingTarget)?;
+        let q = template.add_child_str(context, &target_edge)?;
         selected.push(q);
         equality.push(target_eq);
-        let pattern = RegularTreePattern::new(template, selected).map_err(|e| e.to_string())?;
-        Fd::new(pattern, context, equality).map_err(|e| e.to_string())
+        let pattern = RegularTreePattern::new(template, selected)?;
+        Ok(Fd::new(pattern, context, equality)?)
     }
 
     /// The factorized construction, when every edge is a simple label path.
-    fn try_factorized(&self) -> Result<Option<Fd>, String> {
+    fn try_factorized(&self) -> Result<Option<Fd>, crate::Error> {
         let Some(ctx_src) = &self.context_edge else {
-            return Err("missing context".to_string());
+            return Err(FdError::MissingContext.into());
         };
         let Some((target_src, target_eq)) = &self.target else {
-            return Err("missing target".to_string());
+            return Err(FdError::MissingTarget.into());
         };
         let Some(context) = simple_word(&self.alphabet, ctx_src) else {
             return Ok(None);
@@ -314,9 +314,7 @@ impl FdBuilder {
             conditions,
             target: (target_word, *target_eq),
         };
-        pfd.to_fd(&self.alphabet)
-            .map(Some)
-            .map_err(|e| e.to_string())
+        pfd.to_fd(&self.alphabet).map(Some)
     }
 }
 
@@ -406,8 +404,14 @@ mod tests {
     #[test]
     fn missing_pieces_in_builder() {
         let a = Alphabet::new();
-        assert!(FdBuilder::new(a.clone()).target("x").build().is_err());
-        assert!(FdBuilder::new(a.clone()).context("s").build().is_err());
+        assert!(matches!(
+            FdBuilder::new(a.clone()).target("x").build(),
+            Err(crate::Error::Fd(FdError::MissingContext))
+        ));
+        assert!(matches!(
+            FdBuilder::new(a.clone()).context("s").build(),
+            Err(crate::Error::Fd(FdError::MissingTarget))
+        ));
     }
 
     #[test]

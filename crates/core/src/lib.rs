@@ -8,6 +8,9 @@
 //!   (Definition 5);
 //! * [`pathfd`] — the path formalism of \[8\], its embedding into patterns,
 //!   and the Example 3 inexpressibility checks;
+//! * [`fdset`] / [`subsume`] — FD-*set* reasoning: implication closure,
+//!   [`FdSet::minimize`], and the structural containment the matrix
+//!   pruning reuses verdicts through;
 //! * [`update`] — update classes `U = (T_U, s̄_U)` and executable updates
 //!   (Section 4);
 //! * [`independence`] — the criterion IC: automaton construction, schema
@@ -24,6 +27,7 @@
 pub mod analyzer;
 pub mod error;
 pub mod fd;
+pub mod fdset;
 pub mod impact;
 pub mod independence;
 mod lazy_ic;
@@ -32,18 +36,20 @@ pub mod pathfd;
 pub mod reduction;
 pub mod revalidate;
 pub mod satisfy;
+pub mod subsume;
 pub mod update;
 
 pub use analyzer::{Analyzer, AnalyzerBuilder};
 pub use error::Error;
 pub use fd::{EqualityType, Fd, FdBuilder, FdError};
+pub use fdset::{DroppedFd, FdSet, Implication, Minimization};
 pub use impact::{classify_pair, search_impact, ImpactWitness, PairClassification};
 pub use independence::{build_ic_automaton, in_language_naive, IndependenceAnalysis, Verdict};
 #[allow(deprecated)]
 pub use independence::{check_independence, check_independence_eager, is_independent};
 #[allow(deprecated)]
 pub use matrix::analyze_matrix;
-pub use matrix::{IndependenceMatrix, MatrixCell};
+pub use matrix::{CellProvenance, IndependenceMatrix, MatrixCell};
 pub use pathfd::{expressible_in_path_formalism, Inexpressibility, PathFd, PathFdError};
 pub use reduction::{build_patterns, build_reduction, gadget_alphabet, ReductionInstance};
 pub use revalidate::{revalidate_full, revalidate_full_many, IncrementalChecker};
@@ -52,6 +58,7 @@ pub use satisfy::check_fds_parallel;
 pub use satisfy::{
     check_fd, check_fd_governed, check_fd_indexed, satisfies, FdBatchReport, FdOutcome, FdViolation,
 };
+pub use subsume::subsumes;
 // Re-exported so downstreams govern runs without a direct dependency on
 // `regtree-runtime`.
 pub use regtree_runtime::{

@@ -13,6 +13,16 @@
 //! intersections. Cells then run the lazy on-the-fly emptiness engine
 //! (`crate::lazy_ic`) on scoped worker threads
 //! ([`regtree_pattern::parallel_map`]).
+//!
+//! The *pruned* path ([`crate::Analyzer::matrix_pruned`]) additionally
+//! reasons about the FD **set** before spawning cells: rows implied by the
+//! rest of the set ([`crate::FdSet::minimize`]) are dropped without
+//! running the engine at all, and among the kept rows a verdict flows
+//! along structural containment ([`crate::subsumes`]) in the one sound
+//! direction — `Independent` from the containing row to the contained
+//! one, a completed dependent verdict the other way; budget-exhausted
+//! `Unknown`s never propagate. Every cell records how it got its verdict
+//! in [`CellProvenance`].
 
 use std::fmt;
 use std::sync::Arc;
@@ -24,8 +34,34 @@ use regtree_runtime::{
 };
 
 use crate::fd::Fd;
+use crate::fdset::Minimization;
 use crate::independence::{check_independence_governed, Verdict};
+use crate::subsume::{fd_paths, paths_subsume, FdPaths};
 use crate::update::UpdateClass;
+
+/// How a matrix cell got its verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CellProvenance {
+    /// The emptiness engine ran for this cell.
+    Computed,
+    /// The whole row was dropped by [`crate::FdSet::minimize`]: the FD is
+    /// implied by the kept rows listed in `by` (empty for trivial FDs).
+    /// The cell carries **no criterion verdict** — its `verdict` field is
+    /// a conservative placeholder — and it is excluded from
+    /// [`IndependenceMatrix::fds_to_recheck`]: re-verifying the impliers
+    /// re-establishes the implied FD.
+    ImpliedRow {
+        /// Kept FD indices implying this row.
+        by: Vec<usize>,
+    },
+    /// The verdict was copied from row `fd` of the same column through
+    /// structural containment, in the sound direction only.
+    ReusedFrom {
+        /// The kept FD index whose engine-computed verdict was reused.
+        fd: usize,
+    },
+}
 
 /// One cell of the analysis matrix.
 #[derive(Clone, Debug)]
@@ -42,6 +78,8 @@ pub struct MatrixCell {
     pub explored_states: usize,
     /// Work counters and wall time of this cell's run.
     pub metrics: RunMetrics,
+    /// How the verdict was obtained (computed, implied row, or reused).
+    pub provenance: CellProvenance,
 }
 
 /// The full matrix plus aggregate statistics.
@@ -77,10 +115,19 @@ impl IndependenceMatrix {
     /// For an update class: the FDs that must be re-verified after an
     /// update of that class. Every non-`Independent` row counts — including
     /// `Unknown` cells whose run was cancelled or exhausted its budget
-    /// (only a proof of independence may skip re-verification).
+    /// (only a proof of independence may skip re-verification) — **except**
+    /// rows dropped as implied: re-verifying their impliers (which are kept
+    /// rows and report here themselves when not independent) re-establishes
+    /// them, so listing them too would double-count the work.
     pub fn fds_to_recheck(&self, class: usize) -> Vec<usize> {
         (0..self.fd_names.len())
-            .filter(|&fd| !self.independent(fd, class))
+            .filter(|&fd| {
+                !self.independent(fd, class)
+                    && !matches!(
+                        self.cell(fd, class).provenance,
+                        CellProvenance::ImpliedRow { .. }
+                    )
+            })
             .collect()
     }
 
@@ -96,9 +143,43 @@ impl IndependenceMatrix {
     }
 
     /// Number of cells that must be rechecked (every non-independent cell,
-    /// exhausted ones included).
+    /// exhausted ones included, implied rows excluded — see
+    /// [`IndependenceMatrix::fds_to_recheck`]).
     pub fn recheck_count(&self) -> usize {
-        self.cells.len() - self.independent_count()
+        self.cells
+            .iter()
+            .filter(|c| {
+                !c.verdict.is_independent()
+                    && !matches!(c.provenance, CellProvenance::ImpliedRow { .. })
+            })
+            .count()
+    }
+
+    /// Number of cells the emptiness engine actually ran for (neither
+    /// implied away nor reused from another row).
+    pub fn computed_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.provenance == CellProvenance::Computed)
+            .count()
+    }
+
+    /// Number of cells whose verdict was reused through containment.
+    pub fn reused_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.provenance, CellProvenance::ReusedFrom { .. }))
+            .count()
+    }
+
+    /// Number of rows dropped as implied by [`crate::FdSet::minimize`].
+    pub fn implied_row_count(&self) -> usize {
+        (0..self.fd_names.len())
+            .filter(|&fd| {
+                !self.class_names.is_empty()
+                    && matches!(self.cell(fd, 0).provenance, CellProvenance::ImpliedRow { .. })
+            })
+            .count()
     }
 }
 
@@ -120,14 +201,18 @@ impl fmt::Display for IndependenceMatrix {
             write!(f, "{name:<w$}  ", w = w)?;
             for j in 0..self.class_names.len() {
                 let cell = self.cell(i, j);
-                let mark = if cell.verdict.is_independent() {
-                    "indep"
-                } else if cell.verdict.exhausted().is_some() {
-                    // Cut short by budget/cancellation: still a recheck, but
-                    // a bigger budget might prove independence.
-                    "RECHECK?"
-                } else {
-                    "RECHECK"
+                let mark = match &cell.provenance {
+                    CellProvenance::ImpliedRow { .. } => "implied",
+                    // A trailing `*` marks verdicts reused via containment.
+                    CellProvenance::ReusedFrom { .. } if cell.verdict.is_independent() => "indep*",
+                    CellProvenance::ReusedFrom { .. } => "RECHECK*",
+                    CellProvenance::Computed if cell.verdict.is_independent() => "indep",
+                    CellProvenance::Computed if cell.verdict.exhausted().is_some() => {
+                        // Cut short by budget/cancellation: still a recheck,
+                        // but a bigger budget might prove independence.
+                        "RECHECK?"
+                    }
+                    _ => "RECHECK",
                 };
                 write!(f, "{mark:>12}")?;
             }
@@ -211,8 +296,185 @@ pub(crate) fn analyze_matrix_governed(
                 automaton_size: a.total_states,
                 explored_states: a.explored_states,
                 metrics: a.metrics,
+                provenance: CellProvenance::Computed,
             })
             .collect(),
+    }
+}
+
+/// Subsumption-aware variant of [`analyze_matrix_governed`]: rows dropped
+/// by the `minimization` are materialized as [`CellProvenance::ImpliedRow`]
+/// cells without running the engine; kept rows run column-parallel in
+/// descending containment-degree order, and within each column a verdict
+/// flows along [`paths_subsume`] in the sound direction only —
+/// `Independent` from container to contained, a *completed* dependent
+/// verdict (`exhausted: None`, witness and all) from contained to
+/// container. Budget-exhausted `Unknown`s never propagate. `pa_kept` is
+/// parallel to `minimization.kept`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn analyze_matrix_pruned_governed(
+    fds: &[(&str, &Fd)],
+    classes: &[(&str, &UpdateClass)],
+    schema_auto: Option<&HedgeAutomaton>,
+    minimization: &Minimization,
+    pa_kept: &[Arc<PatternAutomaton>],
+    pa_us: &[Arc<PatternAutomaton>],
+    limits: &RunLimits,
+    cancel: Option<&CancelToken>,
+    trace: &TraceHandle,
+    compile_nanos: u64,
+) -> IndependenceMatrix {
+    let kept = &minimization.kept;
+    debug_assert_eq!(kept.len(), pa_kept.len());
+    let ncols = classes.len();
+    let partition = GuardPartition::from_automata(
+        pa_kept
+            .iter()
+            .chain(pa_us.iter())
+            .map(|pa| &pa.automaton)
+            .chain(schema_auto),
+    );
+    let deadline_at = Budget::new(limits).deadline_at();
+
+    // Path skeletons of the kept rows, for containment tests.
+    let paths: Vec<Option<FdPaths>> = kept.iter().map(|&i| fd_paths(fds[i].1)).collect();
+    let contains = |r: usize, q: usize| match (&paths[r], &paths[q]) {
+        (Some(pr), Some(pq)) => paths_subsume(pr, pq),
+        _ => false,
+    };
+    // Rows that contain many others run first: their `Independent`
+    // verdicts then cover the contained rows. (The dependent direction
+    // flows the other way and benefits from the reverse order; with one
+    // order to pick, independence — the common verdict in a well-designed
+    // FD set — wins.)
+    let mut order: Vec<usize> = (0..kept.len()).collect();
+    let degree: Vec<usize> = (0..kept.len())
+        .map(|r| (0..kept.len()).filter(|&q| q != r && contains(r, q)).count())
+        .collect();
+    order.sort_by_key(|&r| std::cmp::Reverse(degree[r]));
+
+    // Engine-computed verdicts so far, per column, for rows with a path
+    // skeleton (only those can subsume or be subsumed).
+    let mut computed: Vec<Vec<(usize, Verdict)>> = vec![Vec::new(); ncols];
+    let mut row_cells: Vec<Option<Vec<MatrixCell>>> = vec![None; kept.len()];
+    let cols: Vec<usize> = (0..ncols).collect();
+    for &r in &order {
+        let fd_idx = kept[r];
+        let alphabet = fds[fd_idx].1.template().alphabet().clone();
+        let cells: Vec<MatrixCell> = parallel_map(&cols, |&j| {
+            // Try to reuse a verdict from an already-computed row of this
+            // column before paying for an engine run.
+            if paths[r].is_some() {
+                for (q, v) in &computed[j] {
+                    let reuse = match v {
+                        Verdict::Independent if contains(*q, r) => Some(Verdict::Independent),
+                        Verdict::Unknown {
+                            exhausted: None, ..
+                        } if contains(r, *q) => Some(v.clone()),
+                        _ => None,
+                    };
+                    if let Some(verdict) = reuse {
+                        let mut b = Budget::new(limits).with_trace(trace.clone());
+                        b.on_verdict_reused();
+                        return MatrixCell {
+                            fd: fd_idx,
+                            class: j,
+                            verdict,
+                            automaton_size: 0,
+                            explored_states: 0,
+                            metrics: b.into_metrics(),
+                            provenance: CellProvenance::ReusedFrom { fd: kept[*q] },
+                        };
+                    }
+                }
+            }
+            let _span = if trace.is_enabled() {
+                Some(trace.span(
+                    SpanKind::MatrixCell,
+                    &format!("{} × {}", fds[fd_idx].0, classes[j].0),
+                ))
+            } else {
+                None
+            };
+            let mut budget = Budget::new(limits)
+                .with_deadline_at(deadline_at)
+                .with_trace(trace.clone());
+            if let Some(c) = cancel {
+                budget = budget.with_cancel(c.clone());
+            }
+            let a = check_independence_governed(
+                &alphabet,
+                &pa_kept[r],
+                &pa_us[j],
+                classes[j].1,
+                schema_auto,
+                Some(&partition),
+                budget,
+                0,
+            );
+            MatrixCell {
+                fd: fd_idx,
+                class: j,
+                verdict: a.verdict,
+                automaton_size: a.total_states,
+                explored_states: a.explored_states,
+                metrics: a.metrics,
+                provenance: CellProvenance::Computed,
+            }
+        });
+        if paths[r].is_some() {
+            for cell in &cells {
+                if cell.provenance == CellProvenance::Computed {
+                    computed[cell.class].push((r, cell.verdict.clone()));
+                }
+            }
+        }
+        row_cells[r] = Some(cells);
+    }
+
+    // Assemble the full matrix: kept rows in place, implied rows as
+    // engine-free cells carrying their provenance.
+    let by_of: std::collections::HashMap<usize, &[usize]> = minimization
+        .dropped
+        .iter()
+        .map(|d| (d.index, d.by.as_slice()))
+        .collect();
+    let mut kept_slot: Vec<Option<Vec<MatrixCell>>> = vec![None; fds.len()];
+    for (slot, &i) in kept.iter().enumerate() {
+        kept_slot[i] = row_cells[slot].take();
+    }
+    let mut cells = Vec::with_capacity(fds.len() * ncols);
+    for (i, slot) in kept_slot.into_iter().enumerate() {
+        match slot {
+            Some(row) => cells.extend(row),
+            None => {
+                let by: Vec<usize> = by_of.get(&i).map(|b| b.to_vec()).unwrap_or_default();
+                for j in 0..ncols {
+                    cells.push(MatrixCell {
+                        fd: i,
+                        class: j,
+                        // Placeholder, not a criterion verdict: see
+                        // `CellProvenance::ImpliedRow`.
+                        verdict: Verdict::Unknown {
+                            witness: None,
+                            exhausted: None,
+                        },
+                        automaton_size: 0,
+                        explored_states: 0,
+                        metrics: RunMetrics::default(),
+                        provenance: CellProvenance::ImpliedRow { by: by.clone() },
+                    });
+                }
+            }
+        }
+    }
+    if let Some(first) = cells.first_mut() {
+        first.metrics.compile_nanos += compile_nanos;
+    }
+    IndependenceMatrix {
+        fd_names: fds.iter().map(|(n, _)| n.to_string()).collect(),
+        class_names: classes.iter().map(|(n, _)| n.to_string()).collect(),
+        cells,
     }
 }
 
@@ -366,6 +628,134 @@ mod tests {
         assert!(rendered.ends_with('\n'));
         // No rows and no columns also means nothing to recheck.
         assert!(m.fds_to_recheck(0).is_empty());
+    }
+
+    #[test]
+    fn pruned_matrix_reuses_independent_verdicts_downward() {
+        use crate::analyzer::Analyzer;
+        use crate::pathfd::PathFd;
+        let a = Alphabet::new();
+        // `wide` marks the whole subtree at c/e; `narrow` a sub-region of
+        // it. An update class away from both: `wide` computes Independent,
+        // `narrow` reuses it.
+        let wide = PathFd::parse(&a, "/s : c/e/d -> c/e")
+            .unwrap()
+            .to_fd(&a)
+            .unwrap();
+        let narrow = PathFd::parse(&a, "/s : c/e/d -> c/e/r")
+            .unwrap()
+            .to_fd(&a)
+            .unwrap();
+        let other = update_class_from_edges(&a, &["s/x/y"]).unwrap();
+        let an = Analyzer::builder().build();
+        let m = an.matrix_pruned(&[("wide", &wide), ("narrow", &narrow)], &[("other", &other)]);
+        assert!(m.independent(0, 0));
+        assert!(m.independent(1, 0));
+        assert_eq!(m.cell(0, 0).provenance, CellProvenance::Computed);
+        assert_eq!(
+            m.cell(1, 0).provenance,
+            CellProvenance::ReusedFrom { fd: 0 }
+        );
+        assert_eq!(m.reused_count(), 1);
+        assert_eq!(m.computed_count(), 1);
+        assert_eq!(m.cell(1, 0).metrics.verdicts_reused, 1);
+        // Display marks the reused verdict.
+        assert!(m.to_string().contains("indep*"), "{m}");
+    }
+
+    #[test]
+    fn pruned_matrix_agrees_with_unpruned_on_computed_cells() {
+        use crate::analyzer::Analyzer;
+        let (fds, classes) = setup();
+        let named_fds = [("price", &fds[0]), ("name", &fds[1])];
+        let named_classes = [("restock", &classes[0]), ("reprice", &classes[1])];
+        let an = Analyzer::builder().build();
+        let plain = an.matrix(&named_fds, &named_classes);
+        let pruned = an.matrix_pruned(&named_fds, &named_classes);
+        assert_eq!(plain.cells.len(), pruned.cells.len());
+        for (p, q) in plain.cells.iter().zip(&pruned.cells) {
+            assert_eq!((p.fd, p.class), (q.fd, q.class));
+            if q.provenance == CellProvenance::Computed {
+                assert_eq!(
+                    p.verdict.is_independent(),
+                    q.verdict.is_independent(),
+                    "cell ({}, {})",
+                    p.fd,
+                    p.class
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn implied_rows_are_not_reported_for_recheck() {
+        use crate::analyzer::Analyzer;
+        use crate::pathfd::PathFd;
+        let a = Alphabet::new();
+        // fd 1 is fd 0 weakened with an extra condition: implied, dropped.
+        // A reprice update hits both FDs' region; only the implier (which
+        // is what actually gets re-verified) may be reported.
+        let strong = PathFd::parse(&a, "/catalog : item/sku -> item/price")
+            .unwrap()
+            .to_fd(&a)
+            .unwrap();
+        let weak = PathFd::parse(&a, "/catalog : item/sku, item/name -> item/price")
+            .unwrap()
+            .to_fd(&a)
+            .unwrap();
+        let reprice = update_class_from_edges(&a, &["catalog/item/price"]).unwrap();
+        let restock = update_class_from_edges(&a, &["catalog/item/stock"]).unwrap();
+        let an = Analyzer::builder().build();
+        let m = an.matrix_pruned(
+            &[("strong", &strong), ("weak", &weak)],
+            &[("reprice", &reprice), ("restock", &restock)],
+        );
+        assert_eq!(m.implied_row_count(), 1);
+        // Regression: the dropped row must never show up as a recheck —
+        // its implier was rechecked, which re-establishes it.
+        assert_eq!(m.fds_to_recheck(0), vec![0]);
+        assert!(m.fds_to_recheck(1).is_empty());
+        assert_eq!(m.recheck_count(), 1);
+        // …but it is not claimed independent either.
+        assert!(!m.independent(1, 0));
+        assert!(!m.independent(1, 1));
+        assert_eq!(
+            m.cell(1, 0).provenance,
+            CellProvenance::ImpliedRow { by: vec![0] }
+        );
+        // Display renders the dropped row distinctly.
+        assert!(m.to_string().contains("implied"), "{m}");
+    }
+
+    #[test]
+    fn exhausted_verdicts_never_propagate() {
+        use crate::analyzer::Analyzer;
+        use crate::pathfd::PathFd;
+        use regtree_runtime::RunLimits;
+        let a = Alphabet::new();
+        let wide = PathFd::parse(&a, "/s : c/e/d -> c/e")
+            .unwrap()
+            .to_fd(&a)
+            .unwrap();
+        let narrow = PathFd::parse(&a, "/s : c/e/d -> c/e/r")
+            .unwrap()
+            .to_fd(&a)
+            .unwrap();
+        let other = update_class_from_edges(&a, &["s/x/y"]).unwrap();
+        // A one-state cap exhausts every engine run: no verdict may be
+        // reused from a cut-short row.
+        let an = Analyzer::builder()
+            .limits(RunLimits::default().with_max_states(1))
+            .build();
+        let m = an.matrix_pruned(&[("wide", &wide), ("narrow", &narrow)], &[("other", &other)]);
+        for cell in &m.cells {
+            assert_ne!(
+                std::mem::discriminant(&cell.provenance),
+                std::mem::discriminant(&CellProvenance::ReusedFrom { fd: 0 }),
+                "exhausted verdict was reused: {cell:?}"
+            );
+        }
+        assert_eq!(m.exhausted_count(), 2);
     }
 
     #[test]

@@ -22,8 +22,9 @@ use std::fmt;
 
 use regtree_alphabet::{Alphabet, Symbol};
 use regtree_automata::Regex;
-use regtree_pattern::{RegularTreePattern, Template, TemplateNodeId};
+use regtree_pattern::{RegularTreePattern, Template, TemplateError, TemplateNodeId};
 
+use crate::error::Error;
 use crate::fd::{EqualityType, Fd};
 
 /// A path-formalism FD `(C, (P1[E1], …, Pn[En] → Q[E]))`.
@@ -67,11 +68,17 @@ fn parse_path(alphabet: &Alphabet, src: &str) -> Result<(Vec<Symbol>, EqualityTy
     } else {
         (src, EqualityType::Value)
     };
+    let path_src = path_src.trim();
+    if path_src.is_empty() {
+        return Err(err("empty path"));
+    }
     let mut out = Vec::new();
     for seg in path_src.split('/') {
         let seg = seg.trim();
         if seg.is_empty() {
-            continue;
+            return Err(err(format!(
+                "empty segment in path '{path_src}' (a leading, trailing, or doubled '/')"
+            )));
         }
         if !seg
             .chars()
@@ -81,14 +88,19 @@ fn parse_path(alphabet: &Alphabet, src: &str) -> Result<(Vec<Symbol>, EqualityTy
         }
         out.push(alphabet.intern(seg));
     }
-    if out.is_empty() {
-        return Err(err("empty path"));
-    }
     Ok((out, eq))
 }
 
 impl PathFd {
     /// Parses the one-line concrete syntax (see module docs).
+    ///
+    /// Errors surface as the unified [`enum@Error`] (variant
+    /// [`Error::PathFd`]). Empty path segments (`a//b`, a trailing `/`) and
+    /// empty comma-separated condition slots (`a,,b`, a trailing `,`) are
+    /// rejected with a precise diagnostic. A *completely* empty condition
+    /// list (`/c : -> t`) is accepted by design: \[8\] allows constant
+    /// dependencies ("the target is the same in every trace under the
+    /// context"), and the translation handles the degenerate trie.
     ///
     /// # Examples
     ///
@@ -102,28 +114,38 @@ impl PathFd {
     /// assert!(fd.to_fd(&a).is_ok());
     ///
     /// assert!(PathFd::parse(&a, "no arrow here").is_err());
+    /// assert!(PathFd::parse(&a, "/c : a,,b -> t").is_err()); // empty condition
+    /// assert!(PathFd::parse(&a, "/c : a//b -> t").is_err()); // empty segment
+    /// assert!(PathFd::parse(&a, "/c : -> t").is_ok()); // constant dependency
     /// ```
-    pub fn parse(alphabet: &Alphabet, src: &str) -> Result<PathFd, PathFdError> {
+    pub fn parse(alphabet: &Alphabet, src: &str) -> Result<PathFd, Error> {
         let (ctx_src, rest) = src
             .split_once(':')
             .ok_or_else(|| err("expected 'context : conditions -> target'"))?;
         let ctx_src = ctx_src.trim();
-        if !ctx_src.starts_with('/') {
-            return Err(err("context path must be absolute (start with '/')"));
-        }
-        let (context, ctx_eq) = parse_path(alphabet, ctx_src)?;
+        let Some(ctx_body) = ctx_src.strip_prefix('/') else {
+            return Err(err("context path must be absolute (start with '/')").into());
+        };
+        let (context, ctx_eq) = parse_path(alphabet, ctx_body)?;
         if ctx_eq != EqualityType::Value {
-            return Err(err("the context path takes no equality annotation"));
+            return Err(err("the context path takes no equality annotation").into());
         }
         let (conds_src, target_src) = rest
             .split_once("->")
             .ok_or_else(|| err("expected '->' before the target path"))?;
         let mut conditions = Vec::new();
-        for c in conds_src.split(',') {
-            if c.trim().is_empty() {
-                continue;
+        // A wholly empty condition list is the documented constant-FD case;
+        // an empty slot *between* commas is a syntax error.
+        if !conds_src.trim().is_empty() {
+            for c in conds_src.split(',') {
+                if c.trim().is_empty() {
+                    return Err(err(
+                        "empty condition (a leading, trailing, or doubled ',')",
+                    )
+                    .into());
+                }
+                conditions.push(parse_path(alphabet, c)?);
             }
-            conditions.push(parse_path(alphabet, c)?);
         }
         let target = parse_path(alphabet, target_src)?;
         Ok(PathFd {
@@ -135,14 +157,14 @@ impl PathFd {
 
     /// The paper's construction: translate into a regular tree pattern by
     /// factorizing longest common prefixes into a trie below the context
-    /// node, then wrap as an [`Fd`].
-    pub fn to_fd(&self, alphabet: &Alphabet) -> Result<Fd, PathFdError> {
+    /// node, then wrap as an [`Fd`]. Errors surface as the unified
+    /// [`enum@Error`], preserving the underlying template/pattern/FD error
+    /// as the variant payload.
+    pub fn to_fd(&self, alphabet: &Alphabet) -> Result<Fd, Error> {
         let mut template = Template::new(alphabet.clone());
         // Context chain: single edge labeled by the word w_C.
         let context_regex = Regex::seq(self.context.iter().map(|&s| Regex::Atom(s)));
-        let context = template
-            .add_child(template.root(), context_regex)
-            .map_err(|e| err(e.to_string()))?;
+        let context = template.add_child(template.root(), context_regex)?;
 
         // Trie below the context. Each trie node = template node; edges are
         // single labels (maximal sharing of common prefixes).
@@ -176,7 +198,7 @@ impl PathFd {
         sorted.sort_unstable();
         sorted.dedup();
         if sorted.len() != ends.len() {
-            return Err(err("duplicate condition/target paths"));
+            return Err(err("duplicate condition/target paths").into());
         }
 
         // Materialize the trie into the template, compressing unary chains
@@ -191,7 +213,7 @@ impl PathFd {
             node_of: &mut [Option<TemplateNodeId>],
             from_trie: usize,
             from_tpl: TemplateNodeId,
-        ) -> Result<(), PathFdError> {
+        ) -> Result<(), TemplateError> {
             for &(label, child) in &trie[from_trie].children {
                 // Compress a chain of unselected, unary nodes.
                 let mut word = vec![label];
@@ -202,9 +224,7 @@ impl PathFd {
                     cur = nxt;
                 }
                 let regex = Regex::seq(word.into_iter().map(Regex::Atom));
-                let tpl = template
-                    .add_child(from_tpl, regex)
-                    .map_err(|e| err(e.to_string()))?;
+                let tpl = template.add_child(from_tpl, regex)?;
                 node_of[cur] = Some(tpl);
                 materialize(trie, ends, template, node_of, cur, tpl)?;
             }
@@ -221,9 +241,8 @@ impl PathFd {
         selected.push(node_of[*ends.last().expect("target")].expect("materialized"));
         equality.push(self.target.1);
 
-        let pattern =
-            RegularTreePattern::new(template, selected).map_err(|e| err(e.to_string()))?;
-        Fd::new(pattern, context, equality).map_err(|e| err(e.to_string()))
+        let pattern = RegularTreePattern::new(template, selected)?;
+        Ok(Fd::new(pattern, context, equality)?)
     }
 }
 
@@ -268,7 +287,7 @@ impl fmt::Display for Inexpressibility {
 
 /// Extracts the label word of a regex when it is a simple concatenation of
 /// atoms.
-fn as_word(r: &Regex) -> Option<Vec<Symbol>> {
+pub(crate) fn as_word(r: &Regex) -> Option<Vec<Symbol>> {
     match r {
         Regex::Atom(s) => Some(vec![*s]),
         Regex::Concat(parts) => {
@@ -478,10 +497,58 @@ mod tests {
         assert!(PathFd::parse(&a, "no colon here").is_err());
         assert!(PathFd::parse(&a, "relative : a -> b").is_err());
         assert!(PathFd::parse(&a, "/c : a, b").is_err());
-        assert!(PathFd::parse(&a, "/c : -> x").is_ok()); // zero conditions OK
         assert!(PathFd::parse(&a, "/c : a* -> b").is_err()); // not simple
         let dup = PathFd::parse(&a, "/c : a, a -> b").unwrap();
         assert!(dup.to_fd(&a).is_err()); // duplicate paths
+    }
+
+    #[test]
+    fn empty_condition_slots_are_rejected() {
+        let a = Alphabet::new();
+        // `a,,b` must not silently parse as two conditions.
+        let e = PathFd::parse(&a, "/r : a,,b -> t").unwrap_err();
+        assert!(e.to_string().contains("empty condition"), "{e}");
+        assert!(PathFd::parse(&a, "/r : ,a -> t").is_err()); // leading comma
+        assert!(PathFd::parse(&a, "/r : a, -> t").is_err()); // trailing comma
+    }
+
+    #[test]
+    fn empty_path_segments_are_rejected() {
+        let a = Alphabet::new();
+        let e = PathFd::parse(&a, "/r : a//b -> t").unwrap_err();
+        assert!(e.to_string().contains("empty segment"), "{e}");
+        assert!(PathFd::parse(&a, "/r : a/ -> t").is_err()); // trailing slash
+        assert!(PathFd::parse(&a, "/r : /a -> t").is_err()); // leading slash
+        assert!(PathFd::parse(&a, "/r/ : a -> t").is_err()); // in the context
+        assert!(PathFd::parse(&a, "/ : a -> t").is_err()); // empty context
+    }
+
+    #[test]
+    fn zero_conditions_is_an_explicit_choice() {
+        let a = Alphabet::new();
+        // A wholly empty condition list is the documented constant-FD case:
+        // the target must be the same in every trace under the context.
+        let p = PathFd::parse(&a, "/c : -> x").unwrap();
+        assert!(p.conditions.is_empty());
+        let fd = p.to_fd(&a).unwrap();
+        assert!(fd.conditions().is_empty());
+        let same = parse_document(&a, "<c><x>1</x><x>1</x></c>").unwrap();
+        assert!(satisfies(&fd, &same));
+        let differ = parse_document(&a, "<c><x>1</x><x>2</x></c>").unwrap();
+        assert!(!satisfies(&fd, &differ));
+    }
+
+    #[test]
+    fn errors_are_the_unified_type() {
+        let a = Alphabet::new();
+        // Parse and translation errors both surface as `Error`, with the
+        // precise subsystem error reachable via `source()`.
+        use std::error::Error as _;
+        let e = PathFd::parse(&a, "no colon here").unwrap_err();
+        assert!(matches!(e, crate::Error::PathFd(_)));
+        assert!(e.source().is_some());
+        let dup = PathFd::parse(&a, "/c : a, a -> b").unwrap();
+        assert!(matches!(dup.to_fd(&a), Err(crate::Error::PathFd(_))));
     }
 
     use regtree_pattern::RegularTreePattern;

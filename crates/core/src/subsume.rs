@@ -1,0 +1,251 @@
+//! Structural subsumption (containment) between trie-factorized FDs.
+//!
+//! For FDs built by the \[8\] trie construction ([`crate::PathFd::to_fd`],
+//! the factorizing [`crate::FdBuilder`]), the pattern is fully described by
+//! its *selected paths*: the context word plus, for each condition/target,
+//! the label word from the context down to the selected node. Containment
+//! of the patterns' document regions then reduces to prefix tests on those
+//! words — no automaton product needed ("Containment for Conditional Tree
+//! Patterns" restricted to linear, child-axis patterns).
+//!
+//! [`subsumes`] decides the one-directional relation the matrix pruning of
+//! [`crate::Analyzer::matrix_pruned`] relies on: when `subsumes(f, g)`
+//! holds, every region `g` marks in a document is contained in a region `f`
+//! marks, so
+//!
+//! * `f` **independent** of an update class ⟹ `g` independent of it, and
+//! * `g` **dependent** (the criterion found a witness) ⟹ `f` dependent,
+//!   with the same witness.
+//!
+//! Equality types play no role: the independence criterion's product is
+//! purely structural (it never reads `=V`/`=N`), so neither does region
+//! containment.
+
+use regtree_alphabet::Symbol;
+
+use crate::fd::{EqualityType, Fd};
+use crate::pathfd::expressible_in_path_formalism;
+
+/// The path skeleton of a trie-factorized FD: the context word and each
+/// selected node's word relative to the context (conditions first, target
+/// last), with equality types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct FdPaths {
+    /// Label word from the template root to the context node.
+    pub context: Vec<Symbol>,
+    /// One `(relative word, equality type)` per selected node, in selected
+    /// order (conditions, then the target).
+    pub selected: Vec<(Vec<Symbol>, EqualityType)>,
+}
+
+impl FdPaths {
+    /// The target entry (the last selected path).
+    pub fn target(&self) -> &(Vec<Symbol>, EqualityType) {
+        self.selected.last().expect("an FD has a target")
+    }
+
+    /// Condition entries (all selected paths but the last).
+    pub fn conditions(&self) -> &[(Vec<Symbol>, EqualityType)] {
+        &self.selected[..self.selected.len() - 1]
+    }
+}
+
+/// Extracts the path skeleton of `fd`, or `None` when `fd` does not have
+/// the trie-factorized shape (regex edges, unselected leaves, sibling
+/// common prefixes, off-spine context, or a selected context node).
+pub(crate) fn fd_paths(fd: &Fd) -> Option<FdPaths> {
+    expressible_in_path_formalism(fd).ok()?;
+    let t = fd.template();
+    let word_of = |n| crate::pathfd::as_word(t.edge_regex(n)?);
+    let context = word_of(fd.context())?;
+    let mut selected = Vec::with_capacity(fd.pattern().selected().len());
+    for (&s, &eq) in fd.pattern().selected().iter().zip(fd.equality()) {
+        // Climb from the selected node to the context, collecting edge words.
+        let mut rel: Vec<Vec<Symbol>> = Vec::new();
+        let mut cur = s;
+        while cur != fd.context() {
+            rel.push(word_of(cur)?);
+            cur = t.parent(cur)?;
+        }
+        if rel.is_empty() {
+            // The context itself is selected: not a shape the trie
+            // construction produces (paths in [8] are nonempty).
+            return None;
+        }
+        let mut path = Vec::new();
+        for w in rel.iter().rev() {
+            path.extend_from_slice(w);
+        }
+        selected.push((path, eq));
+    }
+    Some(FdPaths { context, selected })
+}
+
+/// Is `p` a prefix of (or equal to) `q`?
+fn is_prefix(p: &[Symbol], q: &[Symbol]) -> bool {
+    p.len() <= q.len() && p == &q[..p.len()]
+}
+
+/// Containment on path skeletons: see [`subsumes`]. Paths are compared as
+/// *full* words (context concatenated with the relative path), so the two
+/// FDs must share the same context word.
+pub(crate) fn paths_subsume(container: &FdPaths, contained: &FdPaths) -> bool {
+    if container.context != contained.context {
+        return false;
+    }
+    let f: Vec<&[Symbol]> = container.selected.iter().map(|(p, _)| p.as_slice()).collect();
+    let g: Vec<&[Symbol]> = contained.selected.iter().map(|(p, _)| p.as_slice()).collect();
+    // (1) Every selected path of the container is a prefix of some selected
+    // path of the contained FD: any trace of the contained pattern restricts
+    // (through the unique ancestors) to a trace of the container.
+    f.iter().all(|p| g.iter().any(|q| is_prefix(p, q)))
+        // (2) Every selected path of the contained FD extends some selected
+        // path of the container: each region subtree the contained FD marks
+        // is rooted below a node the container marks, so the marked region
+        // only shrinks.
+        && g.iter().all(|q| f.iter().any(|p| is_prefix(p, q)))
+}
+
+/// Decides region containment between two trie-factorized FDs: `true` when
+/// every document region `contained` marks lies inside a region `container`
+/// marks (same context word; each container path a prefix of a contained
+/// path, each contained path an extension of a container path).
+///
+/// `false` is always safe — it only means no verdict is reused. FDs outside
+/// the path formalism (regex edges, structural leaves) never subsume.
+///
+/// # Examples
+///
+/// ```
+/// use regtree_core::{subsumes, PathFd};
+/// use regtree_alphabet::Alphabet;
+///
+/// let a = Alphabet::new();
+/// let wide = PathFd::parse(&a, "/r : a/b/c -> a/b").unwrap().to_fd(&a).unwrap();
+/// let narrow = PathFd::parse(&a, "/r : a/b/c -> a/b/d").unwrap().to_fd(&a).unwrap();
+/// // `wide` marks the whole subtree at a/b, which covers a/b/d.
+/// assert!(subsumes(&wide, &narrow));
+/// assert!(!subsumes(&narrow, &wide));
+/// ```
+pub fn subsumes(container: &Fd, contained: &Fd) -> bool {
+    match (fd_paths(container), fd_paths(contained)) {
+        (Some(f), Some(g)) => paths_subsume(&f, &g),
+        _ => false,
+    }
+}
+
+/// Exact structural equality of two FDs: same template sketch, selected
+/// tuple, context, and equality vector. The pattern-level fallback of the
+/// implication closure — it needs no path skeleton, so it also catches
+/// duplicated FDs outside the path formalism.
+pub(crate) fn structurally_equal(a: &Fd, b: &Fd) -> bool {
+    a.context() == b.context()
+        && a.equality() == b.equality()
+        && a.pattern().selected() == b.pattern().selected()
+        && a.template().sketch() == b.template().sketch()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::FdBuilder;
+    use crate::pathfd::PathFd;
+    use regtree_alphabet::Alphabet;
+    use regtree_pattern::{RegularTreePattern, Template};
+
+    fn fd(a: &Alphabet, src: &str) -> Fd {
+        PathFd::parse(a, src).unwrap().to_fd(a).unwrap()
+    }
+
+    #[test]
+    fn extracts_paths_of_factorized_fds() {
+        let a = Alphabet::new();
+        let f = fd(&a, "/s : c/e/d, c/e/m -> c/e/r");
+        let p = fd_paths(&f).unwrap();
+        assert_eq!(p.context, vec![a.intern("s")]);
+        assert_eq!(p.selected.len(), 3);
+        assert_eq!(
+            p.target().0,
+            vec![a.intern("c"), a.intern("e"), a.intern("r")]
+        );
+        assert_eq!(p.conditions().len(), 2);
+    }
+
+    #[test]
+    fn non_path_fds_have_no_skeleton() {
+        let a = Alphabet::new();
+        let mut t = Template::new(a.clone());
+        let c = t.add_child_str(t.root(), "s").unwrap();
+        let x = t.add_child_str(c, "(a|b)").unwrap();
+        let y = t.add_child_str(c, "r").unwrap();
+        let pat = RegularTreePattern::new(t, vec![x, y]).unwrap();
+        let f = Fd::with_default_equality(pat, c).unwrap();
+        assert!(fd_paths(&f).is_none());
+        assert!(!subsumes(&f, &f));
+    }
+
+    #[test]
+    fn identical_fds_subsume_both_ways() {
+        let a = Alphabet::new();
+        let f = fd(&a, "/s : c/d -> c/r");
+        let g = fd(&a, "/s : c/d -> c/r");
+        assert!(subsumes(&f, &g));
+        assert!(subsumes(&g, &f));
+        assert!(structurally_equal(&f, &g));
+    }
+
+    #[test]
+    fn shorter_target_subsumes_extension() {
+        let a = Alphabet::new();
+        let wide = fd(&a, "/s : c/e/d -> c/e");
+        let narrow = fd(&a, "/s : c/e/d -> c/e/r");
+        assert!(subsumes(&wide, &narrow));
+        assert!(!subsumes(&narrow, &wide));
+    }
+
+    #[test]
+    fn different_contexts_never_subsume() {
+        let a = Alphabet::new();
+        let f = fd(&a, "/s : c/d -> c/r");
+        let g = fd(&a, "/t : c/d -> c/r");
+        assert!(!subsumes(&f, &g));
+    }
+
+    #[test]
+    fn disjoint_branches_do_not_subsume() {
+        let a = Alphabet::new();
+        let f = fd(&a, "/s : c/d -> c/r");
+        let g = fd(&a, "/s : c/d -> c/x");
+        // c/r is not a prefix of any of g's paths.
+        assert!(!subsumes(&f, &g));
+        assert!(!subsumes(&g, &f));
+    }
+
+    #[test]
+    fn equality_types_are_ignored() {
+        let a = Alphabet::new();
+        let f = fd(&a, "/s : c/e/d -> c/e[N]");
+        let g = fd(&a, "/s : c/e/d[N] -> c/e/r");
+        // Same structure as the wide/narrow pair above, despite N vs V.
+        assert!(subsumes(&f, &g));
+        assert!(!structurally_equal(&f, &g));
+    }
+
+    #[test]
+    fn builder_fds_participate() {
+        let a = Alphabet::new();
+        let wide = FdBuilder::new(a.clone())
+            .context("s")
+            .condition("c/e/d")
+            .target_with("c/e", crate::EqualityType::Node)
+            .build()
+            .unwrap();
+        let narrow = FdBuilder::new(a.clone())
+            .context("s")
+            .condition("c/e/d")
+            .target("c/e/r")
+            .build()
+            .unwrap();
+        assert!(subsumes(&wide, &narrow));
+    }
+}

@@ -199,6 +199,9 @@ pub struct RunMetrics {
     pub memo_entries: u64,
     /// Memoized results reused instead of recomputed.
     pub memo_hits: u64,
+    /// Matrix-cell verdicts reused from a subsuming/subsumed row instead of
+    /// being recomputed by the emptiness engine.
+    pub verdicts_reused: u64,
     /// Wall time of the compile phase (schema/pattern automata), in ns.
     pub compile_nanos: u64,
     /// Wall time of the search/fixpoint phase, in ns.
@@ -215,6 +218,7 @@ impl RunMetrics {
         self.frontier_pushes += other.frontier_pushes;
         self.memo_entries += other.memo_entries;
         self.memo_hits += other.memo_hits;
+        self.verdicts_reused += other.verdicts_reused;
         self.compile_nanos += other.compile_nanos;
         self.search_nanos += other.search_nanos;
     }
@@ -224,7 +228,7 @@ impl fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "states {} · transitions {} · guard∩ {} · dfa steps {} · frontier pushes {} · memo {}+{} hits · compile {:.3}ms · search {:.3}ms",
+            "states {} · transitions {} · guard∩ {} · dfa steps {} · frontier pushes {} · memo {}+{} hits · verdicts reused {} · compile {:.3}ms · search {:.3}ms",
             self.states_interned,
             self.transitions_fired,
             self.guard_intersections,
@@ -232,6 +236,7 @@ impl fmt::Display for RunMetrics {
             self.frontier_pushes,
             self.memo_entries,
             self.memo_hits,
+            self.verdicts_reused,
             self.compile_nanos as f64 / 1e6,
             self.search_nanos as f64 / 1e6,
         )
@@ -419,6 +424,14 @@ impl Budget {
         self.poll()
     }
 
+    /// Records one matrix-cell verdict reused across subsumed rows instead
+    /// of recomputed (counter only, never errs).
+    #[inline]
+    pub fn on_verdict_reused(&mut self) {
+        self.metrics.verdicts_reused += 1;
+        self.trace.event(EventKind::VerdictReused);
+    }
+
     /// Records one transition firing (counter only, never errs).
     #[inline]
     pub fn on_transition(&mut self) {
@@ -537,12 +550,14 @@ mod tests {
         }
         b.on_memo_hit();
         b.on_memo_hit();
+        b.on_verdict_reused();
         let s = sink.summary();
         let m = b.metrics();
         assert_eq!(s.event_count(EventKind::StateInterned), m.states_interned);
         assert_eq!(s.event_count(EventKind::FrontierPush), m.frontier_pushes);
         assert_eq!(s.event_count(EventKind::MemoMiss), m.memo_entries);
         assert_eq!(s.event_count(EventKind::MemoHit), m.memo_hits);
+        assert_eq!(s.event_count(EventKind::VerdictReused), m.verdicts_reused);
         assert_eq!(
             s.event_count(EventKind::GuardIntersection),
             m.guard_intersections

@@ -133,7 +133,7 @@ impl fmt::Display for SpanKind {
 /// ```
 /// use regtree_runtime::EventKind;
 /// assert_eq!(EventKind::MemoHit.name(), "memo_hit");
-/// assert_eq!(EventKind::ALL.len(), 7);
+/// assert_eq!(EventKind::ALL.len(), 8);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum EventKind {
@@ -165,11 +165,16 @@ pub enum EventKind {
     /// A resource budget ran out; the run is about to stop with
     /// `Unknown { exhausted }`.
     Exhausted,
+    /// A matrix cell's verdict was reused from a subsuming/subsumed row
+    /// instead of being recomputed ([`Budget::on_verdict_reused`]).
+    ///
+    /// [`Budget::on_verdict_reused`]: crate::Budget::on_verdict_reused
+    VerdictReused,
 }
 
 impl EventKind {
     /// Every event kind, in rendering order.
-    pub const ALL: [EventKind; 7] = [
+    pub const ALL: [EventKind; 8] = [
         EventKind::StateInterned,
         EventKind::FrontierPush,
         EventKind::MemoHit,
@@ -177,6 +182,7 @@ impl EventKind {
         EventKind::GuardIntersection,
         EventKind::BudgetPoll,
         EventKind::Exhausted,
+        EventKind::VerdictReused,
     ];
 
     /// Short machine-readable name (used by trace files).
@@ -189,6 +195,7 @@ impl EventKind {
             EventKind::GuardIntersection => "guard_intersection",
             EventKind::BudgetPoll => "budget_poll",
             EventKind::Exhausted => "exhausted",
+            EventKind::VerdictReused => "verdict_reused",
         }
     }
 
@@ -201,6 +208,7 @@ impl EventKind {
             EventKind::GuardIntersection => 4,
             EventKind::BudgetPoll => 5,
             EventKind::Exhausted => 6,
+            EventKind::VerdictReused => 7,
         }
     }
 }

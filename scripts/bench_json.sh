@@ -7,15 +7,21 @@
 # per-phase wall-time breakdowns (from a SummarySink-traced run) for the E9
 # sweep points, so the *work done* — and where the time went — is versioned
 # next to the time it took.
+# Also emits BENCH_fdset.json from the fdset_matrix example: matrix wall
+# time and cells-actually-checked at 50/100/200 FDs, with and without
+# FD-set pruning (plus implied-row / reused-verdict counts and the
+# parity-mismatch count, which must be 0).
 # Commit the refreshed BENCH_ic.json alongside perf-relevant changes so the
 # trajectory stays in-tree.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_ic.json}"
+out_fdset="${2:-BENCH_fdset.json}"
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+raw_fdset=$(mktemp)
+trap 'rm -f "$raw" "$raw_fdset"' EXIT
 
 cargo bench -p regtree-bench --bench ic_scaling | tee "$raw"
 cargo bench -p regtree-bench --bench ic_vs_revalidation | tee -a "$raw"
@@ -56,4 +62,31 @@ with open(out, "w", encoding="utf-8") as fh:
     json.dump(medians, fh, indent=2, sort_keys=True)
     fh.write("\n")
 print(f"wrote {out} ({len(medians)} benchmarks)")
+EOF
+
+cargo run --release -p regtree-bench --example fdset_matrix -- --counters | tee "$raw_fdset"
+
+python3 - "$raw_fdset" "$out_fdset" <<'EOF'
+import json, re, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+counter_re = re.compile(r"^(counters/fdset/\S+) (\d+)$")
+
+rows = {}
+with open(raw, encoding="utf-8") as fh:
+    for line in fh:
+        c = counter_re.match(line.strip())
+        if c:
+            rows[c.group(1)] = int(c.group(2))
+
+if not rows:
+    sys.exit("bench_json.sh: no fdset counter lines parsed")
+bad = [k for k, v in rows.items() if k.endswith("/parity_mismatches") and v]
+if bad:
+    sys.exit(f"bench_json.sh: pruned/unpruned parity violated: {bad}")
+
+with open(out, "w", encoding="utf-8") as fh:
+    json.dump(rows, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+print(f"wrote {out} ({len(rows)} counters)")
 EOF

@@ -60,11 +60,12 @@ pub mod prelude {
     pub use regtree_automata::{parse_regex, Dfa, LangSampler, Nfa, Regex};
     pub use regtree_core::{
         build_reduction, check_fd, expressible_in_path_formalism, revalidate_full,
-        revalidate_full_many, satisfies, Analyzer, AnalyzerBuilder, Budget, CancelToken,
-        ChromeTraceSink, EqualityType, Error, EventKind, Fd, FdBatchReport, FdBuilder, FdOutcome,
-        IncrementalChecker, IndependenceMatrix, NullTracer, PathFd, Resource, RunLimits,
-        RunMetrics, SpanId, SpanKind, SummarySink, TraceFormat, TraceHandle, TraceSummary, Tracer,
-        Update, UpdateClass, UpdateOp, Verdict,
+        revalidate_full_many, satisfies, subsumes, Analyzer, AnalyzerBuilder, Budget, CancelToken,
+        CellProvenance, ChromeTraceSink, DroppedFd, EqualityType, Error, EventKind, Fd,
+        FdBatchReport, FdBuilder, FdOutcome, FdSet, Implication, IncrementalChecker,
+        IndependenceMatrix, Minimization, NullTracer, PathFd, Resource, RunLimits, RunMetrics,
+        SpanId, SpanKind, SummarySink, TraceFormat, TraceHandle, TraceSummary, Tracer, Update,
+        UpdateClass, UpdateOp, Verdict,
     };
     // Deprecated free functions stay in the prelude for downstream source
     // compatibility; new code should go through `Analyzer`.

@@ -156,6 +156,15 @@ impl Alphabet {
         self.inner.read().kinds[sym.index()]
     }
 
+    /// Acquires the interner read lock once for a batch of [`KindReader::kind`]
+    /// lookups; hot loops probing many symbols should prefer this over
+    /// repeated [`Alphabet::kind`] calls, which re-lock per symbol.
+    pub fn kind_reader(&self) -> KindReader<'_> {
+        KindReader {
+            inner: self.inner.read(),
+        }
+    }
+
     /// Number of interned labels (including the two reserved ones).
     pub fn len(&self) -> usize {
         self.inner.read().names.len()
@@ -197,6 +206,23 @@ impl Alphabet {
     /// True if the two handles share the same underlying interner.
     pub fn same_as(&self, other: &Alphabet) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// A held read lock over the interner for batched kind lookups (see
+/// [`Alphabet::kind_reader`]). Interning blocks while this is alive, so keep
+/// the scope tight.
+pub struct KindReader<'a> {
+    inner: std::sync::RwLockReadGuard<'a, Inner>,
+}
+
+impl KindReader<'_> {
+    /// Same as [`Alphabet::kind`], without re-locking per call.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this alphabet.
+    pub fn kind(&self, sym: Symbol) -> LabelKind {
+        self.inner.kinds[sym.index()]
     }
 }
 

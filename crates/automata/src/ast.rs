@@ -352,7 +352,7 @@ mod tests {
         assert!(x.clone().plus().is_proper());
         assert!(!Regex::Empty.is_proper());
         assert!(!Regex::Epsilon.is_proper());
-        let concat = Regex::seq([x.clone().opt(), x.clone().star()]);
+        let concat = Regex::seq([x.clone().opt(), x.star()]);
         assert!(concat.nullable());
     }
 

@@ -652,7 +652,7 @@ mod tests {
         // An extra letter none of the regexes mention: exercises the
         // default ("other") column.
         let foreign = a.intern("foreign").0;
-        let mut letters = syms.clone();
+        let mut letters = syms;
         letters.push(foreign);
         for src in ["(x|y)*/z", "x+/y?", "_/x/_*", "(x/y)+", "_*/z"] {
             let (n, d) = edge(&a, src);

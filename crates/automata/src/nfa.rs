@@ -38,6 +38,28 @@ pub struct Nfa {
 }
 
 impl Nfa {
+    /// Builds an NFA directly from its parts: `trans[s]` lists state `s`'s
+    /// outgoing edges and `accept[s]` flags acceptance. Hot compilation
+    /// paths use this with exact-capacity vectors; prefer [`NfaBuilder`]
+    /// for incremental construction.
+    pub fn from_parts(
+        trans: Vec<Vec<(NfaLabel, StateId)>>,
+        start: StateId,
+        accept: Vec<bool>,
+    ) -> Nfa {
+        debug_assert_eq!(trans.len(), accept.len());
+        debug_assert!((start as usize) < trans.len());
+        debug_assert!(trans
+            .iter()
+            .flatten()
+            .all(|&(_, t)| (t as usize) < trans.len()));
+        Nfa {
+            trans,
+            start,
+            accept,
+        }
+    }
+
     /// Number of states (the `|A|` size measure used throughout the paper).
     pub fn num_states(&self) -> usize {
         self.trans.len()

@@ -26,8 +26,7 @@ fn main() {
         let a = regtree_alphabet::Alphabet::new();
         let fds = fdset_corpus(&a, n);
         let classes = fdset_classes(&a);
-        let fd_refs: Vec<(&str, &Fd)> =
-            fds.iter().map(|(s, f)| (s.as_str(), f)).collect();
+        let fd_refs: Vec<(&str, &Fd)> = fds.iter().map(|(s, f)| (s.as_str(), f)).collect();
         let class_refs: Vec<(&str, &UpdateClass)> =
             classes.iter().map(|(s, c)| (s.as_str(), c)).collect();
 

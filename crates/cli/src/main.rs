@@ -835,12 +835,11 @@ fn cmd_fds_minimize(args: &[&str]) -> Result<String, CliError> {
         out.push_str("],\n  \"dropped\": [");
         for (i, d) in min.dropped.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let by = d
-                .by
-                .iter()
-                .map(|&j| json_escape(set.name(j)))
-                .collect::<Vec<_>>()
-                .join(", ");
+            let by =
+                d.by.iter()
+                    .map(|&j| json_escape(set.name(j)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
             write!(
                 out,
                 "{sep}\n    {{ \"fd\": {}, \"implied_by\": [{by}] }}",
@@ -1042,6 +1041,16 @@ fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
                 matrix.computed_count(),
                 matrix.reused_count(),
                 matrix.implied_row_count()
+            )
+            .expect("write to string");
+        } else if matrix.reused_count() > 0 {
+            // Duplicate FD/class pairs share one engine run via the matrix
+            // interner even without --prune.
+            writeln!(
+                out,
+                "sharing: {} cells computed, {} reused from identical pairs (*)",
+                matrix.computed_count(),
+                matrix.reused_count()
             )
             .expect("write to string");
         }
@@ -1457,7 +1466,10 @@ mod tests {
             "lst",
         );
         let out = run(&["fds", "minimize", "--fds", fds.0.to_str().unwrap()]).unwrap();
-        assert!(out.contains("2 of 3 FDs form the irredundant core"), "{out}");
+        assert!(
+            out.contains("2 of 3 FDs form the irredundant core"),
+            "{out}"
+        );
         assert!(out.contains("keep  base"), "{out}");
         assert!(out.contains("keep  other"), "{out}");
         assert!(out.contains("drop  weaker (implied by base)"), "{out}");
@@ -1489,21 +1501,18 @@ mod tests {
         match err {
             Err(CliError::Exhausted(out)) => {
                 assert!(out.contains("PARTIAL"), "{out}");
-                assert!(out.contains("3 of 3 FDs form the irredundant core"), "{out}");
+                assert!(
+                    out.contains("3 of 3 FDs form the irredundant core"),
+                    "{out}"
+                );
             }
             other => panic!("expected exhaustion, got {other:?}"),
         }
 
         // Usage errors keep exit 2.
-        assert!(matches!(
-            run(&["fds", "minimize"]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run(&["fds", "minimize"]), Err(CliError::Usage(_))));
         assert!(matches!(run(&["fds"]), Err(CliError::Usage(_))));
-        assert!(matches!(
-            run(&["fds", "maximize"]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run(&["fds", "maximize"]), Err(CliError::Usage(_))));
     }
 
     #[test]

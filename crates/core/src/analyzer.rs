@@ -140,7 +140,7 @@ impl AnalyzerBuilder {
     /// Builds the analyzer, compiling the schema automaton if one was set.
     pub fn build(self) -> Analyzer {
         Analyzer {
-            schema_auto: self.schema.as_ref().map(|s| s.compile()),
+            schema_auto: self.schema.as_ref().map(|s| s.compiled()),
             schema: self.schema,
             limits: self.limits,
             cancel: self.cancel,
@@ -154,7 +154,7 @@ impl AnalyzerBuilder {
 /// matrices, and FD satisfaction checking. See the [module docs](self).
 pub struct Analyzer {
     schema: Option<Schema>,
-    schema_auto: Option<HedgeAutomaton>,
+    schema_auto: Option<std::sync::Arc<HedgeAutomaton>>,
     limits: RunLimits,
     cancel: Option<CancelToken>,
     trace: TraceHandle,
@@ -255,7 +255,8 @@ impl Analyzer {
             &pa_fd,
             &pa_u,
             class,
-            self.schema_auto.as_ref(),
+            self.schema_auto.as_deref(),
+            None,
             None,
             self.budget(),
             compile_nanos,
@@ -315,7 +316,7 @@ impl Analyzer {
         analyze_matrix_governed(
             fds,
             classes,
-            self.schema_auto.as_ref(),
+            self.schema_auto.as_deref(),
             &pa_fds,
             &pa_us,
             &self.limits,
@@ -382,7 +383,9 @@ impl Analyzer {
         let minimization = set.minimize(&self.limits);
         let compile = Stopwatch::start();
         let (pa_kept, pa_us) = {
-            let _span = self.trace.span(SpanKind::Compile, "pruned matrix rows/columns");
+            let _span = self
+                .trace
+                .span(SpanKind::Compile, "pruned matrix rows/columns");
             let pa_kept: Vec<_> = minimization
                 .kept
                 .iter()
@@ -398,7 +401,7 @@ impl Analyzer {
         analyze_matrix_pruned_governed(
             fds,
             classes,
-            self.schema_auto.as_ref(),
+            self.schema_auto.as_deref(),
             &minimization,
             &pa_kept,
             &pa_us,
@@ -482,6 +485,53 @@ mod tests {
         // The matrix reuses the same cache entries.
         an.matrix(&[("p", &fd)], &[("s", &class)]);
         assert_eq!(an.cached_patterns(), after_first);
+    }
+
+    #[test]
+    fn matrix_interner_matches_per_cell_results() {
+        use crate::matrix::CellProvenance;
+        let a = Alphabet::new();
+        // Row 2 duplicates row 0: the pattern cache maps both to the same
+        // compiled Arc, so the shared interner runs each of their cells
+        // once and copies the verdict to the twin.
+        let fd0 = fd_price(&a);
+        let fd1 = FdBuilder::new(a.clone())
+            .context("catalog")
+            .condition("item/sku")
+            .target("item/stock")
+            .build()
+            .unwrap();
+        let fd2 = fd_price(&a);
+        let c0 = update_class_from_edges(&a, &["catalog/item/stock"]).unwrap();
+        let c1 = update_class_from_edges(&a, &["catalog/item/price"]).unwrap();
+        let c2 = update_class_from_edges(&a, &["catalog/item/sku"]).unwrap();
+        let an = Analyzer::builder().build();
+        let m = an.matrix(
+            &[("f0", &fd0), ("f1", &fd1), ("f2", &fd2)],
+            &[("c0", &c0), ("c1", &c1), ("c2", &c2)],
+        );
+        assert_eq!(m.computed_count(), 6, "{m}");
+        assert_eq!(m.reused_count(), 3, "{m}");
+        // Whichever twin row wins the interner race computes; the other
+        // reuses. Each column must show exactly that pairing.
+        for j in 0..3 {
+            match (&m.cell(0, j).provenance, &m.cell(2, j).provenance) {
+                (CellProvenance::Computed, CellProvenance::ReusedFrom { fd: 0 })
+                | (CellProvenance::ReusedFrom { fd: 2 }, CellProvenance::Computed) => {}
+                other => panic!("unexpected provenances in column {j}: {other:?}"),
+            }
+        }
+        // Every cell agrees with a fresh per-cell engine run (no sharing).
+        for (i, fd) in [&fd0, &fd1, &fd2].into_iter().enumerate() {
+            for (j, class) in [&c0, &c1, &c2].into_iter().enumerate() {
+                let solo = Analyzer::builder().build().independence(fd, class);
+                assert_eq!(
+                    m.cell(i, j).verdict.is_independent(),
+                    solo.verdict.is_independent(),
+                    "cell ({i}, {j}) disagrees with the per-cell engine"
+                );
+            }
+        }
     }
 
     #[test]

@@ -348,7 +348,7 @@ mod tests {
     #[test]
     fn builder_constructs_fd1_shape() {
         let a = Alphabet::new();
-        let fd = FdBuilder::new(a.clone())
+        let fd = FdBuilder::new(a)
             .context("session")
             .condition("candidate/exam/discipline")
             .condition("candidate/exam/mark")
@@ -364,7 +364,7 @@ mod tests {
     #[test]
     fn node_equality_targets() {
         let a = Alphabet::new();
-        let fd = FdBuilder::new(a.clone())
+        let fd = FdBuilder::new(a)
             .context("session/candidate")
             .condition("exam/date")
             .condition("exam/discipline")
@@ -377,7 +377,7 @@ mod tests {
     #[test]
     fn arity_mismatch_rejected() {
         let a = Alphabet::new();
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let c = t.add_child_str(t.root(), "s").unwrap();
         let p = t.add_child_str(c, "x").unwrap();
         let pat = RegularTreePattern::new(t, vec![p]).unwrap();
@@ -390,7 +390,7 @@ mod tests {
     #[test]
     fn context_must_dominate_selected() {
         let a = Alphabet::new();
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let c = t.add_child_str(t.root(), "s").unwrap();
         let other = t.add_child_str(t.root(), "u").unwrap();
         let p = t.add_child_str(other, "x").unwrap();
@@ -409,7 +409,7 @@ mod tests {
             Err(crate::Error::Fd(FdError::MissingContext))
         ));
         assert!(matches!(
-            FdBuilder::new(a.clone()).context("s").build(),
+            FdBuilder::new(a).context("s").build(),
             Err(crate::Error::Fd(FdError::MissingTarget))
         ));
     }
@@ -417,7 +417,7 @@ mod tests {
     #[test]
     fn describe_renders_roles() {
         let a = Alphabet::new();
-        let fd = FdBuilder::new(a.clone())
+        let fd = FdBuilder::new(a)
             .context("session/candidate")
             .condition("exam/@date")
             .target_with("exam", EqualityType::Node)
@@ -433,11 +433,7 @@ mod tests {
     #[test]
     fn size_is_pattern_size() {
         let a = Alphabet::new();
-        let fd = FdBuilder::new(a.clone())
-            .context("s")
-            .target("x")
-            .build()
-            .unwrap();
+        let fd = FdBuilder::new(a).context("s").target("x").build().unwrap();
         assert_eq!(fd.size(), fd.pattern().size());
     }
 }

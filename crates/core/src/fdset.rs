@@ -472,7 +472,10 @@ mod tests {
             Implication::Implied { by: vec![] }
         );
         // Value agreement does not lift to the parent: not trivial.
-        let goal_v = PathFd::parse(&a, "/r : a/b -> a").unwrap().to_fd(&a).unwrap();
+        let goal_v = PathFd::parse(&a, "/r : a/b -> a")
+            .unwrap()
+            .to_fd(&a)
+            .unwrap();
         assert_eq!(
             s.implies(&goal_v, &RunLimits::UNLIMITED),
             Implication::NotImplied
@@ -571,7 +574,10 @@ mod tests {
         // node, so any two traces under the same r/w node restrict to
         // traces of the premise with equal context and w-images.
         let s = set(&a, &["/r : w/p -> w/q"]);
-        let goal = PathFd::parse(&a, "/r/w : p -> q").unwrap().to_fd(&a).unwrap();
+        let goal = PathFd::parse(&a, "/r/w : p -> q")
+            .unwrap()
+            .to_fd(&a)
+            .unwrap();
         assert_eq!(
             s.implies(&goal, &RunLimits::UNLIMITED),
             Implication::Implied { by: vec![0] }

@@ -171,7 +171,7 @@ pub fn search_impact<R: Rng>(
         }
     }
     let mut pool: Vec<Document> = Vec::with_capacity(POOL_CAP);
-    pool.push(seed.clone());
+    pool.push(seed);
     for round in 0..rounds {
         let mut doc = pool[rng.gen_range(0..pool.len())].clone();
         // Mostly single-edit steps; occasionally a burst for diversity.

@@ -288,7 +288,9 @@ fn horizontal_triple(hf: &Nfa, hu: &Nfa, nf: u32, nu: u32, enc: Enc, mode: BitMo
 
 /// The lazy engine on precompiled inputs under an explicit budget. This is
 /// the single shared entry point of [`crate::analyzer::Analyzer`], the batch
-/// matrix, and the deprecated free functions.
+/// matrix, and the deprecated free functions. `compiled` optionally carries
+/// the arena/CSR forms of the three automata (compiled against `partition`)
+/// so matrix drivers pay the compilation once per automaton, not per cell.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn check_independence_governed(
     alphabet: &regtree_alphabet::Alphabet,
@@ -297,6 +299,7 @@ pub(crate) fn check_independence_governed(
     class: &UpdateClass,
     schema_auto: Option<&HedgeAutomaton>,
     partition: Option<&GuardPartition>,
+    compiled: Option<crate::lazy_ic::CompiledTriple<'_>>,
     mut budget: Budget,
     compile_nanos: u64,
 ) -> IndependenceAnalysis {
@@ -329,6 +332,7 @@ pub(crate) fn check_independence_governed(
         class,
         schema_auto,
         partition,
+        compiled,
         &mut budget,
     );
     drop(span);
@@ -355,14 +359,15 @@ pub(crate) fn check_independence_internal(
     let compile = Stopwatch::start();
     let pa_fd = compile_pattern(fd.pattern(), true);
     let pa_u = compile_pattern(class.pattern(), false);
-    let schema_auto = schema.map(|s| s.compile());
+    let schema_auto = schema.map(|s| s.compiled());
     let compile_nanos = compile.elapsed_nanos();
     check_independence_governed(
         &alphabet,
         &pa_fd,
         &pa_u,
         class,
-        schema_auto.as_ref(),
+        schema_auto.as_deref(),
+        None,
         None,
         Budget::unlimited(),
         compile_nanos,
@@ -399,7 +404,7 @@ pub(crate) fn check_independence_eager_internal(
     let ic = build_ic_automaton(fd, class);
     let ic_states = ic.num_states();
     let full = match schema {
-        Some(s) => intersect(&ic, &s.compile()),
+        Some(s) => intersect(&ic, &s.compiled()),
         None => ic,
     };
     let compile_nanos = compile.elapsed_nanos();

@@ -30,6 +30,7 @@ pub mod fd;
 pub mod fdset;
 pub mod impact;
 pub mod independence;
+mod intern;
 mod lazy_ic;
 pub mod matrix;
 pub mod pathfd;

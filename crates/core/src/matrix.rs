@@ -8,11 +8,18 @@
 //!
 //! The matrix amortizes everything shareable across cells: the schema
 //! automaton is compiled once, each FD row and update-class column is
-//! compiled to its pattern automaton once, and a single
-//! [`GuardPartition`] of label minterms serves every cell's guard
-//! intersections. Cells then run the lazy on-the-fly emptiness engine
-//! (`crate::lazy_ic`) on scoped worker threads
-//! ([`regtree_pattern::parallel_map`]).
+//! compiled to its pattern automaton once and then flattened once into its
+//! arena/CSR form ([`regtree_hedge::CompiledAutomaton`]) against a single
+//! [`GuardPartition`] of label minterms that serves every cell's
+//! word-parallel guard intersections. Cells then run the lazy on-the-fly
+//! emptiness engine (`crate::lazy_ic`) on scoped worker threads
+//! ([`regtree_pattern::parallel_map`]). Workers additionally share realized
+//! cell outcomes through a sharded interner keyed by the `(row, column)`
+//! automaton identities (`crate::intern`): when the FD/class dedup of
+//! [`crate::Analyzer`] maps two cells to the same compiled pair, only the
+//! first runs the engine and the rest reuse its verdict
+//! ([`CellProvenance::ReusedFrom`], counted in
+//! `RunMetrics::verdicts_reused`).
 //!
 //! The *pruned* path ([`crate::Analyzer::matrix_pruned`]) additionally
 //! reasons about the FD **set** before spawning cells: rows implied by the
@@ -27,7 +34,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use regtree_hedge::{GuardPartition, HedgeAutomaton, Schema};
+use regtree_hedge::{CompiledAutomaton, GuardPartition, HedgeAutomaton, Schema};
 use regtree_pattern::{compile_pattern, parallel_map, PatternAutomaton};
 use regtree_runtime::{
     Budget, CancelToken, RunLimits, RunMetrics, SpanKind, Stopwatch, TraceHandle,
@@ -36,6 +43,8 @@ use regtree_runtime::{
 use crate::fd::Fd;
 use crate::fdset::Minimization;
 use crate::independence::{check_independence_governed, Verdict};
+use crate::intern::{CellEntry, CellInterner};
+use crate::lazy_ic::CompiledTriple;
 use crate::subsume::{fd_paths, paths_subsume, FdPaths};
 use crate::update::UpdateClass;
 
@@ -55,10 +64,13 @@ pub enum CellProvenance {
         /// Kept FD indices implying this row.
         by: Vec<usize>,
     },
-    /// The verdict was copied from row `fd` of the same column through
-    /// structural containment, in the sound direction only.
+    /// The verdict was copied from row `fd` of the same column — either
+    /// through structural containment (pruned path, sound direction only),
+    /// or because both cells resolve to the identical compiled
+    /// `(row, column)` automaton pair and the shared interner realized the
+    /// outcome once.
     ReusedFrom {
-        /// The kept FD index whose engine-computed verdict was reused.
+        /// The FD index whose engine-computed verdict was reused.
         fd: usize,
     },
 }
@@ -177,7 +189,10 @@ impl IndependenceMatrix {
         (0..self.fd_names.len())
             .filter(|&fd| {
                 !self.class_names.is_empty()
-                    && matches!(self.cell(fd, 0).provenance, CellProvenance::ImpliedRow { .. })
+                    && matches!(
+                        self.cell(fd, 0).provenance,
+                        CellProvenance::ImpliedRow { .. }
+                    )
             })
             .count()
     }
@@ -246,37 +261,102 @@ pub(crate) fn analyze_matrix_governed(
             .map(|pa| &pa.automaton)
             .chain(schema_auto),
     );
+    // Flatten every row, column, and the schema into their arena/CSR forms
+    // once; cells borrow the compiled triple pieces instead of recompiling.
+    let universal;
+    let schema_sym = match schema_auto {
+        Some(s) => s,
+        None => {
+            universal = HedgeAutomaton::universal();
+            &universal
+        }
+    };
+    let compiled = fds.first().map(|(_, fd)| {
+        let al = fd.template().alphabet();
+        (
+            pa_fds
+                .iter()
+                .map(|pa| CompiledAutomaton::compile(&pa.automaton, &partition, al))
+                .collect::<Vec<_>>(),
+            pa_us
+                .iter()
+                .map(|pa| CompiledAutomaton::compile(&pa.automaton, &partition, al))
+                .collect::<Vec<_>>(),
+            CompiledAutomaton::compile(schema_sym, &partition, al),
+        )
+    });
+    let interner = CellInterner::new();
     // One deadline for the whole matrix, captured before the first cell.
     let deadline_at = Budget::new(limits).deadline_at();
     let pairs: Vec<(usize, usize)> = (0..fds.len())
         .flat_map(|i| (0..classes.len()).map(move |j| (i, j)))
         .collect();
     let mut cells = parallel_map(&pairs, |&(i, j)| {
-        let alphabet = fds[i].1.template().alphabet().clone();
-        let _span = if trace.is_enabled() {
-            Some(trace.span(
-                SpanKind::MatrixCell,
-                &format!("{} × {}", fds[i].0, classes[j].0),
-            ))
+        // Cells over the identical compiled pair (the Analyzer dedups
+        // repeated FDs/classes to the same Arc) share one engine run.
+        let slot = interner.slot((
+            Arc::as_ptr(&pa_fds[i]) as usize,
+            Arc::as_ptr(&pa_us[j]) as usize,
+        ));
+        let mut ran = false;
+        let entry = slot.get_or_init(|| {
+            ran = true;
+            let alphabet = fds[i].1.template().alphabet().clone();
+            let _span = if trace.is_enabled() {
+                Some(trace.span(
+                    SpanKind::MatrixCell,
+                    &format!("{} × {}", fds[i].0, classes[j].0),
+                ))
+            } else {
+                None
+            };
+            let mut budget = Budget::new(limits)
+                .with_deadline_at(deadline_at)
+                .with_trace(trace.clone());
+            if let Some(c) = cancel {
+                budget = budget.with_cancel(c.clone());
+            }
+            let analysis = check_independence_governed(
+                &alphabet,
+                &pa_fds[i],
+                &pa_us[j],
+                classes[j].1,
+                schema_auto,
+                Some(&partition),
+                compiled.as_ref().map(|(cf, cu, cs)| CompiledTriple {
+                    f: &cf[i],
+                    u: &cu[j],
+                    s: cs,
+                }),
+                budget,
+                0,
+            );
+            CellEntry { fd: i, analysis }
+        });
+        if ran {
+            let a = entry.analysis.clone();
+            MatrixCell {
+                fd: i,
+                class: j,
+                verdict: a.verdict,
+                automaton_size: a.total_states,
+                explored_states: a.explored_states,
+                metrics: a.metrics,
+                provenance: CellProvenance::Computed,
+            }
         } else {
-            None
-        };
-        let mut budget = Budget::new(limits)
-            .with_deadline_at(deadline_at)
-            .with_trace(trace.clone());
-        if let Some(c) = cancel {
-            budget = budget.with_cancel(c.clone());
+            let mut b = Budget::new(limits).with_trace(trace.clone());
+            b.on_verdict_reused();
+            MatrixCell {
+                fd: i,
+                class: j,
+                verdict: entry.analysis.verdict.clone(),
+                automaton_size: entry.analysis.total_states,
+                explored_states: entry.analysis.explored_states,
+                metrics: b.into_metrics(),
+                provenance: CellProvenance::ReusedFrom { fd: entry.fd },
+            }
         }
-        check_independence_governed(
-            &alphabet,
-            &pa_fds[i],
-            &pa_us[j],
-            classes[j].1,
-            schema_auto,
-            Some(&partition),
-            budget,
-            0,
-        )
     });
     // Attribute the shared compile time to the first cell so the matrix
     // totals stay faithful without double counting.
@@ -286,19 +366,7 @@ pub(crate) fn analyze_matrix_governed(
     IndependenceMatrix {
         fd_names: fds.iter().map(|(n, _)| n.to_string()).collect(),
         class_names: classes.iter().map(|(n, _)| n.to_string()).collect(),
-        cells: cells
-            .into_iter()
-            .zip(&pairs)
-            .map(|(a, &(i, j))| MatrixCell {
-                fd: i,
-                class: j,
-                verdict: a.verdict,
-                automaton_size: a.total_states,
-                explored_states: a.explored_states,
-                metrics: a.metrics,
-                provenance: CellProvenance::Computed,
-            })
-            .collect(),
+        cells,
     }
 }
 
@@ -334,6 +402,31 @@ pub(crate) fn analyze_matrix_pruned_governed(
             .map(|pa| &pa.automaton)
             .chain(schema_auto),
     );
+    // Shared arena/CSR compiled forms and realized-cell interner, as in
+    // `analyze_matrix_governed`.
+    let universal;
+    let schema_sym = match schema_auto {
+        Some(s) => s,
+        None => {
+            universal = HedgeAutomaton::universal();
+            &universal
+        }
+    };
+    let compiled = fds.first().map(|(_, fd)| {
+        let al = fd.template().alphabet();
+        (
+            pa_kept
+                .iter()
+                .map(|pa| CompiledAutomaton::compile(&pa.automaton, &partition, al))
+                .collect::<Vec<_>>(),
+            pa_us
+                .iter()
+                .map(|pa| CompiledAutomaton::compile(&pa.automaton, &partition, al))
+                .collect::<Vec<_>>(),
+            CompiledAutomaton::compile(schema_sym, &partition, al),
+        )
+    });
+    let interner = CellInterner::new();
     let deadline_at = Budget::new(limits).deadline_at();
 
     // Path skeletons of the kept rows, for containment tests.
@@ -349,7 +442,11 @@ pub(crate) fn analyze_matrix_pruned_governed(
     // FD set — wins.)
     let mut order: Vec<usize> = (0..kept.len()).collect();
     let degree: Vec<usize> = (0..kept.len())
-        .map(|r| (0..kept.len()).filter(|&q| q != r && contains(r, q)).count())
+        .map(|r| {
+            (0..kept.len())
+                .filter(|&q| q != r && contains(r, q))
+                .count()
+        })
         .collect();
     order.sort_by_key(|&r| std::cmp::Reverse(degree[r]));
 
@@ -388,38 +485,72 @@ pub(crate) fn analyze_matrix_pruned_governed(
                     }
                 }
             }
-            let _span = if trace.is_enabled() {
-                Some(trace.span(
-                    SpanKind::MatrixCell,
-                    &format!("{} × {}", fds[fd_idx].0, classes[j].0),
-                ))
+            // Identical compiled pairs share one engine run via the
+            // interner, exactly as in the unpruned driver.
+            let slot = interner.slot((
+                Arc::as_ptr(&pa_kept[r]) as usize,
+                Arc::as_ptr(&pa_us[j]) as usize,
+            ));
+            let mut ran = false;
+            let entry = slot.get_or_init(|| {
+                ran = true;
+                let _span = if trace.is_enabled() {
+                    Some(trace.span(
+                        SpanKind::MatrixCell,
+                        &format!("{} × {}", fds[fd_idx].0, classes[j].0),
+                    ))
+                } else {
+                    None
+                };
+                let mut budget = Budget::new(limits)
+                    .with_deadline_at(deadline_at)
+                    .with_trace(trace.clone());
+                if let Some(c) = cancel {
+                    budget = budget.with_cancel(c.clone());
+                }
+                let analysis = check_independence_governed(
+                    &alphabet,
+                    &pa_kept[r],
+                    &pa_us[j],
+                    classes[j].1,
+                    schema_auto,
+                    Some(&partition),
+                    compiled.as_ref().map(|(cf, cu, cs)| CompiledTriple {
+                        f: &cf[r],
+                        u: &cu[j],
+                        s: cs,
+                    }),
+                    budget,
+                    0,
+                );
+                CellEntry {
+                    fd: fd_idx,
+                    analysis,
+                }
+            });
+            if ran {
+                let a = entry.analysis.clone();
+                MatrixCell {
+                    fd: fd_idx,
+                    class: j,
+                    verdict: a.verdict,
+                    automaton_size: a.total_states,
+                    explored_states: a.explored_states,
+                    metrics: a.metrics,
+                    provenance: CellProvenance::Computed,
+                }
             } else {
-                None
-            };
-            let mut budget = Budget::new(limits)
-                .with_deadline_at(deadline_at)
-                .with_trace(trace.clone());
-            if let Some(c) = cancel {
-                budget = budget.with_cancel(c.clone());
-            }
-            let a = check_independence_governed(
-                &alphabet,
-                &pa_kept[r],
-                &pa_us[j],
-                classes[j].1,
-                schema_auto,
-                Some(&partition),
-                budget,
-                0,
-            );
-            MatrixCell {
-                fd: fd_idx,
-                class: j,
-                verdict: a.verdict,
-                automaton_size: a.total_states,
-                explored_states: a.explored_states,
-                metrics: a.metrics,
-                provenance: CellProvenance::Computed,
+                let mut b = Budget::new(limits).with_trace(trace.clone());
+                b.on_verdict_reused();
+                MatrixCell {
+                    fd: fd_idx,
+                    class: j,
+                    verdict: entry.analysis.verdict.clone(),
+                    automaton_size: entry.analysis.total_states,
+                    explored_states: entry.analysis.explored_states,
+                    metrics: b.into_metrics(),
+                    provenance: CellProvenance::ReusedFrom { fd: entry.fd },
+                }
             }
         });
         if paths[r].is_some() {
@@ -485,7 +616,7 @@ pub(crate) fn analyze_matrix_internal(
     schema: Option<&Schema>,
 ) -> IndependenceMatrix {
     let compile = Stopwatch::start();
-    let schema_auto = schema.map(|s| s.compile());
+    let schema_auto = schema.map(|s| s.compiled());
     let pa_fds: Vec<_> = fds
         .iter()
         .map(|(_, fd)| Arc::new(compile_pattern(fd.pattern(), true)))
@@ -498,7 +629,7 @@ pub(crate) fn analyze_matrix_internal(
     analyze_matrix_governed(
         fds,
         classes,
-        schema_auto.as_ref(),
+        schema_auto.as_deref(),
         &pa_fds,
         &pa_us,
         &RunLimits::UNLIMITED,
@@ -648,7 +779,10 @@ mod tests {
             .unwrap();
         let other = update_class_from_edges(&a, &["s/x/y"]).unwrap();
         let an = Analyzer::builder().build();
-        let m = an.matrix_pruned(&[("wide", &wide), ("narrow", &narrow)], &[("other", &other)]);
+        let m = an.matrix_pruned(
+            &[("wide", &wide), ("narrow", &narrow)],
+            &[("other", &other)],
+        );
         assert!(m.independent(0, 0));
         assert!(m.independent(1, 0));
         assert_eq!(m.cell(0, 0).provenance, CellProvenance::Computed);
@@ -747,7 +881,10 @@ mod tests {
         let an = Analyzer::builder()
             .limits(RunLimits::default().with_max_states(1))
             .build();
-        let m = an.matrix_pruned(&[("wide", &wide), ("narrow", &narrow)], &[("other", &other)]);
+        let m = an.matrix_pruned(
+            &[("wide", &wide), ("narrow", &narrow)],
+            &[("other", &other)],
+        );
         for cell in &m.cells {
             assert_ne!(
                 std::mem::discriminant(&cell.provenance),

@@ -139,10 +139,7 @@ impl PathFd {
         if !conds_src.trim().is_empty() {
             for c in conds_src.split(',') {
                 if c.trim().is_empty() {
-                    return Err(err(
-                        "empty condition (a leading, trailing, or doubled ',')",
-                    )
-                    .into());
+                    return Err(err("empty condition (a leading, trailing, or doubled ',')").into());
                 }
                 conditions.push(parse_path(alphabet, c)?);
             }
@@ -443,7 +440,7 @@ mod tests {
         let a = Alphabet::new();
         // fd3: two sibling 'exam/mark' edges under the same candidate —
         // common first label, never produced by the trie construction.
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let c = t.add_child_str(t.root(), "session").unwrap();
         let cand = t.add_child_str(c, "candidate").unwrap();
         let m1 = t.add_child_str(cand, "exam/mark").unwrap();
@@ -462,7 +459,7 @@ mod tests {
         let a = Alphabet::new();
         // fd4: a structural 'toBePassed' leaf that is neither condition nor
         // target.
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let c = t.add_child_str(t.root(), "session").unwrap();
         let cand = t.add_child_str(c, "candidate").unwrap();
         let mark = t.add_child_str(cand, "exam/mark").unwrap();
@@ -479,7 +476,7 @@ mod tests {
     #[test]
     fn regex_edges_are_inexpressible() {
         let a = Alphabet::new();
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let c = t.add_child_str(t.root(), "session").unwrap();
         let x = t.add_child_str(c, "(a|b)/mark").unwrap();
         let y = t.add_child_str(c, "rank").unwrap();

@@ -167,7 +167,7 @@ mod tests {
         let d = doc(&a);
         let class = update_class_from_edges(&a, &["session/candidate/exam/rank"]).unwrap();
         let bad = Update::new(
-            class.clone(),
+            class,
             UpdateOp::Replace(TreeSpec::elem_named(&a, "rank", vec![TreeSpec::text("2")])),
         );
         // Replacing *every* rank with "2" keeps them equal: still satisfied.

@@ -93,8 +93,16 @@ pub(crate) fn paths_subsume(container: &FdPaths, contained: &FdPaths) -> bool {
     if container.context != contained.context {
         return false;
     }
-    let f: Vec<&[Symbol]> = container.selected.iter().map(|(p, _)| p.as_slice()).collect();
-    let g: Vec<&[Symbol]> = contained.selected.iter().map(|(p, _)| p.as_slice()).collect();
+    let f: Vec<&[Symbol]> = container
+        .selected
+        .iter()
+        .map(|(p, _)| p.as_slice())
+        .collect();
+    let g: Vec<&[Symbol]> = contained
+        .selected
+        .iter()
+        .map(|(p, _)| p.as_slice())
+        .collect();
     // (1) Every selected path of the container is a prefix of some selected
     // path of the contained FD: any trace of the contained pattern restricts
     // (through the unique ancestors) to a trace of the container.
@@ -174,7 +182,7 @@ mod tests {
     #[test]
     fn non_path_fds_have_no_skeleton() {
         let a = Alphabet::new();
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let c = t.add_child_str(t.root(), "s").unwrap();
         let x = t.add_child_str(c, "(a|b)").unwrap();
         let y = t.add_child_str(c, "r").unwrap();
@@ -240,7 +248,7 @@ mod tests {
             .target_with("c/e", crate::EqualityType::Node)
             .build()
             .unwrap();
-        let narrow = FdBuilder::new(a.clone())
+        let narrow = FdBuilder::new(a)
             .context("s")
             .condition("c/e/d")
             .target("c/e/r")

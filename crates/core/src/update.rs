@@ -400,7 +400,7 @@ mod tests {
     #[test]
     fn non_leaf_selection_rejected() {
         let a = Alphabet::new();
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let cand = t.add_child_str(t.root(), "session/candidate").unwrap();
         let _lvl = t.add_child_str(cand, "level").unwrap();
         let p = RegularTreePattern::monadic(t, cand).unwrap();

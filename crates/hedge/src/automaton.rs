@@ -41,8 +41,14 @@ impl LabelGuard {
     /// leaves in well-formed documents, so a transition guarded this way can
     /// only ever fire with the empty child word.
     pub fn forces_leaf(&self, alphabet: &Alphabet) -> bool {
+        self.forces_leaf_with(&alphabet.kind_reader())
+    }
+
+    /// [`LabelGuard::forces_leaf`] against an already-held kind lock, for
+    /// loops classifying many guards.
+    pub fn forces_leaf_with(&self, kinds: &regtree_alphabet::KindReader<'_>) -> bool {
         match self {
-            LabelGuard::Is(s) => alphabet.kind(*s) != LabelKind::Element,
+            LabelGuard::Is(s) => kinds.kind(*s) != LabelKind::Element,
             // Any/AnyExcept guards can always be satisfied by an element
             // label (fresh element labels can be interned at will).
             LabelGuard::Any | LabelGuard::AnyExcept(_) => false,
@@ -59,12 +65,13 @@ impl LabelGuard {
             }
             (LabelGuard::Any, g) | (g, LabelGuard::Any) => Some(g.clone()),
             (LabelGuard::AnyExcept(n1), LabelGuard::AnyExcept(n2)) => {
-                let mut n = n1.clone();
-                for s in n2 {
-                    if !n.contains(s) {
-                        n.push(*s);
-                    }
-                }
+                // Merge by sort + dedup: O((n+m) log (n+m)) instead of the
+                // quadratic per-element `contains` scan.
+                let mut n = Vec::with_capacity(n1.len() + n2.len());
+                n.extend_from_slice(n1);
+                n.extend_from_slice(n2);
+                n.sort_unstable();
+                n.dedup();
                 Some(LabelGuard::AnyExcept(n))
             }
         }

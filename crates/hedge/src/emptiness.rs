@@ -23,8 +23,6 @@
 //! attribute/text label can only fire with an empty child word (those nodes
 //! are leaves carrying a placeholder value).
 
-use std::collections::HashMap;
-
 use regtree_alphabet::{Alphabet, LabelKind, Symbol};
 use regtree_automata::{NfaLabel, StateId};
 use regtree_runtime::{Budget, Resource, SpanKind};
@@ -90,8 +88,11 @@ struct Engine<'a> {
     firings: Vec<Option<Firing>>,
     realizable: Vec<bool>,
     order: Vec<TreeState>,
-    /// Letter → NFA edges blocked on it: `(sim, from, to)`.
-    waiting_sym: HashMap<TreeState, Vec<(usize, StateId, StateId)>>,
+    /// Letter → NFA edges blocked on it: `(sim, from, to)`. Dense waiting
+    /// lists indexed by tree state; letters outside the automaton's state
+    /// range (sentinel fillers) can never realize, so their edges are
+    /// dropped on arrival instead of parked forever.
+    waiting_sym: Vec<Vec<(usize, StateId, StateId)>>,
     /// Wildcard edges blocked on the *first* realized letter (an `Any` edge
     /// can consume any realized letter, so only emptiness of the realized set
     /// blocks it).
@@ -110,7 +111,7 @@ impl<'a> Engine<'a> {
             firings: vec![None; n],
             realizable: vec![false; n],
             order: Vec::new(),
-            waiting_sym: HashMap::new(),
+            waiting_sym: vec![Vec::new(); n],
             waiting_any: Vec::new(),
             stack: Vec::new(),
             root_word: None,
@@ -206,11 +207,8 @@ impl<'a> Engine<'a> {
                             state: to,
                             pred: Some((Some(x), r.state)),
                         });
-                    } else {
-                        self.waiting_sym
-                            .entry(x)
-                            .or_default()
-                            .push((r.sim, r.state, to));
+                    } else if let Some(waiting) = self.waiting_sym.get_mut(x as usize) {
+                        waiting.push((r.sim, r.state, to));
                     }
                 }
                 NfaLabel::Any => match first_letter {
@@ -232,15 +230,22 @@ impl<'a> Engine<'a> {
     fn on_accept(
         &mut self,
         ti: usize,
-        word: Vec<TreeState>,
+        mut word: Vec<TreeState>,
         budget: &mut Budget,
     ) -> Result<(), Resource> {
         budget.on_transition();
-        if self.sims[ti].root_final && self.root_word.is_none() {
-            self.root_word = Some((ti, word.clone()));
-        }
         let target = self.automaton.transitions()[ti].target;
-        if !self.realizable[target as usize] {
+        let needs_firing = !self.realizable[target as usize];
+        if self.sims[ti].root_final && self.root_word.is_none() {
+            // The clone is only paid when the word must double as a firing.
+            let w = if needs_firing {
+                word.clone()
+            } else {
+                std::mem::take(&mut word)
+            };
+            self.root_word = Some((ti, w));
+        }
+        if needs_firing {
             self.realize(
                 target,
                 Firing {
@@ -278,14 +283,12 @@ impl<'a> Engine<'a> {
             }
         }
         self.order.push(q);
-        if let Some(edges) = self.waiting_sym.remove(&q) {
-            for (si, from, to) in edges {
-                self.stack.push(Reach {
-                    sim: si,
-                    state: to,
-                    pred: Some((Some(q), from)),
-                });
-            }
+        for (si, from, to) in std::mem::take(&mut self.waiting_sym[q as usize]) {
+            self.stack.push(Reach {
+                sim: si,
+                state: to,
+                pred: Some((Some(q), from)),
+            });
         }
         Ok(())
     }

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod automaton;
+pub mod compiled;
 pub mod emptiness;
 pub mod partition;
 pub mod product;
@@ -28,11 +29,12 @@ pub use automaton::{
     generic_element_label, horizontal_epsilon, horizontal_interleaved, horizontal_star,
     HedgeAutomaton, HedgeTransition, LabelGuard, TreeState, ValidationError,
 };
+pub use compiled::{CompiledAutomaton, Csr, ANY_LETTER};
 pub use emptiness::{
     is_empty_language, realizability, realizability_governed, witness_document,
     witness_document_governed, witness_label, witness_spec,
 };
-pub use partition::{GuardMask, GuardPartition};
+pub use partition::{iter_classes, GuardMask, GuardPartition};
 pub use product::{intersect, intersect_with_encoding, union, PairEncoding};
 pub use schema::{Schema, SchemaError};
 

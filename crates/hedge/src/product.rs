@@ -298,7 +298,7 @@ mod tests {
         let a = all_x(&alpha, false);
         let b = few_children(1);
         let prod = intersect(&a, &b);
-        let mut doc = regtree_xml::Document::new(alpha.clone());
+        let mut doc = regtree_xml::Document::new(alpha);
         let _ = &mut doc;
         assert!(prod.accepts(&doc));
     }

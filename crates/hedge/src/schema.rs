@@ -24,6 +24,7 @@
 //! a content model must have their own rule.
 
 use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use regtree_alphabet::{Alphabet, LabelKind, Symbol};
 use regtree_automata::{parse_regex, Nfa, Regex};
@@ -34,13 +35,28 @@ use crate::automaton::{
 };
 
 /// A declarative schema: content-model rules per element label.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Schema {
     alphabet: Alphabet,
     /// Content model of the document root (over top-level element labels).
     root: Regex,
     /// `(element label, content model over child labels)`.
     rules: Vec<(Symbol, Regex)>,
+    /// Cache for [`Schema::compiled`], keyed by the alphabet length the
+    /// automaton was compiled against (the implicit leaf transitions cover
+    /// every interned attribute/text label, so alphabet growth invalidates).
+    compiled: Mutex<Option<(usize, Arc<HedgeAutomaton>)>>,
+}
+
+impl Clone for Schema {
+    fn clone(&self) -> Schema {
+        Schema {
+            alphabet: self.alphabet.clone(),
+            root: self.root.clone(),
+            rules: self.rules.clone(),
+            compiled: Mutex::new(self.lock_compiled().clone()),
+        }
+    }
 }
 
 /// Error raised when loading or compiling a schema.
@@ -71,6 +87,7 @@ impl Schema {
             alphabet,
             root,
             rules: Vec::new(),
+            compiled: Mutex::new(None),
         }
     }
 
@@ -82,7 +99,12 @@ impl Schema {
         } else {
             self.rules.push((label, content));
         }
+        *self.compiled.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
         self
+    }
+
+    fn lock_compiled(&self) -> MutexGuard<'_, Option<(usize, Arc<HedgeAutomaton>)>> {
+        self.compiled.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The schema's alphabet.
@@ -147,6 +169,7 @@ impl Schema {
             alphabet: alphabet.clone(),
             root,
             rules,
+            compiled: Mutex::new(None),
         })
     }
 
@@ -162,8 +185,10 @@ impl Schema {
         let accept: TreeState = n_sym as TreeState;
         let mut transitions = Vec::new();
         // Implicit leaf transitions for every attribute label and #text.
-        for s in self.alphabet.symbols() {
-            match self.alphabet.kind(s) {
+        let symbols = self.alphabet.symbols();
+        let kinds = self.alphabet.kind_reader();
+        for s in symbols {
+            match kinds.kind(s) {
                 LabelKind::Attribute | LabelKind::Text => {
                     transitions.push(HedgeTransition {
                         guard: LabelGuard::Is(s),
@@ -174,6 +199,7 @@ impl Schema {
                 LabelKind::Element => {}
             }
         }
+        drop(kinds);
         for (label, model) in &self.rules {
             transitions.push(HedgeTransition {
                 guard: LabelGuard::Is(*label),
@@ -189,9 +215,27 @@ impl Schema {
         HedgeAutomaton::new(n_sym + 1, transitions, vec![accept])
     }
 
+    /// The compiled automaton, built on first use and shared from then on:
+    /// repeated analyses or validations against one schema reuse a single
+    /// automaton instead of recompiling per call. The cache is invalidated
+    /// by [`Schema::set_rule`] and by alphabet growth (newly interned
+    /// attribute/text labels gain implicit leaf transitions on recompile).
+    pub fn compiled(&self) -> Arc<HedgeAutomaton> {
+        let len = self.alphabet.len();
+        let mut slot = self.lock_compiled();
+        match &*slot {
+            Some((n, c)) if *n == len => c.clone(),
+            _ => {
+                let c = Arc::new(self.compile());
+                *slot = Some((len, c.clone()));
+                c
+            }
+        }
+    }
+
     /// Convenience: validate a document against the compiled schema.
     pub fn validate(&self, doc: &Document) -> Result<(), crate::automaton::ValidationError> {
-        self.compile().validate(doc)
+        self.compiled().validate(doc)
     }
 }
 

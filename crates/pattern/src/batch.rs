@@ -103,7 +103,7 @@ mod tests {
         let mut t = Template::new(a.clone());
         let e = t.add_child_str(t.root(), "session/candidate/exam").unwrap();
         let p1 = RegularTreePattern::monadic(t, e).unwrap();
-        let mut t2 = Template::new(a.clone());
+        let mut t2 = Template::new(a);
         let c = t2.add_child_str(t2.root(), "session/candidate").unwrap();
         let p2 = RegularTreePattern::monadic(t2, c).unwrap();
         let patterns = vec![p1, p2];

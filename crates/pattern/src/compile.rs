@@ -22,7 +22,7 @@
 //! `TOP` appears as a horizontal letter only in marked-region transitions.
 
 use regtree_alphabet::{Alphabet, Symbol};
-use regtree_automata::{Nfa, NfaBuilder, NfaLabel};
+use regtree_automata::{Nfa, NfaLabel, StateId};
 use regtree_hedge::{HedgeAutomaton, HedgeTransition, LabelGuard, TreeState};
 
 use crate::pattern::RegularTreePattern;
@@ -159,16 +159,25 @@ fn compile_template(template: &Template, marked: &[TemplateNodeId]) -> PatternAu
         } else {
             BOT
         };
-        let required: Vec<Vec<TreeState>> = template
+        let required: Vec<[TreeState; 2]> = template
             .children(w)
             .iter()
             .map(|&wi| {
                 let start = template.edge_nfa(wi).expect("edge").start();
-                vec![int_state(wi, start), end_state(wi, start)]
+                [int_state(wi, start), end_state(wi, start)]
             })
             .collect();
-        interleaved_alt(filler, &required)
+        let alts: Vec<&[TreeState]> = required.iter().map(|p| p.as_slice()).collect();
+        interleaved_alt(filler, &alts)
     };
+
+    // Scratch buffers shared across every (edge, state, letter) subset step;
+    // the sets involved are tiny, so fresh allocations would dominate.
+    let mut seen: Vec<bool> = Vec::new();
+    let mut closed: Vec<u32> = Vec::new();
+    let mut next_states: Vec<u32> = Vec::new();
+    let mut used: Vec<Symbol> = Vec::new();
+    let mut continuations: Vec<TreeState> = Vec::new();
 
     for &w in &edges {
         let nfa = template.edge_nfa(w).expect("edge");
@@ -178,33 +187,47 @@ fn compile_template(template: &Template, marked: &[TemplateNodeId]) -> PatternAu
         } else {
             BOT
         };
-        let used: Vec<Symbol> = nfa.used_letters().into_iter().map(Symbol).collect();
+        used.clear();
         for s in 0..nfa.num_states() as u32 {
-            let closed = nfa.eps_closure(&[s]);
+            for &(l, _) in nfa.transitions_from(s) {
+                if let NfaLabel::Sym(x) = l {
+                    used.push(Symbol(x));
+                }
+            }
+        }
+        used.sort_unstable_by_key(|sym| sym.0);
+        used.dedup();
+        let wild = nfa.uses_wildcard();
+        for s in 0..nfa.num_states() as u32 {
+            closed.clear();
+            closed.push(s);
+            eps_close_into(nfa, &mut seen, &mut closed);
             // Concrete letters the NFA mentions, plus the "all other labels"
             // case when wildcard transitions exist.
-            let mut cases: Vec<(LabelGuard, Vec<u32>)> = Vec::new();
-            for &a in &used {
-                let next_states = nfa.step(&closed, a.0);
-                if !next_states.is_empty() {
-                    cases.push((LabelGuard::Is(a), next_states));
+            for ci in 0..=used.len() {
+                let guard = if ci < used.len() {
+                    step_into(nfa, &closed, Some(used[ci].0), &mut seen, &mut next_states);
+                    LabelGuard::Is(used[ci])
+                } else {
+                    if !wild {
+                        break;
+                    }
+                    step_into(nfa, &closed, None, &mut seen, &mut next_states);
+                    LabelGuard::AnyExcept(used.clone())
+                };
+                if next_states.is_empty() {
+                    continue;
                 }
-            }
-            if nfa.uses_wildcard() {
-                let other = step_any_only(nfa, &closed);
-                if !other.is_empty() {
-                    cases.push((LabelGuard::AnyExcept(used.clone()), other));
-                }
-            }
-            for (guard, next_states) in cases {
                 // Interior: one child continues the path in some s'.
-                let continuations: Vec<TreeState> = next_states
-                    .iter()
-                    .flat_map(|&s2| [int_state(w, s2), end_state(w, s2)])
-                    .collect();
+                continuations.clear();
+                continuations.extend(
+                    next_states
+                        .iter()
+                        .flat_map(|&s2| [int_state(w, s2), end_state(w, s2)]),
+                );
                 transitions.push(HedgeTransition {
                     guard: guard.clone(),
-                    horizontal: interleaved_alt(path_filler, &[continuations]),
+                    horizontal: interleaved_alt(path_filler, &[&continuations]),
                     target: int_state(w, s),
                 });
                 // Endpoint: the label consumption accepts and the node
@@ -236,48 +259,73 @@ fn compile_template(template: &Template, marked: &[TemplateNodeId]) -> PatternAu
     }
 }
 
-/// Letters reachable from `closed` using only wildcard transitions.
-fn step_any_only(nfa: &Nfa, closed: &[u32]) -> Vec<u32> {
-    let mut out = Vec::new();
+/// ε-closes `set` in place (result sorted and deduplicated), reusing `seen`
+/// as a visited bitmap so the subset construction allocates nothing per step.
+fn eps_close_into(nfa: &Nfa, seen: &mut Vec<bool>, set: &mut Vec<u32>) {
+    seen.clear();
+    seen.resize(nfa.num_states(), false);
+    set.retain(|&s| !std::mem::replace(&mut seen[s as usize], true));
+    let mut i = 0;
+    while i < set.len() {
+        let s = set[i];
+        i += 1;
+        for &(l, t) in nfa.transitions_from(s) {
+            if matches!(l, NfaLabel::Eps) && !seen[t as usize] {
+                seen[t as usize] = true;
+                set.push(t);
+            }
+        }
+    }
+    set.sort_unstable();
+}
+
+/// One consuming step from the closed set into `out`: `Some(a)` fires `a` and
+/// wildcard transitions, `None` fires wildcard transitions only ("all other
+/// labels"). The result is ε-closed, sorted, and deduplicated.
+fn step_into(
+    nfa: &Nfa,
+    closed: &[u32],
+    letter: Option<u32>,
+    seen: &mut Vec<bool>,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
     for &s in closed {
         for &(l, t) in nfa.transitions_from(s) {
-            if matches!(l, NfaLabel::Any) {
+            let fires = match l {
+                NfaLabel::Eps => false,
+                NfaLabel::Sym(x) => letter == Some(x),
+                NfaLabel::Any => true,
+            };
+            if fires {
                 out.push(t);
             }
         }
     }
-    out.sort_unstable();
-    out.dedup();
-    nfa.eps_closure(&out)
+    eps_close_into(nfa, seen, out);
 }
 
 fn star_of(q: TreeState) -> Nfa {
-    let mut b = NfaBuilder::new();
-    let s = b.add_state();
-    b.add_transition(s, NfaLabel::Sym(q), s);
-    b.set_start(s);
-    b.set_accept(s);
-    b.finish()
+    Nfa::from_parts(vec![vec![(NfaLabel::Sym(q), 0)]], 0, vec![true])
 }
 
 /// `filler* A1 filler* A2 … Ak filler*` where each `Ai` is an alternative
-/// set of letters for the i-th required child.
-fn interleaved_alt(filler: TreeState, required: &[Vec<TreeState>]) -> Nfa {
-    let mut b = NfaBuilder::new();
-    let start = b.add_state();
-    b.add_transition(start, NfaLabel::Sym(filler), start);
-    let mut cur = start;
-    for alts in required {
-        let nxt = b.add_state();
-        for &q in alts {
-            b.add_transition(cur, NfaLabel::Sym(q), nxt);
-        }
-        b.add_transition(nxt, NfaLabel::Sym(filler), nxt);
-        cur = nxt;
+/// set of letters for the i-th required child. Built directly with
+/// exact-capacity rows: state `i` self-loops on the filler and steps to
+/// `i + 1` on any letter of `Ai`; the last state accepts.
+fn interleaved_alt(filler: TreeState, required: &[&[TreeState]]) -> Nfa {
+    let n = required.len() + 1;
+    let mut trans: Vec<Vec<(NfaLabel, StateId)>> = Vec::with_capacity(n);
+    for (i, &alts) in required.iter().enumerate() {
+        let mut row = Vec::with_capacity(1 + alts.len());
+        row.push((NfaLabel::Sym(filler), i as StateId));
+        row.extend(alts.iter().map(|&q| (NfaLabel::Sym(q), (i + 1) as StateId)));
+        trans.push(row);
     }
-    b.set_start(start);
-    b.set_accept(cur);
-    b.finish()
+    trans.push(vec![(NfaLabel::Sym(filler), (n - 1) as StateId)]);
+    let mut accept = vec![false; n];
+    accept[n - 1] = true;
+    Nfa::from_parts(trans, 0, accept)
 }
 
 #[cfg(test)]

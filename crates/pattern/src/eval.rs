@@ -550,7 +550,7 @@ mod tests {
         let p = RegularTreePattern::monadic(t, y).unwrap();
         assert_eq!(p.evaluate(&doc).len(), 1);
         // …y-before-x does not.
-        let mut t2 = Template::new(a.clone());
+        let mut t2 = Template::new(a);
         let r2 = t2.add_child_str(t2.root(), "r").unwrap();
         let _y2 = t2.add_child_str(r2, "y").unwrap();
         let x2 = t2.add_child_str(r2, "x").unwrap();
@@ -569,7 +569,7 @@ mod tests {
         .unwrap();
         assert!(r2(&a).evaluate(&doc).is_empty());
         // But a one-exam pattern maps once.
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let e = t.add_child_str(t.root(), "session/candidate/exam").unwrap();
         let p = RegularTreePattern::monadic(t, e).unwrap();
         assert_eq!(p.evaluate(&doc).len(), 1);
@@ -585,7 +585,7 @@ mod tests {
         assert_eq!(p.evaluate(&doc).len(), 1);
         // The same pattern with (a/b)* / leaf fails properness? No: it is
         // proper (needs the final 'leaf'), and also matches.
-        let mut t2 = Template::new(a.clone());
+        let mut t2 = Template::new(a);
         let leaf2 = t2.add_child_str(t2.root(), "(a/b)*/leaf").unwrap();
         let p2 = RegularTreePattern::monadic(t2, leaf2).unwrap();
         assert_eq!(p2.evaluate(&doc).len(), 1);
@@ -595,7 +595,7 @@ mod tests {
     fn wildcard_edges() {
         let a = Alphabet::new();
         let doc = parse_document(&a, "<x><m/></x><y><m/></y>").unwrap();
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let m = t.add_child_str(t.root(), "_/m").unwrap();
         let p = RegularTreePattern::monadic(t, m).unwrap();
         assert_eq!(p.evaluate(&doc).len(), 2);
@@ -668,7 +668,7 @@ mod tests {
         assert_eq!(res.len(), 1);
         assert_eq!(doc.value(res[0][0]), Some("7"));
 
-        let mut t2 = Template::new(a.clone());
+        let mut t2 = Template::new(a);
         let text = t2.add_child_str(t2.root(), "c/#text").unwrap();
         let p2 = RegularTreePattern::monadic(t2, text).unwrap();
         let res2 = p2.evaluate(&doc);
@@ -682,7 +682,7 @@ mod tests {
         // mappings of the same monadic pattern.
         let a = Alphabet::new();
         let doc = parse_document(&a, "<m><m/></m>").unwrap();
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let m = t.add_child_str(t.root(), "_*/m").unwrap();
         let p = RegularTreePattern::monadic(t, m).unwrap();
         assert_eq!(p.evaluate(&doc).len(), 2);

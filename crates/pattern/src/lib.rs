@@ -83,7 +83,7 @@ mod proptests {
         )
             .prop_map(|(edges, sel)| {
                 let a = alpha();
-                let mut t = Template::new(a.clone());
+                let mut t = Template::new(a);
                 let mut nodes = vec![t.root()];
                 for (regex, parent) in edges {
                     let p = nodes[parent.index(nodes.len())];

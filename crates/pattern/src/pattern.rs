@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn construction_checks() {
         let a = Alphabet::new();
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let c = t.add_child_str(t.root(), "x").unwrap();
         assert!(RegularTreePattern::new(t.clone(), vec![]).is_err());
         assert!(RegularTreePattern::new(t.clone(), vec![TemplateNodeId(99)]).is_err());
@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn size_delegates_to_template() {
         let a = Alphabet::new();
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let c = t.add_child_str(t.root(), "x/y/z").unwrap();
         let p = RegularTreePattern::monadic(t.clone(), c).unwrap();
         assert_eq!(p.size(), t.size());

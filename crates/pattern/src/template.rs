@@ -286,7 +286,7 @@ mod tests {
     #[test]
     fn improper_regexes_rejected() {
         let a = Alphabet::new();
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         assert!(t.add_child_str(t.root(), "x*").is_err());
         assert!(t.add_child_str(t.root(), "x?").is_err());
         assert!(t.add_child(t.root(), Regex::Empty).is_err());

@@ -95,7 +95,7 @@ mod proptests {
         fn spec_document_round_trip(spec in arb_spec()) {
             let a = test_alphabet();
             prop_assume!(spec.check(&a).is_ok());
-            let doc = document_from_specs(a.clone(), std::slice::from_ref(&spec));
+            let doc = document_from_specs(a, std::slice::from_ref(&spec));
             prop_assert!(doc.check_well_formed().is_ok());
             let top = doc.children(doc.root())[0];
             prop_assert_eq!(TreeSpec::from_document(&doc, top), spec);
@@ -119,7 +119,7 @@ mod proptests {
         fn doc_order_total(spec in arb_spec()) {
             let a = test_alphabet();
             prop_assume!(spec.check(&a).is_ok());
-            let doc = document_from_specs(a.clone(), &[spec]);
+            let doc = document_from_specs(a, &[spec]);
             let nodes = doc.all_nodes();
             for (i, &x) in nodes.iter().enumerate() {
                 for (j, &y) in nodes.iter().enumerate() {
@@ -135,7 +135,7 @@ mod proptests {
             let a = test_alphabet();
             prop_assume!(spec.check(&a).is_ok());
             let wrapped = TreeSpec::elem_named(&a, "wrap", vec![spec]);
-            let mut doc = document_from_specs(a.clone(), &[wrapped]);
+            let mut doc = document_from_specs(a, &[wrapped]);
             let before = value_hash(&doc, doc.root());
             let candidates: Vec<NodeId> = doc
                 .all_nodes()
@@ -175,7 +175,7 @@ mod proptests {
             let a = test_alphabet();
             prop_assume!(spec.check(&a).is_ok());
             let wrapped = TreeSpec::elem_named(&a, "wrap", vec![spec]);
-            let mut doc = document_from_specs(a.clone(), &[wrapped]);
+            let mut doc = document_from_specs(a, &[wrapped]);
             let non_root: Vec<NodeId> = doc
                 .all_nodes()
                 .into_iter()

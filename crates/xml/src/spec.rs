@@ -156,7 +156,7 @@ mod tests {
         );
         assert!(spec.check(&a).is_ok());
         assert_eq!(spec.len(), 4);
-        let doc = document_from_specs(a.clone(), std::slice::from_ref(&spec));
+        let doc = document_from_specs(a, std::slice::from_ref(&spec));
         assert!(doc.check_well_formed().is_ok());
         let exam = doc.children(doc.root())[0];
         let extracted = TreeSpec::from_document(&doc, exam);

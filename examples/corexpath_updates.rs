@@ -50,7 +50,7 @@ fn main() {
     ];
 
     println!("FD: same isbn ⇒ same section (per library)\n");
-    let analyzer = Analyzer::builder().schema(schema.clone()).build();
+    let analyzer = Analyzer::builder().schema(schema).build();
     for xpath in updates {
         let pattern = parse_corexpath(&a, xpath).expect("parses");
         let class = match UpdateClass::new(pattern) {

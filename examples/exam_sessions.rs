@@ -135,7 +135,7 @@ fn main() {
     println!("\n— Example 6 / Section 5: the independence criterion —");
     let fd5 = gen::fd5(&a);
     let no_schema = Analyzer::builder().build().independence(&fd5, &class_u);
-    let schemad = Analyzer::builder().schema(schema.clone()).build();
+    let schemad = Analyzer::builder().schema(schema).build();
     let with_schema = schemad.independence(&fd5, &class_u);
     println!(
         "fd5 vs U without schema: {}",

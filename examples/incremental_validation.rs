@@ -37,7 +37,7 @@ fn main() {
 
     // Strategy 3 pays this once, independent of every document:
     let t = Instant::now();
-    let analyzer = Analyzer::builder().schema(schema.clone()).build();
+    let analyzer = Analyzer::builder().schema(schema).build();
     let analysis = analyzer.independence(&fd1, &class);
     let ic_time = t.elapsed();
     println!(

@@ -13,15 +13,25 @@
 # parity-mismatch count, which must be 0).
 # Commit the refreshed BENCH_ic.json alongside perf-relevant changes so the
 # trajectory stays in-tree.
+# Finally emits BENCH_core.json, a before/after view of the automata-core
+# hot paths: the committed (HEAD) ic_scaling lazy medians as baseline, the
+# fresh medians, the speedup ratio per axis point, and the current
+# guard-intersection / frontier-push counters and per-phase nanos — the
+# numbers a cache-layout change is supposed to move.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_ic.json}"
 out_fdset="${2:-BENCH_fdset.json}"
+out_core="${3:-BENCH_core.json}"
 
 raw=$(mktemp)
 raw_fdset=$(mktemp)
-trap 'rm -f "$raw" "$raw_fdset"' EXIT
+baseline=$(mktemp)
+trap 'rm -f "$raw" "$raw_fdset" "$baseline"' EXIT
+
+# Snapshot the committed medians before anything overwrites BENCH_ic.json.
+git show HEAD:BENCH_ic.json >"$baseline" 2>/dev/null || cp BENCH_ic.json "$baseline"
 
 cargo bench -p regtree-bench --bench ic_scaling | tee "$raw"
 cargo bench -p regtree-bench --bench ic_vs_revalidation | tee -a "$raw"
@@ -62,6 +72,41 @@ with open(out, "w", encoding="utf-8") as fh:
     json.dump(medians, fh, indent=2, sort_keys=True)
     fh.write("\n")
 print(f"wrote {out} ({len(medians)} benchmarks)")
+EOF
+
+python3 - "$baseline" "$out" "$out_core" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, out = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(baseline_path, encoding="utf-8") as fh:
+    baseline = json.load(fh)
+with open(fresh_path, encoding="utf-8") as fh:
+    fresh = json.load(fh)
+
+core = {}
+for key, now in sorted(fresh.items()):
+    if key.startswith("ic_scaling/") and "_lazy/" in key:
+        point = key[len("ic_scaling/"):]
+        core[f"current/{point}"] = now
+        was = baseline.get(key)
+        if was is not None:
+            core[f"baseline/{point}"] = was
+            core[f"speedup/{point}"] = round(was / now, 2) if now else None
+    elif key.startswith("counters/") and (
+        key.endswith("/guard_intersections") or key.endswith("/frontier_pushes")
+    ):
+        core[key] = now
+    elif key.startswith("phases/"):
+        core[key] = now
+
+if not any(k.startswith("speedup/") for k in core):
+    sys.exit("bench_json.sh: no baseline lazy medians to compare against")
+
+with open(out, "w", encoding="utf-8") as fh:
+    json.dump(core, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+ups = {k[len("speedup/"):]: v for k, v in core.items() if k.startswith("speedup/")}
+print(f"wrote {out} ({len(ups)} axis points); speedups: {ups}")
 EOF
 
 cargo run --release -p regtree-bench --example fdset_matrix -- --counters | tee "$raw_fdset"

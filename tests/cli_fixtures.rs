@@ -69,6 +69,6 @@ fn fixture_readme_commands_work_via_api() {
     let class = UpdateClass::new(parse_corexpath(&a, "/session/candidate/level").expect("parses"))
         .expect("leaf");
     let schema = Schema::parse(&a, &fixture("exam.rts")).expect("parses");
-    let analyzer = Analyzer::builder().schema(schema.clone()).build();
+    let analyzer = Analyzer::builder().schema(schema).build();
     assert!(analyzer.independence(&fd2, &class).verdict.is_independent());
 }

@@ -68,13 +68,8 @@ fn arb_path_fd() -> impl Strategy<Value = Fd> {
             while conds.iter().any(|(q, _)| *q == target) {
                 target.push(target.len() % LABELS.len());
             }
-            let cond_strs: Vec<String> =
-                conds.iter().map(|(p, n)| path_str(p, *n)).collect();
-            let src = format!(
-                "/r : {} -> {}",
-                cond_strs.join(", "),
-                path_str(&target, tn)
-            );
+            let cond_strs: Vec<String> = conds.iter().map(|(p, n)| path_str(p, *n)).collect();
+            let src = format!("/r : {} -> {}", cond_strs.join(", "), path_str(&target, tn));
             let a = alpha();
             PathFd::parse(&a, &src)
                 .expect("generated path FD parses")
@@ -214,7 +209,10 @@ fn arb_class() -> impl Strategy<Value = UpdateClass> {
         let a = alpha();
         let edge = format!(
             "r/{}",
-            hops.iter().map(|&i| LABELS[i]).collect::<Vec<_>>().join("/")
+            hops.iter()
+                .map(|&i| LABELS[i])
+                .collect::<Vec<_>>()
+                .join("/")
         );
         update_class_from_edges(&a, &[edge.as_str()]).expect("valid edge path")
     })

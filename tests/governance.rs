@@ -18,7 +18,7 @@ fn one_state_budget_is_unknown_never_wrong() {
 
     let unlimited = Analyzer::builder().schema(schema.clone()).build();
     let starved = Analyzer::builder()
-        .schema(schema.clone())
+        .schema(schema)
         .limits(RunLimits::default().with_max_states(1))
         .build();
 
@@ -130,7 +130,7 @@ fn cancellation_midway_leaves_no_wrong_verdicts() {
         })
     };
     let governed = Analyzer::builder()
-        .schema(schema.clone())
+        .schema(schema)
         .cancel_token(token)
         .build()
         .matrix(

@@ -46,7 +46,7 @@ fn arb_fd() -> impl Strategy<Value = Fd> {
     )
         .prop_map(|(ctx_edge, conditions, target)| {
             let a = alpha();
-            let mut t = Template::new(a.clone());
+            let mut t = Template::new(a);
             let ctx = t.add_child_str(t.root(), EDGES[ctx_edge]).unwrap();
             let mut selected = Vec::new();
             for e in conditions {
@@ -64,7 +64,7 @@ fn arb_class() -> impl Strategy<Value = UpdateClass> {
     let maybe_sibling = prop_oneof![Just(Option::<usize>::None), (0..EDGES.len()).prop_map(Some),];
     (prop::collection::vec(0..EDGES.len(), 1..=2), maybe_sibling).prop_map(|(hops, sibling)| {
         let a = alpha();
-        let mut t = Template::new(a.clone());
+        let mut t = Template::new(a);
         let mut cur = t.root();
         for e in hops {
             cur = t.add_child_str(cur, EDGES[e]).unwrap();

@@ -8,23 +8,24 @@
 //! * `vs_schema_rules` — schema rule count (grows `|A_S|`).
 //!
 //! Every axis is measured twice: `*_lazy` runs the on-the-fly product
-//! emptiness ([`check_independence`]), `*_eager` materializes the full
+//! emptiness (a fresh [`regtree_core::Analyzer`] per call), `*_eager` materializes the full
 //! FD×U×bit×schema product first ([`check_independence_eager`]). The
 //! absolute times are implementation-specific; what reproduces the paper's
 //! claim is the *polynomial shape* of each curve, and what the lazy engine
 //! adds is a constant-factor collapse that widens with `|A_S|` (see
 //! EXPERIMENTS.md E9, which also records explored-vs-total state counts).
-// Intentionally on the deprecated free functions: they recompile the
-// automata every iteration, which is the cost these timings have always
-// measured. Migrating to the caching `Analyzer` would change the workload
-// and invalidate comparisons against the committed baselines.
-#![allow(deprecated)]
+// Each iteration runs on a fresh `Analyzer` (`regtree_bench::fresh_*`):
+// the automata are recompiled every call, which is the cost these timings
+// have always measured. Reusing one cached `Analyzer` across iterations
+// would change the workload and invalidate the committed baselines.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use regtree_bench::{chain_schema, fd_with_conditions, padded_alphabet, update_chain};
-use regtree_core::{check_independence, check_independence_eager};
+use regtree_bench::{
+    chain_schema, fd_with_conditions, fresh_independence, padded_alphabet, update_chain,
+};
+use regtree_core::check_independence_eager;
 
 fn bench_ic_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ic_scaling");
@@ -38,7 +39,7 @@ fn bench_ic_scaling(c: &mut Criterion) {
         let fd = fd_with_conditions(&a, k);
         let class = update_chain(&a, 2);
         group.bench_with_input(BenchmarkId::new("vs_fd_conditions_lazy", k), &k, |b, _| {
-            b.iter(|| check_independence(&fd, &class, None).explored_states)
+            b.iter(|| fresh_independence(&fd, &class, None).explored_states)
         });
         group.bench_with_input(BenchmarkId::new("vs_fd_conditions_eager", k), &k, |b, _| {
             b.iter(|| check_independence_eager(&fd, &class, None).ic_states)
@@ -53,7 +54,7 @@ fn bench_ic_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("vs_update_depth_lazy", depth),
             &depth,
-            |b, _| b.iter(|| check_independence(&fd, &class, None).explored_states),
+            |b, _| b.iter(|| fresh_independence(&fd, &class, None).explored_states),
         );
         group.bench_with_input(
             BenchmarkId::new("vs_update_depth_eager", depth),
@@ -70,7 +71,7 @@ fn bench_ic_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("vs_alphabet_lazy", extra),
             &extra,
-            |b, _| b.iter(|| check_independence(&fd, &class, None).explored_states),
+            |b, _| b.iter(|| fresh_independence(&fd, &class, None).explored_states),
         );
         group.bench_with_input(
             BenchmarkId::new("vs_alphabet_eager", extra),
@@ -88,7 +89,7 @@ fn bench_ic_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("vs_schema_rules_lazy", rules),
             &rules,
-            |b, _| b.iter(|| check_independence(&fd, &class, Some(&schema)).explored_states),
+            |b, _| b.iter(|| fresh_independence(&fd, &class, Some(&schema)).explored_states),
         );
         group.bench_with_input(
             BenchmarkId::new("vs_schema_rules_eager", rules),

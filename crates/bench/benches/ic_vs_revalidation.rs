@@ -12,19 +12,20 @@
 //! The expected shape: the first two grow with the document, the criterion
 //! is flat — so a crossover exists past which the criterion wins for every
 //! further update.
-// Intentionally on the deprecated free functions: they recompile the
-// automata every iteration, which is the cost these timings have always
-// measured. Migrating to the caching `Analyzer` would change the workload
-// and invalidate comparisons against the committed baselines.
-#![allow(deprecated)]
+// Each iteration runs on a fresh `Analyzer` (`regtree_bench::fresh_*`):
+// the automata are recompiled every call, which is the cost these timings
+// have always measured. Reusing one cached `Analyzer` across iterations
+// would change the workload and invalidate the committed baselines.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use regtree_bench::{fd_with_conditions, session, update_chain, CANDIDATE_COUNTS};
+use regtree_bench::{
+    fd_with_conditions, fresh_independence, fresh_matrix, session, update_chain, CANDIDATE_COUNTS,
+};
 use regtree_core::{
-    analyze_matrix, check_independence, check_independence_eager, revalidate_full,
-    revalidate_full_many, IncrementalChecker, Update, UpdateOp,
+    check_independence_eager, revalidate_full, revalidate_full_many, IncrementalChecker, Update,
+    UpdateOp,
 };
 
 fn bench_strategies(c: &mut Criterion) {
@@ -45,7 +46,7 @@ fn bench_strategies(c: &mut Criterion) {
     // The document-independent criterion (one point, not a curve).
     group.bench_function("criterion_once", |b| {
         b.iter(|| {
-            let r = check_independence(&fd1, &class, Some(&schema));
+            let r = fresh_independence(&fd1, &class, Some(&schema));
             assert!(r.verdict.is_independent());
             r.automaton_size
         })
@@ -108,7 +109,7 @@ fn bench_strategies(c: &mut Criterion) {
     many.finish();
 
     // The scheduling-table deployment: a whole FD-set × class-set matrix.
-    // `analyze_matrix` shares schema/pattern compilation and the guard
+    // The matrix shares schema/pattern compilation and the guard
     // partition across cells and runs them on worker threads; the eager
     // baseline pays the full per-cell pipeline.
     let fds: Vec<_> = [1usize, 2, 4]
@@ -127,7 +128,7 @@ fn bench_strategies(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(3));
     matrix.bench_function("matrix_3x3_lazy_shared", |b| {
-        b.iter(|| analyze_matrix(&fd_refs, &class_refs, Some(&schema)).independent_count())
+        b.iter(|| fresh_matrix(&fd_refs, &class_refs, Some(&schema)).independent_count())
     });
     matrix.bench_function("matrix_3x3_eager_cells", |b| {
         b.iter(|| {

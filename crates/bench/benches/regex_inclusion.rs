@@ -4,17 +4,17 @@
 //! `η_n = (a|b)*·a·(a|b)ⁿ` (its minimal DFA has 2ⁿ⁺¹ states), compares the
 //! classical and antichain engines, and contrasts both with the
 //! *polynomial* IC running on reduction gadgets of the same size.
-// Intentionally on the deprecated free functions: they recompile the
-// automata every iteration, which is the cost these timings have always
-// measured. Migrating to the caching `Analyzer` would change the workload
-// and invalidate comparisons against the committed baselines.
-#![allow(deprecated)]
+// Each iteration runs on a fresh `Analyzer` (`regtree_bench::fresh_*`):
+// the automata are recompiled every call, which is the cost these timings
+// have always measured. Reusing one cached `Analyzer` across iterations
+// would change the workload and invalidate the committed baselines.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use regtree_automata::{inclusion, parse_regex, Dfa, Nfa, Regex};
-use regtree_core::{build_patterns, check_independence, gadget_alphabet};
+use regtree_bench::fresh_independence;
+use regtree_core::{build_patterns, gadget_alphabet};
 
 /// `(a|b)* a (a|b)^n` over the gadget labels B, D.
 fn hard_regex(n: usize) -> String {
@@ -67,7 +67,7 @@ fn bench_inclusion(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ic_on_gadgets", n), &n, |b, _| {
             b.iter(|| {
                 let (fd, class) = build_patterns(&a, &eta_r, &etap_r);
-                check_independence(&fd, &class, None).ic_states
+                fresh_independence(&fd, &class, None).ic_states
             })
         });
     }

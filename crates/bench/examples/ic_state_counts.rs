@@ -9,18 +9,18 @@
 //! sweep through an [`regtree_core::Analyzer`] wired to a
 //! [`regtree_core::SummarySink`] and prints flat
 //! `phases/<axis>/<point>/<phase>_{count,nanos}` per-phase wall-time rows.
-// Intentionally on the deprecated free functions: they recompile the
-// automata every iteration, which is the cost these timings have always
-// measured. Migrating to the caching `Analyzer` would change the workload
-// and invalidate comparisons against the committed baselines. (The
-// `--phases` mode is the exception: span hooks only exist on the governed
-// engine, and its rows are wall-time breakdowns, not baseline counters.)
-#![allow(deprecated)]
+// Each point runs on a fresh `Analyzer` (`regtree_bench::fresh_independence`):
+// the automata are recompiled every call, which is the workload the
+// committed baselines record. (The `--phases` mode reuses one `Analyzer`
+// per point: span hooks only exist on the governed engine, and its rows
+// are wall-time breakdowns, not baseline counters.)
 
 use std::sync::Arc;
 
-use regtree_bench::{chain_schema, fd_with_conditions, padded_alphabet, update_chain};
-use regtree_core::{check_independence, Analyzer, Fd, SpanKind, SummarySink, UpdateClass};
+use regtree_bench::{
+    chain_schema, fd_with_conditions, fresh_independence, padded_alphabet, update_chain,
+};
+use regtree_core::{Analyzer, Fd, SpanKind, SummarySink, UpdateClass};
 use regtree_hedge::Schema;
 
 fn main() {
@@ -93,7 +93,7 @@ fn point(
         phase_rows(axis, p, fd, class, schema);
         return;
     }
-    let r = check_independence(fd, class, schema);
+    let r = fresh_independence(fd, class, schema);
     row(axis, p, &r, machine);
 }
 

@@ -2,8 +2,6 @@
 //! fixed iteration counts, median-of-runs, no criterion machinery. Useful
 //! when iterating on the engine; `scripts/bench_json.sh` remains the
 //! source of truth for committed numbers.
-#![allow(deprecated)]
-
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -60,21 +58,23 @@ fn allocs() {
         std::hint::black_box(schema8.compile());
     });
     count("full update_depth/3", &mut || {
-        std::hint::black_box(check_independence(&fd, &u3, None));
+        std::hint::black_box(fresh_independence(&fd, &u3, None));
     });
     count("full update_depth/6", &mut || {
-        std::hint::black_box(check_independence(&fd, &u6, None));
+        std::hint::black_box(fresh_independence(&fd, &u6, None));
     });
     count("full schema_rules/8", &mut || {
-        std::hint::black_box(check_independence(&fd, &u2, Some(&schema8)));
+        std::hint::black_box(fresh_independence(&fd, &u2, Some(&schema8)));
     });
     count("full schema_rules/16", &mut || {
-        std::hint::black_box(check_independence(&fd, &u2, Some(&schema16)));
+        std::hint::black_box(fresh_independence(&fd, &u2, Some(&schema16)));
     });
 }
 
-use regtree_bench::{chain_schema, fd_with_conditions, padded_alphabet, update_chain};
-use regtree_core::{check_independence, Analyzer, SpanKind, SummarySink};
+use regtree_bench::{
+    chain_schema, fd_with_conditions, fresh_independence, padded_alphabet, update_chain,
+};
+use regtree_core::{Analyzer, SpanKind, SummarySink};
 
 /// Times the individual compile-side pieces of one sweep point.
 fn pieces() {
@@ -213,7 +213,7 @@ fn grid() {
         let fd = fd_with_conditions(&a, k as usize);
         let u2 = update_chain(&a, 2);
         let ns = min_point(&mut || {
-            std::hint::black_box(check_independence(&fd, &u2, None));
+            std::hint::black_box(fresh_independence(&fd, &u2, None));
         });
         results.push((format!("fd_conditions/{k}"), ns, base));
     }
@@ -221,7 +221,7 @@ fn grid() {
         let fd = fd_with_conditions(&a, 2);
         let u = update_chain(&a, d as usize);
         let ns = min_point(&mut || {
-            std::hint::black_box(check_independence(&fd, &u, None));
+            std::hint::black_box(fresh_independence(&fd, &u, None));
         });
         results.push((format!("update_depth/{d}"), ns, base));
     }
@@ -230,7 +230,7 @@ fn grid() {
         let fd = fd_with_conditions(&ax, 2);
         let u2 = update_chain(&ax, 2);
         let ns = min_point(&mut || {
-            std::hint::black_box(check_independence(&fd, &u2, None));
+            std::hint::black_box(fresh_independence(&fd, &u2, None));
         });
         results.push((format!("alphabet/{extra}"), ns, base));
     }
@@ -239,7 +239,7 @@ fn grid() {
         let u2 = update_chain(&a, 2);
         let schema = chain_schema(&a, n as usize);
         let ns = min_point(&mut || {
-            std::hint::black_box(check_independence(&fd, &u2, Some(&schema)));
+            std::hint::black_box(fresh_independence(&fd, &u2, Some(&schema)));
         });
         results.push((format!("schema_rules/{n}"), ns, base));
     }
@@ -316,26 +316,26 @@ fn main() {
     let u2 = update_chain(&a, 2);
     let schema32 = chain_schema(&a, 32);
     time_point("schema_rules/32", 50, &mut || {
-        std::hint::black_box(check_independence(&fd, &u2, Some(&schema32)));
+        std::hint::black_box(fresh_independence(&fd, &u2, Some(&schema32)));
     });
     let u9 = update_chain(&a, 9);
     time_point("update_depth/9", 50, &mut || {
-        std::hint::black_box(check_independence(&fd, &u9, None));
+        std::hint::black_box(fresh_independence(&fd, &u9, None));
     });
     let fd6 = fd_with_conditions(&a, 6);
     time_point("fd_conditions/6", 50, &mut || {
-        std::hint::black_box(check_independence(&fd6, &u2, None));
+        std::hint::black_box(fresh_independence(&fd6, &u2, None));
     });
     let a0 = padded_alphabet(0);
     let fd0 = fd_with_conditions(&a0, 2);
     let u0 = update_chain(&a0, 2);
     time_point("alphabet/0", 50, &mut || {
-        std::hint::black_box(check_independence(&fd0, &u0, None));
+        std::hint::black_box(fresh_independence(&fd0, &u0, None));
     });
     let a800 = padded_alphabet(800);
     let fd8 = fd_with_conditions(&a800, 2);
     let u8x = update_chain(&a800, 2);
     time_point("alphabet/800", 50, &mut || {
-        std::hint::black_box(check_independence(&fd8, &u8x, None));
+        std::hint::black_box(fresh_independence(&fd8, &u8x, None));
     });
 }

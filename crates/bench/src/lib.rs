@@ -13,7 +13,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use regtree_alphabet::Alphabet;
-use regtree_core::{update_class_from_edges, Fd, FdBuilder, PathFd, UpdateClass};
+use regtree_core::{
+    update_class_from_edges, Analyzer, Fd, FdBuilder, IndependenceAnalysis, IndependenceMatrix,
+    PathFd, UpdateClass,
+};
+use regtree_hedge::Schema;
 use regtree_pattern::{RegularTreePattern, Template};
 use regtree_xml::Document;
 
@@ -133,6 +137,38 @@ pub fn padded_alphabet(extra: usize) -> Alphabet {
         a.intern(&format!("filler{i}"));
     }
     a
+}
+
+/// The independence criterion on a **fresh** [`Analyzer`]: every automaton
+/// is recompiled, which is the per-call cost the scaling benches have
+/// always measured. (The caching `Analyzer` path would amortize
+/// compilation across iterations and invalidate comparisons against the
+/// committed baselines.)
+pub fn fresh_independence(
+    fd: &Fd,
+    class: &UpdateClass,
+    schema: Option<&Schema>,
+) -> IndependenceAnalysis {
+    let mut b = Analyzer::builder();
+    if let Some(s) = schema {
+        b = b.schema(s.clone());
+    }
+    b.build().independence(fd, class)
+}
+
+/// The batch matrix on a **fresh** [`Analyzer`]: each call pays schema and
+/// pattern compilation once and shares it across cells — the workload of
+/// the removed `analyze_matrix` free function.
+pub fn fresh_matrix(
+    fds: &[(&str, &Fd)],
+    classes: &[(&str, &UpdateClass)],
+    schema: Option<&Schema>,
+) -> IndependenceMatrix {
+    let mut b = Analyzer::builder();
+    if let Some(s) = schema {
+        b = b.schema(s.clone());
+    }
+    b.build().matrix(fds, classes)
 }
 
 #[cfg(test)]

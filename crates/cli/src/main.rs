@@ -37,10 +37,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use regtree_alphabet::Alphabet;
+use regtree_core::api::{
+    DocumentChecks, FdCheckOutcome, FdCheckResponse, IndependenceResponse, MatrixResponse,
+    MinimizeResponse,
+};
 use regtree_core::{
-    Analyzer, CellProvenance, ChromeTraceSink, EventKind, FdOutcome, FdSet, PathFd, RunLimits,
-    RunMetrics, SpanId, SpanKind, SummarySink, TraceFormat, TraceSummary, Tracer, UpdateClass,
-    Verdict,
+    Analyzer, ChromeTraceSink, EventKind, FdOutcome, FdSet, PathFd, RunLimits, RunMetrics, SpanId,
+    SpanKind, SummarySink, TraceFormat, TraceSummary, Tracer, UpdateClass, Verdict,
 };
 use regtree_hedge::Schema;
 use regtree_pattern::parse_corexpath;
@@ -460,62 +463,29 @@ fn cmd_fd_check(args: &[&str]) -> Result<String, CliError> {
     // exhaustion exits still produce it.
     let phases = tracing.finish()?;
     let out = if json {
-        // Machine-readable mode: stdout is exactly one JSON document.
-        let mut out = String::from("{\n  \"documents\": [");
-        for (di, (path, doc, report)) in reports.iter().enumerate() {
-            let sep = if di == 0 { "" } else { "," };
-            write!(
-                out,
-                "{sep}\n    {{\n      \"path\": {},\n      \"checks\": [",
-                json_escape(path)
-            )
-            .expect("write to string");
-            for (ci, (name, outcome)) in names.iter().zip(&report.outcomes).enumerate() {
-                let sep = if ci == 0 { "" } else { "," };
-                let (verdict, exhausted, violation) = match outcome {
-                    FdOutcome::Satisfied => ("satisfied", "null".to_string(), "null".to_string()),
-                    FdOutcome::Violated(v) => (
-                        "violated",
-                        "null".to_string(),
-                        json_escape(&v.describe(doc)),
-                    ),
-                    FdOutcome::Unknown { exhausted, .. } => (
-                        "unknown",
-                        format!("\"{}\"", exhausted.name()),
-                        "null".to_string(),
-                    ),
-                    other => (
-                        "unknown",
-                        json_escape(&format!("{other:?}")),
-                        "null".to_string(),
-                    ),
-                };
-                write!(
-                    out,
-                    "{sep}\n        {{ \"fd\": {}, \"outcome\": \"{verdict}\", \"exhausted\": {exhausted}, \"violation\": {violation} }}",
-                    json_escape(name)
-                )
-                .expect("write to string");
-            }
-            out.push_str("\n      ]\n    }");
-        }
-        write!(
-            out,
-            "\n  ],\n  \"all_satisfied\": {},\n  \"exhausted\": {}",
-            !failed && !ran_out,
-            ran_out
-        )
-        .expect("write to string");
-        if flags.stats {
-            out.push_str(",\n  \"metrics\": ");
-            out.push_str(&metrics_json(&totals, "  "));
-        }
-        if let Some(s) = &phases {
-            out.push_str(",\n  \"phases\": ");
-            out.push_str(&phases_json(s, "  "));
-        }
-        out.push_str("\n}\n");
-        out
+        // Machine-readable mode: stdout is exactly one JSON document in the
+        // shared `regtree_core::api` shape (the same one `rtpserved` serves).
+        let documents = reports
+            .iter()
+            .map(|(path, doc, report)| DocumentChecks {
+                path: (*path).clone(),
+                checks: names
+                    .iter()
+                    .zip(&report.outcomes)
+                    .map(|(name, outcome)| {
+                        let violation = match outcome {
+                            FdOutcome::Violated(v) => Some(v.describe(doc)),
+                            _ => None,
+                        };
+                        FdCheckOutcome::from_outcome(name, outcome, violation)
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mut resp = FdCheckResponse::from_documents(documents);
+        resp.metrics = flags.stats.then_some(totals);
+        resp.phases = phases.clone();
+        format!("{}\n", resp.to_json().to_pretty())
     } else {
         let mut out = String::new();
         for (path, doc, report) in &reports {
@@ -583,126 +553,6 @@ fn cmd_eval(args: &[&str]) -> Result<String, CliError> {
     Ok(out)
 }
 
-struct IndependenceReport {
-    independent: bool,
-    /// The exhausted resource's machine name, when the run was cut short.
-    exhausted: Option<&'static str>,
-    ic_states: usize,
-    automaton_size: usize,
-    explored_states: usize,
-    witness_xml: Option<String>,
-    /// Work counters, included when `--stats` was given.
-    metrics: Option<RunMetrics>,
-    /// Per-phase wall-time breakdown, included when `--stats-verbose` was
-    /// given.
-    phases: Option<TraceSummary>,
-}
-
-impl IndependenceReport {
-    /// Pretty-printed JSON (two-space indent, serde_json style). Rendered by
-    /// hand: this build is offline and does not vendor a JSON serializer for
-    /// one fixed-shape report.
-    fn to_json_pretty(&self) -> String {
-        let witness = match &self.witness_xml {
-            Some(xml) => json_escape(xml),
-            None => "null".to_string(),
-        };
-        let exhausted = match self.exhausted {
-            Some(name) => format!("\"{name}\""),
-            None => "null".to_string(),
-        };
-        let mut out = format!(
-            "{{\n  \"independent\": {},\n  \"exhausted\": {},\n  \"ic_states\": {},\n  \"automaton_size\": {},\n  \"explored_states\": {},\n  \"witness_xml\": {}",
-            self.independent,
-            exhausted,
-            self.ic_states,
-            self.automaton_size,
-            self.explored_states,
-            witness
-        );
-        if let Some(m) = &self.metrics {
-            out.push_str(",\n  \"metrics\": ");
-            out.push_str(&metrics_json(m, "  "));
-        }
-        if let Some(s) = &self.phases {
-            out.push_str(",\n  \"phases\": ");
-            out.push_str(&phases_json(s, "  "));
-        }
-        out.push_str("\n}");
-        out
-    }
-}
-
-/// JSON object for a [`RunMetrics`], nested one level below `indent`.
-fn metrics_json(m: &RunMetrics, indent: &str) -> String {
-    format!(
-        "{{\n{indent}  \"states_interned\": {},\n{indent}  \"transitions_fired\": {},\n{indent}  \"guard_intersections\": {},\n{indent}  \"dfa_steps\": {},\n{indent}  \"frontier_pushes\": {},\n{indent}  \"memo_entries\": {},\n{indent}  \"memo_hits\": {},\n{indent}  \"verdicts_reused\": {},\n{indent}  \"compile_nanos\": {},\n{indent}  \"search_nanos\": {}\n{indent}}}",
-        m.states_interned,
-        m.transitions_fired,
-        m.guard_intersections,
-        m.dfa_steps,
-        m.frontier_pushes,
-        m.memo_entries,
-        m.memo_hits,
-        m.verdicts_reused,
-        m.compile_nanos,
-        m.search_nanos,
-    )
-}
-
-/// JSON object for a [`TraceSummary`] (`--stats-verbose` in JSON mode):
-/// per-phase span counts with total wall time, plus event totals. Every
-/// phase and event is present — zero counts included — so the shape is
-/// stable for downstream parsers.
-fn phases_json(s: &TraceSummary, indent: &str) -> String {
-    let mut out = format!("{{\n{indent}  \"spans\": {{");
-    for (i, kind) in SpanKind::ALL.into_iter().enumerate() {
-        let stats = s.span(kind);
-        let sep = if i == 0 { "" } else { "," };
-        write!(
-            out,
-            "{sep}\n{indent}    \"{}\": {{ \"count\": {}, \"total_nanos\": {} }}",
-            kind.name(),
-            stats.count,
-            stats.total_nanos
-        )
-        .expect("write to string");
-    }
-    write!(out, "\n{indent}  }},\n{indent}  \"events\": {{").expect("write to string");
-    for (i, kind) in EventKind::ALL.into_iter().enumerate() {
-        let sep = if i == 0 { "" } else { "," };
-        write!(
-            out,
-            "{sep}\n{indent}    \"{}\": {}",
-            kind.name(),
-            s.event_count(kind)
-        )
-        .expect("write to string");
-    }
-    write!(out, "\n{indent}  }}\n{indent}}}").expect("write to string");
-    out
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
     let json = flags.wants_json()?;
@@ -720,23 +570,17 @@ fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
     let (analyzer, with_schema) = build_analyzer(&alphabet, &flags, &tracing)?;
     let analysis = analyzer.independence(&fd, &class);
     let phases = tracing.finish()?;
-    let report = IndependenceReport {
-        independent: analysis.verdict.is_independent(),
-        exhausted: analysis.verdict.exhausted().map(|r| r.name()),
-        ic_states: analysis.ic_states,
-        automaton_size: analysis.automaton_size,
-        explored_states: analysis.explored_states,
-        witness_xml: match &analysis.verdict {
-            Verdict::Unknown {
-                witness: Some(doc), ..
-            } => Some(to_xml_with(doc, SerializeOptions { indent: true })),
-            _ => None,
-        },
-        metrics: flags.stats.then_some(analysis.metrics),
-        phases,
+    let witness_xml = match &analysis.verdict {
+        Verdict::Unknown {
+            witness: Some(doc), ..
+        } => Some(to_xml_with(doc, SerializeOptions { indent: true })),
+        _ => None,
     };
+    let mut report = IndependenceResponse::from_analysis(&analysis, witness_xml);
+    report.metrics = flags.stats.then_some(analysis.metrics);
+    report.phases = phases;
     let out = if json {
-        format!("{}\n", report.to_json_pretty())
+        format!("{}\n", report.to_json().to_pretty())
     } else {
         let mut out = String::new();
         if report.independent {
@@ -827,38 +671,21 @@ fn cmd_fds_minimize(args: &[&str]) -> Result<String, CliError> {
     }
     let min = set.minimize(&flags.limits()?);
     let out = if json {
-        let mut out = String::from("{\n  \"kept\": [");
-        for (i, &k) in min.kept.iter().enumerate() {
-            let sep = if i == 0 { "" } else { ", " };
-            write!(out, "{sep}{}", json_escape(set.name(k))).expect("write to string");
+        // Machine-readable mode: stdout is exactly one JSON document. On
+        // the PARTIAL (exit 3) path the human-readable note goes to stderr,
+        // matching the independence/matrix convention.
+        if let Some(r) = min.exhausted {
+            eprintln!(
+                "note: PARTIAL — closure budget exhausted ({r}); recorded \
+                 drops are proven, further drops may have been missed"
+            );
         }
-        out.push_str("],\n  \"dropped\": [");
-        for (i, d) in min.dropped.iter().enumerate() {
-            let sep = if i == 0 { "" } else { "," };
-            let by =
-                d.by.iter()
-                    .map(|&j| json_escape(set.name(j)))
-                    .collect::<Vec<_>>()
-                    .join(", ");
-            write!(
-                out,
-                "{sep}\n    {{ \"fd\": {}, \"implied_by\": [{by}] }}",
-                json_escape(set.name(d.index))
-            )
-            .expect("write to string");
-        }
-        let exhausted = match min.exhausted {
-            Some(r) => format!("\"{}\"", r.name()),
-            None => "null".to_string(),
-        };
-        write!(
-            out,
-            "\n  ],\n  \"total\": {},\n  \"complete\": {},\n  \"exhausted\": {exhausted}\n}}\n",
-            set.len(),
-            min.is_complete()
+        format!(
+            "{}\n",
+            MinimizeResponse::from_minimization(&min, &set)
+                .to_json()
+                .to_pretty()
         )
-        .expect("write to string");
-        out
     } else {
         let mut out = String::new();
         writeln!(
@@ -942,75 +769,12 @@ fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
         totals.merge(&cell.metrics);
     }
     let out = if json {
-        let mut out = String::from("{\n  \"fds\": [");
-        for (i, (name, _)) in fd_refs.iter().enumerate() {
-            let sep = if i == 0 { "" } else { ", " };
-            write!(out, "{sep}{}", json_escape(name)).expect("write to string");
-        }
-        out.push_str("],\n  \"updates\": [");
-        for (i, (name, _)) in class_refs.iter().enumerate() {
-            let sep = if i == 0 { "" } else { ", " };
-            write!(out, "{sep}{}", json_escape(name)).expect("write to string");
-        }
-        out.push_str("],\n  \"cells\": [");
-        for (i, cell) in matrix.cells.iter().enumerate() {
-            let sep = if i == 0 { "" } else { "," };
-            let verdict = match &cell.provenance {
-                // Implied rows carry no criterion verdict.
-                CellProvenance::ImpliedRow { .. } => "implied",
-                _ if cell.verdict.is_independent() => "independent",
-                _ if cell.verdict.exhausted().is_some() => "unknown",
-                _ => "recheck",
-            };
-            let cell_exhausted = match cell.verdict.exhausted() {
-                Some(r) => format!("\"{}\"", r.name()),
-                None => "null".to_string(),
-            };
-            let provenance = match &cell.provenance {
-                CellProvenance::Computed => "\"computed\"".to_string(),
-                CellProvenance::ImpliedRow { by } => format!(
-                    "\"implied\", \"implied_by\": [{}]",
-                    by.iter()
-                        .map(|&j| json_escape(&matrix.fd_names[j]))
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ),
-                CellProvenance::ReusedFrom { fd } => format!(
-                    "\"reused\", \"reused_from\": {}",
-                    json_escape(&matrix.fd_names[*fd])
-                ),
-                other => json_escape(&format!("{other:?}")),
-            };
-            write!(
-                out,
-                "{sep}\n    {{ \"fd\": {}, \"update\": {}, \"verdict\": \"{verdict}\", \"exhausted\": {cell_exhausted}, \"provenance\": {provenance}, \"explored_states\": {}, \"automaton_size\": {} }}",
-                json_escape(&matrix.fd_names[cell.fd]),
-                json_escape(&matrix.class_names[cell.class]),
-                cell.explored_states,
-                cell.automaton_size
-            )
-            .expect("write to string");
-        }
-        write!(
-            out,
-            "\n  ],\n  \"pairs\": {pairs},\n  \"independent_pairs\": {},\n  \"recheck_pairs\": {},\n  \"exhausted_pairs\": {exhausted},\n  \"computed_cells\": {},\n  \"reused_cells\": {},\n  \"implied_rows\": {}",
-            matrix.independent_count(),
-            matrix.recheck_count(),
-            matrix.computed_count(),
-            matrix.reused_count(),
-            matrix.implied_row_count()
-        )
-        .expect("write to string");
-        if flags.stats {
-            out.push_str(",\n  \"metrics\": ");
-            out.push_str(&metrics_json(&totals, "  "));
-        }
-        if let Some(s) = &phases {
-            out.push_str(",\n  \"phases\": ");
-            out.push_str(&phases_json(s, "  "));
-        }
-        out.push_str("\n}\n");
-        out
+        // Machine-readable mode: stdout is exactly one JSON document in the
+        // shared `regtree_core::api` shape (the same one `rtpserved` serves).
+        let mut resp = MatrixResponse::from_matrix(&matrix);
+        resp.metrics = flags.stats.then_some(totals);
+        resp.phases = phases.clone();
+        format!("{}\n", resp.to_json().to_pretty())
     } else {
         let mut out = matrix.to_string();
         let explored: usize = matrix.cells.iter().map(|c| c.explored_states).sum();

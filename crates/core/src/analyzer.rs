@@ -2,10 +2,9 @@
 //! surface — independence checks, batch matrices, and FD satisfaction —
 //! with shared compiled state, resource budgets, metrics, and cancellation.
 //!
-//! The free functions this crate grew up with (`check_independence`,
-//! `analyze_matrix`, `check_fds_parallel`, …) recompile the schema hedge
-//! automaton and the pattern automata on every call. An `Analyzer` is built
-//! once per (schema, limits) configuration and amortizes:
+//! Standalone entry points would recompile the schema hedge automaton and
+//! the pattern automata on every call. An `Analyzer` is built once per
+//! (schema, limits) configuration and amortizes:
 //!
 //! * the compiled schema automaton (`A_S` of Proposition 3), compiled at
 //!   build time;
@@ -42,6 +41,7 @@ use regtree_pattern::{compile_pattern, PatternAutomaton, RegularTreePattern};
 use regtree_runtime::{Budget, CancelToken, RunLimits, SpanKind, Stopwatch, TraceHandle, Tracer};
 use regtree_xml::Document;
 
+use crate::error::Error;
 use crate::fd::Fd;
 use crate::fdset::FdSet;
 use crate::independence::{check_independence_governed, IndependenceAnalysis};
@@ -150,8 +150,73 @@ impl AnalyzerBuilder {
     }
 }
 
+/// Per-call overrides of an [`Analyzer`]'s run governance: tighter (or
+/// different) [`RunLimits`] and a dedicated [`CancelToken`] for one call,
+/// while the compiled schema and pattern caches stay shared.
+///
+/// This is what lets a long-lived service hold one `Analyzer` per session
+/// and still give every request its own budget and cancellation scope —
+/// the builder-time token would cancel *every* in-flight call at once.
+/// Absent fields fall back to the analyzer's builder-time configuration.
+///
+/// ```
+/// use regtree_core::{Analyzer, FdBuilder, update_class_from_edges};
+/// use regtree_core::{CancelToken, Resource, RunLimits, RunOverrides};
+/// use regtree_alphabet::Alphabet;
+///
+/// let a = Alphabet::new();
+/// let fd = FdBuilder::new(a.clone())
+///     .context("catalog").condition("item/sku").target("item/price")
+///     .build().unwrap();
+/// let reprice = update_class_from_edges(&a, &["catalog/item/price"]).unwrap();
+/// let analyzer = Analyzer::builder().build();
+///
+/// // A pre-cancelled request aborts immediately…
+/// let token = CancelToken::new();
+/// token.cancel();
+/// let run = RunOverrides::new().cancel_token(token);
+/// let analysis = analyzer.independence_with(&fd, &reprice, &run);
+/// assert_eq!(analysis.verdict.exhausted(), Some(Resource::Cancelled));
+///
+/// // …while the analyzer itself is untouched for the next caller.
+/// assert!(!analyzer.independence(&fd, &reprice).verdict.is_independent());
+/// ```
+#[derive(Clone, Default)]
+pub struct RunOverrides {
+    limits: Option<RunLimits>,
+    cancel: Option<CancelToken>,
+}
+
+impl RunOverrides {
+    /// No overrides: the call runs under the analyzer's own configuration.
+    pub fn new() -> RunOverrides {
+        RunOverrides::default()
+    }
+
+    /// Budgets for this call, replacing the analyzer's limits.
+    pub fn limits(mut self, limits: RunLimits) -> RunOverrides {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Cancellation token for this call, replacing the analyzer's token.
+    pub fn cancel_token(mut self, token: CancelToken) -> RunOverrides {
+        self.cancel = Some(token);
+        self
+    }
+}
+
 /// A reusable, thread-safe front end over independence analysis, batch
 /// matrices, and FD satisfaction checking. See the [module docs](self).
+///
+/// # Schema contract
+///
+/// [`AnalyzerBuilder::build`] is infallible: an analyzer without a schema
+/// is fully functional, running every analysis schema-free (all documents
+/// admitted). The entry points that *require* a schema —
+/// [`Analyzer::validate`] and [`Analyzer::try_schema`] — return the typed
+/// [`Error::NoSchema`] instead of panicking, so embedding services can map
+/// the condition to a protocol error.
 pub struct Analyzer {
     schema: Option<Schema>,
     schema_auto: Option<std::sync::Arc<HedgeAutomaton>>,
@@ -200,20 +265,61 @@ impl Analyzer {
         Arc::clone(self.patterns.lock().entry(key).or_insert(compiled))
     }
 
-    /// A per-run budget honoring the analyzer's limits, cancel token and
-    /// trace handle.
-    fn budget(&self) -> Budget {
-        let mut b = Budget::new(&self.limits).with_trace(self.trace.clone());
-        if let Some(c) = &self.cancel {
+    /// The limits and cancel token effective for one call: the override
+    /// when present, the analyzer's configuration otherwise.
+    fn effective<'a>(&'a self, run: &'a RunOverrides) -> (&'a RunLimits, Option<&'a CancelToken>) {
+        (
+            run.limits.as_ref().unwrap_or(&self.limits),
+            run.cancel.as_ref().or(self.cancel.as_ref()),
+        )
+    }
+
+    /// A per-run budget honoring the effective limits, cancel token and
+    /// the analyzer's trace handle.
+    fn budget(&self, run: &RunOverrides) -> Budget {
+        let (limits, cancel) = self.effective(run);
+        let mut b = Budget::new(limits).with_trace(self.trace.clone());
+        if let Some(c) = cancel {
             b = b.with_cancel(c.clone());
         }
         b
     }
 
+    /// The schema analyses run against, or [`Error::NoSchema`] when the
+    /// analyzer was built without one. The typed counterpart of
+    /// [`Analyzer::schema`] for callers that treat a missing schema as an
+    /// error (services answering `validate`-style requests).
+    pub fn try_schema(&self) -> Result<&Schema, Error> {
+        self.schema.as_ref().ok_or(Error::NoSchema)
+    }
+
+    /// Validates `doc` against the analyzer's schema.
+    ///
+    /// Returns [`Error::NoSchema`] when the analyzer was built without a
+    /// schema and [`Error::Validation`] when the document does not conform
+    /// — never panics. See the [schema contract](Analyzer#schema-contract).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regtree_core::{Analyzer, Error};
+    /// use regtree_alphabet::Alphabet;
+    /// use regtree_xml::parse_document;
+    ///
+    /// let a = Alphabet::new();
+    /// let doc = parse_document(&a, "<catalog></catalog>").unwrap();
+    /// let bare = Analyzer::builder().build();
+    /// assert!(matches!(bare.validate(&doc), Err(Error::NoSchema)));
+    /// ```
+    pub fn validate(&self, doc: &Document) -> Result<(), Error> {
+        self.try_schema()?.validate(doc)?;
+        Ok(())
+    }
+
     /// Runs the independence criterion for `fd` against `class` under the
     /// analyzer's schema and budgets.
     ///
-    /// Equivalent to the deprecated [`crate::check_independence`] when the
+    /// Verdict-identical to [`crate::check_independence_eager`] when the
     /// limits are unlimited; under finite budgets an undecided run returns
     /// `Verdict::Unknown { exhausted: Some(resource) }` instead of running
     /// to completion. [`IndependenceAnalysis::metrics`] is always populated.
@@ -240,6 +346,18 @@ impl Analyzer {
     /// assert!(!analyzer.independence(&fd, &reprice).verdict.is_independent());
     /// ```
     pub fn independence(&self, fd: &Fd, class: &UpdateClass) -> IndependenceAnalysis {
+        self.independence_with(fd, class, &RunOverrides::default())
+    }
+
+    /// [`Analyzer::independence`] with per-call [`RunOverrides`]: this
+    /// request runs under its own limits/cancel token while the compiled
+    /// schema and pattern caches stay shared.
+    pub fn independence_with(
+        &self,
+        fd: &Fd,
+        class: &UpdateClass,
+        run: &RunOverrides,
+    ) -> IndependenceAnalysis {
         let alphabet = fd.template().alphabet().clone();
         let compile = Stopwatch::start();
         let (pa_fd, pa_u) = {
@@ -258,7 +376,7 @@ impl Analyzer {
             self.schema_auto.as_deref(),
             None,
             None,
-            self.budget(),
+            self.budget(run),
             compile_nanos,
         )
     }
@@ -299,6 +417,16 @@ impl Analyzer {
         fds: &[(&str, &Fd)],
         classes: &[(&str, &UpdateClass)],
     ) -> IndependenceMatrix {
+        self.matrix_with(fds, classes, &RunOverrides::default())
+    }
+
+    /// [`Analyzer::matrix`] with per-call [`RunOverrides`].
+    pub fn matrix_with(
+        &self,
+        fds: &[(&str, &Fd)],
+        classes: &[(&str, &UpdateClass)],
+        run: &RunOverrides,
+    ) -> IndependenceMatrix {
         let compile = Stopwatch::start();
         let (pa_fds, pa_us) = {
             let _span = self.trace.span(SpanKind::Compile, "matrix rows/columns");
@@ -313,14 +441,15 @@ impl Analyzer {
             (pa_fds, pa_us)
         };
         let compile_nanos = compile.elapsed_nanos();
+        let (limits, cancel) = self.effective(run);
         analyze_matrix_governed(
             fds,
             classes,
             self.schema_auto.as_deref(),
             &pa_fds,
             &pa_us,
-            &self.limits,
-            self.cancel.as_ref(),
+            limits,
+            cancel,
             &self.trace,
             compile_nanos,
         )
@@ -376,11 +505,23 @@ impl Analyzer {
         fds: &[(&str, &Fd)],
         classes: &[(&str, &UpdateClass)],
     ) -> IndependenceMatrix {
+        self.matrix_pruned_with(fds, classes, &RunOverrides::default())
+    }
+
+    /// [`Analyzer::matrix_pruned`] with per-call [`RunOverrides`] (the
+    /// overridden limits also govern the implication closure).
+    pub fn matrix_pruned_with(
+        &self,
+        fds: &[(&str, &Fd)],
+        classes: &[(&str, &UpdateClass)],
+        run: &RunOverrides,
+    ) -> IndependenceMatrix {
+        let (limits, cancel) = self.effective(run);
         let mut set = FdSet::new();
         for (name, fd) in fds {
             set.push(*name, (*fd).clone());
         }
-        let minimization = set.minimize(&self.limits);
+        let minimization = set.minimize(limits);
         let compile = Stopwatch::start();
         let (pa_kept, pa_us) = {
             let _span = self
@@ -405,8 +546,8 @@ impl Analyzer {
             &minimization,
             &pa_kept,
             &pa_us,
-            &self.limits,
-            self.cancel.as_ref(),
+            limits,
+            cancel,
             &self.trace,
             compile_nanos,
         )
@@ -437,7 +578,13 @@ impl Analyzer {
     /// assert!(report.metrics.dfa_steps > 0);
     /// ```
     pub fn check_fds(&self, fds: &[Fd], doc: &Document) -> FdBatchReport {
-        check_fds_governed(fds, doc, &self.limits, self.cancel.as_ref(), &self.trace)
+        self.check_fds_with(fds, doc, &RunOverrides::default())
+    }
+
+    /// [`Analyzer::check_fds`] with per-call [`RunOverrides`].
+    pub fn check_fds_with(&self, fds: &[Fd], doc: &Document, run: &RunOverrides) -> FdBatchReport {
+        let (limits, cancel) = self.effective(run);
+        check_fds_governed(fds, doc, limits, cancel, &self.trace)
     }
 }
 

@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use regtree_hedge::ValidationError;
 use regtree_pattern::{PatternError, TemplateError};
 
 use crate::fd::FdError;
@@ -34,6 +35,12 @@ pub enum Error {
     Template(TemplateError),
     /// Assembling a regular tree pattern failed (bad selected tuple).
     Pattern(PatternError),
+    /// A schema-requiring entry point was called on an [`crate::Analyzer`]
+    /// built without a schema ([`crate::Analyzer::try_schema`],
+    /// [`crate::Analyzer::validate`]).
+    NoSchema,
+    /// A document failed schema validation.
+    Validation(ValidationError),
 }
 
 impl fmt::Display for Error {
@@ -45,6 +52,8 @@ impl fmt::Display for Error {
             Error::PathFd(e) => write!(f, "path FD: {e}"),
             Error::Template(e) => write!(f, "template: {e}"),
             Error::Pattern(e) => write!(f, "pattern: {e}"),
+            Error::NoSchema => write!(f, "analyzer was built without a schema"),
+            Error::Validation(e) => write!(f, "schema validation: {e}"),
         }
     }
 }
@@ -58,7 +67,15 @@ impl std::error::Error for Error {
             Error::PathFd(e) => Some(e),
             Error::Template(e) => Some(e),
             Error::Pattern(e) => Some(e),
+            Error::NoSchema => None,
+            Error::Validation(e) => Some(e),
         }
+    }
+}
+
+impl From<ValidationError> for Error {
+    fn from(e: ValidationError) -> Error {
+        Error::Validation(e)
     }
 }
 

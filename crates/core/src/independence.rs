@@ -349,7 +349,9 @@ pub(crate) fn check_independence_governed(
     }
 }
 
-/// Non-deprecated internal form of [`check_independence`] (unlimited budget).
+/// The lazy engine on freshly compiled inputs under an unlimited budget
+/// (in-crate form for `impact` and tests; external callers go through
+/// [`crate::analyzer::Analyzer`]).
 pub(crate) fn check_independence_internal(
     fd: &Fd,
     class: &UpdateClass,
@@ -374,27 +376,15 @@ pub(crate) fn check_independence_internal(
     )
 }
 
-/// Runs the independence criterion for `fd` against `class`, optionally in
-/// the context of a schema.
+/// The eager reference pipeline: materializes the full IC automaton, takes
+/// the eager schema product, and runs the emptiness fixpoint on the result.
 ///
-/// This is the lazy on-the-fly engine (`crate::lazy_ic`): it explores only
-/// the product states reachable bottom-up from realizable firings and exits
-/// as soon as an accepting root firing appears. The verdict always agrees
-/// with [`check_independence_eager`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use Analyzer::independence, which caches compiled automata and supports budgets"
-)]
-pub fn check_independence(
-    fd: &Fd,
-    class: &UpdateClass,
-    schema: Option<&Schema>,
-) -> IndependenceAnalysis {
-    check_independence_internal(fd, class, schema)
-}
-
-/// Non-deprecated internal form of [`check_independence_eager`].
-pub(crate) fn check_independence_eager_internal(
+/// This is **not** the production path — [`crate::Analyzer::independence`]
+/// runs the lazy on-the-fly engine — but it is kept public as the
+/// independent reference implementation: parity tests check the lazy
+/// engine's verdict against it, and it reports the exact `|A|` size of
+/// Proposition 3 (the lazy engine never materializes the product).
+pub fn check_independence_eager(
     fd: &Fd,
     class: &UpdateClass,
     schema: Option<&Schema>,
@@ -434,30 +424,6 @@ pub(crate) fn check_independence_eager_internal(
     }
 }
 
-/// The eager reference pipeline: materializes the full IC automaton, takes
-/// the eager schema product, and runs the emptiness fixpoint on the result.
-/// Kept for parity testing and for exact `|A|` size measurements
-/// (Proposition 3 experiments).
-#[deprecated(
-    since = "0.1.0",
-    note = "use Analyzer::independence; the eager pipeline remains available for parity testing"
-)]
-pub fn check_independence_eager(
-    fd: &Fd,
-    class: &UpdateClass,
-    schema: Option<&Schema>,
-) -> IndependenceAnalysis {
-    check_independence_eager_internal(fd, class, schema)
-}
-
-/// Convenience: is `fd` provably independent of `class` (under `schema`)?
-#[deprecated(since = "0.1.0", note = "use Analyzer::independence")]
-pub fn is_independent(fd: &Fd, class: &UpdateClass, schema: Option<&Schema>) -> bool {
-    check_independence_internal(fd, class, schema)
-        .verdict
-        .is_independent()
-}
-
 /// The *language membership* test of Definition 6, for a concrete document:
 /// is `doc` in `L`? Used to validate the automaton construction against a
 /// direct implementation in tests.
@@ -494,7 +460,6 @@ pub fn in_language_naive(fd: &Fd, class: &UpdateClass, doc: &Document) -> bool {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the deprecated wrappers stay covered by tests
 
     use super::*;
     use crate::fd::FdBuilder;
@@ -517,7 +482,7 @@ mod tests {
         let fd = fd_rank(&a);
         // Updates touch an unrelated area of the document.
         let class = update_class_from_edges(&a, &["archive/entry"]).unwrap();
-        let analysis = check_independence(&fd, &class, None);
+        let analysis = check_independence_internal(&fd, &class, None);
         assert!(analysis.verdict.is_independent(), "{analysis:?}");
     }
 
@@ -527,7 +492,7 @@ mod tests {
         let fd = fd_rank(&a);
         // Updates rewrite rank subtrees: directly in the FD's target region.
         let class = update_class_from_edges(&a, &["session/candidate/exam/rank"]).unwrap();
-        let analysis = check_independence(&fd, &class, None);
+        let analysis = check_independence_internal(&fd, &class, None);
         match analysis.verdict {
             Verdict::Unknown {
                 witness: Some(w), ..
@@ -544,7 +509,7 @@ mod tests {
         let fd = fd_rank(&a);
         // Candidate nodes are interior nodes of every FD trace.
         let class = update_class_from_edges(&a, &["session/candidate"]).unwrap();
-        let analysis = check_independence(&fd, &class, None);
+        let analysis = check_independence_internal(&fd, &class, None);
         assert!(!analysis.verdict.is_independent());
     }
 
@@ -555,7 +520,7 @@ mod tests {
         // 'level' subtrees are disjoint from exam discipline/rank subtrees
         // and never on an FD trace.
         let class = update_class_from_edges(&a, &["session/candidate/level"]).unwrap();
-        let analysis = check_independence(&fd, &class, None);
+        let analysis = check_independence_internal(&fd, &class, None);
         assert!(analysis.verdict.is_independent(), "{analysis:?}");
     }
 
@@ -585,7 +550,7 @@ mod tests {
         // trace, but the criterion needs the *updated node* in the region;
         // level subtrees are not in the FD region, so even without the
         // schema this is independent).
-        let no_schema = check_independence(&fd, &class, None);
+        let no_schema = check_independence_internal(&fd, &class, None);
         assert!(no_schema.verdict.is_independent());
         // With the paper's schema (toBePassed XOR firstJob-Year) it stays
         // independent — and remains so even if the update targets the whole
@@ -602,7 +567,7 @@ mod tests {
              firstJob-Year: #text\n",
         )
         .unwrap();
-        let with_schema = check_independence(&fd, &class, Some(&schema));
+        let with_schema = check_independence_internal(&fd, &class, Some(&schema));
         assert!(with_schema.verdict.is_independent());
     }
 
@@ -630,7 +595,7 @@ mod tests {
             UpdateClass::new(regtree_pattern::RegularTreePattern::monadic(tu, exam).unwrap())
                 .unwrap();
 
-        let without = check_independence(&fd, &class, None);
+        let without = check_independence_internal(&fd, &class, None);
         assert!(!without.verdict.is_independent(), "{without:?}");
 
         let schema = Schema::parse(
@@ -645,7 +610,7 @@ mod tests {
              firstJob-Year: #text\n",
         )
         .unwrap();
-        let with = check_independence(&fd, &class, Some(&schema));
+        let with = check_independence_internal(&fd, &class, Some(&schema));
         assert!(with.verdict.is_independent(), "{with:?}");
     }
 
@@ -673,7 +638,7 @@ mod tests {
         let a = Alphabet::new();
         let fd = fd_rank(&a);
         let class = update_class_from_edges(&a, &["x/y"]).unwrap();
-        let r = check_independence(&fd, &class, None);
+        let r = check_independence_internal(&fd, &class, None);
         assert!(r.ic_states > 0);
         assert!(r.automaton_size >= r.ic_states);
     }

@@ -25,6 +25,7 @@
 #![deny(missing_docs)]
 
 pub mod analyzer;
+pub mod api;
 pub mod error;
 pub mod fd;
 pub mod fdset;
@@ -40,22 +41,18 @@ pub mod satisfy;
 pub mod subsume;
 pub mod update;
 
-pub use analyzer::{Analyzer, AnalyzerBuilder};
+pub use analyzer::{Analyzer, AnalyzerBuilder, RunOverrides};
 pub use error::Error;
 pub use fd::{EqualityType, Fd, FdBuilder, FdError};
 pub use fdset::{DroppedFd, FdSet, Implication, Minimization};
 pub use impact::{classify_pair, search_impact, ImpactWitness, PairClassification};
-pub use independence::{build_ic_automaton, in_language_naive, IndependenceAnalysis, Verdict};
-#[allow(deprecated)]
-pub use independence::{check_independence, check_independence_eager, is_independent};
-#[allow(deprecated)]
-pub use matrix::analyze_matrix;
+pub use independence::{
+    build_ic_automaton, check_independence_eager, in_language_naive, IndependenceAnalysis, Verdict,
+};
 pub use matrix::{CellProvenance, IndependenceMatrix, MatrixCell};
 pub use pathfd::{expressible_in_path_formalism, Inexpressibility, PathFd, PathFdError};
 pub use reduction::{build_patterns, build_reduction, gadget_alphabet, ReductionInstance};
 pub use revalidate::{revalidate_full, revalidate_full_many, IncrementalChecker};
-#[allow(deprecated)]
-pub use satisfy::check_fds_parallel;
 pub use satisfy::{
     check_fd, check_fd_governed, check_fd_indexed, satisfies, FdBatchReport, FdOutcome, FdViolation,
 };

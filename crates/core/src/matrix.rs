@@ -2,7 +2,7 @@
 //!
 //! The practical deployment the paper motivates (and \[14\] addresses
 //! document-side) maintains a *set* of functional dependencies under a
-//! *set* of update classes. [`analyze_matrix`] runs the criterion for every
+//! *set* of update classes. [`crate::Analyzer::matrix`] runs the criterion for every
 //! pair and summarizes which FDs need re-verification after which update
 //! classes — the static complement of a validator's scheduling table.
 //!
@@ -34,11 +34,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use regtree_hedge::{CompiledAutomaton, GuardPartition, HedgeAutomaton, Schema};
-use regtree_pattern::{compile_pattern, parallel_map, PatternAutomaton};
-use regtree_runtime::{
-    Budget, CancelToken, RunLimits, RunMetrics, SpanKind, Stopwatch, TraceHandle,
-};
+use regtree_hedge::{CompiledAutomaton, GuardPartition, HedgeAutomaton};
+use regtree_pattern::{parallel_map, PatternAutomaton};
+use regtree_runtime::{Budget, CancelToken, RunLimits, RunMetrics, SpanKind, TraceHandle};
 
 use crate::fd::Fd;
 use crate::fdset::Minimization;
@@ -609,21 +607,24 @@ pub(crate) fn analyze_matrix_pruned_governed(
     }
 }
 
-/// Non-deprecated internal form of [`analyze_matrix`] (unlimited budget).
+/// The matrix on freshly compiled inputs under an unlimited budget
+/// (in-crate test form; external callers go through
+/// [`crate::Analyzer::matrix`]).
+#[cfg(test)]
 pub(crate) fn analyze_matrix_internal(
     fds: &[(&str, &Fd)],
     classes: &[(&str, &UpdateClass)],
-    schema: Option<&Schema>,
+    schema: Option<&regtree_hedge::Schema>,
 ) -> IndependenceMatrix {
-    let compile = Stopwatch::start();
+    let compile = regtree_runtime::Stopwatch::start();
     let schema_auto = schema.map(|s| s.compiled());
     let pa_fds: Vec<_> = fds
         .iter()
-        .map(|(_, fd)| Arc::new(compile_pattern(fd.pattern(), true)))
+        .map(|(_, fd)| Arc::new(regtree_pattern::compile_pattern(fd.pattern(), true)))
         .collect();
     let pa_us: Vec<_> = classes
         .iter()
-        .map(|(_, class)| Arc::new(compile_pattern(class.pattern(), false)))
+        .map(|(_, class)| Arc::new(regtree_pattern::compile_pattern(class.pattern(), false)))
         .collect();
     let compile_nanos = compile.elapsed_nanos();
     analyze_matrix_governed(
@@ -639,26 +640,8 @@ pub(crate) fn analyze_matrix_internal(
     )
 }
 
-/// Runs the criterion for every (FD, class) pair.
-///
-/// Shared work — schema compilation, pattern compilation per row/column, and
-/// the guard minterm partition — happens once up front; the cells themselves
-/// run in parallel on scoped worker threads.
-#[deprecated(
-    since = "0.1.0",
-    note = "use Analyzer::matrix, which caches compiled automata and supports budgets and cancellation"
-)]
-pub fn analyze_matrix(
-    fds: &[(&str, &Fd)],
-    classes: &[(&str, &UpdateClass)],
-    schema: Option<&Schema>,
-) -> IndependenceMatrix {
-    analyze_matrix_internal(fds, classes, schema)
-}
-
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the deprecated wrapper stays covered by tests
 
     use super::*;
     use crate::fd::FdBuilder;
@@ -687,7 +670,7 @@ mod tests {
     #[test]
     fn matrix_verdicts() {
         let (fds, classes) = setup();
-        let m = analyze_matrix(
+        let m = analyze_matrix_internal(
             &[("price", &fds[0]), ("name", &fds[1])],
             &[("restock", &classes[0]), ("reprice", &classes[1])],
             None,
@@ -707,7 +690,7 @@ mod tests {
     #[test]
     fn matrix_display_table() {
         let (fds, classes) = setup();
-        let m = analyze_matrix(
+        let m = analyze_matrix_internal(
             &[("price", &fds[0])],
             &[("restock", &classes[0]), ("reprice", &classes[1])],
             None,
@@ -721,7 +704,7 @@ mod tests {
     #[test]
     fn cells_carry_sizes() {
         let (fds, classes) = setup();
-        let m = analyze_matrix(&[("p", &fds[0])], &[("r", &classes[0])], None);
+        let m = analyze_matrix_internal(&[("p", &fds[0])], &[("r", &classes[0])], None);
         assert!(m.cell(0, 0).automaton_size > 0);
         assert!(m.cell(0, 0).explored_states > 0);
         assert!(m.cell(0, 0).explored_states <= m.cell(0, 0).automaton_size);
@@ -732,7 +715,7 @@ mod tests {
     #[test]
     fn cell_indexing_is_row_major() {
         let (fds, classes) = setup();
-        let m = analyze_matrix(
+        let m = analyze_matrix_internal(
             &[("price", &fds[0]), ("name", &fds[1])],
             &[("restock", &classes[0]), ("reprice", &classes[1])],
             None,
@@ -750,7 +733,7 @@ mod tests {
 
     #[test]
     fn empty_matrix() {
-        let m = analyze_matrix(&[], &[], None);
+        let m = analyze_matrix_internal(&[], &[], None);
         assert!(m.cells.is_empty());
         assert!(m.fd_names.is_empty());
         assert_eq!(m.independent_count(), 0);
@@ -898,7 +881,7 @@ mod tests {
     #[test]
     fn empty_rows_with_columns() {
         let (_, classes) = setup();
-        let m = analyze_matrix(&[], &[("restock", &classes[0])], None);
+        let m = analyze_matrix_internal(&[], &[("restock", &classes[0])], None);
         assert!(m.cells.is_empty());
         assert_eq!(m.class_names.len(), 1);
         assert!(m.fds_to_recheck(0).is_empty());

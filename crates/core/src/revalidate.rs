@@ -5,7 +5,8 @@
 //! much time it saves to launch the independence criterion instead of
 //! verifying the functional dependency again” — is answered by benchmarking
 //! [`revalidate_full`] (and the mildly smarter [`IncrementalChecker`])
-//! against `check_independence`; see `crates/bench/benches/ic_vs_revalidation.rs`.
+//! against [`crate::Analyzer::independence`]; see
+//! `crates/bench/benches/ic_vs_revalidation.rs`.
 
 use regtree_xml::{Document, NodeId};
 

@@ -256,7 +256,9 @@ impl FdBatchReport {
     }
 }
 
-/// Non-deprecated internal form of [`check_fds_parallel`].
+/// Checks many FDs on one document over scoped worker threads (the
+/// ungoverned engine behind [`crate::Analyzer::check_fds`] and the
+/// revalidation baseline).
 pub(crate) fn check_fds_parallel_internal(
     fds: &[Fd],
     doc: &Document,
@@ -297,19 +299,6 @@ pub(crate) fn check_fds_governed(
     }
     metrics.search_nanos = search.elapsed_nanos();
     FdBatchReport { outcomes, metrics }
-}
-
-/// Checks many FDs on one document over scoped worker threads.
-///
-/// The label index is built once and shared (read-only) by all workers;
-/// results are in `fds` order and agree exactly with [`check_fd`] run
-/// sequentially on each FD.
-#[deprecated(
-    since = "0.1.0",
-    note = "use Analyzer::check_fds, which supports budgets, cancellation and metrics"
-)]
-pub fn check_fds_parallel(fds: &[Fd], doc: &Document) -> Vec<Result<(), FdViolation>> {
-    check_fds_parallel_internal(fds, doc)
 }
 
 #[cfg(test)]

@@ -1,0 +1,175 @@
+//! Cold- vs warm-session latency of `rtpserved` over loopback TCP.
+//!
+//! Cold: every request pays the full `session/open` (schema compile) +
+//! `document/load` + `independence/check` + `session/close` chain — the
+//! one-shot CLI cost expressed on the wire. Warm: one session is opened
+//! and loaded once, then only `independence/check` requests are timed —
+//! the daemon's amortized steady state. Output is flat
+//! `serve/<mode>/<metric> <integer>` lines for `scripts/bench_json.sh`
+//! (latencies in nanoseconds).
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+use regtree_core::api::Json;
+use regtree_serve::rpc::{read_frame, write_message};
+use regtree_serve::{ServerConfig, Service, TcpServer};
+
+const COLD_ITERS: usize = 40;
+const WARM_ITERS: usize = 200;
+
+const FD: &str = "/session : candidate/exam/discipline, candidate/exam/mark -> candidate/exam/rank";
+const UPDATE: &str = "/session/candidate/level";
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    write: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            write: stream,
+            next_id: 1,
+        }
+    }
+
+    fn request(&mut self, method: &str, params: Json) -> Json {
+        let id = self.next_id;
+        self.next_id += 1;
+        let msg = obj(vec![
+            ("jsonrpc", Json::str("2.0")),
+            ("id", Json::u64(id)),
+            ("method", Json::str(method)),
+            ("params", params),
+        ]);
+        write_message(&mut self.write, &msg).expect("send");
+        loop {
+            let body = read_frame(&mut self.reader, usize::MAX >> 1).expect("read");
+            let resp = Json::parse(std::str::from_utf8(&body).expect("UTF-8")).expect("JSON");
+            if resp.get("id").and_then(Json::as_u64) == Some(id) {
+                let result = resp
+                    .get("result")
+                    .unwrap_or_else(|| panic!("request failed: {}", resp.to_compact()));
+                return result.clone();
+            }
+        }
+    }
+}
+
+fn open_and_load(client: &mut Client, schema: &str, xml: &str) -> u64 {
+    let open = client.request(
+        "session/open",
+        obj(vec![("schema", Json::str(schema.to_string()))]),
+    );
+    let session = open.get("sessionId").and_then(Json::as_u64).expect("id");
+    client.request(
+        "document/load",
+        obj(vec![
+            ("sessionId", Json::u64(session)),
+            ("name", Json::str("exam")),
+            ("xml", Json::str(xml.to_string())),
+        ]),
+    );
+    session
+}
+
+fn check(client: &mut Client, session: u64) {
+    let resp = client.request(
+        "independence/check",
+        obj(vec![
+            ("sessionId", Json::u64(session)),
+            ("fd", Json::str(FD)),
+            ("update", Json::str(UPDATE)),
+        ]),
+    );
+    assert_eq!(
+        resp.get("independent").and_then(Json::as_bool),
+        Some(true),
+        "the Figure 4 workload is independent"
+    );
+}
+
+fn percentile(sorted_ns: &[u128], pct: usize) -> u128 {
+    let idx = (sorted_ns.len() * pct / 100).min(sorted_ns.len() - 1);
+    sorted_ns[idx]
+}
+
+fn report(mode: &str, mut lat_ns: Vec<u128>, total_secs: f64) {
+    lat_ns.sort_unstable();
+    println!("serve/{mode}/requests {}", lat_ns.len());
+    println!("serve/{mode}/p50_ns {}", percentile(&lat_ns, 50));
+    println!("serve/{mode}/p99_ns {}", percentile(&lat_ns, 99));
+    println!(
+        "serve/{mode}/requests_per_sec {}",
+        (lat_ns.len() as f64 / total_secs).round() as u64
+    );
+}
+
+fn main() {
+    let schema = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../fixtures/exam.rts"
+    ))
+    .expect("schema fixture");
+    let xml = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../fixtures/session.xml"
+    ))
+    .expect("xml fixture");
+
+    let service = Arc::new(Service::new(ServerConfig::default()));
+    let server = TcpServer::bind("127.0.0.1:0", service).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    std::thread::spawn(move || server.run().expect("server"));
+    let mut client = Client::connect(addr);
+
+    // Warm the allocator, the interner, and the TCP path off the clock.
+    let session = open_and_load(&mut client, &schema, &xml);
+    for _ in 0..10 {
+        check(&mut client, session);
+    }
+    client.request(
+        "session/close",
+        obj(vec![("sessionId", Json::u64(session))]),
+    );
+
+    // Cold: the whole open → load → check → close chain, every time.
+    let mut cold = Vec::with_capacity(COLD_ITERS);
+    let cold_start = Instant::now();
+    for _ in 0..COLD_ITERS {
+        let t = Instant::now();
+        let session = open_and_load(&mut client, &schema, &xml);
+        check(&mut client, session);
+        client.request(
+            "session/close",
+            obj(vec![("sessionId", Json::u64(session))]),
+        );
+        cold.push(t.elapsed().as_nanos());
+    }
+    let cold_secs = cold_start.elapsed().as_secs_f64();
+
+    // Warm: one pinned session, only the checks are timed.
+    let session = open_and_load(&mut client, &schema, &xml);
+    let mut warm = Vec::with_capacity(WARM_ITERS);
+    let warm_start = Instant::now();
+    for _ in 0..WARM_ITERS {
+        let t = Instant::now();
+        check(&mut client, session);
+        warm.push(t.elapsed().as_nanos());
+    }
+    let warm_secs = warm_start.elapsed().as_secs_f64();
+
+    report("cold", cold, cold_secs);
+    report("warm", warm, warm_secs);
+    client.request("shutdown", Json::Null);
+}

@@ -1,0 +1,144 @@
+//! `rtpserved` — the long-lived analysis daemon.
+//!
+//! ```text
+//! rtpserved [--stdio]                 serve one client over stdin/stdout
+//! rtpserved --tcp ADDR               accept TCP clients (e.g. 127.0.0.1:4870)
+//!           --max-inflight N          global concurrent-request cap (default 64)
+//!           --max-payload BYTES       frame size cap (default 16 MiB)
+//!           --deadline-ms N           server-wide budget ceiling; every
+//!           --max-states N            request's effective limits are
+//!           --max-memo N              clamped to these, whatever the
+//!           --max-frontier N          session or request asked for
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use regtree_core::RunLimits;
+use regtree_serve::{serve_stdio, ServerConfig, Service, TcpServer};
+
+const USAGE: &str = "\
+rtpserved — long-lived JSON-RPC analysis service (regular tree patterns)
+
+USAGE:
+  rtpserved [--stdio]            serve one client over stdin/stdout (default)
+  rtpserved --tcp ADDR           accept TCP clients, e.g. --tcp 127.0.0.1:4870
+
+  --max-inflight N               global concurrent-request cap (default 64)
+  --max-payload BYTES            frame body size cap (default 16777216)
+  --deadline-ms N  --max-states N  --max-memo N  --max-frontier N
+                                 server-wide budget ceiling clamped onto
+                                 every request's effective limits
+
+Wire protocol: JSON-RPC 2.0, LSP-style Content-Length framing. Payload
+shapes are the versioned `regtree_core::api` types that `rtpcheck
+--format json` prints. See the crate docs for the method table.
+";
+
+struct Args {
+    tcp: Option<String>,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tcp = None;
+    let mut config = ServerConfig::default();
+    let mut ceiling = RunLimits::UNLIMITED;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("flag {flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--stdio" => {}
+            "--tcp" => tcp = Some(value(&mut i, "--tcp")?),
+            "--max-inflight" => {
+                config.max_inflight = value(&mut i, "--max-inflight")?
+                    .parse()
+                    .map_err(|_| "--max-inflight expects an integer".to_string())?;
+            }
+            "--max-payload" => {
+                config.max_payload = value(&mut i, "--max-payload")?
+                    .parse()
+                    .map_err(|_| "--max-payload expects an integer".to_string())?;
+            }
+            "--deadline-ms" => {
+                ceiling = ceiling.with_deadline_ms(
+                    value(&mut i, "--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms expects an integer".to_string())?,
+                );
+            }
+            "--max-states" => {
+                ceiling = ceiling.with_max_states(
+                    value(&mut i, "--max-states")?
+                        .parse()
+                        .map_err(|_| "--max-states expects an integer".to_string())?,
+                );
+            }
+            "--max-memo" => {
+                ceiling = ceiling.with_max_memo(
+                    value(&mut i, "--max-memo")?
+                        .parse()
+                        .map_err(|_| "--max-memo expects an integer".to_string())?,
+                );
+            }
+            "--max-frontier" => {
+                ceiling = ceiling.with_max_frontier(
+                    value(&mut i, "--max-frontier")?
+                        .parse()
+                        .map_err(|_| "--max-frontier expects an integer".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    config.ceiling = ceiling;
+    Ok(Args { tcp, config })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let service = Arc::new(Service::new(args.config));
+    let result = match &args.tcp {
+        Some(addr) => match TcpServer::bind(addr, Arc::clone(&service)) {
+            Ok(server) => {
+                match server.local_addr() {
+                    Ok(bound) => eprintln!("rtpserved listening on {bound}"),
+                    Err(_) => eprintln!("rtpserved listening on {addr}"),
+                }
+                server.run()
+            }
+            Err(e) => {
+                eprintln!("error: binding {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            eprintln!("rtpserved serving on stdio");
+            serve_stdio(&service)
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: transport failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,751 @@
+//! The transport-agnostic method dispatcher and its session store.
+//!
+//! A [`Service`] is shared by every connection of a server. Each open
+//! session pins an [`Analyzer`] — with its compiled schema automaton and
+//! pattern-automaton cache — plus the documents loaded into it, so a warm
+//! session answers repeat analysis requests without recompiling anything.
+//! Per-request [`regtree_core::RunOverrides`] carry the merged budget and
+//! the connection's [`CancelToken`] into the engine while those caches stay
+//! shared.
+//!
+//! ## Admission control
+//!
+//! Three layers, all of which fail *typed* — an admitted run can come back
+//! `UNKNOWN`, never wrong:
+//!
+//! 1. a global in-flight cap ([`ServerConfig::max_inflight`]) answered with
+//!    [`rpc::OVERLOADED`] before any work starts;
+//! 2. per-session default [`RunLimits`] fixed at `session/open`;
+//! 3. per-request limit overrides, merged field-wise over the session
+//!    defaults and clamped by the server-wide ceiling
+//!    ([`ServerConfig::ceiling`]).
+//!
+//! Budget exhaustion maps to [`rpc::BUDGET_EXHAUSTED`] and cancellation to
+//! [`rpc::CANCELLED`]; both carry the sound partial response in
+//! `error.data`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use regtree_alphabet::Alphabet;
+use regtree_core::api::{
+    protocol_compatible, DocumentChecks, FdCheckOutcome, FdCheckResponse, IndependenceResponse,
+    Json, MatrixResponse, MinimizeResponse, PROTOCOL_VERSION,
+};
+use regtree_core::{
+    Analyzer, CancelToken, Fd, FdOutcome, FdSet, PathFd, Resource, RunLimits, RunOverrides,
+    UpdateClass, Verdict,
+};
+use regtree_hedge::Schema;
+use regtree_pattern::parse_corexpath;
+use regtree_xml::{parse_document, to_xml_with, Document, SerializeOptions};
+
+use crate::rpc::{self, RpcError};
+
+/// Server-wide tuning knobs shared by every transport.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Largest accepted frame body in bytes (larger frames are drained and
+    /// answered with [`rpc::PAYLOAD_TOO_LARGE`]).
+    pub max_payload: usize,
+    /// Global cap on concurrently executing requests across all
+    /// connections; at the cap new requests get [`rpc::OVERLOADED`].
+    pub max_inflight: usize,
+    /// Server-wide budget ceiling: every effective per-request limit is
+    /// clamped to this, whatever the session or request asked for.
+    pub ceiling: RunLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_payload: 16 * 1024 * 1024,
+            max_inflight: 64,
+            ceiling: RunLimits::UNLIMITED,
+        }
+    }
+}
+
+/// One client analysis context: an [`Analyzer`] with its caches, the
+/// documents loaded so far, and the session's default budget.
+pub struct Session {
+    /// Session id (unique per server lifetime).
+    pub id: u64,
+    alphabet: Alphabet,
+    analyzer: Analyzer,
+    has_schema: bool,
+    limits: RunLimits,
+    documents: Mutex<HashMap<String, Arc<Document>>>,
+    requests: AtomicU64,
+}
+
+/// The shared dispatcher: session store, counters, and config.
+pub struct Service {
+    config: ServerConfig,
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    next_session: AtomicU64,
+    inflight: AtomicUsize,
+    total_requests: AtomicU64,
+}
+
+/// RAII in-flight slot; dropping releases it. Owns an `Arc` so the guard
+/// can ride into a worker thread.
+pub struct InflightGuard {
+    service: Arc<Service>,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.service.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn invalid_params(msg: impl Into<String>) -> RpcError {
+    RpcError::new(rpc::INVALID_PARAMS, msg)
+}
+
+/// `{deadlineMs?, maxStates?, maxMemo?, maxFrontier?}` → [`RunLimits`].
+fn parse_limits(value: &Json) -> Result<RunLimits, RpcError> {
+    if value.is_null() {
+        return Ok(RunLimits::UNLIMITED);
+    }
+    if value.as_object().is_none() {
+        return Err(invalid_params("'limits' must be an object"));
+    }
+    let field = |key: &str| -> Result<Option<u64>, RpcError> {
+        match value.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| invalid_params(format!("limits.{key} must be an unsigned integer"))),
+        }
+    };
+    Ok(RunLimits {
+        deadline: field("deadlineMs")?.map(Duration::from_millis),
+        max_states: field("maxStates")?,
+        max_memo: field("maxMemo")?,
+        max_frontier: field("maxFrontier")?,
+    })
+}
+
+fn min_opt<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (x, None) | (None, x) => x,
+    }
+}
+
+/// Request limits override the session defaults field-wise; the ceiling
+/// then clamps every field (a tighter of the two wins).
+fn merge_limits(session: &RunLimits, request: &RunLimits, ceiling: &RunLimits) -> RunLimits {
+    let pick = |r: Option<u64>, s: Option<u64>, c: Option<u64>| min_opt(r.or(s), c);
+    RunLimits {
+        deadline: min_opt(request.deadline.or(session.deadline), ceiling.deadline),
+        max_states: pick(request.max_states, session.max_states, ceiling.max_states),
+        max_memo: pick(request.max_memo, session.max_memo, ceiling.max_memo),
+        max_frontier: pick(
+            request.max_frontier,
+            session.max_frontier,
+            ceiling.max_frontier,
+        ),
+    }
+}
+
+/// `[[name, expr], ...]` → named FDs parsed in the session's alphabet.
+fn parse_named_fds(alphabet: &Alphabet, value: &Json) -> Result<Vec<(String, Fd)>, RpcError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| invalid_params("'fds' must be an array of [name, expr] pairs"))?;
+    if items.is_empty() {
+        return Err(invalid_params("'fds' must not be empty"));
+    }
+    items
+        .iter()
+        .map(|item| {
+            let pair = item
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| invalid_params("each fd must be a [name, expr] pair of strings"))?;
+            let (name, expr) = match (pair[0].as_str(), pair[1].as_str()) {
+                (Some(n), Some(e)) => (n, e),
+                _ => {
+                    return Err(invalid_params(
+                        "each fd must be a [name, expr] pair of strings",
+                    ))
+                }
+            };
+            let fd = PathFd::parse(alphabet, expr)
+                .and_then(|p| p.to_fd(alphabet))
+                .map_err(|e| invalid_params(format!("fd '{name}': {e}")))?;
+            Ok((name.to_string(), fd))
+        })
+        .collect()
+}
+
+/// `[[name, xpath], ...]` → named update classes.
+fn parse_named_classes(
+    alphabet: &Alphabet,
+    value: &Json,
+) -> Result<Vec<(String, UpdateClass)>, RpcError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| invalid_params("'updates' must be an array of [name, xpath] pairs"))?;
+    if items.is_empty() {
+        return Err(invalid_params("'updates' must not be empty"));
+    }
+    items
+        .iter()
+        .map(|item| {
+            let pair = item.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                invalid_params("each update must be a [name, xpath] pair of strings")
+            })?;
+            let (name, expr) = match (pair[0].as_str(), pair[1].as_str()) {
+                (Some(n), Some(e)) => (n, e),
+                _ => {
+                    return Err(invalid_params(
+                        "each update must be a [name, xpath] pair of strings",
+                    ))
+                }
+            };
+            let pattern = parse_corexpath(alphabet, expr)
+                .map_err(|e| invalid_params(format!("update '{name}': {e}")))?;
+            let class = UpdateClass::new(pattern)
+                .map_err(|e| invalid_params(format!("update '{name}': {e}")))?;
+            Ok((name.to_string(), class))
+        })
+        .collect()
+}
+
+/// An exhausted run's typed error: cancellation beats budget attribution,
+/// and the sound partial response rides in `data`.
+fn exhausted_error(resource: Resource, partial: Json) -> RpcError {
+    if matches!(resource, Resource::Cancelled) {
+        RpcError::with_data(rpc::CANCELLED, "request cancelled", partial)
+    } else {
+        RpcError::with_data(
+            rpc::BUDGET_EXHAUSTED,
+            format!("budget exhausted: {}", resource.name()),
+            partial,
+        )
+    }
+}
+
+impl Service {
+    /// A fresh service with no sessions.
+    pub fn new(config: ServerConfig) -> Service {
+        Service {
+            config,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            inflight: AtomicUsize::new(0),
+            total_requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Tries to claim an in-flight slot; `None` means the server is at its
+    /// cap and the request must be answered with [`rpc::OVERLOADED`].
+    pub fn admit(self: &Arc<Self>) -> Option<InflightGuard> {
+        let mut cur = self.inflight.load(Ordering::SeqCst);
+        loop {
+            if cur >= self.config.max_inflight {
+                return None;
+            }
+            match self
+                .inflight
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    return Some(InflightGuard {
+                        service: Arc::clone(self),
+                    })
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn session(&self, params: &Json) -> Result<Arc<Session>, RpcError> {
+        let id = params
+            .get("sessionId")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| invalid_params("missing 'sessionId'"))?;
+        self.sessions
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| RpcError::new(rpc::SESSION_NOT_FOUND, format!("no session {id}")))
+    }
+
+    /// Dispatches one request. `cancel` is this request's token; the
+    /// connection cancels it on `$/cancelRequest`.
+    pub fn dispatch(
+        &self,
+        method: &str,
+        params: &Json,
+        cancel: &CancelToken,
+    ) -> Result<Json, RpcError> {
+        self.total_requests.fetch_add(1, Ordering::Relaxed);
+        match method {
+            "initialize" => self.initialize(params),
+            "session/open" => self.session_open(params),
+            "session/close" => self.session_close(params),
+            "session/stats" => self.session_stats(params),
+            "server/stats" => Ok(self.server_stats()),
+            "document/load" => self.document_load(params),
+            "document/validate" => self.document_validate(params),
+            "independence/check" => self.independence_check(params, cancel),
+            "independence/matrix" => self.independence_matrix(params, cancel),
+            "fd/check" => self.fd_check(params, cancel),
+            "fd/minimize" => self.fd_minimize(params, cancel),
+            other => Err(RpcError::new(
+                rpc::METHOD_NOT_FOUND,
+                format!("unknown method '{other}'"),
+            )),
+        }
+    }
+
+    fn initialize(&self, params: &Json) -> Result<Json, RpcError> {
+        let client = params
+            .get("protocolVersion")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid_params("missing 'protocolVersion'"))?;
+        if !protocol_compatible(client, PROTOCOL_VERSION) {
+            return Err(RpcError::with_data(
+                rpc::PROTOCOL_MISMATCH,
+                format!("client protocol {client} is incompatible with server {PROTOCOL_VERSION}"),
+                Json::Obj(vec![(
+                    "serverProtocolVersion".to_string(),
+                    Json::str(PROTOCOL_VERSION),
+                )]),
+            ));
+        }
+        Ok(Json::Obj(vec![
+            ("protocolVersion".to_string(), Json::str(PROTOCOL_VERSION)),
+            ("serverName".to_string(), Json::str("rtpserved")),
+            (
+                "serverVersion".to_string(),
+                Json::str(env!("CARGO_PKG_VERSION")),
+            ),
+            (
+                "capabilities".to_string(),
+                Json::Obj(vec![(
+                    "methods".to_string(),
+                    Json::Arr(
+                        [
+                            "initialize",
+                            "session/open",
+                            "session/close",
+                            "session/stats",
+                            "server/stats",
+                            "document/load",
+                            "document/validate",
+                            "independence/check",
+                            "independence/matrix",
+                            "fd/check",
+                            "fd/minimize",
+                            "shutdown",
+                        ]
+                        .iter()
+                        .map(|m| Json::str(*m))
+                        .collect(),
+                    ),
+                )]),
+            ),
+        ]))
+    }
+
+    fn session_open(&self, params: &Json) -> Result<Json, RpcError> {
+        let alphabet = Alphabet::new();
+        let limits = merge_limits(
+            &parse_limits(params.get("limits").unwrap_or(&Json::Null))?,
+            &RunLimits::UNLIMITED,
+            &self.config.ceiling,
+        );
+        let mut builder = Analyzer::builder().limits(limits);
+        let mut has_schema = false;
+        if let Some(text) = params.get("schema") {
+            let text = text
+                .as_str()
+                .ok_or_else(|| invalid_params("'schema' must be the schema source text"))?;
+            let schema = Schema::parse(&alphabet, text)
+                .map_err(|e| invalid_params(format!("schema: {e}")))?;
+            builder = builder.schema(schema);
+            has_schema = true;
+        }
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Session {
+            id,
+            alphabet,
+            analyzer: builder.build(),
+            has_schema,
+            limits,
+            documents: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+        });
+        self.sessions.lock().insert(id, session);
+        Ok(Json::Obj(vec![
+            ("sessionId".to_string(), Json::u64(id)),
+            ("hasSchema".to_string(), Json::Bool(has_schema)),
+        ]))
+    }
+
+    fn session_close(&self, params: &Json) -> Result<Json, RpcError> {
+        let session = self.session(params)?;
+        self.sessions.lock().remove(&session.id);
+        Ok(Json::Obj(vec![("closed".to_string(), Json::Bool(true))]))
+    }
+
+    fn session_stats(&self, params: &Json) -> Result<Json, RpcError> {
+        let session = self.session(params)?;
+        let limits = &session.limits;
+        let documents = session.documents.lock().len();
+        let limit_field = |v: Option<u64>| match v {
+            Some(n) => Json::u64(n),
+            None => Json::Null,
+        };
+        Ok(Json::Obj(vec![
+            ("sessionId".to_string(), Json::u64(session.id)),
+            ("hasSchema".to_string(), Json::Bool(session.has_schema)),
+            ("documents".to_string(), Json::usize(documents)),
+            (
+                "requests".to_string(),
+                Json::u64(session.requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "limits".to_string(),
+                Json::Obj(vec![
+                    (
+                        "deadlineMs".to_string(),
+                        limit_field(limits.deadline.map(|d| d.as_millis() as u64)),
+                    ),
+                    ("maxStates".to_string(), limit_field(limits.max_states)),
+                    ("maxMemo".to_string(), limit_field(limits.max_memo)),
+                    ("maxFrontier".to_string(), limit_field(limits.max_frontier)),
+                ]),
+            ),
+        ]))
+    }
+
+    fn server_stats(&self) -> Json {
+        let sessions = self.sessions.lock().len();
+        Json::Obj(vec![
+            ("sessions".to_string(), Json::usize(sessions)),
+            (
+                "inflight".to_string(),
+                Json::usize(self.inflight.load(Ordering::SeqCst)),
+            ),
+            (
+                "totalRequests".to_string(),
+                Json::u64(self.total_requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "maxInflight".to_string(),
+                Json::usize(self.config.max_inflight),
+            ),
+            (
+                "maxPayload".to_string(),
+                Json::usize(self.config.max_payload),
+            ),
+        ])
+    }
+
+    fn document_load(&self, params: &Json) -> Result<Json, RpcError> {
+        let session = self.session(params)?;
+        session.requests.fetch_add(1, Ordering::Relaxed);
+        let name = params
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid_params("missing 'name'"))?;
+        let xml = params
+            .get("xml")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid_params("missing 'xml'"))?;
+        let doc = parse_document(&session.alphabet, xml)
+            .map_err(|e| invalid_params(format!("document '{name}': {e}")))?;
+        let mut valid = Json::Null;
+        if params.get("validate").and_then(Json::as_bool) == Some(true) {
+            valid = match session.analyzer.validate(&doc) {
+                Ok(()) => Json::Bool(true),
+                Err(regtree_core::Error::NoSchema) => {
+                    return Err(RpcError::new(
+                        rpc::NO_SCHEMA,
+                        "session was opened without a schema",
+                    ));
+                }
+                Err(_) => Json::Bool(false),
+            };
+        }
+        let nodes = doc.len();
+        session
+            .documents
+            .lock()
+            .insert(name.to_string(), Arc::new(doc));
+        Ok(Json::Obj(vec![
+            ("name".to_string(), Json::str(name)),
+            ("nodes".to_string(), Json::usize(nodes)),
+            ("valid".to_string(), valid),
+        ]))
+    }
+
+    fn document_validate(&self, params: &Json) -> Result<Json, RpcError> {
+        let session = self.session(params)?;
+        session.requests.fetch_add(1, Ordering::Relaxed);
+        let name = params
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid_params("missing 'name'"))?;
+        let doc = session.document(name)?;
+        match session.analyzer.validate(&doc) {
+            Ok(()) => Ok(Json::Obj(vec![
+                ("name".to_string(), Json::str(name)),
+                ("valid".to_string(), Json::Bool(true)),
+                ("reason".to_string(), Json::Null),
+            ])),
+            Err(regtree_core::Error::NoSchema) => Err(RpcError::new(
+                rpc::NO_SCHEMA,
+                "session was opened without a schema",
+            )),
+            Err(e) => Ok(Json::Obj(vec![
+                ("name".to_string(), Json::str(name)),
+                ("valid".to_string(), Json::Bool(false)),
+                ("reason".to_string(), Json::str(e.to_string())),
+            ])),
+        }
+    }
+
+    fn overrides(
+        &self,
+        session: &Session,
+        params: &Json,
+        cancel: &CancelToken,
+    ) -> Result<RunOverrides, RpcError> {
+        let request = parse_limits(params.get("limits").unwrap_or(&Json::Null))?;
+        let merged = merge_limits(&session.limits, &request, &self.config.ceiling);
+        Ok(RunOverrides::new()
+            .limits(merged)
+            .cancel_token(cancel.clone()))
+    }
+
+    fn independence_check(&self, params: &Json, cancel: &CancelToken) -> Result<Json, RpcError> {
+        let session = self.session(params)?;
+        session.requests.fetch_add(1, Ordering::Relaxed);
+        let fd_expr = params
+            .get("fd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid_params("missing 'fd'"))?;
+        let update_expr = params
+            .get("update")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid_params("missing 'update'"))?;
+        let fd = PathFd::parse(&session.alphabet, fd_expr)
+            .and_then(|p| p.to_fd(&session.alphabet))
+            .map_err(|e| invalid_params(format!("fd: {e}")))?;
+        let pattern = parse_corexpath(&session.alphabet, update_expr)
+            .map_err(|e| invalid_params(format!("update: {e}")))?;
+        let class =
+            UpdateClass::new(pattern).map_err(|e| invalid_params(format!("update: {e}")))?;
+        let run = self.overrides(&session, params, cancel)?;
+        let analysis = session.analyzer.independence_with(&fd, &class, &run);
+        let witness_xml = match &analysis.verdict {
+            Verdict::Unknown {
+                witness: Some(doc), ..
+            } => Some(to_xml_with(doc, SerializeOptions { indent: true })),
+            _ => None,
+        };
+        let mut resp = IndependenceResponse::from_analysis(&analysis, witness_xml);
+        resp.metrics = Some(analysis.metrics);
+        match analysis.verdict.exhausted() {
+            Some(resource) => Err(exhausted_error(resource, resp.to_json())),
+            None => Ok(resp.to_json()),
+        }
+    }
+
+    fn independence_matrix(&self, params: &Json, cancel: &CancelToken) -> Result<Json, RpcError> {
+        let session = self.session(params)?;
+        session.requests.fetch_add(1, Ordering::Relaxed);
+        let fds = parse_named_fds(&session.alphabet, params.get("fds").unwrap_or(&Json::Null))?;
+        let classes = parse_named_classes(
+            &session.alphabet,
+            params.get("updates").unwrap_or(&Json::Null),
+        )?;
+        let prune = params.get("prune").and_then(Json::as_bool).unwrap_or(false);
+        let run = self.overrides(&session, params, cancel)?;
+        let fd_refs: Vec<(&str, &Fd)> = fds.iter().map(|(n, f)| (n.as_str(), f)).collect();
+        let class_refs: Vec<(&str, &UpdateClass)> =
+            classes.iter().map(|(n, c)| (n.as_str(), c)).collect();
+        let matrix = if prune {
+            session
+                .analyzer
+                .matrix_pruned_with(&fd_refs, &class_refs, &run)
+        } else {
+            session.analyzer.matrix_with(&fd_refs, &class_refs, &run)
+        };
+        let resp = MatrixResponse::from_matrix(&matrix).to_json();
+        if cancel.is_cancelled() {
+            return Err(exhausted_error(Resource::Cancelled, resp));
+        }
+        if matrix.exhausted_count() > 0 {
+            // Any exhausted cell is UNKNOWN, recorded per-cell; the matrix
+            // as a whole is sound but partial.
+            return Err(RpcError::with_data(
+                rpc::BUDGET_EXHAUSTED,
+                format!(
+                    "{} cell(s) exhausted their budget",
+                    matrix.exhausted_count()
+                ),
+                resp,
+            ));
+        }
+        Ok(resp)
+    }
+
+    fn fd_check(&self, params: &Json, cancel: &CancelToken) -> Result<Json, RpcError> {
+        let session = self.session(params)?;
+        session.requests.fetch_add(1, Ordering::Relaxed);
+        let named = parse_named_fds(&session.alphabet, params.get("fds").unwrap_or(&Json::Null))?;
+        let names: Vec<&str> = named.iter().map(|(n, _)| n.as_str()).collect();
+        let fds: Vec<Fd> = named.iter().map(|(_, f)| f.clone()).collect();
+        // Explicit doc list, or every loaded document in name order.
+        let doc_names: Vec<String> = match params.get("docs") {
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| invalid_params("'docs' must be an array of names"))?
+                .iter()
+                .map(|d| {
+                    d.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| invalid_params("'docs' entries must be strings"))
+                })
+                .collect::<Result<_, _>>()?,
+            None => {
+                let mut all: Vec<String> = session.documents.lock().keys().cloned().collect();
+                all.sort();
+                all
+            }
+        };
+        if doc_names.is_empty() {
+            return Err(invalid_params("no documents loaded or named"));
+        }
+        let run = self.overrides(&session, params, cancel)?;
+        let mut documents = Vec::with_capacity(doc_names.len());
+        let mut worst: Option<Resource> = None;
+        for name in &doc_names {
+            let doc = session.document(name)?;
+            let report = session.analyzer.check_fds_with(&fds, &doc, &run);
+            let checks = names
+                .iter()
+                .zip(&report.outcomes)
+                .map(|(fd_name, outcome)| {
+                    if let FdOutcome::Unknown { exhausted, .. } = outcome {
+                        worst = Some(*exhausted);
+                    }
+                    let violation = match outcome {
+                        FdOutcome::Violated(v) => Some(v.describe(&doc)),
+                        _ => None,
+                    };
+                    FdCheckOutcome::from_outcome(fd_name, outcome, violation)
+                })
+                .collect();
+            documents.push(DocumentChecks {
+                path: name.clone(),
+                checks,
+            });
+        }
+        let resp = FdCheckResponse::from_documents(documents).to_json();
+        match worst {
+            Some(resource) => Err(exhausted_error(resource, resp)),
+            None => Ok(resp),
+        }
+    }
+
+    fn fd_minimize(&self, params: &Json, cancel: &CancelToken) -> Result<Json, RpcError> {
+        let session = self.session(params)?;
+        session.requests.fetch_add(1, Ordering::Relaxed);
+        let named = parse_named_fds(&session.alphabet, params.get("fds").unwrap_or(&Json::Null))?;
+        let mut set = FdSet::new();
+        for (name, fd) in named {
+            set.push(name, fd);
+        }
+        let request = parse_limits(params.get("limits").unwrap_or(&Json::Null))?;
+        let merged = merge_limits(&session.limits, &request, &self.config.ceiling);
+        let min = set.minimize(&merged);
+        let resp = MinimizeResponse::from_minimization(&min, &set).to_json();
+        if cancel.is_cancelled() {
+            return Err(exhausted_error(Resource::Cancelled, resp));
+        }
+        match min.exhausted {
+            Some(resource) => Err(exhausted_error(resource, resp)),
+            None => Ok(resp),
+        }
+    }
+}
+
+impl Session {
+    fn document(&self, name: &str) -> Result<Arc<Document>, RpcError> {
+        self.documents
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RpcError::new(rpc::DOC_NOT_FOUND, format!("no document named '{name}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_merge_field_wise_and_clamp() {
+        let session = RunLimits::UNLIMITED
+            .with_max_states(1000)
+            .with_deadline_ms(500);
+        let request = RunLimits::UNLIMITED.with_max_states(50);
+        let ceiling = RunLimits::UNLIMITED.with_max_states(200).with_max_memo(10);
+        let m = merge_limits(&session, &request, &ceiling);
+        assert_eq!(m.max_states, Some(50)); // request overrides session
+        assert_eq!(m.deadline, Some(Duration::from_millis(500))); // session default kept
+        assert_eq!(m.max_memo, Some(10)); // ceiling applies even when unset below
+        let m = merge_limits(&session, &RunLimits::UNLIMITED, &ceiling);
+        assert_eq!(m.max_states, Some(200)); // ceiling clamps the session value
+    }
+
+    #[test]
+    fn admission_cap_is_enforced() {
+        let service = Arc::new(Service::new(ServerConfig {
+            max_inflight: 2,
+            ..ServerConfig::default()
+        }));
+        let a = service.admit().expect("slot 1");
+        let b = service.admit().expect("slot 2");
+        assert!(service.admit().is_none(), "cap of 2");
+        drop(a);
+        let c = service.admit().expect("slot free again");
+        drop(b);
+        drop(c);
+        assert_eq!(service.inflight.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn unknown_method_and_missing_session_are_typed() {
+        let service = Service::new(ServerConfig::default());
+        let err = service
+            .dispatch("no/such", &Json::Null, &CancelToken::new())
+            .unwrap_err();
+        assert_eq!(err.code, rpc::METHOD_NOT_FOUND);
+        let params = Json::Obj(vec![("sessionId".to_string(), Json::u64(99))]);
+        let err = service
+            .dispatch("session/stats", &params, &CancelToken::new())
+            .unwrap_err();
+        assert_eq!(err.code, rpc::SESSION_NOT_FOUND);
+    }
+}

@@ -67,10 +67,6 @@ pub mod prelude {
         SpanId, SpanKind, SummarySink, TraceFormat, TraceHandle, TraceSummary, Tracer, Update,
         UpdateClass, UpdateOp, Verdict,
     };
-    // Deprecated free functions stay in the prelude for downstream source
-    // compatibility; new code should go through `Analyzer`.
-    #[allow(deprecated)]
-    pub use regtree_core::{check_fds_parallel, check_independence, is_independent};
     pub use regtree_hedge::{HedgeAutomaton, Schema};
     pub use regtree_pattern::{
         compile_pattern, evaluate_many, parse_corexpath, RegularTreePattern, Template,

@@ -6,10 +6,6 @@
 //! lists (same mappings, same order), and the batch/parallel entry points
 //! must agree with their sequential counterparts.
 
-// `check_fds_parallel` is deprecated in favor of `Analyzer::check_fds`, but
-// the parity suite keeps covering the wrapper until it is removed.
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -75,11 +71,11 @@ fn parallel_fd_check_agrees_with_sequential_on_figure1() {
         gen::fd4(&a),
         gen::fd5(&a),
     ];
-    let parallel = check_fds_parallel(&fds, &doc);
-    assert_eq!(parallel.len(), fds.len());
-    for (fd, par) in fds.iter().zip(&parallel) {
-        assert_eq!(par.is_ok(), check_fd(fd, &doc).is_ok());
-        assert!(par.is_ok(), "Figure 1 satisfies fd1–fd5");
+    let parallel = Analyzer::builder().build().check_fds(&fds, &doc);
+    assert_eq!(parallel.outcomes.len(), fds.len());
+    for (fd, par) in fds.iter().zip(&parallel.outcomes) {
+        assert_eq!(par.is_satisfied(), check_fd(fd, &doc).is_ok());
+        assert!(par.is_satisfied(), "Figure 1 satisfies fd1–fd5");
     }
 }
 
@@ -92,12 +88,12 @@ fn parallel_fd_check_agrees_on_schema_valid_sessions() {
     for _ in 0..5 {
         let doc = gen::generate_session(&a, 8, 3, &mut rng);
         schema.validate(&doc).expect("generator emits valid docs");
-        let parallel = check_fds_parallel(&fds, &doc);
-        for (fd, par) in fds.iter().zip(&parallel) {
-            match (par, check_fd(fd, &doc)) {
-                (Ok(()), Ok(())) => {}
-                (Err(_), Err(_)) => {}
-                (p, s) => panic!("parallel {p:?} != sequential {s:?}"),
+        let parallel = Analyzer::builder().build().check_fds(&fds, &doc);
+        for (fd, par) in fds.iter().zip(&parallel.outcomes) {
+            match (par.is_satisfied(), check_fd(fd, &doc)) {
+                (true, Ok(())) => {}
+                (false, Err(_)) => {}
+                (p, s) => panic!("parallel satisfied={p:?} != sequential {s:?}"),
             }
         }
     }

@@ -8,23 +8,17 @@
 //! optional-schema triples and asserts:
 //!
 //! 1. identical verdicts — for an `Analyzer` with unlimited limits (the
-//!    governed engine must be invisible when no budget is set) *and* for the
-//!    deprecated `check_independence` wrapper, and
+//!    governed engine must be invisible when no budget is set), and
 //! 2. every non-`Independent` verdict's witness document is accepted by the
 //!    *eager* product automaton (i.e. the lazy engine's reconstructed firing
 //!    tree denotes a genuine member of the IC language, schema included).
-
-// The deprecated wrappers are exercised on purpose: parity must keep
-// covering them until they are removed.
-#![allow(deprecated)]
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
 use regtree_alphabet::Alphabet;
 use regtree_core::{
-    build_ic_automaton, check_independence, check_independence_eager, Analyzer, Fd, NullTracer,
-    UpdateClass, Verdict,
+    build_ic_automaton, check_independence_eager, Analyzer, Fd, NullTracer, UpdateClass, Verdict,
 };
 use regtree_hedge::{intersect, Schema};
 use regtree_pattern::{RegularTreePattern, Template};
@@ -121,13 +115,6 @@ proptest! {
             eager.verdict.is_independent(),
             "analyzer (lazy) and eager disagree (schema: {})",
             schema.is_some()
-        );
-        // The deprecated free-function wrapper must keep agreeing too.
-        let wrapper = check_independence(&fd, &class, schema.as_ref());
-        prop_assert_eq!(
-            wrapper.verdict.is_independent(),
-            eager.verdict.is_independent(),
-            "check_independence wrapper and eager disagree"
         );
         // An unlimited run never reports an exhausted resource.
         prop_assert!(lazy.verdict.exhausted().is_none());

@@ -1,0 +1,30 @@
+use regtree_core::api::Json;
+
+fn esc(hex: &str) -> String {
+    format!("{}u{}", '\x5c', hex)
+}
+
+#[test]
+fn high_surrogate_with_non_low_second_escape() {
+    // "<bs>uD800<bs>u0041" — second escape is not a low surrogate;
+    // invalid JSON, must return Err without panicking.
+    let src = format!("\"{}{}\"", esc("D800"), esc("0041"));
+    let r = Json::parse(&src);
+    assert!(r.is_err(), "src={src} got: {r:?}");
+}
+
+#[test]
+fn high_surrogate_with_e000_second_escape() {
+    // "<bs>uD800<bs>uE000" — second unit above the low-surrogate range.
+    let src = format!("\"{}{}\"", esc("D800"), esc("E000"));
+    let r = Json::parse(&src);
+    assert!(r.is_err(), "src={src} got: {r:?}");
+}
+
+#[test]
+fn high_surrogate_pair_of_two_highs() {
+    // "<bs>uD800<bs>uD800" — second unit is another HIGH surrogate.
+    let src = format!("\"{}{}\"", esc("D800"), esc("D800"));
+    let r = Json::parse(&src);
+    assert!(r.is_err(), "src={src} got: {r:?}");
+}

@@ -24,7 +24,7 @@ use regtree_bench::{
     fd_with_conditions, fresh_independence, fresh_matrix, session, update_chain, CANDIDATE_COUNTS,
 };
 use regtree_core::{
-    check_independence_eager, revalidate_full, revalidate_full_many, IncrementalChecker, Update,
+    check_independence_eager, revalidate_full, revalidate_full_many, RelevantSetChecker, Update,
     UpdateOp,
 };
 
@@ -60,7 +60,7 @@ fn bench_strategies(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("incremental", n), &doc, |b, d| {
             // Snapshot once outside the timing loop (amortized across the
             // update stream), recheck inside.
-            let checker = IncrementalChecker::new(&fd1, d);
+            let checker = RelevantSetChecker::new(&fd1, d);
             b.iter(|| {
                 let mut doc = d.clone();
                 let mut ck = checker.clone();
@@ -97,7 +97,8 @@ fn bench_strategies(c: &mut Criterion) {
             &doc,
             |b, d| {
                 b.iter(|| {
-                    revalidate_full_many(&fds, &update, d)
+                    let mut doc = d.clone();
+                    revalidate_full_many(&fds, &update, &mut doc)
                         .expect("applies")
                         .iter()
                         .filter(|r| r.is_ok())

@@ -1,0 +1,157 @@
+//! E14: streaming ingest and impact-scoped incremental rechecking vs the
+//! reparse-and-recheck baseline, over a size ladder of exam sessions.
+//!
+//! Two comparisons, printed as flat `stream/<axis>/<point>/<metric>` lines
+//! (integers) for `scripts/bench_json.sh` to fold into `BENCH_stream.json`:
+//!
+//! * `stream/ingest/*` — one-pass [`stream_document`] (document + label
+//!   index fused into the parse) against the two-pass baseline
+//!   (`parse_document`, then [`LabelIndex::build`]).
+//! * `stream/recheck/*` — a stream of point edits applied through an
+//!   [`IncrementalChecker`] over a [`VersionedDocument`] against the
+//!   naive client loop: serialize, reparse, rebuild the index, recheck
+//!   every FD from scratch. The checker's verdict must equal the
+//!   reparsed verdict on every step (`parity_mismatches` must stay 0),
+//!   and the per-update speedup at the largest point is the headline
+//!   number the CI floor in `bench_json.sh` guards.
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use regtree_alphabet::Alphabet;
+use regtree_core::{
+    check_fd, update_class_from_edges, Fd, FdBuilder, FdOutcome, IncrementalChecker, Update,
+    UpdateOp,
+};
+use regtree_gen as gen;
+use regtree_xml::{
+    parse_document, stream_document, to_xml, LabelIndex, NullSink, VersionedDocument,
+};
+
+/// Candidates per session at each ladder point (×3 exams each).
+const SIZES: &[usize] = &[50, 200, 800];
+/// Point edits per ladder point.
+const UPDATES: usize = 40;
+
+/// FDs anchored on the per-candidate context, so a point edit inside one
+/// candidate can be rechecked against that candidate alone.
+fn candidate_fds(a: &Alphabet) -> Vec<Fd> {
+    vec![
+        FdBuilder::new(a.clone())
+            .context("session/candidate")
+            .condition("exam/discipline")
+            .target("exam/rank")
+            .build()
+            .expect("discipline->rank builds"),
+        FdBuilder::new(a.clone())
+            .context("session/candidate")
+            .condition("level")
+            .target("firstJob-Year")
+            .build()
+            .expect("level->firstJob-Year builds"),
+    ]
+}
+
+/// One point edit: a `FirstOnly` set_text on a rotating leaf kind, so each
+/// update touches exactly one node of one candidate.
+fn point_edit(a: &Alphabet, step: usize, rng: &mut SmallRng) -> Update {
+    let class = |path: &str| update_class_from_edges(a, &[path]).expect("exam path parses");
+    let op = match step % 3 {
+        0 => (
+            "session/candidate/exam/rank",
+            rng.gen_range(1..50u32).to_string(),
+        ),
+        1 => (
+            "session/candidate/level",
+            ["A", "B", "C", "D", "E"][rng.gen_range(0..5usize)].to_string(),
+        ),
+        _ => (
+            "session/candidate/firstJob-Year",
+            (2009 + rng.gen_range(0..5u32)).to_string(),
+        ),
+    };
+    Update::new(
+        class(op.0),
+        UpdateOp::FirstOnly(Box::new(UpdateOp::SetText(op.1))),
+    )
+}
+
+fn main() {
+    let a = gen::exam_alphabet();
+    let fds = candidate_fds(&a);
+    for &n in SIZES {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let doc = gen::generate_session(&a, n, 3, &mut rng);
+        let xml = to_xml(&doc);
+
+        // Ingest: fused single pass vs parse-then-index.
+        let t = Instant::now();
+        let (streamed, index) = stream_document(&a, &xml, &mut NullSink).expect("streams");
+        let stream_ns = t.elapsed().as_nanos();
+        let t = Instant::now();
+        let parsed = parse_document(&a, &xml).expect("parses");
+        let rebuilt = LabelIndex::build(&parsed);
+        let two_pass_ns = t.elapsed().as_nanos();
+        assert_eq!(to_xml(&streamed), to_xml(&parsed), "ingest parity");
+        assert_eq!(index, rebuilt, "index parity");
+        println!("stream/ingest/c{n}/nodes {}", parsed.len());
+        println!("stream/ingest/c{n}/stream_ns {stream_ns}");
+        println!("stream/ingest/c{n}/two_pass_ns {two_pass_ns}");
+
+        // Recheck: incremental maintenance vs reparse-and-recheck.
+        let mut vdoc = VersionedDocument::new(doc);
+        let mut checker = IncrementalChecker::new(fds.clone(), &vdoc);
+        assert!(checker.all_satisfied(), "generated sessions satisfy fds");
+        let mut incremental_ns = 0u128;
+        let mut reparse_ns = 0u128;
+        let mut localized = 0u64;
+        let mut full = 0u64;
+        let mut reused = 0u64;
+        let mut mismatches = 0u64;
+        for step in 0..UPDATES {
+            let update = point_edit(&a, step, &mut rng);
+            let t = Instant::now();
+            let report = checker
+                .apply_and_recheck(&mut vdoc, &update)
+                .expect("point edits apply");
+            incremental_ns += t.elapsed().as_nanos();
+            localized += report.metrics.rechecks_localized;
+            full += report.metrics.rechecks_full;
+            reused += report.metrics.verdicts_reused;
+
+            let t = Instant::now();
+            let reparsed = parse_document(&a, &to_xml(vdoc.doc())).expect("roundtrip");
+            let _index = LabelIndex::build(&reparsed);
+            let baseline: Vec<bool> = fds
+                .iter()
+                .map(|fd| check_fd(fd, &reparsed).is_ok())
+                .collect();
+            reparse_ns += t.elapsed().as_nanos();
+            for (outcome, base) in report.outcomes.iter().zip(&baseline) {
+                let inc = match outcome {
+                    FdOutcome::Satisfied => true,
+                    FdOutcome::Violated(_) => false,
+                    other => panic!("ungoverned check came back {other:?}"),
+                };
+                if inc != *base {
+                    mismatches += 1;
+                }
+            }
+        }
+        let per_inc = incremental_ns / UPDATES as u128;
+        let per_rep = reparse_ns / UPDATES as u128;
+        println!("stream/recheck/c{n}/updates {UPDATES}");
+        println!("stream/recheck/c{n}/incremental_ns_per_update {per_inc}");
+        println!("stream/recheck/c{n}/reparse_ns_per_update {per_rep}");
+        println!(
+            "stream/recheck/c{n}/speedup_x100 {}",
+            per_rep * 100 / per_inc.max(1)
+        );
+        println!("stream/recheck/c{n}/rechecks_localized {localized}");
+        println!("stream/recheck/c{n}/rechecks_full {full}");
+        println!("stream/recheck/c{n}/verdicts_reused {reused}");
+        println!("stream/recheck/c{n}/parity_mismatches {mismatches}");
+    }
+}

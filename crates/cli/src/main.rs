@@ -38,8 +38,9 @@ use std::sync::Arc;
 
 use regtree_alphabet::Alphabet;
 use regtree_core::api::{
-    DocumentChecks, FdCheckOutcome, FdCheckResponse, IndependenceResponse, MatrixResponse,
-    MinimizeResponse,
+    metrics_to_json, parse_update_json, phases_to_json, scope_name, DocumentChecks, FdCheckOutcome,
+    FdCheckResponse, IndependenceResponse, Json, MatrixResponse, MinimizeResponse,
+    UpdateCheckEntry, UpdateResponse,
 };
 use regtree_core::{
     Analyzer, ChromeTraceSink, EventKind, FdOutcome, FdSet, PathFd, RunLimits, RunMetrics, SpanId,
@@ -47,7 +48,7 @@ use regtree_core::{
 };
 use regtree_hedge::Schema;
 use regtree_pattern::parse_corexpath;
-use regtree_xml::{parse_document, to_xml_with, SerializeOptions};
+use regtree_xml::{parse_document, to_xml_with, SerializeOptions, VersionedDocument};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,6 +82,10 @@ rtpcheck — regular tree patterns: XML FDs, updates and independence
 USAGE:
   rtpcheck validate     --schema FILE DOC.xml...
   rtpcheck fd-check     --fd EXPR | --fds FILE [BUDGET] [OUTPUT] DOC.xml...
+  rtpcheck fd-check     --fd EXPR | --fds FILE --updates FILE.jsonl DOC.xml
+                        (apply a JSONL update stream in place; each FD is
+                        rechecked at the smallest sound scope — see
+                        'update request' syntax below)
   rtpcheck eval         --xpath PATH DOC.xml
   rtpcheck independence --fd EXPR --update PATH [--schema FILE] [BUDGET]
                         [OUTPUT]
@@ -106,6 +111,10 @@ USAGE:
   PATH syntax:      positive CoreXPath, e.g. /session/candidate/level
                     (predicate branches map in document order: [p] before
                     the continuation — Definition 2 order semantics)
+  update request:   one JSON object per line ('#' comments skipped):
+                    {\"select\": PATH, \"op\": replace|append_child|
+                     prepend_child|delete|set_text, \"xml\": SUBTREE,
+                     \"value\": TEXT, \"first_only\": BOOL}
 ";
 
 /// CLI outcomes that need distinct exit codes.
@@ -435,6 +444,9 @@ fn cmd_fd_check(args: &[&str]) -> Result<String, CliError> {
     if fds.is_empty() {
         return Err(usage("missing required flag --fd EXPR (or --fds FILE)"));
     }
+    if flags.get("updates").is_some() {
+        return cmd_fd_check_updates(&flags, &alphabet, &names, &fds);
+    }
     let json = flags.wants_json()?;
     let tracing = Tracing::from_flags(&flags)?;
     let docs = load_docs(&alphabet, &flags.positional)?;
@@ -512,6 +524,161 @@ fn cmd_fd_check(args: &[&str]) -> Result<String, CliError> {
                 }
             }
         }
+        if flags.stats {
+            writeln!(out, "stats: {totals}").expect("write to string");
+        }
+        if let Some(s) = &phases {
+            write!(out, "{s}").expect("write to string");
+        }
+        out
+    };
+    if failed {
+        Err(CliError::Violation(out))
+    } else if ran_out {
+        Err(CliError::Exhausted(out))
+    } else {
+        Ok(out)
+    }
+}
+
+/// The `--updates FILE` mode of `fd-check`: one document, one JSONL stream
+/// of update requests ([`regtree_core::api::parse_update_json`] shapes,
+/// blank lines and `#` comments skipped). Updates are applied in place as
+/// deltas and every FD is rechecked at the smallest sound scope instead of
+/// from scratch (`regtree_core::incremental`).
+fn cmd_fd_check_updates(
+    flags: &Flags,
+    alphabet: &Alphabet,
+    names: &[String],
+    fds: &[regtree_core::Fd],
+) -> Result<String, CliError> {
+    let json = flags.wants_json()?;
+    let tracing = Tracing::from_flags(flags)?;
+    let updates_src = read_file(flags.require("updates")?)?;
+    let mut docs = load_docs(alphabet, &flags.positional)?;
+    if docs.len() != 1 {
+        return Err(usage("--updates mode checks exactly one DOC.xml"));
+    }
+    let (path, doc) = docs.remove(0);
+
+    let mut builder = Analyzer::builder().limits(flags.limits()?);
+    if let Some(tracer) = tracing.tracer() {
+        builder = builder.tracer(tracer);
+    }
+    let analyzer = builder.build();
+    let mut vdoc = VersionedDocument::new(doc);
+    let mut checker = analyzer.incremental_checker(fds.to_vec(), &vdoc);
+
+    let mut totals = RunMetrics::default();
+    let mut responses: Vec<UpdateResponse> = Vec::new();
+    let mut failed = false;
+    let mut ran_out = false;
+    for (lineno, line) in updates_src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |e: String| runtime(format!("updates line {}: {e}", lineno + 1));
+        let request = Json::parse(line).map_err(bad)?;
+        let update = parse_update_json(alphabet, &request).map_err(bad)?;
+        let report = checker
+            .apply_and_recheck(&mut vdoc, &update)
+            .map_err(|e| bad(e.to_string()))?;
+        totals.merge(&report.metrics);
+        let checks: Vec<UpdateCheckEntry> = names
+            .iter()
+            .zip(report.scopes.iter().zip(&report.outcomes))
+            .map(|(name, (&scope, outcome))| {
+                match outcome {
+                    FdOutcome::Violated(_) => failed = true,
+                    FdOutcome::Unknown { .. } => ran_out = true,
+                    _ => {}
+                }
+                let violation = match outcome {
+                    FdOutcome::Violated(v) => Some(v.describe(vdoc.doc())),
+                    _ => None,
+                };
+                UpdateCheckEntry {
+                    fd: name.clone(),
+                    scope: scope_name(scope).to_string(),
+                    check: FdCheckOutcome::from_outcome(name, outcome, violation),
+                }
+            })
+            .collect();
+        responses.push(UpdateResponse {
+            path: path.clone(),
+            version: vdoc.version(),
+            touched: report.touched.len(),
+            checks,
+            all_satisfied: report.all_satisfied(),
+            metrics: None,
+            phases: None,
+        });
+    }
+
+    let phases = tracing.finish()?;
+    let out = if json {
+        let mut members = vec![
+            ("path".into(), Json::str(&path)),
+            (
+                "updates".into(),
+                Json::Arr(responses.iter().map(UpdateResponse::to_json).collect()),
+            ),
+            ("all_satisfied".into(), Json::Bool(checker.all_satisfied())),
+        ];
+        if flags.stats {
+            members.push(("metrics".into(), metrics_to_json(&totals)));
+        }
+        if let Some(s) = &phases {
+            members.push(("phases".into(), phases_to_json(s)));
+        }
+        format!("{}\n", Json::Obj(members).to_pretty())
+    } else {
+        let mut out = String::new();
+        for (i, resp) in responses.iter().enumerate() {
+            let scopes: Vec<&str> = resp.checks.iter().map(|c| c.scope.as_str()).collect();
+            let verdict = if resp.all_satisfied {
+                "satisfied".to_string()
+            } else {
+                resp.checks
+                    .iter()
+                    .filter(|c| c.check.outcome != "satisfied")
+                    .map(|c| {
+                        format!(
+                            "{}: {}{}",
+                            c.fd,
+                            c.check.outcome.to_uppercase(),
+                            c.check
+                                .violation
+                                .as_deref()
+                                .map(|v| format!(" — {v}"))
+                                .unwrap_or_default()
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            };
+            writeln!(
+                out,
+                "update {:>4}: touched={} scopes=[{}] {}",
+                i + 1,
+                resp.touched,
+                scopes.join(" "),
+                verdict
+            )
+            .expect("write to string");
+        }
+        writeln!(
+            out,
+            "{path}: {} update(s) applied, final state {}",
+            responses.len(),
+            if checker.all_satisfied() {
+                "satisfies every FD"
+            } else {
+                "has violations"
+            }
+        )
+        .expect("write to string");
         if flags.stats {
             writeln!(out, "stats: {totals}").expect("write to string");
         }
@@ -965,6 +1132,65 @@ mod tests {
         assert!(ok.contains("satisfies"));
         let err = run(&["fd-check", "--fd", fd, bad.0.to_str().unwrap()]);
         assert!(matches!(err, Err(CliError::Violation(_))));
+    }
+
+    #[test]
+    fn fd_check_updates_command() {
+        let doc = tmp(
+            "<s><i><k>a</k><v>1</v><note>n</note></i><i><k>a</k><v>1</v><note>n</note></i></s>",
+            "xml",
+        );
+        let fd = "/s : i/k -> i/v";
+        // Note edits never touch the FD; the v rewrite breaks it.
+        let stream = tmp(
+            "# benign edit, then a violating one\n\
+             {\"select\": \"/s/i/note\", \"op\": \"set_text\", \"value\": \"m\"}\n\
+             {\"select\": \"/s/i/v\", \"op\": \"set_text\", \"value\": \"9\", \"first_only\": true}\n",
+            "jsonl",
+        );
+        let err = run(&[
+            "fd-check",
+            "--fd",
+            fd,
+            "--updates",
+            stream.0.to_str().unwrap(),
+            doc.0.to_str().unwrap(),
+        ]);
+        let Err(CliError::Violation(out)) = err else {
+            panic!("expected violation, got {err:?}");
+        };
+        assert!(out.contains("scopes=[unaffected] satisfied"), "{out}");
+        assert!(out.contains("scopes=[localized] fd: VIOLATED"), "{out}");
+        assert!(out.contains("final state has violations"), "{out}");
+
+        // A benign-only stream exits cleanly, and the JSON shape carries
+        // the per-update scopes.
+        let benign = tmp(
+            "{\"select\": \"/s/i/note\", \"op\": \"set_text\", \"value\": \"m\"}\n",
+            "jsonl",
+        );
+        let ok = run(&[
+            "fd-check",
+            "--fd",
+            fd,
+            "--updates",
+            benign.0.to_str().unwrap(),
+            "--format",
+            "json",
+            doc.0.to_str().unwrap(),
+        ])
+        .unwrap();
+        let v = regtree_core::api::Json::parse(&ok).unwrap();
+        assert_eq!(v.get("all_satisfied").and_then(Json::as_bool), Some(true));
+        let updates = v.get("updates").unwrap().as_array().unwrap();
+        assert_eq!(updates.len(), 1);
+        let first = &updates[0];
+        assert_eq!(first.get("touched").and_then(Json::as_u64), Some(2));
+        let checks = first.get("checks").unwrap().as_array().unwrap();
+        assert_eq!(
+            checks[0].get("scope").and_then(Json::as_str),
+            Some("unaffected")
+        );
     }
 
     #[test]

@@ -39,11 +39,12 @@ use parking_lot::Mutex;
 use regtree_hedge::{HedgeAutomaton, Schema};
 use regtree_pattern::{compile_pattern, PatternAutomaton, RegularTreePattern};
 use regtree_runtime::{Budget, CancelToken, RunLimits, SpanKind, Stopwatch, TraceHandle, Tracer};
-use regtree_xml::Document;
+use regtree_xml::{Document, VersionedDocument};
 
 use crate::error::Error;
 use crate::fd::Fd;
 use crate::fdset::FdSet;
+use crate::incremental::IncrementalChecker;
 use crate::independence::{check_independence_governed, IndependenceAnalysis};
 use crate::matrix::{analyze_matrix_governed, analyze_matrix_pruned_governed, IndependenceMatrix};
 use crate::satisfy::{check_fds_governed, FdBatchReport};
@@ -585,6 +586,36 @@ impl Analyzer {
     pub fn check_fds_with(&self, fds: &[Fd], doc: &Document, run: &RunOverrides) -> FdBatchReport {
         let (limits, cancel) = self.effective(run);
         check_fds_governed(fds, doc, limits, cancel, &self.trace)
+    }
+
+    /// Builds an [`IncrementalChecker`] over `fds` and `vdoc` that runs its
+    /// initial verification and every later recheck under the analyzer's
+    /// limits and tracer. The checker is the stateful counterpart of
+    /// [`Analyzer::check_fds`] for workloads that stream updates against
+    /// one document (see [`crate::incremental`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regtree_core::{Analyzer, FdBuilder};
+    /// use regtree_alphabet::Alphabet;
+    /// use regtree_xml::{parse_document, VersionedDocument};
+    ///
+    /// let a = Alphabet::new();
+    /// let fd = FdBuilder::new(a.clone())
+    ///     .context("catalog").condition("item/sku").target("item/price")
+    ///     .build().unwrap();
+    /// let doc = parse_document(&a, "<catalog></catalog>").unwrap();
+    /// let vdoc = VersionedDocument::new(doc);
+    /// let checker = Analyzer::builder().build().incremental_checker(vec![fd], &vdoc);
+    /// assert!(checker.all_satisfied());
+    /// ```
+    pub fn incremental_checker(
+        &self,
+        fds: Vec<Fd>,
+        vdoc: &VersionedDocument,
+    ) -> IncrementalChecker {
+        IncrementalChecker::with_governance(fds, vdoc, self.limits, self.trace.clone())
     }
 }
 

@@ -33,12 +33,16 @@
 
 use std::fmt::Write as _;
 
+use regtree_alphabet::Alphabet;
+use regtree_pattern::parse_corexpath;
 use regtree_runtime::{EventKind, RunMetrics, SpanKind, TraceSummary};
+use regtree_xml::{parse_document, TreeSpec};
 
 use crate::fdset::{FdSet, Minimization};
 use crate::independence::IndependenceAnalysis;
 use crate::matrix::{CellProvenance, IndependenceMatrix};
 use crate::satisfy::FdOutcome;
+use crate::update::{Update, UpdateClass, UpdateOp};
 
 /// Version of the serializable request/response surface. Exchanged in the
 /// `rtpserved` `initialize` handshake; a client built against an
@@ -474,6 +478,9 @@ impl Parser<'_> {
                                         16,
                                     )
                                     .map_err(|e| format!("bad surrogate: {e}"))?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err("invalid surrogate pair".into());
+                                    }
                                     self.pos += 6;
                                     char::from_u32(
                                         0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00),
@@ -524,6 +531,9 @@ pub fn metrics_to_json(m: &RunMetrics) -> Json {
         ("memo_entries".into(), Json::u64(m.memo_entries)),
         ("memo_hits".into(), Json::u64(m.memo_hits)),
         ("verdicts_reused".into(), Json::u64(m.verdicts_reused)),
+        ("deltas_applied".into(), Json::u64(m.deltas_applied)),
+        ("rechecks_localized".into(), Json::u64(m.rechecks_localized)),
+        ("rechecks_full".into(), Json::u64(m.rechecks_full)),
         ("compile_nanos".into(), Json::u64(m.compile_nanos)),
         ("search_nanos".into(), Json::u64(m.search_nanos)),
     ])
@@ -905,6 +915,145 @@ impl FdCheckResponse {
     }
 }
 
+/// Parses one update request object into an executable [`Update`] — the
+/// wire shape consumed by `rtpcheck fd-check --updates` (one object per
+/// JSONL line) and the `document/update` RPC:
+///
+/// ```json
+/// {"select": "/session/candidate/exam/rank", "op": "set_text",
+///  "value": "9", "first_only": true}
+/// ```
+///
+/// * `select` — an absolute CoreXPath expression naming the updated nodes;
+/// * `op` — `replace` | `append_child` | `prepend_child` | `delete` |
+///   `set_text`;
+/// * `xml` — the replacement/child subtree, for the first three ops;
+/// * `value` — the new string value, for `set_text`;
+/// * `first_only` — apply to the first selected node only (optional,
+///   default `false`).
+pub fn parse_update_json(alphabet: &Alphabet, json: &Json) -> Result<Update, String> {
+    let select = json
+        .get("select")
+        .and_then(Json::as_str)
+        .ok_or("update needs a 'select' CoreXPath string")?;
+    let pattern = parse_corexpath(alphabet, select).map_err(|e| format!("bad 'select': {e}"))?;
+    let class = UpdateClass::new(pattern).map_err(|e| format!("bad 'select': {e}"))?;
+
+    let spec = |key: &str| -> Result<TreeSpec, String> {
+        let xml = json
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("op needs an '{key}' subtree string"))?;
+        let doc = parse_document(alphabet, xml).map_err(|e| format!("bad '{key}': {e}"))?;
+        let tops = doc.children(doc.root());
+        match tops {
+            [single] => Ok(TreeSpec::from_document(&doc, *single)),
+            _ => Err(format!(
+                "'{key}' must contain exactly one top-level element"
+            )),
+        }
+    };
+
+    let op = json
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("update needs an 'op' string")?;
+    let op = match op {
+        "replace" => UpdateOp::Replace(spec("xml")?),
+        "append_child" => UpdateOp::AppendChild(spec("xml")?),
+        "prepend_child" => UpdateOp::PrependChild(spec("xml")?),
+        "delete" => UpdateOp::Delete,
+        "set_text" => {
+            let value = json
+                .get("value")
+                .and_then(Json::as_str)
+                .ok_or("set_text needs a 'value' string")?;
+            UpdateOp::SetText(value.to_string())
+        }
+        other => {
+            return Err(format!(
+                "unknown op '{other}' (expected replace | append_child | prepend_child | \
+                 delete | set_text)"
+            ))
+        }
+    };
+    let op = match json.get("first_only").and_then(Json::as_bool) {
+        Some(true) => UpdateOp::FirstOnly(Box::new(op)),
+        _ => op,
+    };
+    Ok(Update::new(class, op))
+}
+
+/// One FD's scope + outcome within an [`UpdateResponse`].
+#[derive(Clone, Debug)]
+pub struct UpdateCheckEntry {
+    /// FD name.
+    pub fd: String,
+    /// `"unaffected"` | `"localized"` | `"global"` — how far the recheck
+    /// reached.
+    pub scope: String,
+    /// The verdict after the update (same vocabulary as
+    /// [`FdCheckOutcome`]).
+    pub check: FdCheckOutcome,
+}
+
+impl UpdateCheckEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("fd".into(), Json::str(&self.fd)),
+            ("scope".into(), Json::str(&self.scope)),
+            ("check".into(), self.check.to_json()),
+        ])
+    }
+}
+
+/// Result of one `document/update` (and of each JSONL line processed by
+/// `rtpcheck fd-check --updates`).
+#[derive(Clone, Debug)]
+pub struct UpdateResponse {
+    /// Document name/path the update was applied to.
+    pub path: String,
+    /// Version counter after this update.
+    pub version: u64,
+    /// Number of nodes the update selected and edited.
+    pub touched: usize,
+    /// Per FD (input order): recheck scope and verdict.
+    pub checks: Vec<UpdateCheckEntry>,
+    /// Did every FD hold after the update?
+    pub all_satisfied: bool,
+    /// Merged work counters, when requested.
+    pub metrics: Option<RunMetrics>,
+    /// Per-phase wall-time breakdown, when requested.
+    pub phases: Option<TraceSummary>,
+}
+
+impl UpdateResponse {
+    /// The stable JSON shape.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("path".into(), Json::str(&self.path)),
+            ("version".into(), Json::u64(self.version)),
+            ("touched".into(), Json::usize(self.touched)),
+            (
+                "checks".into(),
+                Json::Arr(self.checks.iter().map(UpdateCheckEntry::to_json).collect()),
+            ),
+            ("all_satisfied".into(), Json::Bool(self.all_satisfied)),
+        ];
+        push_extras(&mut members, &self.metrics, &self.phases);
+        Json::Obj(members)
+    }
+}
+
+/// The wire name of a recheck scope.
+pub fn scope_name(scope: crate::incremental::RecheckScope) -> &'static str {
+    match scope {
+        crate::incremental::RecheckScope::Unaffected => "unaffected",
+        crate::incremental::RecheckScope::Localized => "localized",
+        crate::incremental::RecheckScope::Global => "global",
+    }
+}
+
 /// One dropped FD within a [`MinimizeResponse`].
 #[derive(Clone, Debug)]
 pub struct DroppedFdResponse {
@@ -1037,10 +1186,77 @@ mod tests {
     }
 
     #[test]
+    fn broken_surrogate_escapes_are_rejected() {
+        // A high surrogate must be followed by a \u-escaped low surrogate;
+        // anything else is invalid JSON and must Err without panicking.
+        let esc = |hex: &str| format!("{}u{}", '\x5c', hex);
+        for second in ["0041", "E000", "D800"] {
+            let src = format!("\"{}{}\"", esc("D800"), esc(second));
+            let r = Json::parse(&src);
+            assert!(r.is_err(), "src={src} got: {r:?}");
+        }
+    }
+
+    #[test]
     fn protocol_versions() {
         assert!(protocol_compatible(PROTOCOL_VERSION, PROTOCOL_VERSION));
         assert!(protocol_compatible("1.3", "1.0"));
         assert!(!protocol_compatible("2.0", "1.0"));
+    }
+
+    #[test]
+    fn update_json_round_trips_through_apply() {
+        use regtree_alphabet::Alphabet;
+
+        let a = Alphabet::new();
+        let doc = parse_document(
+            &a,
+            "<session><candidate><exam><rank>1</rank></exam></candidate>\
+             <candidate><exam><rank>1</rank></exam></candidate></session>",
+        )
+        .unwrap();
+
+        let line = r#"{"select": "/session/candidate/exam/rank",
+                       "op": "set_text", "value": "9", "first_only": true}"#;
+        let up = parse_update_json(&a, &Json::parse(line).unwrap()).unwrap();
+        let after = up.apply_cloned(&doc).unwrap();
+        let xml = regtree_xml::to_xml(&after);
+        assert!(
+            xml.contains("<rank>9</rank>") && xml.contains("<rank>1</rank>"),
+            "{xml}"
+        );
+
+        let line = r#"{"select": "/session/candidate/exam",
+                       "op": "append_child", "xml": "<note>ok</note>"}"#;
+        let up = parse_update_json(&a, &Json::parse(line).unwrap()).unwrap();
+        assert_eq!(up.apply_cloned(&doc).unwrap().len(), doc.len() + 4);
+
+        let line = r#"{"select": "/session/candidate", "op": "delete", "first_only": true}"#;
+        let up = parse_update_json(&a, &Json::parse(line).unwrap()).unwrap();
+        let after = up.apply_cloned(&doc).unwrap();
+        assert!(after.len() < doc.len());
+    }
+
+    #[test]
+    fn update_json_rejects_malformed_requests() {
+        use regtree_alphabet::Alphabet;
+
+        let a = Alphabet::new();
+        for (line, needle) in [
+            (r#"{"op": "delete"}"#, "'select'"),
+            (r#"{"select": "/a"}"#, "'op'"),
+            (r#"{"select": "/a", "op": "explode"}"#, "unknown op"),
+            (r#"{"select": "/a", "op": "set_text"}"#, "'value'"),
+            (r#"{"select": "/a", "op": "replace"}"#, "'xml'"),
+            (
+                r#"{"select": "/a", "op": "replace", "xml": "<b/><c/>"}"#,
+                "one top-level",
+            ),
+            (r#"{"select": "a", "op": "delete"}"#, "select"),
+        ] {
+            let err = parse_update_json(&a, &Json::parse(line).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "line={line} err={err}");
+        }
     }
 
     #[test]
@@ -1051,6 +1267,6 @@ mod tests {
         };
         let json = metrics_to_json(&m);
         assert_eq!(json.get("states_interned").and_then(Json::as_u64), Some(3));
-        assert_eq!(json.as_object().unwrap().len(), 10);
+        assert_eq!(json.as_object().unwrap().len(), 13);
     }
 }

@@ -19,7 +19,10 @@
 //! * [`reduction`] — the PSPACE-hardness gadgets (Proposition 1,
 //!   Figures 7–8);
 //! * [`revalidate`] — the document-at-hand baseline (\[14\]-style) the paper
-//!   compares the criterion against.
+//!   compares the criterion against;
+//! * [`incremental`] — impact-scoped FD rechecking over
+//!   [`regtree_xml::VersionedDocument`] deltas (the production successor
+//!   of the baselines above).
 
 #![deny(unsafe_code)]
 #![deny(missing_docs)]
@@ -30,6 +33,7 @@ pub mod error;
 pub mod fd;
 pub mod fdset;
 pub mod impact;
+pub mod incremental;
 pub mod independence;
 mod intern;
 mod lazy_ic;
@@ -46,13 +50,14 @@ pub use error::Error;
 pub use fd::{EqualityType, Fd, FdBuilder, FdError};
 pub use fdset::{DroppedFd, FdSet, Implication, Minimization};
 pub use impact::{classify_pair, search_impact, ImpactWitness, PairClassification};
+pub use incremental::{IncrementalChecker, RecheckReport, RecheckScope};
 pub use independence::{
     build_ic_automaton, check_independence_eager, in_language_naive, IndependenceAnalysis, Verdict,
 };
 pub use matrix::{CellProvenance, IndependenceMatrix, MatrixCell};
 pub use pathfd::{expressible_in_path_formalism, Inexpressibility, PathFd, PathFdError};
 pub use reduction::{build_patterns, build_reduction, gadget_alphabet, ReductionInstance};
-pub use revalidate::{revalidate_full, revalidate_full_many, IncrementalChecker};
+pub use revalidate::{revalidate_full, revalidate_full_many, RelevantSetChecker};
 pub use satisfy::{
     check_fd, check_fd_governed, check_fd_indexed, satisfies, FdBatchReport, FdOutcome, FdViolation,
 };

@@ -4,11 +4,12 @@
 //! the post-update document. The paper's closing question — “estimate how
 //! much time it saves to launch the independence criterion instead of
 //! verifying the functional dependency again” — is answered by benchmarking
-//! [`revalidate_full`] (and the mildly smarter [`IncrementalChecker`])
+//! [`revalidate_full`] (and the mildly smarter [`RelevantSetChecker`])
 //! against [`crate::Analyzer::independence`]; see
-//! `crates/bench/benches/ic_vs_revalidation.rs`.
+//! `crates/bench/benches/ic_vs_revalidation.rs`. The delta-scoped
+//! [`crate::IncrementalChecker`] is the production-grade successor of both.
 
-use regtree_xml::{Document, NodeId};
+use regtree_xml::{Document, NodeId, UndoJournal};
 
 use crate::fd::Fd;
 use crate::satisfy::{check_fd, check_fds_parallel_internal, FdViolation};
@@ -29,13 +30,32 @@ pub fn revalidate_full(
 /// fanning the checks out over scoped worker threads (results in `fds`
 /// order). The batch counterpart of [`revalidate_full`] for workloads that
 /// maintain many dependencies over the same document.
+///
+/// The update is applied *in place* through an [`UndoJournal`] (only the
+/// touched arena slots are snapshotted) and rolled back before returning,
+/// so `doc` is unchanged on exit — without ever cloning the tree. Updates
+/// with custom ops cannot be journaled and fall back to the cloning path.
 pub fn revalidate_full_many(
     fds: &[Fd],
     update: &Update,
-    doc: &Document,
+    doc: &mut Document,
 ) -> Result<Vec<Result<(), FdViolation>>, ApplyError> {
-    let after = update.apply_cloned(doc)?;
-    Ok(check_fds_parallel_internal(fds, &after))
+    if update.has_custom_op() {
+        let after = update.apply_cloned(doc)?;
+        return Ok(check_fds_parallel_internal(fds, &after));
+    }
+    let mut journal = UndoJournal::begin(doc);
+    match update.apply_journaled(doc, &mut journal) {
+        Ok(_) => {
+            let results = check_fds_parallel_internal(fds, doc);
+            journal.rollback(doc);
+            Ok(results)
+        }
+        Err(e) => {
+            journal.rollback(doc);
+            Err(e)
+        }
+    }
 }
 
 /// A document-level incremental checker in the spirit of \[14\]: it stores,
@@ -45,14 +65,14 @@ pub fn revalidate_full_many(
 /// pattern unable to reach the updated region still requires a (cheap)
 /// containment probe rather than a full re-verification.
 #[derive(Clone, Debug)]
-pub struct IncrementalChecker {
+pub struct RelevantSetChecker {
     relevant: std::collections::HashSet<NodeId>,
     satisfied: bool,
 }
 
-impl IncrementalChecker {
+impl RelevantSetChecker {
     /// Runs a full verification and snapshots the relevant-node set.
-    pub fn new(fd: &Fd, doc: &Document) -> IncrementalChecker {
+    pub fn new(fd: &Fd, doc: &Document) -> RelevantSetChecker {
         let mut relevant = std::collections::HashSet::new();
         for m in regtree_pattern::enumerate_mappings(fd.template(), doc) {
             relevant.extend(m.trace_nodes(doc));
@@ -61,7 +81,7 @@ impl IncrementalChecker {
             }
         }
         let satisfied = check_fd(fd, doc).is_ok();
-        IncrementalChecker {
+        RelevantSetChecker {
             relevant,
             satisfied,
         }
@@ -127,7 +147,7 @@ impl IncrementalChecker {
         let ok = check_fd(fd, doc).is_ok();
         self.satisfied = ok;
         if ok {
-            *self = IncrementalChecker::new(fd, doc);
+            *self = RelevantSetChecker::new(fd, doc);
         }
         Ok(ok)
     }
@@ -195,7 +215,7 @@ mod tests {
         let a = Alphabet::new();
         let fd = fd_rank(&a);
         let mut d = doc(&a);
-        let mut checker = IncrementalChecker::new(&fd, &d);
+        let mut checker = RelevantSetChecker::new(&fd, &d);
         assert!(checker.satisfied());
         assert!(checker.relevant_len() > 0);
         // Level updates never touch the FD region.
@@ -209,7 +229,7 @@ mod tests {
         let a = Alphabet::new();
         let fd = fd_rank(&a);
         let mut d = doc(&a);
-        let mut checker = IncrementalChecker::new(&fd, &d);
+        let mut checker = RelevantSetChecker::new(&fd, &d);
         let class = update_class_from_edges(&a, &["session/candidate/exam/rank"]).unwrap();
         let once = std::sync::atomic::AtomicBool::new(false);
         let uneven = Update::new(
@@ -238,7 +258,7 @@ mod tests {
             "<session><candidate><stash/></candidate><candidate><stash/></candidate></session>",
         )
         .unwrap();
-        let mut checker = IncrementalChecker::new(&fd, &d);
+        let mut checker = RelevantSetChecker::new(&fd, &d);
         assert!(checker.satisfied());
         // An update grafting *conflicting* exams into the stashes creates
         // brand-new violating traces the old region knew nothing about.

@@ -64,6 +64,96 @@ enum KeyPart {
     ValueHash(u64),
 }
 
+/// One confirmed condition-equal class: its condition representatives and
+/// the target representative every later trace must agree with.
+#[derive(Clone, Debug)]
+struct Group {
+    conditions: Vec<NodeId>,
+    target: NodeId,
+}
+
+/// The bucket structure a satisfied FD check leaves behind, keyed by
+/// context node so an incremental recheck can drop the buckets of the
+/// contexts an edit touched and re-derive only those
+/// ([`crate::IncrementalChecker`]).
+///
+/// Invariant: inserting every projection of a document without hitting a
+/// violation is exactly [`check_fd_governed`] returning `Satisfied` — the
+/// two share this code path.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BucketState {
+    per_context: HashMap<NodeId, HashMap<Vec<KeyPart>, Vec<Group>>>,
+}
+
+impl BucketState {
+    /// Folds one `(c, p1…pn, q)` projection in; `Err` is a violation
+    /// witness against a previously inserted trace of the same context.
+    pub(crate) fn insert(
+        &mut self,
+        fd: &Fd,
+        doc: &Document,
+        proj: &[NodeId],
+    ) -> Result<(), FdViolation> {
+        let n_cond = fd.conditions().len();
+        let eqs = fd.equality();
+        let context = proj[0];
+        let conditions: Vec<NodeId> = proj[1..1 + n_cond].to_vec();
+        let target = proj[1 + n_cond];
+        let key: Vec<KeyPart> = conditions
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| key_part(doc, c, eqs[i]))
+            .collect();
+        let groups = self
+            .per_context
+            .entry(context)
+            .or_default()
+            .entry(key)
+            .or_default();
+        for g in groups.iter() {
+            let same_conditions = g
+                .conditions
+                .iter()
+                .zip(conditions.iter())
+                .enumerate()
+                .all(|(i, (&a, &b))| nodes_equal(doc, a, b, eqs[i]));
+            if !same_conditions {
+                continue; // genuine hash collision: different class
+            }
+            if !nodes_equal(doc, g.target, target, fd.target_equality()) {
+                return Err(FdViolation {
+                    context,
+                    conditions_a: g.conditions.clone(),
+                    conditions_b: conditions,
+                    target_a: g.target,
+                    target_b: target,
+                });
+            }
+            return Ok(());
+        }
+        groups.push(Group { conditions, target });
+        Ok(())
+    }
+
+    /// Drops every bucket of `context` (its traces will be re-derived).
+    pub(crate) fn remove_context(&mut self, context: NodeId) {
+        self.per_context.remove(&context);
+    }
+
+    /// The context nodes currently holding buckets.
+    pub(crate) fn contexts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.per_context.keys().copied()
+    }
+}
+
+/// The projection tuple an FD check keeps: `(c, p1, …, pn, q)`.
+pub(crate) fn fd_keep(fd: &Fd) -> Vec<regtree_pattern::TemplateNodeId> {
+    let mut keep = vec![fd.context()];
+    keep.extend_from_slice(fd.conditions());
+    keep.push(fd.target());
+    keep
+}
+
 fn key_part(doc: &Document, n: NodeId, eq: EqualityType) -> KeyPart {
     match eq {
         EqualityType::Node => KeyPart::Node(n),
@@ -136,17 +226,28 @@ pub fn check_fd_governed(
     index: &LabelIndex,
     budget: &mut Budget,
 ) -> FdOutcome {
+    check_fd_governed_retaining(fd, doc, index, budget).0
+}
+
+/// [`check_fd_governed`] that additionally hands back the per-context
+/// [`BucketState`] on a `Satisfied` verdict, for incremental rechecking to
+/// patch instead of rebuild. `Violated`/`Unknown` runs return `None`: a
+/// partial bucket state is not a sound basis for patching.
+pub(crate) fn check_fd_governed_retaining(
+    fd: &Fd,
+    doc: &Document,
+    index: &LabelIndex,
+    budget: &mut Budget,
+) -> (FdOutcome, Option<BucketState>) {
     let trace = budget.trace().clone();
     let _span = trace.span(SpanKind::FdCheck, "");
     // One unconditional poll before any work: a pre-cancelled token or an
     // already-elapsed deadline aborts even FDs that would decide before the
     // first amortized poll fires.
     if let Err(r) = budget.poll_now() {
-        return FdOutcome::Unknown { exhausted: r };
+        return (FdOutcome::Unknown { exhausted: r }, None);
     }
-    let mut keep = vec![fd.context()];
-    keep.extend_from_slice(fd.conditions());
-    keep.push(fd.target());
+    let keep = fd_keep(fd);
     let projections = match regtree_pattern::project_mappings_governed(
         fd.template(),
         doc,
@@ -155,60 +256,16 @@ pub fn check_fd_governed(
         budget,
     ) {
         Ok(p) => p,
-        Err(r) => return FdOutcome::Unknown { exhausted: r },
+        Err(r) => return (FdOutcome::Unknown { exhausted: r }, None),
     };
 
-    let n_cond = fd.conditions().len();
-    let eqs = fd.equality();
-    let target_eq = fd.target_equality();
-
-    // First-pass buckets on (context, condition hashes); each bucket holds a
-    // list of groups, one per *confirmed* condition-equal class, with that
-    // class's target representative.
-    struct Group {
-        conditions: Vec<NodeId>,
-        target: NodeId,
-    }
-    let mut buckets: HashMap<Vec<KeyPart>, Vec<Group>> = HashMap::new();
-
+    let mut buckets = BucketState::default();
     for proj in projections {
-        let context = proj[0];
-        let conditions: Vec<NodeId> = proj[1..1 + n_cond].to_vec();
-        let target = proj[1 + n_cond];
-        let mut key = Vec::with_capacity(n_cond + 1);
-        key.push(KeyPart::Node(context));
-        for (i, &c) in conditions.iter().enumerate() {
-            key.push(key_part(doc, c, eqs[i]));
-        }
-        let groups = buckets.entry(key).or_default();
-        let mut matched = false;
-        for g in groups.iter() {
-            let same_conditions = g
-                .conditions
-                .iter()
-                .zip(conditions.iter())
-                .enumerate()
-                .all(|(i, (&a, &b))| nodes_equal(doc, a, b, eqs[i]));
-            if !same_conditions {
-                continue; // genuine hash collision: different class
-            }
-            matched = true;
-            if !nodes_equal(doc, g.target, target, target_eq) {
-                return FdOutcome::Violated(FdViolation {
-                    context,
-                    conditions_a: g.conditions.clone(),
-                    conditions_b: conditions,
-                    target_a: g.target,
-                    target_b: target,
-                });
-            }
-            break;
-        }
-        if !matched {
-            groups.push(Group { conditions, target });
+        if let Err(v) = buckets.insert(fd, doc, &proj) {
+            return (FdOutcome::Violated(v), None);
         }
     }
-    FdOutcome::Satisfied
+    (FdOutcome::Satisfied, Some(buckets))
 }
 
 /// Boolean convenience wrapper.

@@ -14,7 +14,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use regtree_pattern::{RegularTreePattern, Template, TemplateNodeId};
-use regtree_xml::{edit, Document, NodeId, TreeSpec};
+use regtree_xml::{edit, Document, NodeId, TreeSpec, UndoJournal, VersionedDocument};
 
 /// A class of updates `U = (T_U, s̄_U)`.
 #[derive(Clone, Debug)]
@@ -162,6 +162,10 @@ pub enum ApplyError {
         /// The root label of the replacement spec.
         got: String,
     },
+    /// A [`UpdateOp::Custom`] op reached [`Update::apply_journaled`]:
+    /// arbitrary surgery cannot be journaled for rollback. Callers gate on
+    /// [`Update::has_custom_op`] and fall back to [`Update::apply_cloned`].
+    NotJournalable,
 }
 
 impl fmt::Display for ApplyError {
@@ -173,6 +177,9 @@ impl fmt::Display for ApplyError {
                 "replacement must keep the updated node's label '{expected}', got '{got}' \
                  (independence soundness requires label-preserving updates)"
             ),
+            ApplyError::NotJournalable => {
+                write!(f, "custom update ops cannot be applied through a journal")
+            }
         }
     }
 }
@@ -261,6 +268,218 @@ impl Update {
         let mut copy = doc.clone();
         self.apply(&mut copy)?;
         Ok(copy)
+    }
+
+    /// Does this update run arbitrary surgery ([`UpdateOp::Custom`])?
+    ///
+    /// Custom ops cannot be journaled for rollback and force opaque deltas
+    /// on the versioned path.
+    pub fn has_custom_op(&self) -> bool {
+        fn is_custom(op: &UpdateOp) -> bool {
+            match op {
+                UpdateOp::Custom(_) => true,
+                UpdateOp::FirstOnly(inner) => is_custom(inner),
+                _ => false,
+            }
+        }
+        is_custom(&self.op)
+    }
+
+    /// [`Update::apply`] against a [`VersionedDocument`]: every edit goes
+    /// through the delta methods, so the label index is patched in place
+    /// and the accumulated [`regtree_xml::Delta`] records exactly what
+    /// changed. [`UpdateOp::Custom`] ops run under
+    /// [`VersionedDocument::apply_opaque`] (index rebuild, opaque delta).
+    ///
+    /// Selection and skip semantics are identical to [`Update::apply`].
+    pub fn apply_versioned(&self, v: &mut VersionedDocument) -> Result<Vec<NodeId>, ApplyError> {
+        let targets = self.class.selected_nodes(v.doc());
+        let mut touched = Vec::new();
+        let (op, only_first) = match &self.op {
+            UpdateOp::FirstOnly(inner) => (inner.as_ref(), true),
+            other => (other, false),
+        };
+        for n in targets {
+            if !v.doc().is_alive(n) {
+                continue;
+            }
+            apply_at_versioned(op, v, n)?;
+            touched.push(n);
+            if only_first {
+                break;
+            }
+        }
+        Ok(touched)
+    }
+
+    /// [`Update::apply`] through an [`UndoJournal`]: the edits mutate `doc`
+    /// in place while the journal snapshots exactly the touched arena
+    /// slots, so [`UndoJournal::rollback`] restores the pre-image without a
+    /// clone. Fails with [`ApplyError::NotJournalable`] on
+    /// [`UpdateOp::Custom`] (gate on [`Update::has_custom_op`]); the
+    /// journal still undoes any edits applied before the failure.
+    pub fn apply_journaled(
+        &self,
+        doc: &mut Document,
+        journal: &mut UndoJournal,
+    ) -> Result<Vec<NodeId>, ApplyError> {
+        let targets = self.class.selected_nodes(doc);
+        let mut touched = Vec::new();
+        let (op, only_first) = match &self.op {
+            UpdateOp::FirstOnly(inner) => (inner.as_ref(), true),
+            other => (other, false),
+        };
+        for n in targets {
+            if !doc.is_alive(n) {
+                continue;
+            }
+            apply_at_journaled(op, doc, journal, n)?;
+            touched.push(n);
+            if only_first {
+                break;
+            }
+        }
+        Ok(touched)
+    }
+}
+
+fn apply_at_versioned(
+    op: &UpdateOp,
+    v: &mut VersionedDocument,
+    n: NodeId,
+) -> Result<(), ApplyError> {
+    match op {
+        UpdateOp::Replace(spec) => {
+            if spec.label != v.doc().label(n) {
+                return Err(ApplyError::LabelChanged {
+                    expected: v.doc().label_name(n).to_string(),
+                    got: v.doc().alphabet().name(spec.label).to_string(),
+                });
+            }
+            v.replace_subtree(n, spec)?;
+        }
+        UpdateOp::AppendChild(spec) => {
+            v.append_child(n, spec)?;
+        }
+        UpdateOp::PrependChild(spec) => {
+            v.insert_child(n, 0, spec)?;
+        }
+        UpdateOp::Delete => {
+            v.delete_subtree(n)?;
+        }
+        UpdateOp::SetText(val) => {
+            set_text_versioned(v, n, |_| val.clone())?;
+        }
+        UpdateOp::MapText(f) => {
+            let f = f.clone();
+            set_text_versioned(v, n, move |old| f(old))?;
+        }
+        UpdateOp::Custom(f) => {
+            let f = f.clone();
+            v.apply_opaque(|doc| f(doc, n));
+        }
+        UpdateOp::FirstOnly(inner) => {
+            apply_at_versioned(inner, v, n)?;
+        }
+    }
+    Ok(())
+}
+
+fn set_text_versioned(
+    v: &mut VersionedDocument,
+    n: NodeId,
+    f: impl Fn(&str) -> String,
+) -> Result<(), edit::EditError> {
+    use regtree_alphabet::LabelKind;
+    match v.doc().kind(n) {
+        LabelKind::Attribute | LabelKind::Text => {
+            let new = f(v.doc().value(n).unwrap_or(""));
+            v.set_value(n, &new)
+        }
+        LabelKind::Element => {
+            let text_children: Vec<NodeId> = v
+                .doc()
+                .children(n)
+                .iter()
+                .copied()
+                .filter(|&c| v.doc().kind(c) == LabelKind::Text)
+                .collect();
+            for c in text_children {
+                let new = f(v.doc().value(c).unwrap_or(""));
+                v.set_value(c, &new)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn apply_at_journaled(
+    op: &UpdateOp,
+    doc: &mut Document,
+    journal: &mut UndoJournal,
+    n: NodeId,
+) -> Result<(), ApplyError> {
+    match op {
+        UpdateOp::Replace(spec) => {
+            if spec.label != doc.label(n) {
+                return Err(ApplyError::LabelChanged {
+                    expected: doc.label_name(n).to_string(),
+                    got: doc.alphabet().name(spec.label).to_string(),
+                });
+            }
+            journal.replace_subtree(doc, n, spec)?;
+        }
+        UpdateOp::AppendChild(spec) => {
+            journal.insert_child(doc, n, doc.children(n).len(), spec)?;
+        }
+        UpdateOp::PrependChild(spec) => {
+            journal.insert_child(doc, n, 0, spec)?;
+        }
+        UpdateOp::Delete => {
+            journal.delete_subtree(doc, n)?;
+        }
+        UpdateOp::SetText(v) => {
+            set_text_journaled(doc, journal, n, |_| v.clone())?;
+        }
+        UpdateOp::MapText(f) => {
+            let f = f.clone();
+            set_text_journaled(doc, journal, n, move |old| f(old))?;
+        }
+        UpdateOp::Custom(_) => {
+            return Err(ApplyError::NotJournalable);
+        }
+        UpdateOp::FirstOnly(inner) => {
+            apply_at_journaled(inner, doc, journal, n)?;
+        }
+    }
+    Ok(())
+}
+
+fn set_text_journaled(
+    doc: &mut Document,
+    journal: &mut UndoJournal,
+    n: NodeId,
+    f: impl Fn(&str) -> String,
+) -> Result<(), edit::EditError> {
+    use regtree_alphabet::LabelKind;
+    match doc.kind(n) {
+        LabelKind::Attribute | LabelKind::Text => {
+            let new = f(doc.value(n).unwrap_or(""));
+            journal.set_value(doc, n, &new)
+        }
+        LabelKind::Element => {
+            let text_children: Vec<NodeId> = doc
+                .children(n)
+                .iter()
+                .copied()
+                .filter(|&c| doc.kind(c) == LabelKind::Text)
+                .collect();
+            for c in text_children {
+                let new = f(doc.value(c).unwrap_or(""));
+                journal.set_value(doc, c, &new)?;
+            }
+            Ok(())
+        }
     }
 }
 

@@ -1,0 +1,328 @@
+//! One-pass streaming validation against a bottom-up automaton.
+//!
+//! Bottom-up runs only ever need the states of a node's *children*, and a
+//! streaming parse closes every child before it closes the parent — so the
+//! automaton can run *during* ingest. [`StreamValidator`] plugs into the
+//! [`regtree_xml::stream`] event stream and maintains, per open element, the
+//! set of live transition runs (a horizontal-NFA frontier per guard-matching
+//! transition). Memory is bounded by the open-element depth times the
+//! automaton size, independent of document width.
+//!
+//! On a child's close event its state set is folded into every live parent
+//! run; a node whose runs all die (or that matched no guard) is exactly a
+//! batch-validation failure *origin* — a stateless node whose children all
+//! carry states — and is reported immediately, aborting the parse. Failure
+//! origins are pairwise incomparable (every ancestor of an origin has a
+//! stateless child, hence is not itself an origin), and incomparable nodes
+//! close in document order, so the first streaming error is the same node
+//! [`HedgeAutomaton::validate`] would report after a full parse.
+
+use std::sync::Arc;
+
+use regtree_alphabet::Alphabet;
+use regtree_automata::StateId;
+use regtree_runtime::{SpanKind, TraceHandle};
+use regtree_xml::stream::{stream_document_with, StreamError, StreamSink};
+use regtree_xml::{Document, LabelIndex, NodeId, ParseOptions, XmlError};
+
+use crate::automaton::{HedgeAutomaton, TreeState, ValidationError};
+
+/// One live transition run at an open node: the transition's index and the
+/// current frontier of its horizontal NFA after the children seen so far.
+struct Run {
+    transition: usize,
+    frontier: Vec<StateId>,
+}
+
+/// Incremental bottom-up automaton run over a streaming parse.
+///
+/// Implements [`StreamSink`]; feed it to [`regtree_xml::stream_document`] or
+/// use the [`stream_validated`] convenience wrapper. After a failed ingest,
+/// [`StreamValidator::error`] holds the structured diagnostic.
+pub struct StreamValidator {
+    automaton: Arc<HedgeAutomaton>,
+    /// One frame per open node (the reserved root included): its live runs.
+    frames: Vec<Vec<Run>>,
+    error: Option<ValidationError>,
+}
+
+impl StreamValidator {
+    /// Creates a validator for one document ingest.
+    pub fn new(automaton: Arc<HedgeAutomaton>) -> StreamValidator {
+        StreamValidator {
+            automaton,
+            frames: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// The structured error behind a `Sink` failure, if validation failed.
+    pub fn error(&self) -> Option<&ValidationError> {
+        self.error.as_ref()
+    }
+
+    /// Takes the structured error, if any.
+    pub fn take_error(&mut self) -> Option<ValidationError> {
+        self.error.take()
+    }
+
+    /// Maximum live frames (diagnostic: memory is O(depth × |A|)).
+    pub fn open_depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn fail(&mut self, doc: &Document, node: NodeId, reason: &str) -> Result<(), String> {
+        let err = ValidationError {
+            node,
+            position: doc.dewey_string(node),
+            label: doc.label_name(node).to_string(),
+            reason: reason.into(),
+        };
+        let msg = err.to_string();
+        self.error = Some(err);
+        Err(msg)
+    }
+}
+
+impl StreamSink for StreamValidator {
+    fn open(&mut self, doc: &Document, node: NodeId) -> Result<(), String> {
+        let label = doc.label(node);
+        let runs = self
+            .automaton
+            .transitions()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.guard.matches(label))
+            .map(|(i, t)| Run {
+                transition: i,
+                frontier: t.horizontal.initial_set(),
+            })
+            .collect();
+        self.frames.push(runs);
+        Ok(())
+    }
+
+    fn close(&mut self, doc: &Document, node: NodeId) -> Result<(), String> {
+        let runs = self.frames.pop().expect("close without matching open");
+        let transitions = self.automaton.transitions();
+        let mut states: Vec<TreeState> = runs
+            .iter()
+            .filter(|r| {
+                transitions[r.transition]
+                    .horizontal
+                    .set_accepts(&r.frontier)
+            })
+            .map(|r| transitions[r.transition].target)
+            .collect();
+        states.sort_unstable();
+        states.dedup();
+
+        if let Some(parent_runs) = self.frames.last_mut() {
+            if states.is_empty() {
+                return self.fail(doc, node, "no automaton state assignable");
+            }
+            // Fold this child's state set into every live parent run; runs
+            // whose frontier empties are dead and dropped.
+            parent_runs.retain_mut(|r| {
+                let h = &transitions[r.transition].horizontal;
+                r.frontier = h.step_multi(&r.frontier, &states);
+                !r.frontier.is_empty()
+            });
+            Ok(())
+        } else {
+            // Root close: end of document.
+            if self.automaton.finals().iter().any(|f| states.contains(f)) {
+                Ok(())
+            } else if states.is_empty() && !doc.children(node).is_empty() {
+                self.fail(doc, node, "no automaton state assignable")
+            } else {
+                self.fail(doc, node, "root state is not accepting")
+            }
+        }
+    }
+}
+
+/// Why a validated streaming ingest failed.
+#[derive(Clone, Debug)]
+pub enum IngestError {
+    /// The input was not well-formed XML.
+    Xml(XmlError),
+    /// The document is well-formed but not in the automaton's language.
+    Invalid(ValidationError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Xml(e) => write!(f, "{e}"),
+            IngestError::Invalid(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Parses, indexes and validates `src` in a single pass: the streaming
+/// counterpart of `parse_document` + `LabelIndex::build` + `validate`.
+pub fn stream_validated(
+    automaton: Arc<HedgeAutomaton>,
+    alphabet: &Alphabet,
+    src: &str,
+) -> Result<(Document, LabelIndex), IngestError> {
+    stream_validated_with(automaton, alphabet, src, ParseOptions::default())
+}
+
+/// [`stream_validated_with`] wrapped in a [`SpanKind::Ingest`] trace span,
+/// so profiles attribute the fused parse+validate+index pass as one phase.
+pub fn stream_validated_traced(
+    automaton: Arc<HedgeAutomaton>,
+    alphabet: &Alphabet,
+    src: &str,
+    options: ParseOptions,
+    trace: &TraceHandle,
+) -> Result<(Document, LabelIndex), IngestError> {
+    let _span = trace.span(SpanKind::Ingest, "");
+    stream_validated_with(automaton, alphabet, src, options)
+}
+
+/// [`stream_validated`] with explicit parse options.
+pub fn stream_validated_with(
+    automaton: Arc<HedgeAutomaton>,
+    alphabet: &Alphabet,
+    src: &str,
+    options: ParseOptions,
+) -> Result<(Document, LabelIndex), IngestError> {
+    let mut v = StreamValidator::new(automaton);
+    match stream_document_with(alphabet, src, options, &mut v) {
+        Ok(pair) => Ok(pair),
+        Err(StreamError::Parse(e)) => Err(IngestError::Xml(e)),
+        Err(StreamError::Sink { position, message }) => {
+            Err(IngestError::Invalid(v.take_error().unwrap_or_else(|| {
+                // Defensive: a sink error not raised through `fail`.
+                ValidationError {
+                    node: NodeId(0),
+                    position: format!("byte {position}"),
+                    label: "/".into(),
+                    reason: message,
+                }
+            })))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn exam_schema(a: &Alphabet) -> Schema {
+        Schema::parse(
+            a,
+            "root: session\n\
+             session: candidate*\n\
+             candidate: @IDN? exam*\n\
+             exam: discipline rank?\n\
+             discipline: #text\n\
+             rank: #text\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_documents_stream_through() {
+        let a = Alphabet::new();
+        let schema = exam_schema(&a);
+        let src = "<session><candidate IDN=\"78\"><exam><discipline>math</discipline>\
+                   <rank>1</rank></exam></candidate><candidate/></session>";
+        let (doc, idx) = stream_validated(schema.compiled(), &a, src).unwrap();
+        assert!(schema.validate(&doc).is_ok());
+        assert_eq!(idx, LabelIndex::build(&doc));
+        let batch = regtree_xml::parse_document(&a, src).unwrap();
+        assert!(regtree_xml::value_eq(
+            &doc,
+            doc.root(),
+            &batch,
+            batch.root()
+        ));
+    }
+
+    #[test]
+    fn invalid_content_reports_batch_identical_origin() {
+        let a = Alphabet::new();
+        let schema = exam_schema(&a);
+        // <rank> before <discipline> violates exam's content model.
+        let src = "<session><candidate><exam><rank>1</rank>\
+                   <discipline>math</discipline></exam></candidate></session>";
+        let err = match stream_validated(schema.compiled(), &a, src) {
+            Err(IngestError::Invalid(e)) => e,
+            other => panic!("expected invalid, got {other:?}"),
+        };
+        let doc = regtree_xml::parse_document(&a, src).unwrap();
+        let batch = schema.validate(&doc).unwrap_err();
+        assert_eq!(err.position, batch.position);
+        assert_eq!(err.label, batch.label);
+        assert_eq!(err.reason, batch.reason);
+    }
+
+    #[test]
+    fn unknown_label_fails_at_that_node() {
+        let a = Alphabet::new();
+        let schema = exam_schema(&a);
+        let src = "<session><intruder/></session>";
+        match stream_validated(schema.compiled(), &a, src) {
+            Err(IngestError::Invalid(e)) => {
+                assert_eq!(e.label, "intruder");
+                assert_eq!(e.reason, "no automaton state assignable");
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_model_violation_reports_root() {
+        let a = Alphabet::new();
+        let schema = exam_schema(&a);
+        // Two top-level sessions: each session is fine, the root word is not,
+        // so the root itself is the failure origin.
+        let src = "<session/><session/>";
+        let err = match stream_validated(schema.compiled(), &a, src) {
+            Err(IngestError::Invalid(e)) => e,
+            other => panic!("expected invalid, got {other:?}"),
+        };
+        assert_eq!(err.position, "ε");
+        let doc = regtree_xml::parse_document(&a, src).unwrap();
+        let batch = schema.validate(&doc).unwrap_err();
+        assert_eq!(err.position, batch.position);
+        assert_eq!(err.reason, batch.reason);
+    }
+
+    #[test]
+    fn malformed_xml_surfaces_parse_error() {
+        let a = Alphabet::new();
+        let schema = exam_schema(&a);
+        match stream_validated(schema.compiled(), &a, "<session><open></session>") {
+            Err(IngestError::Xml(_)) => {}
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_is_prompt_and_memory_stays_bounded() {
+        let a = Alphabet::new();
+        let schema = exam_schema(&a);
+        // Deep chain of bogus elements after one invalid node: the stream
+        // aborts at the first origin without consuming the rest.
+        let mut src = String::from("<session><intruder/>");
+        for _ in 0..1000 {
+            src.push_str("<candidate>");
+        }
+        let mut v = StreamValidator::new(schema.compiled());
+        let res = regtree_xml::stream_document(&a, &src, &mut v);
+        assert!(matches!(res, Err(StreamError::Sink { .. })));
+        assert_eq!(
+            v.error().map(|e| e.label.as_str()),
+            Some("intruder"),
+            "aborted at the first failure origin"
+        );
+    }
+}

@@ -147,27 +147,22 @@ pub fn enumerate_mappings_governed(
     enumerate_impl(template, doc, index, &mut gov)
 }
 
-fn enumerate_impl(
-    template: &Template,
-    doc: &Document,
-    index: &LabelIndex,
-    gov: &mut Gov,
-) -> Result<Vec<Mapping>, Resource> {
-    // Per-edge pruning data: the Bloom mask of letters that can end an
-    // accepted word, and whether unmentioned letters can (wildcard endings).
+/// Per-edge pruning data: the Bloom mask of letters that can end an
+/// accepted word, and whether unmentioned letters can (wildcard endings).
+/// `None` signals global infeasibility — an edge whose final letters are all
+/// absent from the document can never be witnessed, so there are no mappings.
+fn edge_final_masks(template: &Template, index: &LabelIndex) -> Option<Vec<(u64, bool)>> {
     let mut final_masks: Vec<(u64, bool)> = vec![(0, false); template.len()];
     for e in template.edges() {
         match template.edge_dfa(e) {
             Some(dfa) => {
-                // Global infeasibility: an edge whose final letters are all
-                // absent from the document can never be witnessed.
                 if !dfa.other_final()
                     && dfa
                         .final_letters()
                         .iter()
                         .all(|&l| index.count(Symbol(l)) == 0)
                 {
-                    return Ok(Vec::new());
+                    return None;
                 }
                 let mask = dfa
                     .final_letters()
@@ -179,6 +174,18 @@ fn enumerate_impl(
             None => final_masks[e.index()] = (u64::MAX, true),
         }
     }
+    Some(final_masks)
+}
+
+fn enumerate_impl(
+    template: &Template,
+    doc: &Document,
+    index: &LabelIndex,
+    gov: &mut Gov,
+) -> Result<Vec<Mapping>, Resource> {
+    let Some(final_masks) = edge_final_masks(template, index) else {
+        return Ok(Vec::new());
+    };
     let mut memo: CandidateMemo = HashMap::new();
     search(
         template,
@@ -245,6 +252,111 @@ fn search(
         &mut out,
     )?;
     Ok(out)
+}
+
+/// Does the root path of `image` (root label excluded, `image` included)
+/// belong to the language of `anchor`'s incoming edge? `false` also covers
+/// nodes that are not strict descendants of the document root (detached or
+/// the root itself).
+fn anchor_edge_accepts(
+    template: &Template,
+    doc: &Document,
+    anchor: TemplateNodeId,
+    image: NodeId,
+    gov: &mut Gov,
+) -> Result<bool, Resource> {
+    let Some(word) = doc.labels_on_path(doc.root(), image) else {
+        return Ok(false);
+    };
+    gov.dfa_steps(word.len() as u64)?;
+    if let Some(dfa) = template.edge_dfa(anchor) {
+        let mut state = dfa.start();
+        for sym in &word {
+            state = dfa.step(state, sym.0);
+            if state == EDGE_DEAD {
+                return Ok(false);
+            }
+        }
+        Ok(dfa.is_accept(state))
+    } else {
+        let nfa = template
+            .edge_nfa(anchor)
+            .expect("non-root nodes have an incoming edge");
+        let mut set = nfa.initial_set();
+        for sym in &word {
+            set = nfa.step(&set, sym.0);
+            if set.is_empty() {
+                return Ok(false);
+            }
+        }
+        Ok(nfa.set_accepts(&set))
+    }
+}
+
+/// Distinct projections of the mappings whose image of `anchor` lies in
+/// `anchor_images`, computed *without* searching for the anchor: each given
+/// image is verified against the anchor's incoming edge and then preset, so
+/// the search explores only the template below the anchor.
+///
+/// `anchor` must be the **only child of the template root** (the shape of
+/// context-scoped FD patterns, where the anchor is the context node): with
+/// siblings, the preset image could violate the sibling-order condition
+/// against images chosen later. Returns the same projections as filtering
+/// [`project_mappings_governed`] output by the anchor image — this is the
+/// impact-scoped recheck primitive, where `anchor_images` is the small set
+/// of contexts an edit delta touched.
+pub fn project_mappings_anchored_governed(
+    template: &Template,
+    doc: &Document,
+    index: &LabelIndex,
+    anchor: TemplateNodeId,
+    anchor_images: &[NodeId],
+    keep: &[TemplateNodeId],
+    budget: &mut Budget,
+) -> Result<Vec<Vec<NodeId>>, Resource> {
+    assert_eq!(
+        template.children(template.root()),
+        std::slice::from_ref(&anchor),
+        "anchored search requires the anchor to be the root's only child"
+    );
+    let mut gov = Gov {
+        budget: Some(budget),
+    };
+    let Some(final_masks) = edge_final_masks(template, index) else {
+        return Ok(Vec::new());
+    };
+    let order: Vec<TemplateNodeId> = template
+        .preorder()
+        .into_iter()
+        .filter(|&n| n != template.root() && n != anchor)
+        .collect();
+    // Candidate memo shared across anchor images: candidate lists depend
+    // only on (edge, source image), not on the preset anchor.
+    let mut memo: CandidateMemo = HashMap::new();
+    let mut cands = |w: TemplateNodeId, source: NodeId, memo: &mut CandidateMemo, gov: &mut Gov| {
+        candidates_dfa(template, doc, index, &final_masks, w, source, memo, gov)
+    };
+    let mut out = Vec::new();
+    for &img in anchor_images {
+        if !anchor_edge_accepts(template, doc, anchor, img, &mut gov)? {
+            continue;
+        }
+        let mut images: Vec<Option<NodeId>> = vec![None; template.len()];
+        images[template.root().index()] = Some(doc.root());
+        images[anchor.index()] = Some(img);
+        assign(
+            template,
+            doc,
+            &order,
+            0,
+            &mut images,
+            &mut cands,
+            &mut memo,
+            &mut gov,
+            &mut out,
+        )?;
+    }
+    Ok(dedup_projections(out, keep))
 }
 
 /// DFA engine: steps a single state id per node; prunes dead and non-live
@@ -686,6 +798,70 @@ mod tests {
         let m = t.add_child_str(t.root(), "_*/m").unwrap();
         let p = RegularTreePattern::monadic(t, m).unwrap();
         assert_eq!(p.evaluate(&doc).len(), 2);
+    }
+
+    #[test]
+    fn anchored_projection_matches_filtered_full_search() {
+        let a = Alphabet::new();
+        let doc = mini_doc(&a);
+        let p = r2(&a);
+        let t = p.template();
+        let anchor = t.children(t.root())[0]; // the candidate node
+        let index = LabelIndex::build(&doc);
+        let keep = p.selected();
+
+        let full = project_mappings_indexed(t, &doc, &index, keep);
+        // Anchoring at every candidate node reproduces the full result.
+        let candidates = index.nodes_with_label(a.intern("candidate")).to_vec();
+        let mut budget = regtree_runtime::Budget::unlimited();
+        let anchored = project_mappings_anchored_governed(
+            t,
+            &doc,
+            &index,
+            anchor,
+            &candidates,
+            keep,
+            &mut budget,
+        )
+        .unwrap();
+        assert_eq!(anchored, full);
+
+        // Anchoring at a single candidate yields exactly the projections
+        // whose images lie under it.
+        let one = project_mappings_anchored_governed(
+            t,
+            &doc,
+            &index,
+            anchor,
+            &candidates[..1],
+            keep,
+            &mut budget,
+        )
+        .unwrap();
+        let filtered: Vec<Vec<NodeId>> = full
+            .iter()
+            .filter(|proj| {
+                proj.iter()
+                    .all(|&n| doc.is_ancestor_or_self(candidates[0], n))
+            })
+            .cloned()
+            .collect();
+        assert_eq!(one, filtered);
+
+        // Non-candidates (wrong root path) and detached images contribute
+        // nothing.
+        let exam = index.nodes_with_label(a.intern("exam"))[0];
+        let none = project_mappings_anchored_governed(
+            t,
+            &doc,
+            &index,
+            anchor,
+            &[exam, doc.root()],
+            keep,
+            &mut budget,
+        )
+        .unwrap();
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub use corexpath::{parse_corexpath, XPathError};
 pub use eval::{
     enumerate_mappings, enumerate_mappings_governed, enumerate_mappings_indexed,
     enumerate_mappings_nfa, evaluate, evaluate_governed, evaluate_indexed, project_mappings,
-    project_mappings_governed, project_mappings_indexed, Mapping,
+    project_mappings_anchored_governed, project_mappings_governed, project_mappings_indexed,
+    Mapping,
 };
 pub use pattern::{PatternError, RegularTreePattern};
 pub use template::{Template, TemplateError, TemplateNodeId};

@@ -202,6 +202,13 @@ pub struct RunMetrics {
     /// Matrix-cell verdicts reused from a subsuming/subsumed row instead of
     /// being recomputed by the emptiness engine.
     pub verdicts_reused: u64,
+    /// Update operations applied as in-place deltas to a versioned document
+    /// (no full-tree clone).
+    pub deltas_applied: u64,
+    /// FD rechecks scoped to the dirty region of a delta (affected-localized).
+    pub rechecks_localized: u64,
+    /// FD rechecks that had to run over the whole document (affected-global).
+    pub rechecks_full: u64,
     /// Wall time of the compile phase (schema/pattern automata), in ns.
     pub compile_nanos: u64,
     /// Wall time of the search/fixpoint phase, in ns.
@@ -219,6 +226,9 @@ impl RunMetrics {
         self.memo_entries += other.memo_entries;
         self.memo_hits += other.memo_hits;
         self.verdicts_reused += other.verdicts_reused;
+        self.deltas_applied += other.deltas_applied;
+        self.rechecks_localized += other.rechecks_localized;
+        self.rechecks_full += other.rechecks_full;
         self.compile_nanos += other.compile_nanos;
         self.search_nanos += other.search_nanos;
     }
@@ -228,7 +238,7 @@ impl fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "states {} · transitions {} · guard∩ {} · dfa steps {} · frontier pushes {} · memo {}+{} hits · verdicts reused {} · compile {:.3}ms · search {:.3}ms",
+            "states {} · transitions {} · guard∩ {} · dfa steps {} · frontier pushes {} · memo {}+{} hits · verdicts reused {} · deltas {} · rechecks {}loc+{}full · compile {:.3}ms · search {:.3}ms",
             self.states_interned,
             self.transitions_fired,
             self.guard_intersections,
@@ -237,6 +247,9 @@ impl fmt::Display for RunMetrics {
             self.memo_entries,
             self.memo_hits,
             self.verdicts_reused,
+            self.deltas_applied,
+            self.rechecks_localized,
+            self.rechecks_full,
             self.compile_nanos as f64 / 1e6,
             self.search_nanos as f64 / 1e6,
         )

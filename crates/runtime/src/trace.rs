@@ -72,7 +72,7 @@ use std::time::Instant;
 /// ```
 /// use regtree_runtime::SpanKind;
 /// assert_eq!(SpanKind::IcSearch.name(), "ic_search");
-/// assert_eq!(SpanKind::ALL.len(), 5);
+/// assert_eq!(SpanKind::ALL.len(), 8);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SpanKind {
@@ -86,16 +86,25 @@ pub enum SpanKind {
     FdCheck,
     /// One cell of an FD × update-class independence matrix.
     MatrixCell,
+    /// One streaming document ingest (parse + validate + index in one pass).
+    Ingest,
+    /// One update applied as a delta to a versioned document.
+    DeltaApply,
+    /// One FD-set partition into unaffected/localized/global after a delta.
+    ScopeClassify,
 }
 
 impl SpanKind {
     /// Every span kind, in rendering order.
-    pub const ALL: [SpanKind; 5] = [
+    pub const ALL: [SpanKind; 8] = [
         SpanKind::Compile,
         SpanKind::IcSearch,
         SpanKind::EmptinessFixpoint,
         SpanKind::FdCheck,
         SpanKind::MatrixCell,
+        SpanKind::Ingest,
+        SpanKind::DeltaApply,
+        SpanKind::ScopeClassify,
     ];
 
     /// Short machine-readable name (used by trace files and `bench_json.sh`).
@@ -106,6 +115,9 @@ impl SpanKind {
             SpanKind::EmptinessFixpoint => "emptiness_fixpoint",
             SpanKind::FdCheck => "fd_check",
             SpanKind::MatrixCell => "matrix_cell",
+            SpanKind::Ingest => "ingest",
+            SpanKind::DeltaApply => "delta_apply",
+            SpanKind::ScopeClassify => "scope_classify",
         }
     }
 
@@ -116,6 +128,9 @@ impl SpanKind {
             SpanKind::EmptinessFixpoint => 2,
             SpanKind::FdCheck => 3,
             SpanKind::MatrixCell => 4,
+            SpanKind::Ingest => 5,
+            SpanKind::DeltaApply => 6,
+            SpanKind::ScopeClassify => 7,
         }
     }
 }
@@ -133,7 +148,7 @@ impl fmt::Display for SpanKind {
 /// ```
 /// use regtree_runtime::EventKind;
 /// assert_eq!(EventKind::MemoHit.name(), "memo_hit");
-/// assert_eq!(EventKind::ALL.len(), 8);
+/// assert_eq!(EventKind::ALL.len(), 11);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum EventKind {
@@ -170,11 +185,20 @@ pub enum EventKind {
     ///
     /// [`Budget::on_verdict_reused`]: crate::Budget::on_verdict_reused
     VerdictReused,
+    /// An FD was classified *unaffected* by a delta: its verdict is carried
+    /// forward without touching the document.
+    ScopeUnaffected,
+    /// An FD was classified *affected-localized*: only mappings through the
+    /// dirty region are rechecked.
+    ScopeLocalized,
+    /// An FD was classified *affected-global*: the delta forces a full
+    /// recheck.
+    ScopeGlobal,
 }
 
 impl EventKind {
     /// Every event kind, in rendering order.
-    pub const ALL: [EventKind; 8] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::StateInterned,
         EventKind::FrontierPush,
         EventKind::MemoHit,
@@ -183,6 +207,9 @@ impl EventKind {
         EventKind::BudgetPoll,
         EventKind::Exhausted,
         EventKind::VerdictReused,
+        EventKind::ScopeUnaffected,
+        EventKind::ScopeLocalized,
+        EventKind::ScopeGlobal,
     ];
 
     /// Short machine-readable name (used by trace files).
@@ -196,6 +223,9 @@ impl EventKind {
             EventKind::BudgetPoll => "budget_poll",
             EventKind::Exhausted => "exhausted",
             EventKind::VerdictReused => "verdict_reused",
+            EventKind::ScopeUnaffected => "scope_unaffected",
+            EventKind::ScopeLocalized => "scope_localized",
+            EventKind::ScopeGlobal => "scope_global",
         }
     }
 
@@ -209,6 +239,9 @@ impl EventKind {
             EventKind::BudgetPoll => 5,
             EventKind::Exhausted => 6,
             EventKind::VerdictReused => 7,
+            EventKind::ScopeUnaffected => 8,
+            EventKind::ScopeLocalized => 9,
+            EventKind::ScopeGlobal => 10,
         }
     }
 }

@@ -23,6 +23,7 @@
 //! | `server/stats` | — | sessions/inflight/totals |
 //! | `document/load` | `{sessionId, name, xml, validate?}` | `{name, nodes, valid}` |
 //! | `document/validate` | `{sessionId, name}` | `{name, valid, reason}` |
+//! | `document/update` | `{sessionId, name, fds, update, limits?}` | [`regtree_core::api::UpdateResponse`] |
 //! | `independence/check` | `{sessionId, fd, update, limits?}` | [`regtree_core::api::IndependenceResponse`] |
 //! | `independence/matrix` | `{sessionId, fds, updates, prune?, limits?}` | [`regtree_core::api::MatrixResponse`] |
 //! | `fd/check` | `{sessionId, fds, docs?, limits?}` | [`regtree_core::api::FdCheckResponse`] |
@@ -33,6 +34,11 @@
 //! the path formalism of [`regtree_core::PathFd::parse`], update classes
 //! are positive CoreXPath, schemas the rule format of
 //! [`regtree_hedge::Schema::parse`] — the same surface syntax as the CLI.
+//! `document/update` takes the executable-update shape of
+//! [`regtree_core::api::parse_update_json`] (the same objects `rtpcheck
+//! fd-check --updates` reads line-wise), mutates the loaded document in
+//! place, and rechecks the named FDs through a per-document
+//! [`regtree_core::IncrementalChecker`] that stays warm between requests.
 //!
 //! # Governance
 //!

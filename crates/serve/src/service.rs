@@ -33,16 +33,17 @@ use parking_lot::Mutex;
 
 use regtree_alphabet::Alphabet;
 use regtree_core::api::{
-    protocol_compatible, DocumentChecks, FdCheckOutcome, FdCheckResponse, IndependenceResponse,
-    Json, MatrixResponse, MinimizeResponse, PROTOCOL_VERSION,
+    parse_update_json, protocol_compatible, scope_name, DocumentChecks, FdCheckOutcome,
+    FdCheckResponse, IndependenceResponse, Json, MatrixResponse, MinimizeResponse,
+    UpdateCheckEntry, UpdateResponse, PROTOCOL_VERSION,
 };
 use regtree_core::{
-    Analyzer, CancelToken, Fd, FdOutcome, FdSet, PathFd, Resource, RunLimits, RunOverrides,
-    UpdateClass, Verdict,
+    Analyzer, CancelToken, Fd, FdOutcome, FdSet, IncrementalChecker, PathFd, Resource, RunLimits,
+    RunOverrides, TraceHandle, UpdateClass, Verdict,
 };
 use regtree_hedge::Schema;
 use regtree_pattern::parse_corexpath;
-use regtree_xml::{parse_document, to_xml_with, Document, SerializeOptions};
+use regtree_xml::{parse_document, to_xml_with, SerializeOptions, VersionedDocument};
 
 use crate::rpc::{self, RpcError};
 
@@ -70,6 +71,20 @@ impl Default for ServerConfig {
     }
 }
 
+/// One loaded document: the versioned form every method reads through,
+/// plus the incremental checker `document/update` keeps warm between
+/// requests.
+struct DocEntry {
+    vdoc: VersionedDocument,
+    /// `(fds-json cache key, checker)` — the checker retains per-FD
+    /// verdicts and bucket state across updates, so a warm entry rechecks
+    /// only what a delta can have invalidated. A request naming a
+    /// different FD set (compared on the compact `fds` JSON) rebuilds it
+    /// from the current document; `document/load` on the same name drops
+    /// it entirely.
+    checker: Option<(String, IncrementalChecker)>,
+}
+
 /// One client analysis context: an [`Analyzer`] with its caches, the
 /// documents loaded so far, and the session's default budget.
 pub struct Session {
@@ -79,7 +94,7 @@ pub struct Session {
     analyzer: Analyzer,
     has_schema: bool,
     limits: RunLimits,
-    documents: Mutex<HashMap<String, Arc<Document>>>,
+    documents: Mutex<HashMap<String, Arc<Mutex<DocEntry>>>>,
     requests: AtomicU64,
 }
 
@@ -303,6 +318,7 @@ impl Service {
             "server/stats" => Ok(self.server_stats()),
             "document/load" => self.document_load(params),
             "document/validate" => self.document_validate(params),
+            "document/update" => self.document_update(params, cancel),
             "independence/check" => self.independence_check(params, cancel),
             "independence/matrix" => self.independence_matrix(params, cancel),
             "fd/check" => self.fd_check(params, cancel),
@@ -349,6 +365,7 @@ impl Service {
                             "server/stats",
                             "document/load",
                             "document/validate",
+                            "document/update",
                             "independence/check",
                             "independence/matrix",
                             "fd/check",
@@ -486,10 +503,13 @@ impl Service {
             };
         }
         let nodes = doc.len();
-        session
-            .documents
-            .lock()
-            .insert(name.to_string(), Arc::new(doc));
+        session.documents.lock().insert(
+            name.to_string(),
+            Arc::new(Mutex::new(DocEntry {
+                vdoc: VersionedDocument::new(doc),
+                checker: None,
+            })),
+        );
         Ok(Json::Obj(vec![
             ("name".to_string(), Json::str(name)),
             ("nodes".to_string(), Json::usize(nodes)),
@@ -504,8 +524,9 @@ impl Service {
             .get("name")
             .and_then(Json::as_str)
             .ok_or_else(|| invalid_params("missing 'name'"))?;
-        let doc = session.document(name)?;
-        match session.analyzer.validate(&doc) {
+        let entry = session.document(name)?;
+        let entry = entry.lock();
+        match session.analyzer.validate(entry.vdoc.doc()) {
             Ok(()) => Ok(Json::Obj(vec![
                 ("name".to_string(), Json::str(name)),
                 ("valid".to_string(), Json::Bool(true)),
@@ -520,6 +541,85 @@ impl Service {
                 ("valid".to_string(), Json::Bool(false)),
                 ("reason".to_string(), Json::str(e.to_string())),
             ])),
+        }
+    }
+
+    /// Applies one update to a loaded document and rechecks the named FDs
+    /// at the smallest sound scope. The first call on a document (or a
+    /// call naming a different FD set) pays a full check to seed the
+    /// incremental state; subsequent calls with the same `fds` reuse it
+    /// and typically touch only the contexts the delta reached. Limits
+    /// are fixed when the checker is (re)built: a warm checker keeps the
+    /// governance it was seeded with.
+    fn document_update(&self, params: &Json, cancel: &CancelToken) -> Result<Json, RpcError> {
+        let session = self.session(params)?;
+        session.requests.fetch_add(1, Ordering::Relaxed);
+        let name = params
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid_params("missing 'name'"))?;
+        let fds_json = params.get("fds").unwrap_or(&Json::Null);
+        let named = parse_named_fds(&session.alphabet, fds_json)?;
+        let update_json = params
+            .get("update")
+            .ok_or_else(|| invalid_params("missing 'update'"))?;
+        let update = parse_update_json(&session.alphabet, update_json)
+            .map_err(|e| invalid_params(format!("update: {e}")))?;
+        let request = parse_limits(params.get("limits").unwrap_or(&Json::Null))?;
+        let merged = merge_limits(&session.limits, &request, &self.config.ceiling);
+        let entry = session.document(name)?;
+        let mut entry = entry.lock();
+        let key = fds_json.to_compact();
+        if !matches!(&entry.checker, Some((k, _)) if *k == key) {
+            let fds: Vec<Fd> = named.iter().map(|(_, f)| f.clone()).collect();
+            let checker = IncrementalChecker::with_governance(
+                fds,
+                &entry.vdoc,
+                merged,
+                TraceHandle::default(),
+            );
+            entry.checker = Some((key, checker));
+        }
+        let DocEntry { vdoc, checker } = &mut *entry;
+        let (_, checker) = checker.as_mut().expect("checker was built above");
+        let report = checker
+            .apply_and_recheck(vdoc, &update)
+            .map_err(|e| invalid_params(format!("update: {e}")))?;
+        let mut worst: Option<Resource> = None;
+        let checks = named
+            .iter()
+            .zip(report.scopes.iter().zip(&report.outcomes))
+            .map(|((fd_name, _), (scope, outcome))| {
+                if let FdOutcome::Unknown { exhausted, .. } = outcome {
+                    worst = Some(*exhausted);
+                }
+                let violation = match outcome {
+                    FdOutcome::Violated(v) => Some(v.describe(vdoc.doc())),
+                    _ => None,
+                };
+                UpdateCheckEntry {
+                    fd: fd_name.clone(),
+                    scope: scope_name(*scope).to_string(),
+                    check: FdCheckOutcome::from_outcome(fd_name, outcome, violation),
+                }
+            })
+            .collect();
+        let resp = UpdateResponse {
+            path: name.to_string(),
+            version: vdoc.version(),
+            touched: report.touched.len(),
+            checks,
+            all_satisfied: report.all_satisfied(),
+            metrics: Some(report.metrics),
+            phases: None,
+        }
+        .to_json();
+        if cancel.is_cancelled() {
+            return Err(exhausted_error(Resource::Cancelled, resp));
+        }
+        match worst {
+            Some(resource) => Err(exhausted_error(resource, resp)),
+            None => Ok(resp),
         }
     }
 
@@ -640,8 +740,10 @@ impl Service {
         let mut documents = Vec::with_capacity(doc_names.len());
         let mut worst: Option<Resource> = None;
         for name in &doc_names {
-            let doc = session.document(name)?;
-            let report = session.analyzer.check_fds_with(&fds, &doc, &run);
+            let entry = session.document(name)?;
+            let entry = entry.lock();
+            let doc = entry.vdoc.doc();
+            let report = session.analyzer.check_fds_with(&fds, doc, &run);
             let checks = names
                 .iter()
                 .zip(&report.outcomes)
@@ -650,7 +752,7 @@ impl Service {
                         worst = Some(*exhausted);
                     }
                     let violation = match outcome {
-                        FdOutcome::Violated(v) => Some(v.describe(&doc)),
+                        FdOutcome::Violated(v) => Some(v.describe(doc)),
                         _ => None,
                     };
                     FdCheckOutcome::from_outcome(fd_name, outcome, violation)
@@ -691,7 +793,7 @@ impl Service {
 }
 
 impl Session {
-    fn document(&self, name: &str) -> Result<Arc<Document>, RpcError> {
+    fn document(&self, name: &str) -> Result<Arc<Mutex<DocEntry>>, RpcError> {
         self.documents
             .lock()
             .get(name)
@@ -733,6 +835,203 @@ mod tests {
         drop(b);
         drop(c);
         assert_eq!(service.inflight.load(Ordering::SeqCst), 0);
+    }
+
+    fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn document_update_rechecks_incrementally() {
+        let service = Service::new(ServerConfig::default());
+        let cancel = CancelToken::new();
+        let open = service
+            .dispatch("session/open", &Json::Obj(vec![]), &cancel)
+            .expect("session opens");
+        let sid = open.get("sessionId").and_then(Json::as_u64).expect("id");
+        let xml = "<session>\
+             <candidate><exam><discipline>math</discipline><rank>1</rank></exam>\
+             <level>B</level></candidate>\
+             <candidate><exam><discipline>cs</discipline><rank>2</rank></exam>\
+             <level>B</level></candidate></session>";
+        service
+            .dispatch(
+                "document/load",
+                &obj(vec![
+                    ("sessionId", Json::u64(sid)),
+                    ("name", Json::str("exams")),
+                    ("xml", Json::str(xml)),
+                ]),
+                &cancel,
+            )
+            .expect("document loads");
+        let fds = Json::Arr(vec![Json::Arr(vec![
+            Json::str("disc-rank"),
+            Json::str("/session : candidate/exam/discipline -> candidate/exam/rank"),
+        ])]);
+        let update_params = |update: Json| {
+            obj(vec![
+                ("sessionId", Json::u64(sid)),
+                ("name", Json::str("exams")),
+                ("fds", fds.clone()),
+                ("update", update),
+            ])
+        };
+
+        // A level edit cannot reach the FD: carried verdict, no recheck.
+        let resp = service
+            .dispatch(
+                "document/update",
+                &update_params(obj(vec![
+                    ("select", Json::str("/session/candidate/level")),
+                    ("op", Json::str("set_text")),
+                    ("value", Json::str("C")),
+                ])),
+                &cancel,
+            )
+            .expect("benign update succeeds");
+        assert_eq!(resp.get("version").and_then(Json::as_u64), Some(2));
+        assert_eq!(resp.get("touched").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            resp.get("all_satisfied").and_then(Json::as_bool),
+            Some(true)
+        );
+        let checks = resp.get("checks").and_then(Json::as_array).expect("checks");
+        assert_eq!(checks.len(), 1);
+        assert_eq!(
+            checks[0].get("scope").and_then(Json::as_str),
+            Some("unaffected")
+        );
+
+        // Same FD set: the warm checker absorbs a violating rank edit.
+        let resp = service
+            .dispatch(
+                "document/update",
+                &update_params(obj(vec![
+                    ("select", Json::str("/session/candidate/exam/discipline")),
+                    ("op", Json::str("set_text")),
+                    ("value", Json::str("math")),
+                ])),
+                &cancel,
+            )
+            .expect("violating update still answers");
+        assert_eq!(resp.get("version").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            resp.get("all_satisfied").and_then(Json::as_bool),
+            Some(false)
+        );
+        let checks = resp.get("checks").and_then(Json::as_array).expect("checks");
+        assert_eq!(
+            checks[0].get("scope").and_then(Json::as_str),
+            Some("localized")
+        );
+        let check = checks[0].get("check").expect("check object");
+        assert_eq!(
+            check.get("outcome").and_then(Json::as_str),
+            Some("violated")
+        );
+
+        // fd/check and document/validate read the mutated document.
+        let resp = service
+            .dispatch(
+                "fd/check",
+                &obj(vec![("sessionId", Json::u64(sid)), ("fds", fds.clone())]),
+                &cancel,
+            )
+            .expect("fd/check over the updated document");
+        let docs = resp
+            .get("documents")
+            .and_then(Json::as_array)
+            .expect("documents");
+        let checks = docs[0].get("checks").and_then(Json::as_array).expect("c");
+        assert_eq!(
+            checks[0].get("outcome").and_then(Json::as_str),
+            Some("violated"),
+            "full check agrees with the incremental verdict"
+        );
+    }
+
+    #[test]
+    fn document_update_rejects_malformed_requests() {
+        let service = Service::new(ServerConfig::default());
+        let cancel = CancelToken::new();
+        let open = service
+            .dispatch("session/open", &Json::Obj(vec![]), &cancel)
+            .expect("session opens");
+        let sid = open.get("sessionId").and_then(Json::as_u64).expect("id");
+        let fds = Json::Arr(vec![Json::Arr(vec![
+            Json::str("fd"),
+            Json::str("/a : b/c -> b/d"),
+        ])]);
+        let update = obj(vec![
+            ("select", Json::str("/a/b")),
+            ("op", Json::str("delete")),
+        ]);
+        // Unknown document.
+        let err = service
+            .dispatch(
+                "document/update",
+                &obj(vec![
+                    ("sessionId", Json::u64(sid)),
+                    ("name", Json::str("nope")),
+                    ("fds", fds.clone()),
+                    ("update", update.clone()),
+                ]),
+                &cancel,
+            )
+            .unwrap_err();
+        assert_eq!(err.code, rpc::DOC_NOT_FOUND);
+        // Missing update object.
+        service
+            .dispatch(
+                "document/load",
+                &obj(vec![
+                    ("sessionId", Json::u64(sid)),
+                    ("name", Json::str("d")),
+                    ("xml", Json::str("<a><b><c>1</c><d>2</d></b></a>")),
+                ]),
+                &cancel,
+            )
+            .expect("document loads");
+        let err = service
+            .dispatch(
+                "document/update",
+                &obj(vec![
+                    ("sessionId", Json::u64(sid)),
+                    ("name", Json::str("d")),
+                    ("fds", fds.clone()),
+                ]),
+                &cancel,
+            )
+            .unwrap_err();
+        assert_eq!(err.code, rpc::INVALID_PARAMS);
+        assert!(err.message.contains("update"), "{}", err.message);
+        // Bad op inside the update object.
+        let err = service
+            .dispatch(
+                "document/update",
+                &obj(vec![
+                    ("sessionId", Json::u64(sid)),
+                    ("name", Json::str("d")),
+                    ("fds", fds),
+                    (
+                        "update",
+                        obj(vec![
+                            ("select", Json::str("/a/b")),
+                            ("op", Json::str("zap")),
+                        ]),
+                    ),
+                ]),
+                &cancel,
+            )
+            .unwrap_err();
+        assert_eq!(err.code, rpc::INVALID_PARAMS);
+        assert!(err.message.contains("unknown op"), "{}", err.message);
     }
 
     #[test]

@@ -29,8 +29,9 @@ pub fn label_mask(sym: Symbol) -> u64 {
 /// Precomputed occurrence lists and subtree label masks for one document.
 ///
 /// The index is a snapshot: it is invalidated by any mutation of the
-/// document and must be rebuilt after edits.
-#[derive(Clone, Debug)]
+/// document and must be rebuilt after edits — unless the edits go through
+/// [`crate::VersionedDocument`], which maintains it incrementally.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LabelIndex {
     /// Occurrences of each label, in document order.
     by_label: HashMap<Symbol, Vec<NodeId>>,
@@ -85,6 +86,65 @@ impl LabelIndex {
     /// (a union of [`label_mask`] bits)?
     pub fn subtree_may_intersect(&self, n: NodeId, mask: u64) -> bool {
         self.subtree[n.index()] & mask != 0
+    }
+
+    // ---- incremental maintenance (streaming ingest & versioned edits) ----
+
+    /// Assembles an index from raw parts (the streaming ingest path, which
+    /// builds both structures in its single pass).
+    pub(crate) fn from_raw(
+        by_label: HashMap<Symbol, Vec<NodeId>>,
+        subtree: Vec<u64>,
+    ) -> LabelIndex {
+        LabelIndex { by_label, subtree }
+    }
+
+    /// Grows the mask table to cover `len` arena slots (new slots zeroed).
+    pub(crate) fn ensure_slots(&mut self, len: usize) {
+        if self.subtree.len() < len {
+            self.subtree.resize(len, 0);
+        }
+    }
+
+    /// Overwrites the subtree mask of `n`.
+    pub(crate) fn set_mask(&mut self, n: NodeId, mask: u64) {
+        self.subtree[n.index()] = mask;
+    }
+
+    /// ORs `mask` into the subtree mask of `n`.
+    pub(crate) fn or_mask(&mut self, n: NodeId, mask: u64) {
+        self.subtree[n.index()] |= mask;
+    }
+
+    /// Inserts `n` into its label's occurrence list at its document-order
+    /// position. `n` must already be attached to `doc`.
+    pub(crate) fn insert_occurrence(&mut self, doc: &Document, n: NodeId) {
+        let list = self.by_label.entry(doc.label(n)).or_default();
+        let at = list
+            .binary_search_by(|&m| doc.doc_order(m, n))
+            .unwrap_or_else(|i| i);
+        if list.get(at) != Some(&n) {
+            list.insert(at, n);
+        }
+    }
+
+    /// Removes `n` from its label's occurrence list. Must be called while
+    /// `n` is still attached (document order still well defined).
+    pub(crate) fn remove_occurrence(&mut self, doc: &Document, n: NodeId) {
+        if let Some(list) = self.by_label.get_mut(&doc.label(n)) {
+            match list.binary_search_by(|&m| doc.doc_order(m, n)) {
+                Ok(at) => {
+                    list.remove(at);
+                }
+                Err(_) => {
+                    // Defensive: fall back to a linear scan if the order
+                    // probe misses (should not happen while `n` is attached).
+                    if let Some(at) = list.iter().position(|&m| m == n) {
+                        list.remove(at);
+                    }
+                }
+            }
+        }
     }
 }
 

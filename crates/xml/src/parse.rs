@@ -58,12 +58,7 @@ pub fn parse_document_with(
 ) -> Result<Document, XmlError> {
     let mut doc = Document::new(alphabet.clone());
     let root = doc.root();
-    let mut p = XmlParser {
-        bytes: src.as_bytes(),
-        src,
-        pos: 0,
-        options,
-    };
+    let mut p = XmlParser::new(src, options);
     p.skip_misc();
     let mut top_count = 0;
     while !p.at_end() {
@@ -84,38 +79,47 @@ pub fn parse_document_with(
     Ok(doc)
 }
 
-struct XmlParser<'a> {
-    bytes: &'a [u8],
-    src: &'a str,
-    pos: usize,
-    options: ParseOptions,
+pub(crate) struct XmlParser<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) src: &'a str,
+    pub(crate) pos: usize,
+    pub(crate) options: ParseOptions,
 }
 
 impl<'a> XmlParser<'a> {
-    fn at_end(&self) -> bool {
+    pub(crate) fn new(src: &'a str, options: ParseOptions) -> XmlParser<'a> {
+        XmlParser {
+            bytes: src.as_bytes(),
+            src,
+            pos: 0,
+            options,
+        }
+    }
+
+    pub(crate) fn at_end(&self) -> bool {
         self.pos >= self.bytes.len()
     }
 
-    fn peek(&self) -> Option<u8> {
+    pub(crate) fn peek(&self) -> Option<u8> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn peek_is(&self, b: u8) -> bool {
+    pub(crate) fn peek_is(&self, b: u8) -> bool {
         self.peek() == Some(b)
     }
 
-    fn starts_with(&self, s: &str) -> bool {
+    pub(crate) fn starts_with(&self, s: &str) -> bool {
         self.src[self.pos..].starts_with(s)
     }
 
-    fn err(&self, message: impl Into<String>) -> XmlError {
+    pub(crate) fn err(&self, message: impl Into<String>) -> XmlError {
         XmlError {
             position: self.pos,
             message: message.into(),
         }
     }
 
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         while self
             .peek()
             .map(|b| b.is_ascii_whitespace())
@@ -126,7 +130,7 @@ impl<'a> XmlParser<'a> {
     }
 
     /// Skips whitespace, comments, PIs and DOCTYPE between top-level items.
-    fn skip_misc(&mut self) {
+    pub(crate) fn skip_misc(&mut self) {
         loop {
             self.skip_ws();
             if self.starts_with("<?") {
@@ -167,7 +171,7 @@ impl<'a> XmlParser<'a> {
         }
     }
 
-    fn parse_name(&mut self) -> Result<String, XmlError> {
+    pub(crate) fn parse_name(&mut self) -> Result<String, XmlError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
             if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
@@ -182,7 +186,7 @@ impl<'a> XmlParser<'a> {
         Ok(self.src[start..self.pos].to_string())
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), XmlError> {
+    pub(crate) fn expect(&mut self, b: u8) -> Result<(), XmlError> {
         if self.peek_is(b) {
             self.pos += 1;
             Ok(())
@@ -300,7 +304,7 @@ impl<'a> XmlParser<'a> {
 }
 
 /// Decodes the predefined entities and numeric character references.
-fn unescape(raw: &str) -> Result<String, String> {
+pub(crate) fn unescape(raw: &str) -> Result<String, String> {
     if !raw.contains('&') {
         return Ok(raw.to_string());
     }

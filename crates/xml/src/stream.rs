@@ -1,0 +1,466 @@
+//! Single-pass streaming ingest: parse, index and observe in one sweep.
+//!
+//! [`crate::parse_document`] materializes the arena first; consumers that
+//! also want a [`LabelIndex`] then pay a second full traversal
+//! ([`LabelIndex::build`]), and consumers that validate pay a third
+//! (a bottom-up automaton run). [`stream_document`] fuses all of that into
+//! the parse itself:
+//!
+//! * nodes are pushed into the arena in document order, so the occurrence
+//!   lists of the label index come out sorted for free;
+//! * subtree Bloom masks are folded on a stack of *open* elements — each
+//!   element's mask is finalized the moment its close tag is seen and OR-ed
+//!   into its parent's accumulator, so auxiliary state is bounded by the
+//!   open-element depth, not the document size;
+//! * a caller-supplied [`StreamSink`] observes every node open/close event
+//!   and may abort the parse (e.g. on-the-fly schema validation, which
+//!   rejects invalid documents without finishing the parse).
+//!
+//! The resulting `(Document, LabelIndex)` is bit-identical to
+//! `parse_document` followed by `LabelIndex::build` — property-tested in
+//! the workspace test suite.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use regtree_alphabet::{Alphabet, Symbol};
+
+use crate::index::{label_mask, LabelIndex};
+use crate::model::{Document, NodeId};
+use crate::parse::{unescape, ParseOptions, XmlError, XmlParser};
+
+/// Observer of streaming node events.
+///
+/// `open` fires when a node is created (its label, value and position are
+/// final; its children are not yet parsed); `close` fires when the node is
+/// complete (all children closed). Leaves (attributes, text) see `open`
+/// immediately followed by `close`. The reserved `/` root is opened before
+/// any content and closed after the last top-level element — its `close`
+/// is the end-of-document event.
+///
+/// Returning `Err` aborts the parse with [`StreamError::Sink`].
+pub trait StreamSink {
+    /// A node was created; its subtree is not yet parsed.
+    fn open(&mut self, doc: &Document, node: NodeId) -> Result<(), String>;
+    /// The node's subtree is complete.
+    fn close(&mut self, doc: &Document, node: NodeId) -> Result<(), String>;
+}
+
+/// A sink that accepts everything (plain parse + index).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl StreamSink for NullSink {
+    fn open(&mut self, _doc: &Document, _node: NodeId) -> Result<(), String> {
+        Ok(())
+    }
+    fn close(&mut self, _doc: &Document, _node: NodeId) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Error raised by [`stream_document`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The underlying XML was malformed.
+    Parse(XmlError),
+    /// The sink rejected a node event.
+    Sink {
+        /// Byte offset of the event that was rejected.
+        position: usize,
+        /// The sink's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Parse(e) => write!(f, "{e}"),
+            StreamError::Sink { position, message } => {
+                write!(f, "stream rejected at byte {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<XmlError> for StreamError {
+    fn from(e: XmlError) -> StreamError {
+        StreamError::Parse(e)
+    }
+}
+
+/// Incremental [`LabelIndex`] construction: occurrence lists fill in
+/// document order (creation order), subtree masks fold on the open-element
+/// stack.
+struct IndexBuilder {
+    by_label: HashMap<Symbol, Vec<NodeId>>,
+    subtree: Vec<u64>,
+    mask_stack: Vec<u64>,
+}
+
+impl IndexBuilder {
+    fn new() -> IndexBuilder {
+        IndexBuilder {
+            by_label: HashMap::new(),
+            subtree: Vec::new(),
+            mask_stack: Vec::new(),
+        }
+    }
+
+    fn open(&mut self, doc: &Document, n: NodeId) {
+        let l = doc.label(n);
+        self.by_label.entry(l).or_default().push(n);
+        if self.subtree.len() <= n.index() {
+            self.subtree.resize(n.index() + 1, 0);
+        }
+        self.mask_stack.push(label_mask(l));
+    }
+
+    fn close(&mut self, n: NodeId) {
+        let m = self.mask_stack.pop().expect("unbalanced index close");
+        self.subtree[n.index()] = m;
+        if let Some(top) = self.mask_stack.last_mut() {
+            *top |= m;
+        }
+    }
+
+    fn finish(self) -> LabelIndex {
+        debug_assert!(self.mask_stack.is_empty(), "unclosed elements at finish");
+        LabelIndex::from_raw(self.by_label, self.subtree)
+    }
+}
+
+/// Streaming counterpart of [`crate::parse_document`]: one pass producing
+/// the document *and* its label index, with `sink` observing every node.
+pub fn stream_document(
+    alphabet: &Alphabet,
+    src: &str,
+    sink: &mut dyn StreamSink,
+) -> Result<(Document, LabelIndex), StreamError> {
+    stream_document_with(alphabet, src, ParseOptions::default(), sink)
+}
+
+/// [`stream_document`] with explicit parse options.
+pub fn stream_document_with(
+    alphabet: &Alphabet,
+    src: &str,
+    options: ParseOptions,
+    sink: &mut dyn StreamSink,
+) -> Result<(Document, LabelIndex), StreamError> {
+    let mut doc = Document::new(alphabet.clone());
+    let mut ib = IndexBuilder::new();
+    let mut p = XmlParser::new(src, options);
+    let root = doc.root();
+    ib.open(&doc, root);
+    sink_open(sink, &doc, root, p.pos)?;
+
+    // Stack of open elements: (node, tag name). The reserved root is not on
+    // the stack; an empty stack means we are between top-level elements.
+    let mut stack: Vec<(NodeId, String)> = Vec::new();
+    let mut top_count = 0usize;
+    p.skip_misc();
+    loop {
+        match stack.last().map(|&(e, _)| e) {
+            None => {
+                if p.at_end() {
+                    break;
+                }
+                if p.peek_is(b'<') {
+                    if let Some(open) = start_tag(&mut p, &mut doc, &mut ib, sink, root)? {
+                        stack.push(open);
+                    } else {
+                        top_count += 1;
+                        p.skip_misc();
+                    }
+                } else {
+                    return Err(p
+                        .err("unexpected content outside the top-level element")
+                        .into());
+                }
+            }
+            Some(elem) => {
+                if p.starts_with("</") {
+                    p.pos += 2;
+                    let close = p.parse_name()?;
+                    let name = &stack.last().expect("open element on stack").1;
+                    if &close != name {
+                        return Err(p
+                            .err(format!("mismatched close tag </{close}> for <{name}>"))
+                            .into());
+                    }
+                    p.skip_ws();
+                    p.expect(b'>')?;
+                    ib.close(elem);
+                    sink_close(sink, &doc, elem, p.pos)?;
+                    stack.pop();
+                    if stack.is_empty() {
+                        top_count += 1;
+                        p.skip_misc();
+                    }
+                    continue;
+                }
+                if p.starts_with("<!--") {
+                    match p.src[p.pos..].find("-->") {
+                        Some(end) => p.pos += end + 3,
+                        None => return Err(p.err("unterminated comment").into()),
+                    }
+                    continue;
+                }
+                if p.starts_with("<![CDATA[") {
+                    p.pos += "<![CDATA[".len();
+                    match p.src[p.pos..].find("]]>") {
+                        Some(end) => {
+                            let text = p.src[p.pos..p.pos + end].to_string();
+                            p.pos += end + 3;
+                            let t = doc.add_text(elem, &text);
+                            leaf_events(&doc, &mut ib, sink, t, p.pos)?;
+                        }
+                        None => return Err(p.err("unterminated CDATA section").into()),
+                    }
+                    continue;
+                }
+                if p.starts_with("<?") {
+                    match p.src[p.pos..].find("?>") {
+                        Some(end) => p.pos += end + 2,
+                        None => return Err(p.err("unterminated processing instruction").into()),
+                    }
+                    continue;
+                }
+                match p.peek() {
+                    Some(b'<') => {
+                        if let Some(open) = start_tag(&mut p, &mut doc, &mut ib, sink, elem)? {
+                            stack.push(open);
+                        }
+                    }
+                    Some(_) => {
+                        let start = p.pos;
+                        while let Some(b) = p.peek() {
+                            if b == b'<' {
+                                break;
+                            }
+                            p.pos += 1;
+                        }
+                        let raw = &p.src[start..p.pos];
+                        let text = unescape(raw).map_err(|m| p.err(m))?;
+                        if p.options.keep_whitespace_text || !text.chars().all(char::is_whitespace)
+                        {
+                            let t = doc.add_text(elem, &text);
+                            leaf_events(&doc, &mut ib, sink, t, p.pos)?;
+                        }
+                    }
+                    None => {
+                        let name = &stack.last().expect("open element on stack").1;
+                        return Err(p.err(format!("unterminated element <{name}>")).into());
+                    }
+                }
+            }
+        }
+    }
+    if top_count == 0 {
+        return Err(XmlError {
+            position: src.len(),
+            message: "no top-level element".into(),
+        }
+        .into());
+    }
+    ib.close(root);
+    sink_close(sink, &doc, root, p.pos)?;
+    Ok((doc, ib.finish()))
+}
+
+/// Parses one start tag (attributes included). Returns `Some((node, name))`
+/// when the element stays open, `None` when it was self-closing.
+fn start_tag(
+    p: &mut XmlParser<'_>,
+    doc: &mut Document,
+    ib: &mut IndexBuilder,
+    sink: &mut dyn StreamSink,
+    parent: NodeId,
+) -> Result<Option<(NodeId, String)>, StreamError> {
+    p.expect(b'<')?;
+    let name = p.parse_name()?;
+    let elem = doc.add_element(parent, doc.alphabet().intern(&name));
+    ib.open(doc, elem);
+    sink_open(sink, doc, elem, p.pos)?;
+    loop {
+        p.skip_ws();
+        match p.peek() {
+            Some(b'>') => {
+                p.pos += 1;
+                return Ok(Some((elem, name)));
+            }
+            Some(b'/') => {
+                p.pos += 1;
+                p.expect(b'>')?;
+                ib.close(elem);
+                sink_close(sink, doc, elem, p.pos)?;
+                return Ok(None);
+            }
+            Some(_) => {
+                let attr_name = p.parse_name()?;
+                p.skip_ws();
+                p.expect(b'=')?;
+                p.skip_ws();
+                let quote = p
+                    .peek()
+                    .filter(|&b| b == b'"' || b == b'\'')
+                    .ok_or_else(|| p.err("expected quoted attribute value"))?;
+                p.pos += 1;
+                let start = p.pos;
+                while let Some(b) = p.peek() {
+                    if b == quote {
+                        break;
+                    }
+                    p.pos += 1;
+                }
+                if p.at_end() {
+                    return Err(p.err("unterminated attribute value").into());
+                }
+                let raw = p.src[start..p.pos].to_string();
+                p.pos += 1; // closing quote
+                let value = unescape(&raw).map_err(|m| p.err(m))?;
+                let label = doc.alphabet().intern(&format!("@{attr_name}"));
+                let attr = doc.add_attribute(elem, label, &value);
+                leaf_events(doc, ib, sink, attr, p.pos)?;
+            }
+            None => return Err(p.err("unterminated start tag").into()),
+        }
+    }
+}
+
+fn leaf_events(
+    doc: &Document,
+    ib: &mut IndexBuilder,
+    sink: &mut dyn StreamSink,
+    n: NodeId,
+    position: usize,
+) -> Result<(), StreamError> {
+    ib.open(doc, n);
+    ib.close(n);
+    sink_open(sink, doc, n, position)?;
+    sink_close(sink, doc, n, position)
+}
+
+fn sink_open(
+    sink: &mut dyn StreamSink,
+    doc: &Document,
+    n: NodeId,
+    position: usize,
+) -> Result<(), StreamError> {
+    sink.open(doc, n)
+        .map_err(|message| StreamError::Sink { position, message })
+}
+
+fn sink_close(
+    sink: &mut dyn StreamSink,
+    doc: &Document,
+    n: NodeId,
+    position: usize,
+) -> Result<(), StreamError> {
+    sink.close(doc, n)
+        .map_err(|message| StreamError::Sink { position, message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document_with;
+
+    fn assert_streams_like_batch(src: &str, options: ParseOptions) {
+        let a = Alphabet::new();
+        let batch = parse_document_with(&a, src, options);
+        let streamed = stream_document_with(&a, src, options, &mut NullSink);
+        match (batch, streamed) {
+            (Ok(b), Ok((d, idx))) => {
+                assert!(crate::value_eq::value_eq(&b, b.root(), &d, d.root()));
+                assert_eq!(d.arena_len(), b.arena_len());
+                assert_eq!(idx, LabelIndex::build(&d), "index mismatch for {src}");
+            }
+            (Err(_), Err(StreamError::Parse(_))) => {}
+            (b, s) => panic!("divergence on {src}: batch {b:?} vs stream {s:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_parse() {
+        let cases = [
+            r#"<session date="2009-06"><candidate IDN="78"><level>B</level></candidate></session>"#,
+            "<r>\n  <leaf/>\n  <leaf/>\n</r>",
+            r#"<t a="&lt;x&gt;">&amp;&#65;&#x42;</t>"#,
+            "<?xml version=\"1.0\"?><!DOCTYPE x [<!ELEMENT x (y)>]><!-- hi --><x><!-- inner --></x>",
+            "<t><![CDATA[a <raw> & b]]></t>",
+            "<a/><b/>",
+            "<a><b></a></b>",
+            "<a attr=oops></a>",
+            "<a>&unknown;</a>",
+            "<a>",
+            "",
+            "stray text",
+        ];
+        for src in cases {
+            assert_streams_like_batch(src, ParseOptions::default());
+            assert_streams_like_batch(
+                src,
+                ParseOptions {
+                    keep_whitespace_text: true,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn sink_sees_balanced_events_in_document_order() {
+        struct Recorder {
+            opens: Vec<NodeId>,
+            closes: Vec<NodeId>,
+        }
+        impl StreamSink for Recorder {
+            fn open(&mut self, _doc: &Document, n: NodeId) -> Result<(), String> {
+                self.opens.push(n);
+                Ok(())
+            }
+            fn close(&mut self, _doc: &Document, n: NodeId) -> Result<(), String> {
+                self.closes.push(n);
+                Ok(())
+            }
+        }
+        let a = Alphabet::new();
+        let mut rec = Recorder {
+            opens: Vec::new(),
+            closes: Vec::new(),
+        };
+        let (doc, _) = stream_document(&a, "<x a=\"1\"><y>t</y><z/></x>", &mut rec).unwrap();
+        // Opens happen in preorder = document order.
+        assert_eq!(rec.opens, doc.all_nodes());
+        // Every node closes exactly once, the root last.
+        let mut sorted = rec.closes.clone();
+        sorted.sort();
+        let mut all = doc.all_nodes();
+        all.sort();
+        assert_eq!(sorted, all);
+        assert_eq!(*rec.closes.last().unwrap(), doc.root());
+    }
+
+    #[test]
+    fn sink_rejection_aborts() {
+        struct RejectText;
+        impl StreamSink for RejectText {
+            fn open(&mut self, doc: &Document, n: NodeId) -> Result<(), String> {
+                if doc.label(n) == Alphabet::TEXT {
+                    Err("no text allowed".into())
+                } else {
+                    Ok(())
+                }
+            }
+            fn close(&mut self, _doc: &Document, _n: NodeId) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        let a = Alphabet::new();
+        let err = stream_document(&a, "<x><y>boom</y></x>", &mut RejectText).unwrap_err();
+        assert!(matches!(err, StreamError::Sink { .. }), "{err}");
+    }
+}

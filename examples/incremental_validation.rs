@@ -69,7 +69,7 @@ fn main() {
 
         // 2. Incremental checker (amortized: snapshot once, then recheck).
         let mut inc_doc = doc.clone();
-        let mut checker = IncrementalChecker::new(&fd1, &inc_doc);
+        let mut checker = RelevantSetChecker::new(&fd1, &inc_doc);
         let t = Instant::now();
         let ok = checker
             .recheck(&fd1, &update, &mut inc_doc)

@@ -23,6 +23,13 @@
 # fresh medians, the speedup ratio per axis point, and the current
 # guard-intersection / frontier-push counters and per-phase nanos — the
 # numbers a cache-layout change is supposed to move.
+# Also emits BENCH_stream.json from the stream_recheck example (E14):
+# one-pass streaming ingest vs parse-then-index, and incremental
+# impact-scoped rechecking vs the serialize/reparse/recheck client loop
+# over a candidate-count ladder. The incremental/reparse verdicts must
+# agree on every step (parity_mismatches == 0) and the per-update speedup
+# at the largest ladder point must be >= 3x, or the impact scoping has
+# regressed into global rechecks.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,12 +37,14 @@ out="${1:-BENCH_ic.json}"
 out_fdset="${2:-BENCH_fdset.json}"
 out_core="${3:-BENCH_core.json}"
 out_serve="${4:-BENCH_serve.json}"
+out_stream="${5:-BENCH_stream.json}"
 
 raw=$(mktemp)
 raw_fdset=$(mktemp)
 raw_serve=$(mktemp)
+raw_stream=$(mktemp)
 baseline=$(mktemp)
-trap 'rm -f "$raw" "$raw_fdset" "$raw_serve" "$baseline"' EXIT
+trap 'rm -f "$raw" "$raw_fdset" "$raw_serve" "$raw_stream" "$baseline"' EXIT
 
 # Snapshot the committed medians before anything overwrites BENCH_ic.json.
 git show HEAD:BENCH_ic.json >"$baseline" 2>/dev/null || cp BENCH_ic.json "$baseline"
@@ -179,4 +188,46 @@ with open(out, "w", encoding="utf-8") as fh:
     json.dump(rows, fh, indent=2, sort_keys=True)
     fh.write("\n")
 print(f"wrote {out} (warm/cold p50 speedup {speedup:.2f}x)")
+EOF
+
+cargo run --release -p regtree-bench --example stream_recheck | tee "$raw_stream"
+
+python3 - "$raw_stream" "$out_stream" <<'EOF'
+import json, re, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+line_re = re.compile(r"^(stream/\S+) (\d+)$")
+
+rows = {}
+with open(raw, encoding="utf-8") as fh:
+    for line in fh:
+        m = line_re.match(line.strip())
+        if m:
+            rows[m.group(1)] = int(m.group(2))
+
+if not rows:
+    sys.exit("bench_json.sh: no stream_recheck lines parsed")
+bad = [k for k, v in rows.items() if k.endswith("/parity_mismatches") and v]
+if bad:
+    sys.exit(f"bench_json.sh: incremental/reparse verdicts diverged: {bad}")
+
+points = sorted(
+    int(k.split("/")[2][1:])
+    for k in rows
+    if k.startswith("stream/recheck/") and k.endswith("/speedup_x100")
+)
+if not points:
+    sys.exit("bench_json.sh: no recheck speedup points parsed")
+largest = points[-1]
+speedup = rows[f"stream/recheck/c{largest}/speedup_x100"] / 100
+if speedup < 3.0:
+    sys.exit(
+        f"bench_json.sh: incremental recheck only {speedup:.2f}x faster than "
+        f"reparse at c{largest} (need >= 3x) — impact scoping has regressed"
+    )
+
+with open(out, "w", encoding="utf-8") as fh:
+    json.dump(rows, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+print(f"wrote {out} (c{largest} incremental speedup {speedup:.2f}x)")
 EOF

@@ -63,9 +63,9 @@ pub mod prelude {
         revalidate_full_many, satisfies, subsumes, Analyzer, AnalyzerBuilder, Budget, CancelToken,
         CellProvenance, ChromeTraceSink, DroppedFd, EqualityType, Error, EventKind, Fd,
         FdBatchReport, FdBuilder, FdOutcome, FdSet, Implication, IncrementalChecker,
-        IndependenceMatrix, Minimization, NullTracer, PathFd, Resource, RunLimits, RunMetrics,
-        SpanId, SpanKind, SummarySink, TraceFormat, TraceHandle, TraceSummary, Tracer, Update,
-        UpdateClass, UpdateOp, Verdict,
+        IndependenceMatrix, Minimization, NullTracer, PathFd, RecheckReport, RecheckScope,
+        RelevantSetChecker, Resource, RunLimits, RunMetrics, SpanId, SpanKind, SummarySink,
+        TraceFormat, TraceHandle, TraceSummary, Tracer, Update, UpdateClass, UpdateOp, Verdict,
     };
     pub use regtree_hedge::{HedgeAutomaton, Schema};
     pub use regtree_pattern::{

@@ -126,7 +126,10 @@ fn revalidate_full_many_agrees_with_single() {
     let doc = gen::figure1_document(&a);
     let fds = vec![gen::fd1(&a), gen::fd2(&a), gen::fd3(&a)];
     let update = gen::update_q1(&a);
-    let many = revalidate_full_many(&fds, &update, &doc).unwrap();
+    let mut scratch = doc.clone();
+    let many = revalidate_full_many(&fds, &update, &mut scratch).unwrap();
+    // The journaled in-place application rolls back: the document is intact.
+    assert_eq!(to_xml(&scratch), to_xml(&doc));
     for (fd, m) in fds.iter().zip(&many) {
         let single = revalidate_full(fd, &update, &doc).unwrap();
         assert_eq!(m.is_ok(), single.is_ok());

@@ -191,7 +191,7 @@ fn update_stream_with_incremental_checker() {
         .expect("parses")
         .to_fd(&a)
         .expect("translates");
-    let mut checker = IncrementalChecker::new(&fd, &doc);
+    let mut checker = RelevantSetChecker::new(&fd, &doc);
     assert!(checker.satisfied());
 
     // A stream of qty rewrites that keep values uniform: stays satisfied.

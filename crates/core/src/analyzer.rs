@@ -590,7 +590,8 @@ impl Analyzer {
 
     /// Builds an [`IncrementalChecker`] over `fds` and `vdoc` that runs its
     /// initial verification and every later recheck under the analyzer's
-    /// limits and tracer. The checker is the stateful counterpart of
+    /// limits, cancel token, and tracer. The checker is the stateful
+    /// counterpart of
     /// [`Analyzer::check_fds`] for workloads that stream updates against
     /// one document (see [`crate::incremental`]).
     ///
@@ -615,7 +616,13 @@ impl Analyzer {
         fds: Vec<Fd>,
         vdoc: &VersionedDocument,
     ) -> IncrementalChecker {
-        IncrementalChecker::with_governance(fds, vdoc, self.limits, self.trace.clone())
+        IncrementalChecker::with_governance(
+            fds,
+            vdoc,
+            self.limits,
+            self.trace.clone(),
+            self.cancel.clone(),
+        )
     }
 }
 

@@ -41,9 +41,13 @@
 //!    into the inserted/removed subtree, looking for an accepting state.
 //!    Detached subtrees keep their labels and child lists, so the walk
 //!    reconstructs the pre-edit words exactly.
-//! 3. **Birth or death** — `c` itself sits inside an inserted subtree
-//!    (found by running the context automaton over the new nodes) or was
-//!    detached (found by scanning the retained buckets for dead contexts).
+//! 3. **Birth or death** — `c` itself sits inside an inserted subtree or
+//!    a removed one, both found by running the context automaton over the
+//!    subtree's nodes (labels and child lists survive a detach, as in
+//!    mechanism 2). Deaths are detected from the delta itself, not from
+//!    retained state: a previously-satisfied FD's buckets would reveal
+//!    them too, but a `Violated`/`Unknown` verdict retains no buckets and
+//!    may hinge entirely on contexts the delta just deleted.
 //!
 //! Everything else is provably irrelevant, which is what lets a root-level
 //! context (`session`) stay **Unaffected** under edits that only touch
@@ -54,7 +58,8 @@ use std::collections::HashSet;
 use regtree_automata::{EdgeDfa, Nfa, Regex, StateId, EDGE_DEAD};
 use regtree_pattern::{project_mappings_anchored_governed, Template, TemplateNodeId};
 use regtree_runtime::{
-    Budget, EventKind, Resource, RunLimits, RunMetrics, SpanKind, Stopwatch, TraceHandle,
+    Budget, CancelToken, EventKind, Resource, RunLimits, RunMetrics, SpanKind, Stopwatch,
+    TraceHandle,
 };
 use regtree_xml::{Delta, Document, NodeId, VersionedDocument};
 
@@ -165,6 +170,7 @@ pub struct IncrementalChecker {
     states: Vec<FdState>,
     scopes: Vec<Option<ContextScope>>,
     limits: RunLimits,
+    cancel: Option<CancelToken>,
     trace: TraceHandle,
     initial_metrics: RunMetrics,
 }
@@ -173,23 +179,33 @@ impl IncrementalChecker {
     /// Runs an initial full verification of every FD (unlimited budget) and
     /// retains the verdicts plus bucket state.
     pub fn new(fds: Vec<Fd>, vdoc: &VersionedDocument) -> IncrementalChecker {
-        IncrementalChecker::with_governance(fds, vdoc, RunLimits::default(), TraceHandle::default())
+        IncrementalChecker::with_governance(
+            fds,
+            vdoc,
+            RunLimits::default(),
+            TraceHandle::default(),
+            None,
+        )
     }
 
-    /// [`IncrementalChecker::new`] with explicit limits and tracing; every
-    /// later recheck runs under the same governance (the deadline is
-    /// re-armed per recheck round, shared across its FDs).
+    /// [`IncrementalChecker::new`] with explicit limits, tracing, and an
+    /// optional cancellation token; the initial verification and every
+    /// later recheck run under the same governance (the deadline is
+    /// re-armed per recheck round, shared across its FDs) until
+    /// [`IncrementalChecker::set_limits`] /
+    /// [`IncrementalChecker::set_cancel`] replace it.
     pub fn with_governance(
         fds: Vec<Fd>,
         vdoc: &VersionedDocument,
         limits: RunLimits,
         trace: TraceHandle,
+        cancel: Option<CancelToken>,
     ) -> IncrementalChecker {
         let mut initial_metrics = RunMetrics::default();
         let states = fds
             .iter()
             .map(|fd| {
-                let mut budget = Budget::new(&limits).with_trace(trace.clone());
+                let mut budget = round_budget(&limits, cancel.as_ref(), &trace);
                 let (outcome, buckets) =
                     check_fd_governed_retaining(fd, vdoc.doc(), vdoc.index(), &mut budget);
                 initial_metrics.merge(budget.metrics());
@@ -202,9 +218,26 @@ impl IncrementalChecker {
             states,
             scopes,
             limits,
+            cancel,
             trace,
             initial_metrics,
         }
+    }
+
+    /// Replaces the limits governing every later recheck. Retained
+    /// verdicts and bucket state are kept: carrying a verdict forward is
+    /// sound under any limits, and a verdict left `Unknown` by tighter
+    /// limits is re-derived the next time its contexts are affected.
+    pub fn set_limits(&mut self, limits: RunLimits) {
+        self.limits = limits;
+    }
+
+    /// Attaches (or, with `None`, detaches) a cancellation token polled by
+    /// every later recheck. A cancelled round degrades its in-flight FD
+    /// verdicts to `Unknown` with [`Resource::Cancelled`], exactly like
+    /// any other budget exhaustion.
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
     }
 
     /// Work counters accumulated by the initial full verification (the
@@ -269,6 +302,7 @@ impl IncrementalChecker {
             states,
             scopes: fd_scopes,
             limits,
+            cancel,
             trace,
             ..
         } = self;
@@ -280,18 +314,16 @@ impl IncrementalChecker {
                     trace.event(EventKind::ScopeUnaffected);
                 }
                 RecheckScope::Localized => {
-                    let mut budget = Budget::new(limits)
-                        .with_deadline_at(deadline_at)
-                        .with_trace(trace.clone());
+                    let mut budget =
+                        round_budget(limits, cancel.as_ref(), trace).with_deadline_at(deadline_at);
                     recheck_localized(fd, state, doc, index, &affected, &mut budget);
                     metrics.merge(&budget.into_metrics());
                     metrics.rechecks_localized += 1;
                     trace.event(EventKind::ScopeLocalized);
                 }
                 RecheckScope::Global => {
-                    let mut budget = Budget::new(limits)
-                        .with_deadline_at(deadline_at)
-                        .with_trace(trace.clone());
+                    let mut budget =
+                        round_budget(limits, cancel.as_ref(), trace).with_deadline_at(deadline_at);
                     let (outcome, buckets) =
                         check_fd_governed_retaining(fd, doc, index, &mut budget);
                     *state = FdState::from_check(outcome, buckets);
@@ -311,6 +343,16 @@ impl IncrementalChecker {
             metrics,
         }
     }
+}
+
+/// A budget under the checker's governance: limits, optional cancellation
+/// token, and tracing (callers layer a shared deadline on top).
+fn round_budget(limits: &RunLimits, cancel: Option<&CancelToken>, trace: &TraceHandle) -> Budget {
+    let mut budget = Budget::new(limits).with_trace(trace.clone());
+    if let Some(token) = cancel {
+        budget = budget.with_cancel(token.clone());
+    }
+    budget
 }
 
 /// Is the FD's template anchored on its context node (the root's only
@@ -342,17 +384,22 @@ fn classify(
     let Some(affected) = affected_contexts(scope, doc, delta) else {
         return (RecheckScope::Global, Vec::new());
     };
-    let contexts_died = match state {
-        FdState::Satisfied(b) => b.contexts().any(|c| !doc.is_alive(c)),
-        _ => false,
-    };
-    if affected.is_empty() && !contexts_died {
+    // Deaths come from the delta's removed-subtree walk, so they are seen
+    // for every prior verdict; the bucket scan is a belt-and-suspenders
+    // double check for the satisfied case (buckets name the exact context
+    // set the verdict was derived from).
+    let contexts_died = affected.deaths
+        || match state {
+            FdState::Satisfied(b) => b.contexts().any(|c| !doc.is_alive(c)),
+            _ => false,
+        };
+    if affected.contexts.is_empty() && !contexts_died {
         // Nothing the delta touched can reach any context of this FD: the
         // verdict (whatever it is) still stands.
         return (RecheckScope::Unaffected, Vec::new());
     }
     match state {
-        FdState::Satisfied(_) => (RecheckScope::Localized, affected),
+        FdState::Satisfied(_) => (RecheckScope::Localized, affected.contexts),
         _ => (RecheckScope::Global, Vec::new()),
     }
 }
@@ -573,12 +620,24 @@ fn context_candidates(
     out
 }
 
+/// The scoping verdict for one FD × delta: which alive context images the
+/// delta may have changed, and whether any context image died with a
+/// removed subtree.
+struct Affected {
+    /// Alive context images whose verdict-relevant surroundings changed,
+    /// sorted by node id.
+    contexts: Vec<NodeId>,
+    /// A context image sat inside a removed subtree (its traces are all
+    /// gone, so any prior verdict that counted them is stale).
+    deaths: bool,
+}
+
 /// Collects every context image whose verdict-relevant surroundings the
 /// delta may have changed (see the module docs for the three mechanisms
 /// and the soundness argument). Returns `None` when the delta cannot be
 /// scoped — a removal whose former parent was itself detached by a later
 /// edit of the same batch.
-fn affected_contexts(scope: &ContextScope, doc: &Document, delta: &Delta) -> Option<Vec<NodeId>> {
+fn affected_contexts(scope: &ContextScope, doc: &Document, delta: &Delta) -> Option<Affected> {
     let mut out: HashSet<NodeId> = HashSet::new();
 
     // (1) Value relevance: a V-equality image on the path down to an edit
@@ -707,9 +766,48 @@ fn affected_contexts(scope: &ContextScope, doc: &Document, delta: &Delta) -> Opt
         }
     }
 
-    let mut v: Vec<NodeId> = out.into_iter().collect();
-    v.sort_unstable_by_key(|n| n.0);
-    Some(v)
+    // (3b) Deaths: context images inside removed subtrees, found by the
+    // same walk as births (labels and child lists survive the detach).
+    // The retained buckets only reveal these for a previously-satisfied
+    // FD; the structural scan sees them for any prior verdict.
+    let mut deaths = false;
+    'removed: for &(parent, root) in &delta.removed {
+        if !doc.is_alive(parent) {
+            // The removal site itself was detached later in the batch:
+            // the pre-edit attachment path is gone, so scoping is
+            // impossible. Fall back to a global recheck.
+            return None;
+        }
+        let Some(path) = path_from_root(doc, parent) else {
+            continue;
+        };
+        // Context automaton state after the word root→parent.
+        let mut st = scope.context.start();
+        for &n in &path {
+            st = scope.context.step(&st, doc.label(n).0);
+            if scope.context.dead(&st) {
+                continue 'removed;
+            }
+        }
+        let mut stack = vec![(root, st)];
+        while let Some((n, above)) = stack.pop() {
+            let here = scope.context.step(&above, doc.label(n).0);
+            if scope.context.dead(&here) {
+                continue;
+            }
+            if scope.context.accepts(&here) {
+                deaths = true;
+                break 'removed;
+            }
+            for &child in doc.children(n) {
+                stack.push((child, here.clone()));
+            }
+        }
+    }
+
+    let mut contexts: Vec<NodeId> = out.into_iter().collect();
+    contexts.sort_unstable_by_key(|n| n.0);
+    Some(Affected { contexts, deaths })
 }
 
 #[cfg(test)]
@@ -835,6 +933,111 @@ mod tests {
         let report = checker.apply_and_recheck(&mut v, &up).unwrap();
         assert_eq!(report.scopes, vec![RecheckScope::Localized]);
         assert!(report.all_satisfied());
+    }
+
+    #[test]
+    fn deleting_a_violating_context_is_never_unaffected() {
+        let a = Alphabet::new();
+        let fd = fd_rank(&a);
+        // Violated document: same discipline, different ranks.
+        let bad = parse_document(
+            &a,
+            "<session>\
+             <candidate><exam><discipline>m</discipline><rank>1</rank></exam></candidate>\
+             <candidate><exam><discipline>m</discipline><rank>2</rank></exam></candidate>\
+             </session>",
+        )
+        .unwrap();
+        let mut v = VersionedDocument::new(bad);
+        let mut checker = IncrementalChecker::new(vec![fd_rank(&a)], &v);
+        assert!(!checker.all_satisfied());
+        // Delete the violating <session> context itself. The prior verdict
+        // is Violated, so no buckets exist to reveal the death: it must be
+        // found by walking the removed subtree with the context automaton.
+        let session = {
+            let d = v.doc();
+            d.children(d.root())[0]
+        };
+        v.delete_subtree(session).unwrap();
+        let delta = v.take_delta();
+        let report = checker.recheck_delta(&v, &delta);
+        assert_eq!(report.scopes, vec![RecheckScope::Global]);
+        // No contexts left: satisfied again, agreeing with a fresh check.
+        assert!(report.all_satisfied(), "{:?}", report.outcomes);
+        assert!(crate::satisfy::check_fd(&fd, v.doc()).is_ok());
+    }
+
+    #[test]
+    fn set_limits_regoverns_later_rounds() {
+        let a = Alphabet::new();
+        let bad = parse_document(
+            &a,
+            "<session>\
+             <candidate><exam><discipline>m</discipline><rank>1</rank></exam></candidate>\
+             <candidate><exam><discipline>m</discipline><rank>2</rank></exam></candidate>\
+             </session>",
+        )
+        .unwrap();
+        let mut v = VersionedDocument::new(bad);
+        let mut checker = IncrementalChecker::new(vec![fd_rank(&a)], &v);
+        assert!(!checker.all_satisfied());
+        // A zero deadline applied after the fact must govern the next
+        // round: the forced global recheck exhausts before any work.
+        checker.set_limits(RunLimits::default().with_deadline(std::time::Duration::ZERO));
+        let class = update_class_from_edges(&a, &["session/candidate/exam/rank"]).unwrap();
+        let up = Update::new(
+            class,
+            UpdateOp::FirstOnly(Box::new(UpdateOp::SetText("2".into()))),
+        );
+        let report = checker.apply_and_recheck(&mut v, &up).unwrap();
+        assert_eq!(report.scopes, vec![RecheckScope::Global]);
+        assert!(
+            matches!(
+                report.outcomes[0],
+                FdOutcome::Unknown {
+                    exhausted: Resource::Deadline,
+                    ..
+                }
+            ),
+            "{:?}",
+            report.outcomes
+        );
+    }
+
+    #[test]
+    fn cancellation_degrades_rechecks_to_unknown() {
+        let a = Alphabet::new();
+        let bad = parse_document(
+            &a,
+            "<session>\
+             <candidate><exam><discipline>m</discipline><rank>1</rank></exam></candidate>\
+             <candidate><exam><discipline>m</discipline><rank>2</rank></exam></candidate>\
+             </session>",
+        )
+        .unwrap();
+        let mut v = VersionedDocument::new(bad);
+        let mut checker = IncrementalChecker::new(vec![fd_rank(&a)], &v);
+        assert!(!checker.all_satisfied());
+        let token = regtree_runtime::CancelToken::new();
+        checker.set_cancel(Some(token.clone()));
+        token.cancel();
+        let class = update_class_from_edges(&a, &["session/candidate/exam/rank"]).unwrap();
+        let up = Update::new(
+            class,
+            UpdateOp::FirstOnly(Box::new(UpdateOp::SetText("2".into()))),
+        );
+        let report = checker.apply_and_recheck(&mut v, &up).unwrap();
+        assert!(
+            matches!(
+                report.outcomes[0],
+                FdOutcome::Unknown {
+                    exhausted: Resource::Cancelled,
+                    ..
+                }
+            ),
+            "{:?}",
+            report.outcomes
+        );
     }
 
     #[test]

@@ -548,9 +548,11 @@ impl Service {
     /// at the smallest sound scope. The first call on a document (or a
     /// call naming a different FD set) pays a full check to seed the
     /// incremental state; subsequent calls with the same `fds` reuse it
-    /// and typically touch only the contexts the delta reached. Limits
-    /// are fixed when the checker is (re)built: a warm checker keeps the
-    /// governance it was seeded with.
+    /// and typically touch only the contexts the delta reached. Each
+    /// request's effective merged limits and its cancel token are
+    /// (re)applied to the checker before the recheck, so a warm checker
+    /// honors per-request governance and `$/cancelRequest` aborts a slow
+    /// recheck mid-flight.
     fn document_update(&self, params: &Json, cancel: &CancelToken) -> Result<Json, RpcError> {
         let session = self.session(params)?;
         session.requests.fetch_add(1, Ordering::Relaxed);
@@ -577,11 +579,17 @@ impl Service {
                 &entry.vdoc,
                 merged,
                 TraceHandle::default(),
+                Some(cancel.clone()),
             );
             entry.checker = Some((key, checker));
         }
         let DocEntry { vdoc, checker } = &mut *entry;
         let (_, checker) = checker.as_mut().expect("checker was built above");
+        // A warm checker was governed by the request that seeded it; this
+        // request's merged limits and cancel token replace that for the
+        // round about to run.
+        checker.set_limits(merged);
+        checker.set_cancel(Some(cancel.clone()));
         let report = checker
             .apply_and_recheck(vdoc, &update)
             .map_err(|e| invalid_params(format!("update: {e}")))?;
@@ -954,6 +962,119 @@ mod tests {
             Some("violated"),
             "full check agrees with the incremental verdict"
         );
+    }
+
+    #[test]
+    fn document_update_honors_per_request_governance() {
+        let service = Service::new(ServerConfig::default());
+        let cancel = CancelToken::new();
+        let open = service
+            .dispatch("session/open", &Json::Obj(vec![]), &cancel)
+            .expect("session opens");
+        let sid = open.get("sessionId").and_then(Json::as_u64).expect("id");
+        // Violated document: rechecks of the FD go global, which polls the
+        // budget before any work — deterministic exhaustion/cancellation.
+        let xml = "<session>\
+             <candidate><exam><discipline>math</discipline><rank>1</rank></exam></candidate>\
+             <candidate><exam><discipline>math</discipline><rank>2</rank></exam></candidate>\
+             </session>";
+        service
+            .dispatch(
+                "document/load",
+                &obj(vec![
+                    ("sessionId", Json::u64(sid)),
+                    ("name", Json::str("exams")),
+                    ("xml", Json::str(xml)),
+                ]),
+                &cancel,
+            )
+            .expect("document loads");
+        let fds = Json::Arr(vec![Json::Arr(vec![
+            Json::str("disc-rank"),
+            Json::str("/session : candidate/exam/discipline -> candidate/exam/rank"),
+        ])]);
+        let rank_edit = || {
+            obj(vec![
+                ("select", Json::str("/session/candidate/exam/rank")),
+                ("op", Json::str("set_text")),
+                ("value", Json::str("3")),
+            ])
+        };
+        // Seed the checker warm under unlimited governance.
+        let resp = service
+            .dispatch(
+                "document/update",
+                &obj(vec![
+                    ("sessionId", Json::u64(sid)),
+                    ("name", Json::str("exams")),
+                    ("fds", fds.clone()),
+                    ("update", rank_edit()),
+                ]),
+                &cancel,
+            )
+            .expect("first update seeds and answers");
+        assert_eq!(
+            resp.get("all_satisfied").and_then(Json::as_bool),
+            Some(true)
+        );
+        // Break the FD again so the next recheck cannot stay Unaffected
+        // (violations are reported in-band; the request still answers).
+        let resp = service
+            .dispatch(
+                "document/update",
+                &obj(vec![
+                    ("sessionId", Json::u64(sid)),
+                    ("name", Json::str("exams")),
+                    ("fds", fds.clone()),
+                    (
+                        "update",
+                        obj(vec![
+                            ("select", Json::str("/session/candidate/exam/rank")),
+                            ("op", Json::str("set_text")),
+                            ("value", Json::str("5")),
+                            ("first_only", Json::Bool(true)),
+                        ]),
+                    ),
+                ]),
+                &cancel,
+            )
+            .expect("violating update answers");
+        assert_eq!(
+            resp.get("all_satisfied").and_then(Json::as_bool),
+            Some(false)
+        );
+        // The warm checker must honor this request's limits, not the ones
+        // it was seeded with: a zero deadline exhausts the recheck.
+        let err = service
+            .dispatch(
+                "document/update",
+                &obj(vec![
+                    ("sessionId", Json::u64(sid)),
+                    ("name", Json::str("exams")),
+                    ("fds", fds.clone()),
+                    ("update", rank_edit()),
+                    ("limits", obj(vec![("deadlineMs", Json::u64(0))])),
+                ]),
+                &cancel,
+            )
+            .unwrap_err();
+        assert_eq!(err.code, rpc::BUDGET_EXHAUSTED, "{}", err.message);
+        // And the request's cancel token reaches the recheck budgets.
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let err = service
+            .dispatch(
+                "document/update",
+                &obj(vec![
+                    ("sessionId", Json::u64(sid)),
+                    ("name", Json::str("exams")),
+                    ("fds", fds),
+                    ("update", rank_edit()),
+                ]),
+                &cancelled,
+            )
+            .unwrap_err();
+        assert_eq!(err.code, rpc::CANCELLED, "{}", err.message);
     }
 
     #[test]

@@ -26,8 +26,10 @@ const LEVELS: &[&str] = &["A", "B", "C", "D", "E"];
 /// One random executable update over the exam vocabulary. The pool mixes
 /// edits that cannot reach the FDs (level/firstJob-Year churn), edits
 /// engineered to violate them (rank rewrites), structural edits
-/// (exam deletion, subtree insertion), and a custom-op update that forces
-/// the opaque path.
+/// (exam deletion, subtree insertion), context-killing deletions
+/// (candidate and whole-session removal, which delete the FDs' context
+/// images themselves — the carried-verdict trap for a previously
+/// violated FD), and a custom-op update that forces the opaque path.
 fn random_update(a: &Alphabet, rng: &mut SmallRng) -> Update {
     let edges = |paths: &[&str]| update_class_from_edges(a, paths).expect("exam paths parse");
     let first_only = |op: UpdateOp, rng: &mut SmallRng| {
@@ -37,7 +39,7 @@ fn random_update(a: &Alphabet, rng: &mut SmallRng) -> Update {
             op
         }
     };
-    match rng.gen_range(0..6u8) {
+    match rng.gen_range(0..8u8) {
         0 => Update::new(
             edges(&["session/candidate/level"]),
             UpdateOp::SetText(LEVELS[rng.gen_range(0..LEVELS.len())].to_string()),
@@ -66,6 +68,14 @@ fn random_update(a: &Alphabet, rng: &mut SmallRng) -> Update {
             edges(&["session/candidate/firstJob-Year"]),
             UpdateOp::SetText("2011".to_string()),
         ),
+        // Deletes fd2's context images (session/candidate) outright.
+        5 => Update::new(
+            edges(&["session/candidate"]),
+            first_only(UpdateOp::Delete, rng),
+        ),
+        // Deletes every FD's context region wholesale: any verdict that
+        // hinged on the dead contexts must be re-derived, not carried.
+        6 => Update::new(edges(&["session"]), UpdateOp::Delete),
         _ => gen::update_q1(a),
     }
 }
@@ -95,10 +105,21 @@ proptest! {
                 .expect("pool updates never fail to apply");
             prop_assert_eq!(report.scopes.len(), fds.len());
             // Reparse from the serialized bytes: a fully independent
-            // document, index, and check.
-            let reparsed = parse_document(&a, &to_xml(vdoc.doc())).expect("roundtrip");
+            // document, index, and check. A stream that deleted the whole
+            // top-level element leaves nothing to reparse; check the live
+            // (empty) document directly — every FD holds vacuously, and
+            // the incremental side must agree rather than carry a stale
+            // verdict past the dead contexts.
+            let reparsed = if vdoc.doc().children(vdoc.doc().root()).is_empty() {
+                None
+            } else {
+                Some(parse_document(&a, &to_xml(vdoc.doc())).expect("roundtrip"))
+            };
             for (i, fd) in fds.iter().enumerate() {
-                let baseline = check_fd(fd, &reparsed).is_ok();
+                let baseline = match &reparsed {
+                    Some(d) => check_fd(fd, d).is_ok(),
+                    None => check_fd(fd, vdoc.doc()).is_ok(),
+                };
                 let incremental = match &report.outcomes[i] {
                     FdOutcome::Satisfied => true,
                     FdOutcome::Violated(_) => false,

@@ -125,6 +125,44 @@ impl Regex {
         }
     }
 
+    /// Bounded repetition `r{min,max}` by expansion into the core AST.
+    ///
+    /// No new variant is introduced: the result is built from `Concat`,
+    /// `Opt` and `Star`, so every downstream consumer (NFA construction,
+    /// derivatives, display) handles it unchanged. `max = None` means
+    /// unbounded (`r{min,}`); `max = Some(m)` with `m < min` yields the
+    /// empty language. The expansion is `r … r` (`min` copies) followed by
+    /// `r? … r?` (`max - min` copies) or `r*` when unbounded:
+    ///
+    /// * `r.repeat(0, Some(0))` = `ε`
+    /// * `r.repeat(2, Some(2))` = `r/r`
+    /// * `r.repeat(1, Some(3))` = `r/r?/r?`
+    /// * `r.repeat(2, None)` = `r/r/r*`
+    ///
+    /// This is the compilation target for counting constraints in the
+    /// textual pattern language (`[count(e) >= n]` repeats predicate
+    /// branches; `e{n,m}` repeats along an edge word).
+    pub fn repeat(self, min: usize, max: Option<usize>) -> Regex {
+        if let Some(m) = max {
+            if m < min {
+                return Regex::Empty;
+            }
+        }
+        let mut parts = Vec::new();
+        for _ in 0..min {
+            parts.push(self.clone());
+        }
+        match max {
+            None => parts.push(self.star()),
+            Some(m) => {
+                for _ in min..m {
+                    parts.push(self.clone().opt());
+                }
+            }
+        }
+        Regex::seq(parts)
+    }
+
     /// Does the language contain the empty word?
     pub fn nullable(&self) -> bool {
         match self {
@@ -413,6 +451,38 @@ mod tests {
         let y = Regex::label(&a, "y");
         let r = Regex::seq([Regex::alt([x, y]).star(), Regex::label(&a, "z")]);
         assert_eq!(r.display(&a).to_string(), "(x|y)*/z");
+    }
+
+    #[test]
+    fn repeat_expansion_semantics() {
+        let a = Alphabet::new();
+        let x = a.intern("x");
+        let r = Regex::Atom(x);
+        // r{min,max} matches x^k iff min <= k <= max.
+        let cases: &[(usize, Option<usize>)] = &[
+            (0, Some(0)),
+            (0, Some(2)),
+            (1, Some(1)),
+            (1, Some(3)),
+            (2, Some(2)),
+            (2, None),
+            (0, None),
+            (5, Some(5)),
+        ];
+        for &(min, max) in cases {
+            let rep = r.clone().repeat(min, max);
+            for k in 0..8usize {
+                let want = k >= min && max.map(|m| k <= m).unwrap_or(true);
+                let w = vec![x; k];
+                assert_eq!(rep.matches(&w), want, "x{{{min},{max:?}}} on x^{k}");
+            }
+        }
+        // Degenerate bounds give the empty language / epsilon.
+        assert_eq!(r.clone().repeat(3, Some(2)), Regex::Empty);
+        assert_eq!(r.clone().repeat(0, Some(0)), Regex::Epsilon);
+        // Properness: min >= 1 keeps a proper operand proper.
+        assert!(r.clone().repeat(2, Some(4)).is_proper());
+        assert!(!r.repeat(0, Some(4)).is_proper());
     }
 
     #[test]

@@ -7,13 +7,17 @@
 //! ```text
 //! union   := concat ('|' concat)*
 //! concat  := postfix (('/')? postfix)*
-//! postfix := primary ('*' | '+' | '?')*
+//! postfix := primary ('*' | '+' | '?' | repeat)*
+//! repeat  := '{' NUMBER (',' NUMBER?)? '}'
 //! primary := IDENT | QUOTED | '_' | '(' union ')'
 //! IDENT   := [A-Za-z@#] [A-Za-z0-9_.@#-]*
 //! QUOTED  := '\'' any* '\''
+//! NUMBER  := [0-9]+
 //! ```
 //!
-//! `_` is the single-label wildcard.
+//! `_` is the single-label wildcard. Bounded repetition `r{n}` / `r{n,}` /
+//! `r{n,m}` desugars through [`Regex::repeat`] into plain
+//! concatenation/option/star, so the AST needs no counting variant.
 
 use std::fmt;
 
@@ -53,6 +57,8 @@ enum Tok {
     Question,
     Pipe,
     Slash,
+    /// `{min}` / `{min,}` / `{min,max}` — `max` is `None` when unbounded.
+    Repeat(usize, Option<usize>),
 }
 
 struct Lexer<'a> {
@@ -112,6 +118,39 @@ impl<'a> Lexer<'a> {
                 self.pos += 1;
                 Tok::Slash
             }
+            b'{' => {
+                self.pos += 1;
+                let min = self.lex_number(start)?;
+                self.skip_ws();
+                let max = if self.pos < self.bytes.len() && self.bytes[self.pos] == b',' {
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+                        Some(self.lex_number(start)?)
+                    } else {
+                        None
+                    }
+                } else {
+                    Some(min)
+                };
+                self.skip_ws();
+                if self.pos >= self.bytes.len() || self.bytes[self.pos] != b'}' {
+                    return Err(ParseError {
+                        position: start,
+                        message: "unterminated repetition bound, expected '}'".into(),
+                    });
+                }
+                self.pos += 1;
+                if let Some(m) = max {
+                    if m < min {
+                        return Err(ParseError {
+                            position: start,
+                            message: format!("empty repetition range {{{min},{m}}}"),
+                        });
+                    }
+                }
+                Tok::Repeat(min, max)
+            }
             b'\'' => {
                 self.pos += 1;
                 let lit_start = self.pos;
@@ -147,6 +186,26 @@ impl<'a> Lexer<'a> {
             }
         };
         Ok(Some((start, tok)))
+    }
+
+    fn lex_number(&mut self, err_at: usize) -> Result<usize, ParseError> {
+        self.skip_ws();
+        let digits_start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if digits_start == self.pos {
+            return Err(ParseError {
+                position: err_at,
+                message: "expected a number in repetition bound".into(),
+            });
+        }
+        self.src[digits_start..self.pos]
+            .parse::<usize>()
+            .map_err(|_| ParseError {
+                position: err_at,
+                message: "repetition bound out of range".into(),
+            })
     }
 
     fn lex_ident(&mut self) -> Tok {
@@ -242,6 +301,11 @@ impl<'a> Parser<'a> {
                 Some(Tok::Question) => {
                     self.bump();
                     r = r.opt();
+                }
+                Some(Tok::Repeat(min, max)) => {
+                    let (min, max) = (*min, *max);
+                    self.bump();
+                    r = r.repeat(min, max);
                 }
                 _ => break,
             }
@@ -366,6 +430,42 @@ mod tests {
         assert!(parse_regex(&a, "x ^ y").is_err());
         assert!(parse_regex(&a, "'unterminated").is_err());
         assert!(parse_regex(&a, "*x").is_err());
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let a = Alphabet::new();
+        let x = a.intern("x");
+        let y = a.intern("y");
+        let r = parse_regex(&a, "x{3}").unwrap();
+        assert!(r.matches(&[x, x, x]));
+        assert!(!r.matches(&[x, x]));
+        assert!(!r.matches(&[x, x, x, x]));
+        let r = parse_regex(&a, "x{1,3}").unwrap();
+        for n in 0..5 {
+            assert_eq!(
+                r.matches(&vec![x; n]),
+                (1..=3).contains(&n),
+                "x{{1,3}} x^{n}"
+            );
+        }
+        let r = parse_regex(&a, "x{2,}").unwrap();
+        for n in 0..5 {
+            assert_eq!(r.matches(&vec![x; n]), n >= 2, "x{{2,}} x^{n}");
+        }
+        // Grouped operand and whitespace inside the braces.
+        let r = parse_regex(&a, "(x/y){ 2 , 2 }").unwrap();
+        assert!(r.matches(&[x, y, x, y]));
+        assert!(!r.matches(&[x, y]));
+        // Desugared form is plain core AST: it reprints without braces and
+        // still round-trips through the parser.
+        let printed = r.display(&a).to_string();
+        assert_eq!(parse_regex(&a, &printed).unwrap(), r);
+        // Malformed bounds are rejected with the offset of the '{'.
+        for bad in ["x{", "x{}", "x{2", "x{a}", "x{3,2}", "x{1,2,3}"] {
+            let err = parse_regex(&a, bad).unwrap_err();
+            assert_eq!(err.position, 1, "position for {bad:?}");
+        }
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //! ```
 //!
 //! Schemas use the `label: content-model` rule format of
-//! [`regtree_hedge::Schema::parse`]; FDs use the path formalism of
-//! [`regtree_core::PathFd::parse`]; update classes are positive-CoreXPath
+//! [`regtree_hedge::Schema::parse`]; FDs use the textual pattern language
+//! of [`regtree_core::parse_fd`] — a superset of the \[8\] path formalism
+//! adding descendant axes, wildcards and counting predicates (see
+//! `docs/PATTERN_LANGUAGE.md`); update classes are positive-CoreXPath
 //! queries whose final step is predicate-free (the selected node must be a
 //! leaf of the update template).
 //!
@@ -40,14 +42,14 @@ use regtree_alphabet::Alphabet;
 use regtree_core::api::{
     metrics_to_json, parse_update_json, phases_to_json, scope_name, DocumentChecks, FdCheckOutcome,
     FdCheckResponse, IndependenceResponse, Json, MatrixResponse, MinimizeResponse,
-    UpdateCheckEntry, UpdateResponse,
+    PatternParseResponse, UpdateCheckEntry, UpdateResponse,
 };
 use regtree_core::{
-    Analyzer, ChromeTraceSink, EventKind, FdOutcome, FdSet, PathFd, RunLimits, RunMetrics, SpanId,
-    SpanKind, SummarySink, TraceFormat, TraceSummary, Tracer, UpdateClass, Verdict,
+    parse_fd, Analyzer, ChromeTraceSink, EventKind, FdOutcome, FdSet, RunLimits, RunMetrics,
+    SpanId, SpanKind, SummarySink, TraceFormat, TraceSummary, Tracer, UpdateClass, Verdict,
 };
 use regtree_hedge::Schema;
-use regtree_pattern::parse_corexpath;
+use regtree_pattern::{parse_corexpath, CompiledPattern};
 use regtree_xml::{parse_document, to_xml_with, SerializeOptions, VersionedDocument};
 
 fn main() -> ExitCode {
@@ -97,6 +99,9 @@ USAGE:
                         (irredundant core of an FD set with provenance;
                         exit 3 when the closure budget ran out — the
                         partial result is still sound)
+  rtpcheck pattern parse [--explain] [--format json] EXPR...
+                        (parse textual patterns, print the canonical form;
+                        --explain also prints the compiled template)
   rtpcheck demo
 
   BUDGET flags:     --deadline-ms N  --max-states N  --max-memo N
@@ -108,6 +113,8 @@ USAGE:
   EXIT CODES:       0 independent/satisfied · 1 violation or unproven
                     independence · 2 usage/input errors · 3 budget exhausted
   FD EXPR syntax:   /ctx/path : cond1, cond2[N] -> target
+                    (paths use the full pattern language: //, *, @attr,
+                    text(), [q], [count(p) >= n] — docs/PATTERN_LANGUAGE.md)
   PATH syntax:      positive CoreXPath, e.g. /session/candidate/level
                     (predicate branches map in document order: [p] before
                     the continuation — Definition 2 order semantics)
@@ -148,6 +155,7 @@ struct Flags {
     stats: bool,
     stats_verbose: bool,
     prune: bool,
+    explain: bool,
 }
 
 fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
@@ -157,6 +165,7 @@ fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
     let mut stats = false;
     let mut stats_verbose = false;
     let mut prune = false;
+    let mut explain = false;
     let mut i = 0;
     while i < args.len() {
         let a = args[i];
@@ -171,6 +180,9 @@ fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
             i += 1;
         } else if a == "--prune" {
             prune = true;
+            i += 1;
+        } else if a == "--explain" {
+            explain = true;
             i += 1;
         } else if let Some(key) = a.strip_prefix("--") {
             let v = args
@@ -190,6 +202,7 @@ fn parse_flags(args: &[&str]) -> Result<Flags, CliError> {
         stats,
         stats_verbose,
         prune,
+        explain,
     })
 }
 
@@ -261,6 +274,11 @@ fn run(args: &[&str]) -> Result<String, CliError> {
             Some((&"minimize", rest)) => cmd_fds_minimize(rest),
             Some((other, _)) => Err(usage(format!("unknown fds subcommand '{other}'"))),
             None => Err(usage("fds needs a subcommand (minimize)")),
+        },
+        "pattern" => match rest.split_first() {
+            Some((&"parse", rest)) => cmd_pattern_parse(rest),
+            Some((other, _)) => Err(usage(format!("unknown pattern subcommand '{other}'"))),
+            None => Err(usage("pattern needs a subcommand (parse)")),
         },
         "demo" => cmd_demo(),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
@@ -427,17 +445,14 @@ fn cmd_fd_check(args: &[&str]) -> Result<String, CliError> {
     let mut fds: Vec<regtree_core::Fd> = Vec::new();
     if let Some(path) = flags.get("fds") {
         for (name, expr) in parse_named_list(&read_file(path)?)? {
-            let fd = PathFd::parse(&alphabet, &expr)
-                .and_then(|p| p.to_fd(&alphabet))
-                .map_err(|e| runtime(format!("fd '{name}': {e}")))?;
+            let fd =
+                parse_fd(&alphabet, &expr).map_err(|e| runtime(format!("fd '{name}': {e}")))?;
             names.push(name);
             fds.push(fd);
         }
     }
     if let Some(expr) = flags.get("fd") {
-        let fd = PathFd::parse(&alphabet, expr)
-            .and_then(|p| p.to_fd(&alphabet))
-            .map_err(runtime)?;
+        let fd = parse_fd(&alphabet, expr).map_err(runtime)?;
         names.push("fd".to_string());
         fds.push(fd);
     }
@@ -720,14 +735,82 @@ fn cmd_eval(args: &[&str]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `rtpcheck pattern parse [--explain] [--format json] EXPR...`: parses
+/// textual patterns, prints the canonical form, and with `--explain` the
+/// compiled template — the quickest way to see what a pattern means before
+/// using it in an FD or a query.
+fn cmd_pattern_parse(args: &[&str]) -> Result<String, CliError> {
+    let flags = parse_flags(args)?;
+    let json = flags.wants_json()?;
+    let alphabet = Alphabet::new();
+    if flags.positional.is_empty() {
+        return Err(usage("pattern parse needs at least one pattern expression"));
+    }
+    let mut out = String::new();
+    let mut responses = Vec::new();
+    for expr in &flags.positional {
+        let compiled = CompiledPattern::from_text(&alphabet, expr)
+            .map_err(|e| CliError::Runtime(render_parse_error(expr, &e)))?;
+        let resp = PatternParseResponse::from_compiled(expr, &compiled);
+        if json {
+            responses.push(resp.to_json());
+        } else if flags.explain {
+            writeln!(out, "input:     {}", resp.source).expect("write to string");
+            writeln!(out, "canonical: {}", resp.canonical).expect("write to string");
+            writeln!(
+                out,
+                "template:  {} node(s), selected {}",
+                resp.template_nodes,
+                resp.selected
+                    .iter()
+                    .map(|i| format!("n{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+            .expect("write to string");
+            for line in resp.sketch.lines() {
+                writeln!(out, "  {line}").expect("write to string");
+            }
+            for (n, v) in &resp.value_tests {
+                writeln!(
+                    out,
+                    "value test: n{n} = {v:?} (applied as a mapping filter)"
+                )
+                .expect("write to string");
+            }
+        } else {
+            writeln!(out, "{}", resp.canonical).expect("write to string");
+        }
+    }
+    if json {
+        let doc = if responses.len() == 1 {
+            responses.pop().expect("one response")
+        } else {
+            Json::Arr(responses)
+        };
+        Ok(format!("{}\n", doc.to_pretty()))
+    } else {
+        Ok(out)
+    }
+}
+
+/// Renders a [`regtree_pattern::lang::ParseError`] with a caret line
+/// pointing at the byte offset in the source.
+fn render_parse_error(src: &str, e: &regtree_pattern::lang::ParseError) -> String {
+    let mut out = format!("{e}\n  {src}\n  ");
+    for _ in 0..e.offset.min(src.len()) {
+        out.push(' ');
+    }
+    out.push('^');
+    out
+}
+
 fn cmd_independence(args: &[&str]) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
     let json = flags.wants_json()?;
     let tracing = Tracing::from_flags(&flags)?;
     let alphabet = Alphabet::new();
-    let fd = PathFd::parse(&alphabet, flags.require("fd")?)
-        .and_then(|p| p.to_fd(&alphabet))
-        .map_err(runtime)?;
+    let fd = parse_fd(&alphabet, flags.require("fd")?).map_err(runtime)?;
     let update_pattern = parse_corexpath(&alphabet, flags.require("update")?).map_err(runtime)?;
     let class = UpdateClass::new(update_pattern).map_err(|e| {
         runtime(format!(
@@ -831,9 +914,7 @@ fn cmd_fds_minimize(args: &[&str]) -> Result<String, CliError> {
     let fd_list = parse_named_list(&read_file(flags.require("fds")?)?)?;
     let mut set = FdSet::new();
     for (name, expr) in &fd_list {
-        let fd = PathFd::parse(&alphabet, expr)
-            .and_then(|p| p.to_fd(&alphabet))
-            .map_err(|e| runtime(format!("fd '{name}': {e}")))?;
+        let fd = parse_fd(&alphabet, expr).map_err(|e| runtime(format!("fd '{name}': {e}")))?;
         set.push(name.clone(), fd);
     }
     let min = set.minimize(&flags.limits()?);
@@ -903,9 +984,7 @@ fn cmd_matrix(args: &[&str]) -> Result<String, CliError> {
     let update_list = parse_named_list(&read_file(flags.require("updates")?)?)?;
     let mut fds = Vec::new();
     for (name, expr) in &fd_list {
-        let fd = PathFd::parse(&alphabet, expr)
-            .and_then(|p| p.to_fd(&alphabet))
-            .map_err(|e| runtime(format!("fd '{name}': {e}")))?;
+        let fd = parse_fd(&alphabet, expr).map_err(|e| runtime(format!("fd '{name}': {e}")))?;
         fds.push((name.clone(), fd));
     }
     let mut classes = Vec::new();
@@ -1132,6 +1211,77 @@ mod tests {
         assert!(ok.contains("satisfies"));
         let err = run(&["fd-check", "--fd", fd, bad.0.to_str().unwrap()]);
         assert!(matches!(err, Err(CliError::Violation(_))));
+    }
+
+    #[test]
+    fn fd_check_accepts_the_textual_pattern_language() {
+        // Counting predicate: only items with >= 2 witnesses are in scope.
+        let fd = "/s : i[count(w) >= 2]/k -> i[count(w) >= 2]/v";
+        let good = tmp(
+            "<s><i><w/><w/><k>a</k><v>1</v></i><i><w/><k>a</k><v>2</v></i></s>",
+            "xml",
+        );
+        let ok = run(&["fd-check", "--fd", fd, good.0.to_str().unwrap()]).unwrap();
+        assert!(ok.contains("satisfies"), "{ok}");
+        let bad = tmp(
+            "<s><i><w/><w/><k>a</k><v>1</v></i><i><w/><w/><k>a</k><v>2</v></i></s>",
+            "xml",
+        );
+        let err = run(&["fd-check", "--fd", fd, bad.0.to_str().unwrap()]);
+        assert!(matches!(err, Err(CliError::Violation(_))));
+
+        // The same textual grammar works in --fds list files ('=' inside
+        // '>=' is past the first '=' the list format splits at).
+        let fds = tmp(&format!("counted = {fd}\nplain = /s : i/k -> i/v\n"), "lst");
+        let err = run(&[
+            "fd-check",
+            "--fds",
+            fds.0.to_str().unwrap(),
+            bad.0.to_str().unwrap(),
+        ]);
+        let Err(CliError::Violation(out)) = err else {
+            panic!("expected violation");
+        };
+        assert!(out.contains("[counted]: VIOLATED"), "{out}");
+        assert!(out.contains("[plain]: VIOLATED"), "{out}");
+
+        // Parse errors surface the byte offset.
+        let err = run(&["fd-check", "--fd", "/s : i/k -> ", good.0.to_str().unwrap()]);
+        let Err(CliError::Runtime(msg)) = err else {
+            panic!("expected runtime error");
+        };
+        assert!(msg.contains("byte 12"), "{msg}");
+    }
+
+    #[test]
+    fn pattern_parse_command() {
+        // Sugar normalizes to the canonical form.
+        let out = run(&["pattern", "parse", "/s//c[at-least 2 child::e]/l"]).unwrap();
+        assert_eq!(out, "/s//c[count(e) >= 2]/l\n");
+
+        // --explain adds the compiled template.
+        let out = run(&["pattern", "parse", "--explain", "/s/c[@a = \"x\"]"]).unwrap();
+        assert!(out.contains("canonical: /s/c[@a = \"x\"]"), "{out}");
+        assert!(out.contains("template:"), "{out}");
+        assert!(out.contains("--[s/c]--> n1"), "{out}");
+        assert!(out.contains("value test: n2 = \"x\""), "{out}");
+
+        // --format json emits the shared api shape.
+        let out = run(&["pattern", "parse", "--format", "json", "/s/c"]).unwrap();
+        let v = regtree_core::api::Json::parse(&out).unwrap();
+        assert_eq!(v.get("canonical").and_then(Json::as_str), Some("/s/c"));
+        assert_eq!(v.get("template_nodes").and_then(Json::as_u64), Some(2));
+
+        // Errors point at the offending byte with a caret.
+        let err = run(&["pattern", "parse", "/s/[x]"]);
+        let Err(CliError::Runtime(msg)) = err else {
+            panic!("expected runtime error");
+        };
+        assert!(msg.contains("byte 3"), "{msg}");
+        assert!(
+            msg.lines().last().unwrap().trim_end().ends_with('^'),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -581,6 +581,81 @@ fn push_extras(
     }
 }
 
+/// Result of one `pattern/parse` (and of `rtpcheck pattern parse
+/// --format json`): the canonical form plus the compiled template, so
+/// clients can explain what a textual pattern means without re-implementing
+/// the grammar.
+#[derive(Clone, Debug)]
+pub struct PatternParseResponse {
+    /// The input as given.
+    pub source: String,
+    /// The canonical printed form (`parse ∘ print = id`).
+    pub canonical: String,
+    /// Number of nodes of the compiled template.
+    pub template_nodes: usize,
+    /// Indices of the selected tuple within the template.
+    pub selected: Vec<usize>,
+    /// Human-readable template structure (indented edge list).
+    pub sketch: String,
+    /// Value tests the template cannot express; evaluation applies them as
+    /// a mapping filter. Pairs of (template node index, required string
+    /// value).
+    pub value_tests: Vec<(usize, String)>,
+}
+
+impl PatternParseResponse {
+    /// Builds the response from a parsed-and-compiled pattern.
+    pub fn from_compiled(source: &str, compiled: &regtree_pattern::CompiledPattern) -> Self {
+        let canonical = compiled.ast().to_text();
+        let template = compiled.pattern().template();
+        PatternParseResponse {
+            source: source.to_string(),
+            canonical,
+            template_nodes: template.len(),
+            selected: compiled
+                .pattern()
+                .selected()
+                .iter()
+                .map(|n| n.index())
+                .collect(),
+            sketch: template.sketch(),
+            value_tests: compiled
+                .value_tests()
+                .iter()
+                .map(|(n, v)| (n.index(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// The stable JSON shape.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("source".into(), Json::str(&self.source)),
+            ("canonical".into(), Json::str(&self.canonical)),
+            ("template_nodes".into(), Json::usize(self.template_nodes)),
+            (
+                "selected".into(),
+                Json::Arr(self.selected.iter().map(|&i| Json::usize(i)).collect()),
+            ),
+            ("sketch".into(), Json::str(&self.sketch)),
+            (
+                "value_tests".into(),
+                Json::Arr(
+                    self.value_tests
+                        .iter()
+                        .map(|(n, v)| {
+                            Json::Obj(vec![
+                                ("node".into(), Json::usize(*n)),
+                                ("value".into(), Json::str(v)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// Result of one `independence/check` (and of `rtpcheck independence
 /// --format json`).
 #[derive(Clone, Debug)]

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use regtree_hedge::ValidationError;
+use regtree_pattern::lang::ParseError;
 use regtree_pattern::{PatternError, TemplateError};
 
 use crate::fd::FdError;
@@ -31,6 +32,9 @@ pub enum Error {
     Apply(ApplyError),
     /// Parsing or translating a path FD failed.
     PathFd(PathFdError),
+    /// Parsing textual pattern-language input failed
+    /// ([`crate::parse_fd`]); carries the byte offset and expected set.
+    PatternText(ParseError),
     /// Building a pattern template failed (bad edge expression).
     Template(TemplateError),
     /// Assembling a regular tree pattern failed (bad selected tuple).
@@ -50,6 +54,7 @@ impl fmt::Display for Error {
             Error::UpdateClass(e) => write!(f, "update class: {e}"),
             Error::Apply(e) => write!(f, "update application: {e}"),
             Error::PathFd(e) => write!(f, "path FD: {e}"),
+            Error::PatternText(e) => write!(f, "{e}"),
             Error::Template(e) => write!(f, "template: {e}"),
             Error::Pattern(e) => write!(f, "pattern: {e}"),
             Error::NoSchema => write!(f, "analyzer was built without a schema"),
@@ -65,6 +70,7 @@ impl std::error::Error for Error {
             Error::UpdateClass(e) => Some(e),
             Error::Apply(e) => Some(e),
             Error::PathFd(e) => Some(e),
+            Error::PatternText(e) => Some(e),
             Error::Template(e) => Some(e),
             Error::Pattern(e) => Some(e),
             Error::NoSchema => None,
@@ -100,6 +106,12 @@ impl From<ApplyError> for Error {
 impl From<PathFdError> for Error {
     fn from(e: PathFdError) -> Error {
         Error::PathFd(e)
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Error {
+        Error::PatternText(e)
     }
 }
 

@@ -43,6 +43,7 @@ pub mod reduction;
 pub mod revalidate;
 pub mod satisfy;
 pub mod subsume;
+pub mod textfd;
 pub mod update;
 
 pub use analyzer::{Analyzer, AnalyzerBuilder, RunOverrides};
@@ -62,6 +63,7 @@ pub use satisfy::{
     check_fd, check_fd_governed, check_fd_indexed, satisfies, FdBatchReport, FdOutcome, FdViolation,
 };
 pub use subsume::subsumes;
+pub use textfd::{fd_from_expr, parse_fd};
 // Re-exported so downstreams govern runs without a direct dependency on
 // `regtree-runtime`.
 pub use regtree_runtime::{

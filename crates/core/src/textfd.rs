@@ -1,0 +1,344 @@
+//! Textual functional dependencies: the richer grammar behind
+//! [`PathFd::parse`](crate::PathFd::parse).
+//!
+//! [`parse_fd`] accepts every line the original path-FD syntax accepted —
+//! `context : p1, p2[N] -> q` with simple label paths — and extends every
+//! path with the full pattern language of `regtree_pattern::lang`:
+//! descendant axes (`//`), wildcards (`*`), attribute/text tests, and
+//! counting predicates (`[count(p) >= n]`, `[at-least n p]`). Value tests
+//! (`[p = "v"]`) are rejected: FD checking runs through engines that see
+//! the template only.
+//!
+//! The translation generalizes the \[8\] construction of
+//! [`PathFd::to_fd`](crate::PathFd::to_fd): condition/target paths are
+//! factorized into a trie over *steps* (structural equality), unary
+//! unselected predicate-free chains compress into single multi-label
+//! edges, and counting predicates expand into repeated branches. On
+//! simple-path input the resulting template is structurally identical to
+//! the `PathFd` one, so existing FD corpora keep byte-identical verdicts.
+
+use regtree_alphabet::Alphabet;
+use regtree_pattern::lang::{self, append_relpath, parse_fd_expr, EqTag, FdExpr, Predicate, Step};
+use regtree_pattern::{RegularTreePattern, Template, TemplateNodeId};
+
+use crate::error::Error;
+use crate::fd::{EqualityType, Fd};
+use crate::pathfd::PathFdError;
+
+fn err(m: impl Into<String>) -> PathFdError {
+    PathFdError { message: m.into() }
+}
+
+/// Parses a one-line textual FD and compiles it into an [`Fd`].
+///
+/// ```
+/// use regtree_alphabet::Alphabet;
+/// use regtree_core::{parse_fd, satisfies};
+/// use regtree_xml::parse_document;
+///
+/// let a = Alphabet::new();
+/// // The original path-FD syntax still parses…
+/// let fd = parse_fd(&a, "/catalog : item/sku -> item/price").unwrap();
+/// assert_eq!(fd.conditions().len(), 1);
+///
+/// // …and paths may now use descendant axes and counting predicates.
+/// let fd = parse_fd(&a, "/lib//shelf : book[count(author) >= 2]/isbn -> book/title").unwrap();
+/// let doc = parse_document(
+///     &a,
+///     "<lib><shelf><book><author/><author/><isbn>1</isbn><title>t</title></book></shelf></lib>",
+/// )
+/// .unwrap();
+/// assert!(satisfies(&fd, &doc));
+///
+/// // Parse errors carry byte offsets and expected-token sets.
+/// let e = parse_fd(&a, "/c : a -> ").unwrap_err();
+/// assert!(e.to_string().contains("byte 10"));
+/// ```
+pub fn parse_fd(alphabet: &Alphabet, src: &str) -> Result<Fd, Error> {
+    let expr = parse_fd_expr(src).map_err(Error::PatternText)?;
+    fd_from_expr(alphabet, &expr)
+}
+
+/// Compiles an already-parsed [`FdExpr`] into an [`Fd`].
+pub fn fd_from_expr(alphabet: &Alphabet, expr: &FdExpr) -> Result<Fd, Error> {
+    if has_value_test(&expr.context.steps)
+        || expr
+            .conditions
+            .iter()
+            .any(|(p, _)| has_value_test(&p.steps))
+        || has_value_test(&expr.target.0.steps)
+    {
+        return Err(err(
+            "value tests ([p = \"v\"]) are not supported in FDs; the FD itself compares \
+             selected nodes by value ([V]) or node ([N]) equality",
+        )
+        .into());
+    }
+
+    let mut template = Template::new(alphabet.clone());
+    let root = template.root();
+    let context =
+        append_relpath(&mut template, root, &expr.context.steps).map_err(compile_error)?;
+
+    // Trie over steps (structural equality) below the context: the
+    // generalized [8] factorization.
+    struct TrieNode {
+        step: Step,
+        children: Vec<usize>,
+    }
+    let mut arena: Vec<TrieNode> = Vec::new();
+    let mut top: Vec<usize> = Vec::new();
+    let mut ends: Vec<usize> = Vec::new();
+    let paths = expr
+        .conditions
+        .iter()
+        .map(|(p, _)| p)
+        .chain(std::iter::once(&expr.target.0));
+    for path in paths {
+        let mut cur: Option<usize> = None;
+        for step in &path.steps {
+            let siblings: &[usize] = match cur {
+                None => &top,
+                Some(i) => &arena[i].children,
+            };
+            let found = siblings.iter().copied().find(|&c| arena[c].step == *step);
+            let next = match found {
+                Some(c) => c,
+                None => {
+                    let id = arena.len();
+                    arena.push(TrieNode {
+                        step: step.clone(),
+                        children: Vec::new(),
+                    });
+                    match cur {
+                        None => top.push(id),
+                        Some(i) => arena[i].children.push(id),
+                    }
+                    id
+                }
+            };
+            cur = Some(next);
+        }
+        ends.push(cur.expect("relpaths are nonempty"));
+    }
+    let mut sorted = ends.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != ends.len() {
+        return Err(err("duplicate condition/target paths").into());
+    }
+
+    // Materialize: compress unary, unselected, predicate-free chains into
+    // single edges; `append_relpath` merges the chain's steps and builds
+    // the tail's predicate branches (including counting expansion).
+    let mut node_of: Vec<Option<TemplateNodeId>> = vec![None; arena.len()];
+    let mut stack: Vec<(usize, TemplateNodeId)> = top.iter().map(|&c| (c, context)).collect();
+    // Insertion order must be preserved: children of one template node are
+    // sibling branches whose order is the document order the mapping must
+    // respect. A LIFO stack of (trie node, parent template node) visits
+    // parents before children, and we push children reversed so siblings
+    // materialize left to right.
+    stack.reverse();
+    while let Some((first, from_tpl)) = stack.pop() {
+        let mut chain = vec![first];
+        let mut cur = first;
+        while arena[cur].children.len() == 1
+            && !ends.contains(&cur)
+            && arena[cur].step.predicates.is_empty()
+        {
+            cur = arena[cur].children[0];
+            chain.push(cur);
+        }
+        let steps: Vec<Step> = chain.iter().map(|&i| arena[i].step.clone()).collect();
+        let tpl = append_relpath(&mut template, from_tpl, &steps).map_err(compile_error)?;
+        node_of[cur] = Some(tpl);
+        for &child in arena[cur].children.iter().rev() {
+            stack.push((child, tpl));
+        }
+    }
+
+    let mut selected = Vec::new();
+    let mut equality = Vec::new();
+    for (i, (_, eq)) in expr.conditions.iter().enumerate() {
+        selected.push(node_of[ends[i]].expect("materialized"));
+        equality.push(eq_type(*eq));
+    }
+    selected.push(node_of[*ends.last().expect("target")].expect("materialized"));
+    equality.push(eq_type(expr.target.1));
+
+    let pattern = RegularTreePattern::new(template, selected)?;
+    Ok(Fd::new(pattern, context, equality)?)
+}
+
+fn eq_type(tag: EqTag) -> EqualityType {
+    match tag {
+        EqTag::Value => EqualityType::Value,
+        EqTag::Node => EqualityType::Node,
+    }
+}
+
+fn compile_error(e: lang::CompileError) -> Error {
+    match e {
+        lang::CompileError::Template(e) => Error::Template(e),
+        lang::CompileError::Pattern(e) => Error::Pattern(e),
+        lang::CompileError::ValueTest => err(
+            "value tests ([p = \"v\"]) are not supported in FDs; the FD itself compares \
+             selected nodes by value ([V]) or node ([N]) equality",
+        )
+        .into(),
+    }
+}
+
+fn has_value_test(steps: &[Step]) -> bool {
+    steps.iter().any(|s| {
+        s.predicates.iter().any(|p| match p {
+            Predicate::ValueEq(..) => true,
+            Predicate::Exists(rp) | Predicate::AtLeast(_, rp) => has_value_test(&rp.steps),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathfd::PathFd;
+    use crate::satisfy::satisfies;
+    use regtree_xml::parse_document;
+
+    /// expr1 / expr2 of the paper.
+    const EXPR1: &str =
+        "/session : candidate/exam/discipline, candidate/exam/mark -> candidate/exam/rank";
+    const EXPR2: &str = "/session/candidate : exam/date, exam/discipline -> exam[N]";
+
+    #[test]
+    fn simple_paths_build_the_exact_pathfd_template() {
+        let a = Alphabet::new();
+        for src in [
+            EXPR1,
+            EXPR2,
+            "/c : -> x",
+            "/r : a/b/c -> a/b/d",
+            "/r : a, a/b -> a/b/c",
+            "/session/candidate : exam[N], level -> @IDN",
+        ] {
+            let via_path = PathFd::parse(&a, src).unwrap().to_fd(&a).unwrap();
+            let via_text = parse_fd(&a, src).unwrap();
+            assert_eq!(
+                via_text.template().sketch(),
+                via_path.template().sketch(),
+                "template drift for {src}"
+            );
+            assert_eq!(
+                via_text.pattern().selected(),
+                via_path.pattern().selected(),
+                "selection drift for {src}"
+            );
+            assert_eq!(
+                via_text.context(),
+                via_path.context(),
+                "context drift for {src}"
+            );
+            assert_eq!(
+                via_text.describe(),
+                via_path.describe(),
+                "describe drift for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn pathfd_error_cases_still_error() {
+        let a = Alphabet::new();
+        for src in [
+            "no colon here",
+            "relative : a -> b",
+            "/c : a, b",
+            "/c : a,,b -> t",
+            "/c : ,a -> t",
+            "/c : a, -> t",
+            "/ : a -> t",
+        ] {
+            assert!(parse_fd(&a, src).is_err(), "{src} should not parse");
+        }
+        assert!(parse_fd(&a, "/c : a, a -> b").is_err()); // duplicate paths
+    }
+
+    #[test]
+    fn descendant_axis_in_fd_paths() {
+        let a = Alphabet::new();
+        // Any mark anywhere below a candidate determines its level.
+        let fd = parse_fd(&a, "/session : candidate//mark -> candidate/level").unwrap();
+        let good = parse_document(
+            &a,
+            "<session>\
+             <candidate><exam><mark>15</mark></exam><level>B</level></candidate>\
+             <candidate><exam><mark>15</mark></exam><level>B</level></candidate>\
+             </session>",
+        )
+        .unwrap();
+        assert!(satisfies(&fd, &good));
+        let bad = parse_document(
+            &a,
+            "<session>\
+             <candidate><exam><mark>15</mark></exam><level>B</level></candidate>\
+             <candidate><exam><mark>15</mark></exam><level>A</level></candidate>\
+             </session>",
+        )
+        .unwrap();
+        assert!(!satisfies(&fd, &bad));
+    }
+
+    #[test]
+    fn counting_predicates_in_fd_paths() {
+        let a = Alphabet::new();
+        // Among candidates with at least two exams, the id determines the
+        // level. The single-exam candidates are outside the FD's scope.
+        // The two predicate-bearing `candidate` steps are structurally
+        // equal, so they factorize into ONE trie node; id and level end
+        // below it at distinct nodes. (The counting branches precede the
+        // id/level edges in template preorder, so — document order being a
+        // mapping condition — the witnessed exams must precede id and
+        // level among the candidate's children, as they do here.)
+        let fd = parse_fd(
+            &a,
+            "/session : candidate[count(exam) >= 2]/id -> candidate[count(exam) >= 2]/level",
+        )
+        .unwrap();
+        let good = parse_document(
+            &a,
+            "<session>\
+             <candidate><exam/><exam/><id>7</id><level>B</level></candidate>\
+             <candidate><exam/><exam/><id>7</id><level>B</level></candidate>\
+             <candidate><exam/><id>7</id><level>A</level></candidate>\
+             </session>",
+        )
+        .unwrap();
+        // The third candidate has only one exam: out of scope, its level
+        // may differ.
+        assert!(satisfies(&fd, &good));
+        let bad = parse_document(
+            &a,
+            "<session>\
+             <candidate><exam/><exam/><id>7</id><level>B</level></candidate>\
+             <candidate><exam/><exam/><id>7</id><level>A</level></candidate>\
+             </session>",
+        )
+        .unwrap();
+        assert!(!satisfies(&fd, &bad));
+    }
+
+    #[test]
+    fn value_tests_rejected_in_fds() {
+        let a = Alphabet::new();
+        let e = parse_fd(&a, "/s : c[x = \"1\"]/a -> c/b").unwrap_err();
+        assert!(e.to_string().contains("value tests"), "{e}");
+    }
+
+    #[test]
+    fn equality_annotations_survive() {
+        let a = Alphabet::new();
+        let fd = parse_fd(&a, EXPR2).unwrap();
+        assert_eq!(fd.target_equality(), EqualityType::Node);
+        assert!(!fd.template().is_leaf(fd.target()));
+    }
+}

@@ -18,6 +18,6 @@ pub use exam::{
     EXAM_SCHEMA,
 };
 pub use random::{
-    random_document, random_pattern, random_proper_regex, random_regex, random_spec,
-    random_update_class,
+    random_document, random_fd_expr, random_pattern, random_proper_regex, random_regex,
+    random_spec, random_text_pattern, random_update_class,
 };

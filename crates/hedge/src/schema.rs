@@ -319,6 +319,26 @@ firstJob-Year: #text\n";
     }
 
     #[test]
+    fn bounded_repetition_in_content_models() {
+        let a = Alphabet::new();
+        // A session must carry between 2 and 3 candidates, each with
+        // exactly two exams — counting constraints straight in the schema.
+        let schema = Schema::parse(
+            &a,
+            "root: session\nsession: candidate{2,3}\ncandidate: exam{2}\nexam: EMPTY\n",
+        )
+        .unwrap();
+        let cand = "<candidate><exam/><exam/></candidate>";
+        for (n, ok) in [(1, false), (2, true), (3, true), (4, false)] {
+            let doc =
+                parse_document(&a, &format!("<session>{}</session>", cand.repeat(n))).unwrap();
+            assert_eq!(schema.validate(&doc).is_ok(), ok, "{n} candidates");
+        }
+        let bad = parse_document(&a, "<session><candidate><exam/></candidate><candidate><exam/><exam/></candidate></session>").unwrap();
+        assert!(schema.validate(&bad).is_err());
+    }
+
+    #[test]
     fn parse_errors() {
         let a = Alphabet::new();
         assert!(Schema::parse(&a, "session: x\n").is_err()); // no root

@@ -1,0 +1,357 @@
+//! Lexer for the textual pattern language: byte-offset spanned tokens.
+
+use super::ParseError;
+
+/// One token. Every token remembers nothing but its payload; the span
+/// (byte offset of the first character) travels alongside in the token
+/// stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    /// `/`
+    Slash,
+    /// `//`
+    DSlash,
+    /// `.//`
+    DotDSlash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `@`
+    At,
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `!=`
+    Ne,
+    /// A label name / keyword.
+    Name(String),
+    /// An unsigned integer.
+    Number(usize),
+    /// A double-quoted string (unescaped payload).
+    Str(String),
+}
+
+impl Tok {
+    /// Human description used in "found X" diagnostics.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Slash => "'/'".into(),
+            Tok::DSlash => "'//'".into(),
+            Tok::DotDSlash => "'.//'".into(),
+            Tok::LBracket => "'['".into(),
+            Tok::RBracket => "']'".into(),
+            Tok::LParen => "'('".into(),
+            Tok::RParen => "')'".into(),
+            Tok::At => "'@'".into(),
+            Tok::Star => "'*'".into(),
+            Tok::Comma => "','".into(),
+            Tok::Colon => "':'".into(),
+            Tok::ColonColon => "'::'".into(),
+            Tok::Arrow => "'->'".into(),
+            Tok::Eq => "'='".into(),
+            Tok::Ge => "'>='".into(),
+            Tok::Gt => "'>'".into(),
+            Tok::Le => "'<='".into(),
+            Tok::Lt => "'<'".into(),
+            Tok::Ne => "'!='".into(),
+            Tok::Name(n) => format!("name '{n}'"),
+            Tok::Number(n) => format!("number {n}"),
+            Tok::Str(s) => format!("string {s:?}"),
+        }
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b'#'
+}
+
+fn is_name_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b'#')
+}
+
+/// Lexes `src` into spanned tokens.
+///
+/// `-` and `.` are name characters only when *followed by* another name
+/// character, so `exam-date` and `first.Job` are single names while `a->b`
+/// and `a.//b` tokenize as a name followed by `->` / `.//`.
+pub(crate) fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        let start = pos;
+        let peek = |off: usize| bytes.get(pos + off).copied();
+        let tok = match bytes[pos] {
+            b'/' => {
+                if peek(1) == Some(b'/') {
+                    pos += 2;
+                    Tok::DSlash
+                } else {
+                    pos += 1;
+                    Tok::Slash
+                }
+            }
+            b'.' => {
+                if peek(1) == Some(b'/') && peek(2) == Some(b'/') {
+                    pos += 3;
+                    Tok::DotDSlash
+                } else {
+                    return Err(ParseError::note(
+                        start,
+                        "'.'".to_string(),
+                        "a lone '.' is only valid as the './/' descendant anchor",
+                    ));
+                }
+            }
+            b'[' => {
+                pos += 1;
+                Tok::LBracket
+            }
+            b']' => {
+                pos += 1;
+                Tok::RBracket
+            }
+            b'(' => {
+                pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                pos += 1;
+                Tok::RParen
+            }
+            b'@' => {
+                pos += 1;
+                Tok::At
+            }
+            b'*' => {
+                pos += 1;
+                Tok::Star
+            }
+            b',' => {
+                pos += 1;
+                Tok::Comma
+            }
+            b':' => {
+                if peek(1) == Some(b':') {
+                    pos += 2;
+                    Tok::ColonColon
+                } else {
+                    pos += 1;
+                    Tok::Colon
+                }
+            }
+            b'-' => {
+                if peek(1) == Some(b'>') {
+                    pos += 2;
+                    Tok::Arrow
+                } else {
+                    return Err(ParseError::new(start, "'-'", &["'->'"]));
+                }
+            }
+            b'=' => {
+                pos += 1;
+                Tok::Eq
+            }
+            b'>' => {
+                if peek(1) == Some(b'=') {
+                    pos += 2;
+                    Tok::Ge
+                } else {
+                    pos += 1;
+                    Tok::Gt
+                }
+            }
+            b'<' => {
+                if peek(1) == Some(b'=') {
+                    pos += 2;
+                    Tok::Le
+                } else {
+                    pos += 1;
+                    Tok::Lt
+                }
+            }
+            b'!' => {
+                if peek(1) == Some(b'=') {
+                    pos += 2;
+                    Tok::Ne
+                } else {
+                    return Err(ParseError::new(start, "'!'", &["'!='"]));
+                }
+            }
+            b'"' => {
+                pos += 1;
+                let mut out = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        None => {
+                            return Err(ParseError::note(
+                                start,
+                                "unterminated string",
+                                "expected a closing '\"'",
+                            ));
+                        }
+                        Some(b'"') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => match bytes.get(pos + 1) {
+                            Some(&c @ (b'"' | b'\\')) => {
+                                out.push(c as char);
+                                pos += 2;
+                            }
+                            _ => {
+                                return Err(ParseError::note(
+                                    pos,
+                                    "'\\'",
+                                    "only '\\\"' and '\\\\' escapes are supported in strings",
+                                ));
+                            }
+                        },
+                        Some(_) => {
+                            // Advance one whole UTF-8 scalar.
+                            let rest = &src[pos..];
+                            let c = rest.chars().next().expect("in-bounds");
+                            out.push(c);
+                            pos += c.len_utf8();
+                        }
+                    }
+                }
+                Tok::Str(out)
+            }
+            b if b.is_ascii_digit() => {
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let n = src[start..pos].parse::<usize>().map_err(|_| {
+                    ParseError::note(start, src[start..pos].to_string(), "number out of range")
+                })?;
+                Tok::Number(n)
+            }
+            b if is_name_start(b) => {
+                pos += 1;
+                while pos < bytes.len() {
+                    let b = bytes[pos];
+                    // '-' and '.' continue the name only when another name
+                    // character follows (so 'a->b' and 'a.//b' split).
+                    let continues = b.is_ascii_alphanumeric()
+                        || matches!(b, b'_' | b'#')
+                        || (matches!(b, b'-' | b'.')
+                            && bytes.get(pos + 1).copied().is_some_and(is_name_continue));
+                    if !continues {
+                        break;
+                    }
+                    pos += 1;
+                }
+                Tok::Name(src[start..pos].to_string())
+            }
+            other => {
+                return Err(ParseError::note(
+                    start,
+                    format!("{:?}", other as char),
+                    "not a pattern-language character",
+                ));
+            }
+        };
+        toks.push((start, tok));
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn axes_and_separators() {
+        assert_eq!(
+            kinds("/a//b"),
+            vec![
+                Tok::Slash,
+                Tok::Name("a".into()),
+                Tok::DSlash,
+                Tok::Name("b".into())
+            ]
+        );
+        assert_eq!(kinds(".//x")[0], Tok::DotDSlash);
+    }
+
+    #[test]
+    fn names_with_interior_punctuation() {
+        assert_eq!(
+            kinds("first.Job-Year"),
+            vec![Tok::Name("first.Job-Year".into())]
+        );
+        assert_eq!(kinds("#text"), vec![Tok::Name("#text".into())]);
+        // '-' before '>' ends the name: 'a->b' is an FD arrow.
+        assert_eq!(
+            kinds("a->b"),
+            vec![Tok::Name("a".into()), Tok::Arrow, Tok::Name("b".into())]
+        );
+        // '.' before '//' ends the name.
+        assert_eq!(
+            kinds("a.//b"),
+            vec![Tok::Name("a".into()), Tok::DotDSlash, Tok::Name("b".into())]
+        );
+    }
+
+    #[test]
+    fn comparison_operators_and_strings() {
+        assert_eq!(
+            kinds("count(x) >= 3"),
+            vec![
+                Tok::Name("count".into()),
+                Tok::LParen,
+                Tok::Name("x".into()),
+                Tok::RParen,
+                Tok::Ge,
+                Tok::Number(3)
+            ]
+        );
+        assert_eq!(
+            kinds("> < >= <= != ="),
+            vec![Tok::Gt, Tok::Lt, Tok::Ge, Tok::Le, Tok::Ne, Tok::Eq]
+        );
+        assert_eq!(
+            kinds(r#""a \"b\" \\c""#),
+            vec![Tok::Str(r#"a "b" \c"#.into())]
+        );
+    }
+
+    #[test]
+    fn lex_errors_carry_offsets() {
+        assert_eq!(lex("a $ b").unwrap_err().offset, 2);
+        assert_eq!(lex("\"open").unwrap_err().offset, 0);
+        assert_eq!(lex("x - y").unwrap_err().offset, 2);
+        assert_eq!(lex("a . b").unwrap_err().offset, 2);
+    }
+}

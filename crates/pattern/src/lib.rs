@@ -12,7 +12,10 @@
 //! * [`compile`] — pattern → bottom-up tree automaton (`A_R`, the first
 //!   stage of Proposition 3), with optional marking of selected subtrees
 //!   used by the independence criterion;
-//! * [`corexpath`] — positive CoreXPath queries as patterns.
+//! * [`corexpath`] — positive CoreXPath queries as patterns;
+//! * [`lang`] — the richer textual pattern language (counting predicates,
+//!   value tests, round-tripping printer, spanned diagnostics); see
+//!   `docs/PATTERN_LANGUAGE.md`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +24,7 @@ pub mod batch;
 pub mod compile;
 pub mod corexpath;
 pub mod eval;
+pub mod lang;
 pub mod pattern;
 pub mod template;
 
@@ -33,6 +37,7 @@ pub use eval::{
     project_mappings_anchored_governed, project_mappings_governed, project_mappings_indexed,
     Mapping,
 };
+pub use lang::{parse_pattern, CompiledPattern};
 pub use pattern::{PatternError, RegularTreePattern};
 pub use template::{Template, TemplateError, TemplateNodeId};
 
@@ -194,6 +199,134 @@ mod proptests {
                 for &img in m.images() {
                     prop_assert!(trace.contains(&img));
                 }
+            }
+        }
+    }
+
+    // ---- textual pattern language ------------------------------------
+
+    fn arb_lang_name() -> impl Strategy<Value = String> {
+        prop_oneof![
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("long-name.x".to_string()),
+            Just("_u2".to_string()),
+        ]
+    }
+
+    fn arb_lang_test() -> impl Strategy<Value = lang::NameTest> {
+        // The vendored `prop_oneof!` has no weighted arms; bias toward
+        // plain names by selecting a shape index with uneven ranges.
+        (0u8..6, arb_lang_name()).prop_map(|(shape, name)| match shape {
+            0 => lang::NameTest::Wildcard,
+            1 => lang::NameTest::Attribute(name),
+            2 => lang::NameTest::Text,
+            _ => lang::NameTest::Name(name),
+        })
+    }
+
+    fn arb_lang_axis() -> impl Strategy<Value = lang::Axis> {
+        (0u8..4).prop_map(|shape| match shape {
+            0 => lang::Axis::Descendant,
+            _ => lang::Axis::Child,
+        })
+    }
+
+    /// Random steps over the whole grammar: nested predicates (existence,
+    /// value tests with escapable strings, counting) up to depth 3.
+    fn arb_lang_step() -> impl Strategy<Value = lang::Step> {
+        let leaf = (arb_lang_axis(), arb_lang_test()).prop_map(|(axis, test)| lang::Step {
+            axis,
+            test,
+            predicates: vec![],
+        });
+        leaf.prop_recursive(3, 12, 3, |inner| {
+            let relpath =
+                prop::collection::vec(inner, 1..3).prop_map(|steps| lang::RelPath { steps });
+            let pred =
+                (0u8..4, relpath, "[a-z \"\\\\]{0,6}", 0usize..4).prop_map(|(shape, p, v, n)| {
+                    match shape {
+                        0 => lang::Predicate::ValueEq(p, v),
+                        1 => lang::Predicate::AtLeast(n, p),
+                        _ => lang::Predicate::Exists(p),
+                    }
+                });
+            (
+                arb_lang_axis(),
+                arb_lang_test(),
+                prop::collection::vec(pred, 0..3),
+            )
+                .prop_map(|(axis, test, predicates)| lang::Step {
+                    axis,
+                    test,
+                    predicates,
+                })
+        })
+    }
+
+    fn arb_lang_pattern() -> impl Strategy<Value = lang::Pattern> {
+        prop::collection::vec(arb_lang_step(), 1..4).prop_map(|steps| lang::Pattern { steps })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(500))]
+
+        /// print → parse → compile round-trips: the re-parsed AST is equal
+        /// and the compiled templates are structurally identical.
+        #[test]
+        fn textual_patterns_round_trip(p in arb_lang_pattern()) {
+            let text = p.to_text();
+            let reparsed = lang::parse_pattern(&text)
+                .map_err(|e| TestCaseError::fail(format!("{text}: {e}")))?;
+            prop_assert_eq!(&reparsed, &p, "{}", text);
+            let a = alpha();
+            let direct = p.compile(&a).expect("compiles");
+            let via_text = reparsed.compile(&a).expect("compiles");
+            prop_assert_eq!(
+                direct.pattern().template().sketch(),
+                via_text.pattern().template().sketch()
+            );
+            prop_assert_eq!(direct.value_tests(), via_text.value_tests());
+            // Printing is idempotent: the canonical form is a fixed point.
+            prop_assert_eq!(reparsed.to_text(), text);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        /// `[count(p) >= n]` agrees with the naive count-and-filter oracle
+        /// on random documents for n ∈ {0, 1, 2, 5}.
+        #[test]
+        fn counting_predicates_match_the_naive_oracle(
+            doc in arb_doc(),
+            n in (0u8..4).prop_map(|i| [0usize, 1, 2, 5][i as usize]),
+        ) {
+            let a = alpha();
+            for (outer, inner) in [("a", "b"), ("b", "c"), ("a", "a")] {
+                let src = format!("/{outer}[count({inner}) >= {n}]");
+                let p = lang::CompiledPattern::from_text(&a, &src).expect("parses");
+                let mut got: Vec<_> = p.evaluate(&doc).into_iter().map(|t| t[0]).collect();
+                got.sort();
+                // Oracle: outer-labeled children of the root with at least
+                // n inner-labeled children (counting predicates demand n
+                // distinct witnessing subtrees; for a single-label path
+                // those are exactly the labeled children).
+                let mut want: Vec<_> = doc
+                    .children(doc.root())
+                    .iter()
+                    .copied()
+                    .filter(|&c| &*doc.label_name(c) == outer)
+                    .filter(|&c| {
+                        doc.children(c)
+                            .iter()
+                            .filter(|&&k| &*doc.label_name(k) == inner)
+                            .count()
+                            >= n
+                    })
+                    .collect();
+                want.sort();
+                prop_assert_eq!(&got, &want, "{} on n={}", src, n);
             }
         }
     }

@@ -28,12 +28,17 @@
 //! | `independence/matrix` | `{sessionId, fds, updates, prune?, limits?}` | [`regtree_core::api::MatrixResponse`] |
 //! | `fd/check` | `{sessionId, fds, docs?, limits?}` | [`regtree_core::api::FdCheckResponse`] |
 //! | `fd/minimize` | `{sessionId, fds, limits?}` | [`regtree_core::api::MinimizeResponse`] |
+//! | `pattern/parse` | `{pattern, sessionId?}` | [`regtree_core::api::PatternParseResponse`] |
 //! | `shutdown` | — | `null` (server stops) |
 //!
 //! `$/cancelRequest {id}` and `exit` are notifications. FD expressions use
-//! the path formalism of [`regtree_core::PathFd::parse`], update classes
-//! are positive CoreXPath, schemas the rule format of
+//! the textual pattern language of [`regtree_core::parse_fd`] (descendant
+//! axes, wildcards, counting predicates — see `docs/PATTERN_LANGUAGE.md`),
+//! update classes are positive CoreXPath, schemas the rule format of
 //! [`regtree_hedge::Schema::parse`] — the same surface syntax as the CLI.
+//! `pattern/parse` is stateless (no session required); parse failures
+//! return `invalid params` with `{offset, found, expected, note}` in
+//! `error.data` so editor clients can point at the byte.
 //! `document/update` takes the executable-update shape of
 //! [`regtree_core::api::parse_update_json`] (the same objects `rtpcheck
 //! fd-check --updates` reads line-wise), mutates the loaded document in

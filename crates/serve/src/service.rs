@@ -35,14 +35,14 @@ use regtree_alphabet::Alphabet;
 use regtree_core::api::{
     parse_update_json, protocol_compatible, scope_name, DocumentChecks, FdCheckOutcome,
     FdCheckResponse, IndependenceResponse, Json, MatrixResponse, MinimizeResponse,
-    UpdateCheckEntry, UpdateResponse, PROTOCOL_VERSION,
+    PatternParseResponse, UpdateCheckEntry, UpdateResponse, PROTOCOL_VERSION,
 };
 use regtree_core::{
-    Analyzer, CancelToken, Fd, FdOutcome, FdSet, IncrementalChecker, PathFd, Resource, RunLimits,
+    parse_fd, Analyzer, CancelToken, Fd, FdOutcome, FdSet, IncrementalChecker, Resource, RunLimits,
     RunOverrides, TraceHandle, UpdateClass, Verdict,
 };
 use regtree_hedge::Schema;
-use regtree_pattern::parse_corexpath;
+use regtree_pattern::{parse_corexpath, CompiledPattern};
 use regtree_xml::{parse_document, to_xml_with, SerializeOptions, VersionedDocument};
 
 use crate::rpc::{self, RpcError};
@@ -194,8 +194,7 @@ fn parse_named_fds(alphabet: &Alphabet, value: &Json) -> Result<Vec<(String, Fd)
                     ))
                 }
             };
-            let fd = PathFd::parse(alphabet, expr)
-                .and_then(|p| p.to_fd(alphabet))
+            let fd = parse_fd(alphabet, expr)
                 .map_err(|e| invalid_params(format!("fd '{name}': {e}")))?;
             Ok((name.to_string(), fd))
         })
@@ -323,6 +322,7 @@ impl Service {
             "independence/matrix" => self.independence_matrix(params, cancel),
             "fd/check" => self.fd_check(params, cancel),
             "fd/minimize" => self.fd_minimize(params, cancel),
+            "pattern/parse" => self.pattern_parse(params),
             other => Err(RpcError::new(
                 rpc::METHOD_NOT_FOUND,
                 format!("unknown method '{other}'"),
@@ -370,6 +370,7 @@ impl Service {
                             "independence/matrix",
                             "fd/check",
                             "fd/minimize",
+                            "pattern/parse",
                             "shutdown",
                         ]
                         .iter()
@@ -655,9 +656,8 @@ impl Service {
             .get("update")
             .and_then(Json::as_str)
             .ok_or_else(|| invalid_params("missing 'update'"))?;
-        let fd = PathFd::parse(&session.alphabet, fd_expr)
-            .and_then(|p| p.to_fd(&session.alphabet))
-            .map_err(|e| invalid_params(format!("fd: {e}")))?;
+        let fd =
+            parse_fd(&session.alphabet, fd_expr).map_err(|e| invalid_params(format!("fd: {e}")))?;
         let pattern = parse_corexpath(&session.alphabet, update_expr)
             .map_err(|e| invalid_params(format!("update: {e}")))?;
         let class =
@@ -797,6 +797,43 @@ impl Service {
             Some(resource) => Err(exhausted_error(resource, resp)),
             None => Ok(resp),
         }
+    }
+
+    /// `pattern/parse`: parse a textual pattern, return its canonical form
+    /// and compiled template ([`PatternParseResponse`] shape). Stateless —
+    /// `sessionId` is optional; when given, the pattern's labels intern
+    /// into that session's alphabet.
+    fn pattern_parse(&self, params: &Json) -> Result<Json, RpcError> {
+        let src = params
+            .get("pattern")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid_params("missing 'pattern'"))?;
+        let alphabet = match params.get("sessionId") {
+            Some(_) => {
+                let session = self.session(params)?;
+                session.requests.fetch_add(1, Ordering::Relaxed);
+                session.alphabet.clone()
+            }
+            None => Alphabet::new(),
+        };
+        let compiled = CompiledPattern::from_text(&alphabet, src).map_err(|e| {
+            // Typed diagnostics: the byte offset and expected set ride in
+            // `data` so editor clients can point at the error position.
+            RpcError::with_data(
+                rpc::INVALID_PARAMS,
+                format!("pattern: {e}"),
+                Json::Obj(vec![
+                    ("offset".to_string(), Json::usize(e.offset)),
+                    ("found".to_string(), Json::str(&e.found)),
+                    (
+                        "expected".to_string(),
+                        Json::Arr(e.expected.iter().map(|x| Json::str(*x)).collect()),
+                    ),
+                    ("note".to_string(), Json::opt_str(e.note.clone())),
+                ]),
+            )
+        })?;
+        Ok(PatternParseResponse::from_compiled(src, &compiled).to_json())
     }
 }
 
@@ -1153,6 +1190,73 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.code, rpc::INVALID_PARAMS);
         assert!(err.message.contains("unknown op"), "{}", err.message);
+    }
+
+    #[test]
+    fn pattern_parse_is_stateless_and_typed() {
+        let service = Service::new(ServerConfig::default());
+        let params = Json::Obj(vec![(
+            "pattern".to_string(),
+            Json::str("/s//c[at-least 2 child::e]/l"),
+        )]);
+        let resp = service
+            .dispatch("pattern/parse", &params, &CancelToken::new())
+            .unwrap();
+        assert_eq!(
+            resp.get("canonical").and_then(Json::as_str),
+            Some("/s//c[count(e) >= 2]/l")
+        );
+        assert!(resp.get("template_nodes").and_then(Json::as_u64).unwrap() >= 4);
+
+        // Malformed input: the byte offset and expected set ride in data.
+        let params = Json::Obj(vec![("pattern".to_string(), Json::str("/s/[x]"))]);
+        let err = service
+            .dispatch("pattern/parse", &params, &CancelToken::new())
+            .unwrap_err();
+        assert_eq!(err.code, rpc::INVALID_PARAMS);
+        let data = err.data.expect("typed data");
+        assert_eq!(data.get("offset").and_then(Json::as_u64), Some(3));
+        assert!(!data.get("expected").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn fd_methods_accept_the_textual_pattern_language() {
+        let service = Service::new(ServerConfig::default());
+        let open = service
+            .dispatch("session/open", &Json::Obj(vec![]), &CancelToken::new())
+            .unwrap();
+        let sid = open.get("sessionId").and_then(Json::as_u64).unwrap();
+        let params = Json::Obj(vec![
+            ("sessionId".to_string(), Json::u64(sid)),
+            ("name".to_string(), Json::str("d")),
+            (
+                "xml".to_string(),
+                Json::str("<s><i><w/><w/><k>a</k><v>1</v></i><i><w/><w/><k>a</k><v>2</v></i></s>"),
+            ),
+        ]);
+        service
+            .dispatch("document/load", &params, &CancelToken::new())
+            .unwrap();
+        let params = Json::Obj(vec![
+            ("sessionId".to_string(), Json::u64(sid)),
+            ("docs".to_string(), Json::Arr(vec![Json::str("d")])),
+            (
+                "fds".to_string(),
+                Json::Arr(vec![Json::Arr(vec![
+                    Json::str("counted"),
+                    Json::str("/s : i[count(w) >= 2]/k -> i[count(w) >= 2]/v"),
+                ])]),
+            ),
+        ]);
+        let resp = service
+            .dispatch("fd/check", &params, &CancelToken::new())
+            .unwrap();
+        let docs = resp.get("documents").unwrap().as_array().unwrap();
+        let checks = docs[0].get("checks").unwrap().as_array().unwrap();
+        assert_eq!(
+            checks[0].get("outcome").and_then(Json::as_str),
+            Some("violated")
+        );
     }
 
     #[test]

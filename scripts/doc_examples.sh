@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Executes the examples in docs/PATTERN_LANGUAGE.md so the language
+# reference can never drift from the implementation.
+#
+#   ```text  blocks — every nonempty line is fed through rtpcheck:
+#            lines containing '->' are collected into an FD list and
+#            parsed/compiled by `fds minimize`; all other lines go
+#            through `pattern parse`.
+#   ```rust  blocks — concatenated (each in its own fn) into one program
+#            compiled against the workspace rlibs and run.
+#
+# Any example that fails to parse, compile, or run fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=docs/PATTERN_LANGUAGE.md
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+cargo build -q -p regtree-cli -p regtree-core -p regtree-pattern
+RTPCHECK=target/debug/rtpcheck
+
+# ---- ```text blocks: pattern and FD lines through the CLI ------------
+awk '/^```text$/{f=1;next} /^```/{f=0} f' "$DOC" >"$TMP/text_lines"
+
+n=0
+fds=0
+patterns=0
+: >"$TMP/fds.lst"
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  n=$((n + 1))
+  if [[ "$line" == *"->"* ]]; then
+    fds=$((fds + 1))
+    printf 'doc%d = %s\n' "$n" "$line" >>"$TMP/fds.lst"
+  else
+    patterns=$((patterns + 1))
+    "$RTPCHECK" pattern parse "$line" >/dev/null ||
+      { echo "doc_examples: pattern line failed: $line" >&2; exit 1; }
+  fi
+done <"$TMP/text_lines"
+
+if [ -s "$TMP/fds.lst" ]; then
+  "$RTPCHECK" fds minimize --fds "$TMP/fds.lst" >/dev/null ||
+    { echo "doc_examples: FD lines failed to parse/compile" >&2; exit 1; }
+fi
+
+# ---- ```rust blocks: compile and run against the workspace rlibs -----
+awk '
+  /^```rust$/ { f = 1; n += 1; printf "fn block_%d() {\n", n; next }
+  /^```/      { if (f) print "}"; f = 0; next }
+  f           { print }
+  END {
+    print "fn main() {"
+    for (i = 1; i <= n; i++) printf "    block_%d();\n", i
+    print "}"
+  }
+' "$DOC" >"$TMP/doc_blocks.rs"
+
+rust_blocks=$(grep -c '^fn block_' "$TMP/doc_blocks.rs" || true)
+if [ "$rust_blocks" -gt 0 ]; then
+  externs=()
+  for crate in regtree_alphabet regtree_automata regtree_xml regtree_hedge \
+    regtree_pattern regtree_runtime regtree_core; do
+    rlib=$(ls -t target/debug/deps/lib${crate}-*.rlib 2>/dev/null | head -1)
+    [ -n "$rlib" ] && externs+=(--extern "${crate}=${rlib}")
+  done
+  rustc --edition 2021 -L target/debug/deps "${externs[@]}" \
+    "$TMP/doc_blocks.rs" -o "$TMP/doc_blocks"
+  "$TMP/doc_blocks"
+fi
+
+echo "doc_examples: ok ($patterns patterns, $fds FDs, $rust_blocks rust blocks)"
